@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the transpiler pipeline: decomposition,
+//! routing/layout, peephole optimization and scheduling on the paper's
+//! workloads and machines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use device::Device;
+use std::hint::black_box;
+use transpiler::{transpile, TranspileOptions};
+
+fn bench_transpile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transpile");
+    group.sample_size(30);
+    let toronto = Device::ibmq_toronto(3);
+    for bench in benchmarks::paper_suite() {
+        if !matches!(bench.name, "BV-8" | "QFT-7A" | "QAOA-10B") {
+            continue;
+        }
+        group.bench_with_input(
+            BenchmarkId::new("toronto", bench.name),
+            &bench,
+            |b, bench| {
+                b.iter(|| {
+                    black_box(transpile(
+                        black_box(&bench.circuit),
+                        &toronto,
+                        &TranspileOptions::default(),
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_passes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("passes");
+    let qft = benchmarks::qft_bench(7, 19);
+    group.bench_function("decompose_qft7", |b| {
+        b.iter(|| black_box(transpiler::decompose_circuit(black_box(&qft))));
+    });
+    let decomposed = transpiler::decompose_circuit(&qft);
+    group.bench_function("optimize_qft7", |b| {
+        b.iter(|| black_box(transpiler::optimize_circuit(black_box(&decomposed))));
+    });
+    let dev = Device::ibmq_toronto(3);
+    group.bench_function("noise_adaptive_layout_qft7", |b| {
+        b.iter(|| black_box(transpiler::noise_adaptive_layout(&decomposed, &dev)));
+    });
+    let t = transpile(&qft, &dev, &TranspileOptions::default());
+    group.bench_function("gst_build_qft7", |b| {
+        b.iter(|| black_box(adapt::GateSequenceTable::build(&t.timed)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transpile, bench_passes);
+criterion_main!(benches);

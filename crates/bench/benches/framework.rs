@@ -1,0 +1,87 @@
+//! Criterion benchmarks of the ADAPT framework itself: decoy
+//! construction, DD insertion, one noisy trajectory execution, and a
+//! single decoy-scoring step of the localized search.
+
+use adapt::dd::{insert_dd, DdConfig, DdMask, DdProtocol};
+use adapt::decoy::{make_decoy, DecoyKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use device::Device;
+use machine::{ExecutionConfig, Machine};
+use std::hint::black_box;
+use transpiler::{transpile, TranspileOptions};
+
+fn bench_decoy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decoy");
+    let dev = Device::ibmq_toronto(5);
+    let t = transpile(
+        &benchmarks::qft_bench(6, 42),
+        &dev,
+        &TranspileOptions::default(),
+    );
+    for (name, kind) in [
+        ("cdc", DecoyKind::Clifford),
+        ("cnot_only", DecoyKind::CnotOnly),
+        ("sdc4", DecoyKind::Seeded { max_seed_qubits: 4 }),
+    ] {
+        group.bench_function(BenchmarkId::new("make_qft6", name), |b| {
+            b.iter(|| black_box(make_decoy(black_box(&t.timed), kind).expect("decoy")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dd_insertion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dd_insert");
+    let dev = Device::ibmq_toronto(5);
+    let t = transpile(
+        &benchmarks::qft_bench(6, 42),
+        &dev,
+        &TranspileOptions::default(),
+    );
+    let wires = adapt::dd::mask_to_wires(DdMask::all(6), &t.initial_layout);
+    for protocol in [DdProtocol::Xy4, DdProtocol::IbmqDd, DdProtocol::Cpmg] {
+        group.bench_function(BenchmarkId::new("qft6_all", protocol.to_string()), |b| {
+            b.iter(|| {
+                black_box(insert_dd(
+                    black_box(&t.timed),
+                    &dev,
+                    &wires,
+                    &DdConfig::for_protocol(protocol),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine");
+    group.sample_size(10);
+    let dev = Device::ibmq_toronto(5);
+    let machine = Machine::new(dev.clone());
+    for name in ["BV-7", "QFT-6A"] {
+        let bench = benchmarks::suite::by_name(name).expect("known");
+        let t = transpile(&bench.circuit, &dev, &TranspileOptions::default());
+        group.bench_function(BenchmarkId::new("8_trajectories", name), |b| {
+            b.iter(|| {
+                black_box(
+                    machine
+                        .execute_timed(
+                            &t.timed,
+                            &ExecutionConfig {
+                                shots: 256,
+                                trajectories: 8,
+                                seed: 1,
+                                threads: 1,
+                            },
+                        )
+                        .expect("execution"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decoy, bench_dd_insertion, bench_execution);
+criterion_main!(benches);

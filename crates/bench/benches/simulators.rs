@@ -1,0 +1,101 @@
+//! Criterion benchmarks of the simulation substrates: dense state-vector
+//! gate throughput, CHP tableau sampling at application and scalability
+//! sizes (the Table 2 "SimTime" axis), and Heisenberg-propagation
+//! expectations as the seed count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcirc::{Circuit, Gate};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use statevec::StateVector;
+use std::hint::black_box;
+
+fn ghz_clifford(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for q in 0..(n - 1) as u32 {
+        c.cx(q, q + 1);
+    }
+    for q in 0..n.min(64) as u32 {
+        c.measure(q, q);
+    }
+    c
+}
+
+fn bench_statevec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevec");
+    for &n in &[10usize, 14, 18] {
+        group.bench_with_input(BenchmarkId::new("layer_1q", n), &n, |b, &n| {
+            let h = Gate::H.unitary1().expect("1q");
+            let mut sv = StateVector::new(n);
+            b.iter(|| {
+                for q in 0..n {
+                    sv.apply1(black_box(&h), q).expect("in range");
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("layer_2q", n), &n, |b, &n| {
+            let cx = Gate::CX.unitary2().expect("2q");
+            let mut sv = StateVector::new(n);
+            b.iter(|| {
+                for q in 0..n - 1 {
+                    sv.apply2(black_box(&cx), q, q + 1).expect("in range");
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_chp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chp");
+    group.sample_size(20);
+    for &n in &[27usize, 64, 100] {
+        let circuit = ghz_clifford(n);
+        group.bench_with_input(BenchmarkId::new("sample_100_shots", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| {
+                black_box(stab::sample_counts(&circuit, 100, &mut rng).expect("Clifford"))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("exact_distribution", n), &n, |b, _| {
+            b.iter(|| black_box(stab::exact_distribution(&circuit).expect("Clifford")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_heisenberg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heisenberg");
+    group.sample_size(20);
+    for &seeds in &[0usize, 2, 4, 6] {
+        // 40-qubit circuit, beyond dense reach, with `seeds` branch points.
+        let n = 40usize;
+        let mut circuit = Circuit::new(n);
+        circuit.h(0);
+        for q in 0..(n - 1) as u32 {
+            circuit.cx(q, q + 1);
+        }
+        for s in 0..seeds {
+            circuit.rz(0.3 + s as f64 * 0.2, (s * 5) as u32);
+        }
+        for q in 0..8u32 {
+            circuit.measure(q, q);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("distribution_8_measured", seeds),
+            &seeds,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        stab::heisenberg::output_distribution(&circuit).expect("supported"),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_statevec, bench_chp, bench_heisenberg);
+criterion_main!(benches);

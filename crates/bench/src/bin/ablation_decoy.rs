@@ -1,0 +1,5 @@
+//! Regenerates the paper's ablation_decoy (see the experiments module docs).
+fn main() {
+    let cfg = bench_harness::runner::ExperimentCfg::from_args();
+    bench_harness::experiments::ablation_decoy::run(&cfg);
+}

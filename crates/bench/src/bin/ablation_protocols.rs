@@ -1,0 +1,5 @@
+//! Regenerates the DD-protocol-zoo ablation.
+fn main() {
+    let cfg = bench_harness::runner::ExperimentCfg::from_args();
+    bench_harness::experiments::ablation_protocols::run(&cfg);
+}

@@ -1,0 +1,28 @@
+//! Runs the entire experiment suite in order, regenerating every table
+//! and figure of the paper plus the ablations. Pass `--quick` for a
+//! reduced-budget pass.
+use bench_harness::experiments as ex;
+
+fn main() {
+    let cfg = bench_harness::runner::ExperimentCfg::from_args();
+    let t0 = std::time::Instant::now();
+    println!("ADAPT experiment suite (seed {}, quick={})", cfg.seed, cfg.quick);
+    ex::table1::run(&cfg);
+    ex::fig03::run(&cfg);
+    ex::fig04::run(&cfg);
+    ex::fig05::run(&cfg);
+    ex::fig06::run(&cfg);
+    ex::fig08::run(&cfg);
+    ex::fig09::run(&cfg);
+    ex::table2::run(&cfg);
+    ex::fig13::run(&cfg);
+    ex::fig14::run(&cfg);
+    ex::fig15::run(&cfg);
+    ex::table5::run(&cfg);
+    ex::fig16::run(&cfg);
+    ex::ablation_noise::run(&cfg);
+    ex::ablation_search::run(&cfg);
+    ex::ablation_protocols::run(&cfg);
+    ex::ablation_decoy::run(&cfg);
+    println!("\nfull suite completed in {:.1} minutes", t0.elapsed().as_secs_f64() / 60.0);
+}

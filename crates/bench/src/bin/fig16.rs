@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 16 (see the experiments module docs).
+fn main() {
+    let cfg = bench_harness::runner::ExperimentCfg::from_args();
+    bench_harness::experiments::fig16::run(&cfg);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table1 (see the experiments module docs).
+fn main() {
+    let cfg = bench_harness::runner::ExperimentCfg::from_args();
+    bench_harness::experiments::table1::run(&cfg);
+}

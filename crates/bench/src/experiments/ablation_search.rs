@@ -1,0 +1,47 @@
+//! **Ablation: search parameters** — neighborhood size and the top-2
+//! conservative merge (§4.3 design choices) versus achieved fidelity and
+//! decoy budget.
+
+use crate::report::{Csv, Table};
+use crate::runner::ExperimentCfg;
+use adapt::{Adapt, AdaptConfig, Policy};
+use benchmarks::suite::by_name;
+use device::{Device, SeedSpawner};
+use machine::Machine;
+
+/// Runs the ablation.
+pub fn run(cfg: &ExperimentCfg) {
+    println!("\n== Ablation: localized-search neighborhood and top-2 merge (QFT-6B, Toronto) ==");
+    let spawner = SeedSpawner::new(cfg.seed ^ 0xAB1B);
+    let dev = Device::ibmq_toronto(cfg.seed);
+    let bench = by_name("QFT-6B").expect("QFT-6B exists");
+    let adapt = Adapt::new(Machine::new(dev));
+    let base = cfg.adapt_cfg(adapt::DdProtocol::Xy4, spawner.derive(1));
+
+    let mut table = Table::new(&["neighborhood", "top-2 merge", "fidelity", "mask", "decoy runs"]);
+    let mut csv = Csv::create(&cfg.out_dir(), "ablation_search", &[
+        "neighborhood", "top2", "fidelity", "mask", "decoy_runs",
+    ]);
+    for neighborhood in [1usize, 2, 4, 6] {
+        for top2 in [false, true] {
+            let acfg = AdaptConfig {
+                neighborhood,
+                top2_merge: top2,
+                ..base
+            };
+            let run = adapt
+                .run_policy(&bench.circuit, Policy::Adapt, &acfg)
+                .expect("adapt run");
+            table.row_owned(vec![
+                neighborhood.to_string(),
+                top2.to_string(),
+                format!("{:.3}", run.fidelity),
+                run.mask.to_string(),
+                run.search_runs.to_string(),
+            ]);
+            csv.rowd(&[&neighborhood, &top2, &run.fidelity, &run.mask, &run.search_runs]);
+        }
+    }
+    table.print();
+    csv.flush().expect("write ablation_search.csv");
+}

@@ -1,0 +1,46 @@
+//! **Fig. 3b** — Impact of SWAPs on the idle time of Q0 as BV circuits
+//! grow, IBMQ-Toronto vs a machine with all-to-all connectivity.
+
+use crate::report::{Csv, Table};
+use crate::runner::ExperimentCfg;
+use benchmarks::bernstein_vazirani;
+use device::Device;
+use transpiler::{transpile, TranspileOptions};
+
+/// Runs the experiment.
+pub fn run(cfg: &ExperimentCfg) {
+    println!("\n== Fig 3b: SWAP-induced idle time of Q0, BV-n ==");
+    let toronto = Device::ibmq_toronto(cfg.seed);
+    let mut table = Table::new(&["BV size", "Toronto idle(us)", "All-to-all idle(us)", "ratio"]);
+    let mut csv = Csv::create(&cfg.out_dir(), "fig03", &[
+        "bv_size", "toronto_idle_us", "all_to_all_idle_us", "ratio",
+    ]);
+
+    for n in 4..=10usize {
+        let secret = (1u64 << (n - 1)) - 1; // all-ones: maximal CNOT chain
+        let bv = bernstein_vazirani(n, secret);
+        let full = Device::all_to_all(n, cfg.seed);
+        let idle_on = |dev: &Device| -> f64 {
+            let t = transpile(&bv, dev, &TranspileOptions::default());
+            let wire = t.initial_layout.phys_of(0);
+            let total: f64 = t
+                .timed
+                .idle_windows(wire)
+                .iter()
+                .map(|w| w.duration_ns())
+                .sum();
+            total / 1000.0
+        };
+        let tor = idle_on(&toronto);
+        let ata = idle_on(&full);
+        table.row_owned(vec![
+            format!("BV-{n}"),
+            format!("{tor:.2}"),
+            format!("{ata:.2}"),
+            format!("{:.1}x", tor / ata.max(1e-9)),
+        ]);
+        csv.rowd(&[&n, &tor, &ata, &(tor / ata.max(1e-9))]);
+    }
+    table.print();
+    csv.flush().expect("write fig03.csv");
+}

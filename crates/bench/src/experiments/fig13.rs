@@ -1,0 +1,21 @@
+//! **Fig. 13** — Relative fidelity of All-DD / ADAPT / Runtime-Best over
+//! the full benchmark suite on 27-qubit IBMQ-Toronto, for both the XY4
+//! and IBMQ-DD protocols.
+
+use crate::runner::ExperimentCfg;
+use adapt::DdProtocol;
+use device::Device;
+
+/// Runs the experiment.
+pub fn run(cfg: &ExperimentCfg) {
+    let dev = Device::ibmq_toronto(cfg.seed);
+    let names: Vec<&str> = if cfg.quick {
+        vec!["BV-7", "QFT-6A", "QFT-6B", "QAOA-8A", "QPEA-5"]
+    } else {
+        benchmarks::paper_suite().iter().map(|b| b.name).collect()
+    };
+    for protocol in [DdProtocol::Xy4, DdProtocol::IbmqDd] {
+        println!("\n== Fig 13: policies on IBMQ-Toronto, {protocol} ==");
+        super::policy_figure(cfg, &dev, &names, protocol, true, &format!("fig13_{protocol}"));
+    }
+}

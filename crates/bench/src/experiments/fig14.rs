@@ -1,0 +1,19 @@
+//! **Fig. 14** — Relative fidelity of the policies on 27-qubit IBMQ-Paris
+//! with the XY4 sequence (the paper could not run IBMQ-DD on Paris before
+//! the machine retired).
+
+use crate::runner::ExperimentCfg;
+use adapt::DdProtocol;
+use device::Device;
+
+/// Runs the experiment.
+pub fn run(cfg: &ExperimentCfg) {
+    println!("\n== Fig 14: policies on IBMQ-Paris, XY4 ==");
+    let dev = Device::ibmq_paris(cfg.seed);
+    let names: Vec<&str> = if cfg.quick {
+        vec!["BV-7", "QFT-6A", "QAOA-8A"]
+    } else {
+        vec!["BV-7", "QFT-6A", "QAOA-8A", "QAOA-10A"]
+    };
+    super::policy_figure(cfg, &dev, &names, DdProtocol::Xy4, true, "fig14");
+}

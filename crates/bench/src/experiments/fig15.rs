@@ -1,0 +1,24 @@
+//! **Fig. 15** — Relative fidelity of the policies on 16-qubit
+//! IBMQ-Guadalupe (the newest machine: faster gates, lower error), for
+//! both protocols, on the larger workloads.
+
+use crate::runner::ExperimentCfg;
+use adapt::DdProtocol;
+use device::Device;
+
+/// Runs the experiment.
+pub fn run(cfg: &ExperimentCfg) {
+    let dev = Device::ibmq_guadalupe(cfg.seed);
+    let names: Vec<&str> = if cfg.quick {
+        vec!["BV-8", "QFT-7A", "QAOA-10A"]
+    } else {
+        vec!["BV-8", "QFT-7A", "QFT-7B", "QAOA-10A", "QAOA-10B"]
+    };
+    for protocol in [DdProtocol::Xy4, DdProtocol::IbmqDd] {
+        println!("\n== Fig 15: policies on IBMQ-Guadalupe, {protocol} ==");
+        // Runtime-Best is omitted on Guadalupe: QFT-7-class sweeps are the
+        // costliest executions in the suite and the figure's claim is
+        // ADAPT-vs-All-DD robustness (§6.3). EXPERIMENTS.md notes this.
+        super::policy_figure(cfg, &dev, &names, protocol, false, &format!("fig15_{protocol}"));
+    }
+}

@@ -1,0 +1,99 @@
+//! One module per table/figure of the ADAPT paper, plus ablations.
+//!
+//! Every module exposes `run(&ExperimentCfg)`: it prints the paper-style
+//! rows to stdout and writes a CSV into `results/`. The
+//! `all_experiments` binary chains them in order.
+
+pub mod ablation_decoy;
+pub mod ablation_protocols;
+pub mod ablation_noise;
+pub mod ablation_search;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig08;
+pub mod fig09;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod table1;
+pub mod table2;
+pub mod table5;
+
+use crate::report::{Csv, Table};
+use crate::runner::{policy_sweep, ExperimentCfg};
+use adapt::DdProtocol;
+use device::Device;
+
+/// Shared driver for the Fig. 13/14/15-style policy comparisons: runs the
+/// four policies per benchmark, prints relative fidelities, and writes
+/// `results/<stem>.csv`.
+pub fn policy_figure(
+    cfg: &ExperimentCfg,
+    device: &Device,
+    names: &[&str],
+    protocol: DdProtocol,
+    with_oracle: bool,
+    stem: &str,
+) {
+    let mut table = Table::new(&[
+        "benchmark", "baseline", "All-DD", "ADAPT", "Runtime-Best", "ADAPT mask", "decoys",
+    ]);
+    let mut csv = Csv::create(&cfg.out_dir(), stem, &[
+        "benchmark", "protocol", "baseline", "all_dd_rel", "adapt_rel", "runtime_best_rel",
+        "adapt_mask", "decoy_runs",
+    ]);
+    let mut all_rels = Vec::new();
+    let mut adapt_rels = Vec::new();
+    let mut rb_rels = Vec::new();
+    for name in names {
+        let bench = benchmarks::suite::by_name(name).expect("known benchmark");
+        let r = policy_sweep(device, &bench, protocol, cfg, with_oracle);
+        all_rels.push(r.all_dd_rel);
+        adapt_rels.push(r.adapt_rel);
+        if let Some(rb) = r.runtime_best_rel {
+            rb_rels.push(rb);
+        }
+        table.row_owned(vec![
+            r.name.clone(),
+            format!("{:.3}", r.baseline),
+            format!("{:.2}x", r.all_dd_rel),
+            format!("{:.2}x", r.adapt_rel),
+            r.runtime_best_rel
+                .map(|v| format!("{v:.2}x"))
+                .unwrap_or_else(|| "-".into()),
+            r.adapt_mask.clone(),
+            r.adapt_search_runs.to_string(),
+        ]);
+        csv.row(&[
+            r.name.clone(),
+            protocol.to_string(),
+            format!("{:.4}", r.baseline),
+            format!("{:.4}", r.all_dd_rel),
+            format!("{:.4}", r.adapt_rel),
+            r.runtime_best_rel
+                .map(|v| format!("{v:.4}"))
+                .unwrap_or_default(),
+            r.adapt_mask,
+            r.adapt_search_runs.to_string(),
+        ]);
+    }
+    use adapt::metrics::geomean;
+    table.row_owned(vec![
+        "GMean".into(),
+        String::new(),
+        format!("{:.2}x", geomean(&all_rels)),
+        format!("{:.2}x", geomean(&adapt_rels)),
+        if rb_rels.is_empty() {
+            "-".into()
+        } else {
+            format!("{:.2}x", geomean(&rb_rels))
+        },
+        String::new(),
+        String::new(),
+    ]);
+    table.print();
+    csv.flush().expect("write policy figure csv");
+}

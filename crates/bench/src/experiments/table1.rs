@@ -1,0 +1,80 @@
+//! **Table 1** — Idling times for programs on IBMQ-Rome: program latency,
+//! per-qubit idle fraction, and fidelity without DD vs DD-on-all.
+
+use crate::report::{Csv, Table};
+use crate::runner::ExperimentCfg;
+use adapt::{Adapt, Policy};
+use benchmarks::table1_suite;
+use device::{Device, SeedSpawner};
+use machine::Machine;
+
+/// Runs the experiment.
+pub fn run(cfg: &ExperimentCfg) {
+    println!("\n== Table 1: idling times and DD impact on IBMQ-Rome ==");
+    let spawner = SeedSpawner::new(cfg.seed ^ 0x7AB1);
+    let dev = Device::ibmq_rome(cfg.seed);
+    let adapt = Adapt::new(Machine::new(dev));
+    let acfg = cfg.adapt_cfg(adapt::DdProtocol::Xy4, spawner.derive(1));
+
+    let mut table = Table::new(&[
+        "Workload", "Latency(us)", "Q0%", "Q1%", "Q2%", "Q3%", "Q4%", "NoDD", "AllDD",
+    ]);
+    let mut csv = Csv::create(&cfg.out_dir(), "table1", &[
+        "workload", "latency_us", "idle_q0", "idle_q1", "idle_q2", "idle_q3", "idle_q4",
+        "fid_no_dd", "fid_all_dd",
+    ]);
+
+    for bench in table1_suite() {
+        let compiled = adapt.compile(&bench.circuit, &acfg);
+        let latency_us = compiled.timed.total_ns() / 1000.0;
+        // Idle fraction of each program qubit on its physical wire.
+        let idle: Vec<f64> = (0..5)
+            .map(|p| {
+                if p < bench.num_qubits {
+                    let wire = compiled.initial_layout.phys_of(p as u32);
+                    compiled.timed.idle_fraction(wire)
+                } else {
+                    f64::NAN
+                }
+            })
+            .collect();
+        let no_dd = adapt
+            .run_policy(&bench.circuit, Policy::NoDd, &acfg)
+            .expect("NoDD");
+        let all_dd = adapt
+            .run_policy(&bench.circuit, Policy::AllDd, &acfg)
+            .expect("AllDD");
+
+        let pct = |f: f64| {
+            if f.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{:.0}", f * 100.0)
+            }
+        };
+        table.row_owned(vec![
+            bench.name.to_string(),
+            format!("{latency_us:.1}"),
+            pct(idle[0]),
+            pct(idle[1]),
+            pct(idle[2]),
+            pct(idle[3]),
+            pct(idle[4]),
+            format!("{:.2}", no_dd.fidelity),
+            format!("{:.2}", all_dd.fidelity),
+        ]);
+        csv.row(&[
+            bench.name.to_string(),
+            format!("{latency_us:.3}"),
+            format!("{:.4}", idle[0]),
+            format!("{:.4}", idle[1]),
+            format!("{:.4}", idle[2]),
+            format!("{:.4}", idle[3]),
+            format!("{:.4}", idle[4]),
+            format!("{:.4}", no_dd.fidelity),
+            format!("{:.4}", all_dd.fidelity),
+        ]);
+    }
+    table.print();
+    csv.flush().expect("write table1.csv");
+}

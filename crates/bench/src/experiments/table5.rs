@@ -1,0 +1,67 @@
+//! **Table 5** — Summary of results: min / geometric-mean / max relative
+//! fidelity of All-DD and ADAPT per machine, aggregated from the Fig.
+//! 13–15 CSVs (run those first; `all_experiments` does so in order).
+
+use crate::report::{Csv, Table};
+use crate::runner::ExperimentCfg;
+use adapt::metrics::geomean;
+use std::fs;
+
+/// Runs the aggregation.
+pub fn run(cfg: &ExperimentCfg) {
+    println!("\n== Table 5: summary (min/gmean/max relative fidelity) ==");
+    let sources = [
+        ("Paris", "fig14", "XY4"),
+        ("Toronto", "fig13_XY4", "XY4"),
+        ("Toronto", "fig13_IBMQ-DD", "IBMQ-DD"),
+        ("Guadalupe", "fig15_XY4", "XY4"),
+        ("Guadalupe", "fig15_IBMQ-DD", "IBMQ-DD"),
+    ];
+    let mut table = Table::new(&[
+        "Machine", "Protocol", "All-DD min/gmean/max", "ADAPT min/gmean/max",
+    ]);
+    let mut csv = Csv::create(&cfg.out_dir(), "table5", &[
+        "machine", "protocol",
+        "all_dd_min", "all_dd_gmean", "all_dd_max",
+        "adapt_min", "adapt_gmean", "adapt_max",
+    ]);
+    for (machine, stem, protocol) in sources {
+        let path = cfg.out_dir().join(format!("{stem}.csv"));
+        let Ok(content) = fs::read_to_string(&path) else {
+            println!("  (skipping {machine}/{protocol}: {} not found — run the figure first)", path.display());
+            continue;
+        };
+        let mut all_dd = Vec::new();
+        let mut adapt_rel = Vec::new();
+        for line in content.lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            if cells.len() >= 5 {
+                if let (Ok(a), Ok(b)) = (cells[3].parse::<f64>(), cells[4].parse::<f64>()) {
+                    all_dd.push(a);
+                    adapt_rel.push(b);
+                }
+            }
+        }
+        if all_dd.is_empty() {
+            continue;
+        }
+        let span = |v: &[f64]| -> (f64, f64, f64) {
+            (
+                v.iter().cloned().fold(f64::MAX, f64::min),
+                geomean(v),
+                v.iter().cloned().fold(f64::MIN, f64::max),
+            )
+        };
+        let (a_min, a_gm, a_max) = span(&all_dd);
+        let (d_min, d_gm, d_max) = span(&adapt_rel);
+        table.row_owned(vec![
+            machine.to_string(),
+            protocol.to_string(),
+            format!("{a_min:.2} / {a_gm:.2} / {a_max:.2}"),
+            format!("{d_min:.2} / {d_gm:.2} / {d_max:.2}"),
+        ]);
+        csv.rowd(&[&machine, &protocol, &a_min, &a_gm, &a_max, &d_min, &d_gm, &d_max]);
+    }
+    table.print();
+    csv.flush().expect("write table5.csv");
+}

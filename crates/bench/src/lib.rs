@@ -1,0 +1,16 @@
+//! # bench-harness — experiment runner for the ADAPT reproduction
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), sharing this
+//! library: experiment configuration, policy sweeps, CSV emission and
+//! terminal tables. Run everything with
+//! `cargo run -p bench-harness --release --bin all_experiments`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod probes;
+pub mod report;
+pub mod runner;
+
+pub use report::{Csv, Table};
+pub use runner::{policy_sweep, BenchResult, ExperimentCfg};

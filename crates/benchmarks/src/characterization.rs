@@ -1,0 +1,179 @@
+//! Single-qubit characterization probes of §3 and §6.4.
+//!
+//! These circuits quantify idling errors directly: a probe qubit is
+//! rotated into an arbitrary state with `RY(θ)`, left to evolve over an
+//! idle window (optionally while CNOTs hammer a nearby link), rotated
+//! back with `RY(−θ)`, and measured. A perfect machine always reads 0;
+//! the survival probability of 0 is the probe fidelity the paper plots
+//! in Figs. 4–6 and 16.
+//!
+//! DD insertion into the probe window is left to `adapt::dd::insert_dd`
+//! (the probes just create the idle structure), except for
+//! [`probe_with_inline_dd`], which bakes the pulse sequence in for
+//! device-level experiments that bypass the framework.
+
+use qcirc::{Circuit, Gate};
+
+/// The probe circuit of Fig. 4(a): `RY(θ)` → idle → `RY(−θ)` → measure,
+/// on qubit `probe` of an `n`-qubit register.
+pub fn idle_probe(n: usize, probe: u32, theta: f64, idle_ns: f64) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.ry(theta, probe);
+    c.delay(idle_ns, probe);
+    c.ry(-theta, probe);
+    c.measure(probe, 0);
+    c
+}
+
+/// Fig. 4(d): the probe idles while `repetitions` CNOTs run back-to-back
+/// on the (`link_a`, `link_b`) pair. A barrier aligns the unwind rotation
+/// after the CNOT burst so the probe's idle window spans the crosstalk.
+pub fn idle_probe_with_cnots(
+    n: usize,
+    probe: u32,
+    theta: f64,
+    link_a: u32,
+    link_b: u32,
+    repetitions: usize,
+) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.ry(theta, probe);
+    // Pin the preparation before the CNOT burst: without this barrier an
+    // ALAP scheduler would slide the RY right up against the unwind,
+    // leaving the probe in |0⟩ (dephasing-insensitive) during the burst.
+    c.barrier(&[probe, link_a, link_b]);
+    for _ in 0..repetitions {
+        c.cx(link_a, link_b);
+    }
+    c.barrier(&[probe, link_a, link_b]);
+    c.ry(-theta, probe);
+    c.measure(probe, 0);
+    c
+}
+
+/// Which pulse train [`probe_with_inline_dd`] bakes into the idle window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InlineDd {
+    /// No pulses: free evolution.
+    Free,
+    /// Continuous XY4 with the given per-pulse slot (pulse + buffer), ns.
+    Xy4 {
+        /// Pulse-to-pulse slot duration in nanoseconds.
+        slot_ns: f64,
+    },
+    /// Two X pulses evenly placed (IBMQ-DD / Eq. 4), given pulse length.
+    IbmqDd {
+        /// Pulse duration in nanoseconds.
+        pulse_ns: f64,
+    },
+}
+
+/// A probe with the DD sequence written directly into the circuit via
+/// explicit delays — reproducing the device-level experiments of
+/// Fig. 4(b)/(e) and Fig. 16 without going through the scheduler.
+pub fn probe_with_inline_dd(
+    n: usize,
+    probe: u32,
+    theta: f64,
+    idle_ns: f64,
+    dd: InlineDd,
+) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.ry(theta, probe);
+    match dd {
+        InlineDd::Free => {
+            c.delay(idle_ns, probe);
+        }
+        InlineDd::Xy4 { slot_ns } => {
+            let reps = (idle_ns / (4.0 * slot_ns)).floor().max(0.0) as usize;
+            let mut used = 0.0;
+            for _ in 0..reps {
+                for g in [Gate::X, Gate::Y, Gate::X, Gate::Y] {
+                    c.gate(g, &[probe]);
+                    // The slot includes the pulse itself; the rest idles.
+                    c.delay(slot_ns - 35.0, probe);
+                    used += slot_ns;
+                }
+            }
+            if idle_ns - used > 0.0 {
+                c.delay(idle_ns - used, probe);
+            }
+        }
+        InlineDd::IbmqDd { pulse_ns } => {
+            let tau4 = (idle_ns - 2.0 * pulse_ns) / 4.0;
+            c.delay(tau4, probe);
+            c.x(probe);
+            c.delay(2.0 * tau4, probe);
+            c.x(probe);
+            c.delay(tau4, probe);
+        }
+    }
+    c.ry(-theta, probe);
+    c.measure(probe, 0);
+    c
+}
+
+/// The θ grid of §3.2: five initial states spanning `[0, π]`.
+pub fn theta_grid(count: usize) -> Vec<f64> {
+    (0..count)
+        .map(|i| std::f64::consts::PI * i as f64 / (count.max(2) - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statevec::ideal_distribution;
+
+    #[test]
+    fn probe_is_identity_noise_free() {
+        for theta in theta_grid(5) {
+            let c = idle_probe(3, 1, theta, 5000.0);
+            let d = ideal_distribution(&c).unwrap();
+            assert!((d.get(&0).copied().unwrap_or(0.0) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn probe_with_cnots_is_identity_noise_free() {
+        let c = idle_probe_with_cnots(4, 0, 1.1, 1, 2, 6);
+        let d = ideal_distribution(&c).unwrap();
+        assert!((d.get(&0).copied().unwrap_or(0.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inline_dd_is_identity_noise_free() {
+        for dd in [
+            InlineDd::Free,
+            InlineDd::Xy4 { slot_ns: 45.0 },
+            InlineDd::IbmqDd { pulse_ns: 35.0 },
+        ] {
+            let c = probe_with_inline_dd(2, 0, 0.8, 2000.0, dd);
+            let d = ideal_distribution(&c).unwrap();
+            assert!(
+                (d.get(&0).copied().unwrap_or(0.0) - 1.0).abs() < 1e-9,
+                "{dd:?} breaks identity"
+            );
+        }
+    }
+
+    #[test]
+    fn xy4_inline_pulse_count_scales_with_idle() {
+        let short = probe_with_inline_dd(1, 0, 0.5, 500.0, InlineDd::Xy4 { slot_ns: 45.0 });
+        let long = probe_with_inline_dd(1, 0, 0.5, 5000.0, InlineDd::Xy4 { slot_ns: 45.0 });
+        let count = |c: &Circuit| {
+            c.iter()
+                .filter(|i| matches!(i.as_gate(), Some(Gate::X | Gate::Y)))
+                .count()
+        };
+        assert!(count(&long) > 4 * count(&short));
+    }
+
+    #[test]
+    fn theta_grid_spans_zero_to_pi() {
+        let g = theta_grid(5);
+        assert_eq!(g.len(), 5);
+        assert!(g[0].abs() < 1e-12);
+        assert!((g[4] - std::f64::consts::PI).abs() < 1e-12);
+    }
+}

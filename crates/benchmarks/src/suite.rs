@@ -1,0 +1,129 @@
+//! The paper's benchmark suites.
+//!
+//! [`paper_suite`] mirrors Table 4 (BV-7/8, QFT-6A/6B/7A/7B,
+//! QAOA-8A/8B/10A/10B, QPEA-5); [`table1_suite`] provides the three
+//! 5-qubit-class programs of Table 1 (QFT-5, QAOA-5, Adder).
+
+use crate::{adder4, bernstein_vazirani, chorded_edges, qaoa_maxcut, qft_bench, qpe, ring_edges};
+use qcirc::Circuit;
+
+/// A named benchmark instance.
+#[derive(Debug, Clone)]
+pub struct BenchmarkSpec {
+    /// Paper name, e.g. "QFT-6A".
+    pub name: &'static str,
+    /// Number of program qubits.
+    pub num_qubits: usize,
+    /// The logical circuit.
+    pub circuit: Circuit,
+}
+
+impl BenchmarkSpec {
+    fn new(name: &'static str, circuit: Circuit) -> Self {
+        BenchmarkSpec {
+            name,
+            num_qubits: circuit.num_qubits(),
+            circuit,
+        }
+    }
+}
+
+/// The Table 4 suite used in Figs. 13–15.
+///
+/// A/B variants differ by input state (QFT) or problem graph and angles
+/// (QAOA), exactly as the paper uses them to test decoy robustness across
+/// state evolutions.
+pub fn paper_suite() -> Vec<BenchmarkSpec> {
+    vec![
+        BenchmarkSpec::new("BV-7", bernstein_vazirani(7, 0b101101)),
+        BenchmarkSpec::new("BV-8", bernstein_vazirani(8, 0b1110101)),
+        BenchmarkSpec::new("QFT-6A", qft_bench(6, 5)),
+        BenchmarkSpec::new("QFT-6B", qft_bench(6, 42)),
+        BenchmarkSpec::new("QFT-7A", qft_bench(7, 19)),
+        BenchmarkSpec::new("QFT-7B", qft_bench(7, 97)),
+        BenchmarkSpec::new(
+            "QAOA-8A",
+            qaoa_maxcut(8, &ring_edges(8), 0.4, 0.7, 1),
+        ),
+        BenchmarkSpec::new(
+            "QAOA-8B",
+            qaoa_maxcut(8, &chorded_edges(8), 0.55, 0.6, 1),
+        ),
+        BenchmarkSpec::new(
+            "QAOA-10A",
+            qaoa_maxcut(10, &ring_edges(10), 0.4, 0.7, 1),
+        ),
+        BenchmarkSpec::new(
+            "QAOA-10B",
+            qaoa_maxcut(10, &chorded_edges(10), 0.5, 0.55, 2),
+        ),
+        BenchmarkSpec::new("QPEA-5", qpe(5, 5)),
+    ]
+}
+
+/// The Table 1 programs (5-qubit class, run on IBMQ-Rome in the paper).
+pub fn table1_suite() -> Vec<BenchmarkSpec> {
+    vec![
+        BenchmarkSpec::new("QFT-5", qft_bench(5, 11)),
+        BenchmarkSpec::new("QAOA-5", qaoa_maxcut(5, &ring_edges(5), 0.4, 0.7, 1)),
+        BenchmarkSpec::new("Adder", adder4(true, true, false)),
+    ]
+}
+
+/// Looks a benchmark up by its paper name in both suites.
+pub fn by_name(name: &str) -> Option<BenchmarkSpec> {
+    paper_suite()
+        .into_iter()
+        .chain(table1_suite())
+        .find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_suite_matches_table4_sizes() {
+        let suite = paper_suite();
+        assert_eq!(suite.len(), 11);
+        let sizes: Vec<(&str, usize)> =
+            suite.iter().map(|b| (b.name, b.num_qubits)).collect();
+        assert!(sizes.contains(&("BV-7", 7)));
+        assert!(sizes.contains(&("BV-8", 8)));
+        assert!(sizes.contains(&("QFT-6A", 6)));
+        assert!(sizes.contains(&("QFT-7B", 7)));
+        assert!(sizes.contains(&("QAOA-8A", 8)));
+        assert!(sizes.contains(&("QAOA-10B", 10)));
+        assert!(sizes.contains(&("QPEA-5", 5)));
+    }
+
+    #[test]
+    fn every_benchmark_has_computable_ideal_output() {
+        for b in paper_suite().into_iter().chain(table1_suite()) {
+            let d = statevec::ideal_distribution(&b.circuit).unwrap();
+            let total: f64 = d.values().sum();
+            assert!((total - 1.0).abs() < 1e-9, "{} not normalized", b.name);
+        }
+    }
+
+    #[test]
+    fn a_b_variants_differ() {
+        let suite = paper_suite();
+        let get = |name: &str| {
+            suite
+                .iter()
+                .find(|b| b.name == name)
+                .map(|b| b.circuit.clone())
+                .expect("benchmark exists")
+        };
+        assert_ne!(get("QFT-6A"), get("QFT-6B"));
+        assert_ne!(get("QAOA-8A"), get("QAOA-8B"));
+    }
+
+    #[test]
+    fn by_name_finds_both_suites() {
+        assert!(by_name("BV-7").is_some());
+        assert!(by_name("QFT-5").is_some());
+        assert!(by_name("NOPE-3").is_none());
+    }
+}

@@ -1,0 +1,237 @@
+//! ASCII circuit rendering for terminals and docs.
+//!
+//! One row per qubit, one column per circuit "moment" (greedy left
+//! alignment, like Qiskit's text drawer):
+//!
+//! ```text
+//! q0: ─ H ──●───────── M ─
+//!           │
+//! q1: ────── X ── T ── M ─
+//! ```
+
+use crate::circuit::{Circuit, OpKind};
+use crate::gate::Gate;
+
+/// Renders the circuit as fixed-width ASCII art.
+///
+/// # Examples
+///
+/// ```
+/// use qcirc::{draw, Circuit};
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1).measure_all();
+/// let art = draw::draw(&c);
+/// assert!(art.contains("q0:"));
+/// assert!(art.contains("●")); // the CX control
+/// ```
+pub fn draw(circuit: &Circuit) -> String {
+    let n = circuit.num_qubits();
+    // Assign each instruction to the earliest column where all its qubits
+    // are free.
+    let mut col_of = Vec::with_capacity(circuit.len());
+    let mut next_free = vec![0usize; n];
+    let mut num_cols = 0;
+    for instr in circuit.iter() {
+        let col = instr
+            .qubits
+            .iter()
+            .map(|q| next_free[q.index()])
+            .max()
+            .unwrap_or(0);
+        col_of.push(col);
+        for q in &instr.qubits {
+            next_free[q.index()] = col + 1;
+        }
+        num_cols = num_cols.max(col + 1);
+    }
+
+    // Cell labels per (qubit, column); vertical links per column.
+    let mut cells: Vec<Vec<Option<String>>> = vec![vec![None; num_cols]; n];
+    let mut links: Vec<Vec<bool>> = vec![vec![false; num_cols]; n.saturating_sub(1)];
+    for (instr, &col) in circuit.iter().zip(&col_of) {
+        match &instr.kind {
+            OpKind::Gate(g) if g.arity() == 2 => {
+                let a = instr.qubits[0].index();
+                let b = instr.qubits[1].index();
+                let (la, lb) = match g {
+                    Gate::CX => ("●".to_string(), "X".to_string()),
+                    Gate::CZ => ("●".to_string(), "●".to_string()),
+                    Gate::Swap => ("x".to_string(), "x".to_string()),
+                    _ => (g.name().to_uppercase(), g.name().to_uppercase()),
+                };
+                cells[a][col] = Some(la);
+                cells[b][col] = Some(lb);
+                for row in a.min(b)..a.max(b) {
+                    links[row][col] = true;
+                }
+            }
+            OpKind::Gate(g) => {
+                let label = match g {
+                    Gate::RX(t) | Gate::RY(t) | Gate::RZ(t) | Gate::P(t) => {
+                        format!("{}({t:.2})", g.name().to_uppercase())
+                    }
+                    Gate::U(t, p, l) => format!("U({t:.2},{p:.2},{l:.2})"),
+                    _ => short_name(*g),
+                };
+                cells[instr.qubits[0].index()][col] = Some(label);
+            }
+            OpKind::Measure(c) => {
+                cells[instr.qubits[0].index()][col] = Some(format!("M→c{}", c.index()));
+            }
+            OpKind::Reset => {
+                cells[instr.qubits[0].index()][col] = Some("|0⟩".to_string());
+            }
+            OpKind::Delay(ns) => {
+                cells[instr.qubits[0].index()][col] = Some(format!("D{:.0}", ns / 1000.0));
+            }
+            OpKind::Barrier => {
+                for q in &instr.qubits {
+                    cells[q.index()][col] = Some("░".to_string());
+                }
+            }
+        }
+    }
+
+    // Column widths.
+    let widths: Vec<usize> = (0..num_cols)
+        .map(|col| {
+            cells
+                .iter()
+                .filter_map(|row| row[col].as_ref())
+                .map(|s| s.chars().count())
+                .max()
+                .unwrap_or(1)
+        })
+        .collect();
+
+    let label_width = format!("q{}", n.saturating_sub(1)).len() + 2;
+    let mut out = String::new();
+    for q in 0..n {
+        // Wire row.
+        let mut line = format!("{:<label_width$}", format!("q{q}:"));
+        for (col, w) in widths.iter().enumerate() {
+            line.push('─');
+            match &cells[q][col] {
+                Some(s) => {
+                    let pad = w - s.chars().count();
+                    let left = pad / 2;
+                    line.push_str(&" ".repeat(left));
+                    line.push_str(s);
+                    line.push_str(&" ".repeat(pad - left));
+                }
+                None => line.push_str(&"─".repeat(*w)),
+            }
+            line.push('─');
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        // Link row.
+        if q + 1 < n {
+            let mut line = " ".repeat(label_width);
+            for (col, w) in widths.iter().enumerate() {
+                line.push(' ');
+                let mid = w / 2;
+                for i in 0..*w {
+                    line.push(if links[q][col] && i == mid { '│' } else { ' ' });
+                }
+                line.push(' ');
+            }
+            let trimmed = line.trim_end();
+            if !trimmed.is_empty() {
+                out.push_str(trimmed);
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn short_name(g: Gate) -> String {
+    match g {
+        Gate::I => "I".into(),
+        Gate::X => "X".into(),
+        Gate::Y => "Y".into(),
+        Gate::Z => "Z".into(),
+        Gate::H => "H".into(),
+        Gate::S => "S".into(),
+        Gate::Sdg => "S†".into(),
+        Gate::T => "T".into(),
+        Gate::Tdg => "T†".into(),
+        Gate::SX => "√X".into(),
+        Gate::SXdg => "√X†".into(),
+        _ => g.name().to_uppercase(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bell_circuit_renders_expected_shapes() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        let art = draw(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[0].starts_with("q0:"));
+        assert!(lines[0].contains('H'));
+        assert!(lines[0].contains('●'));
+        assert!(lines[2].contains('X'));
+        assert!(lines[1].contains('│'), "control link missing: {art}");
+        assert!(art.contains("M→c0"));
+        assert!(art.contains("M→c1"));
+    }
+
+    #[test]
+    fn parallel_gates_share_a_column() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(1);
+        let art = draw(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        let col0 = lines[0].find('H').unwrap();
+        let col1 = lines[2].find('H').unwrap();
+        assert_eq!(col0, col1, "parallel H gates should align:\n{art}");
+    }
+
+    #[test]
+    fn dependent_gates_get_later_columns() {
+        let mut c = Circuit::new(1);
+        c.h(0).x(0);
+        let art = draw(&c);
+        let line = art.lines().next().unwrap();
+        assert!(line.find('H').unwrap() < line.find('X').unwrap());
+    }
+
+    #[test]
+    fn rotations_show_angles() {
+        let mut c = Circuit::new(1);
+        c.rz(0.5, 0);
+        assert!(draw(&c).contains("RZ(0.50)"));
+    }
+
+    #[test]
+    fn barriers_and_delays_render() {
+        let mut c = Circuit::new(2);
+        c.delay(1500.0, 0).barrier_all();
+        let art = draw(&c);
+        assert!(art.contains("D2")); // 1.5µs rounds to 2
+        assert!(art.contains('░'));
+    }
+
+    #[test]
+    fn swap_and_cz_symbols() {
+        let mut c = Circuit::new(3);
+        c.swap(0, 2).cz(0, 1);
+        let art = draw(&c);
+        assert_eq!(art.matches('x').count(), 2);
+        assert_eq!(art.matches('●').count(), 2);
+    }
+
+    #[test]
+    fn row_count_matches_register() {
+        let mut c = Circuit::new(4);
+        c.h(0);
+        let art = draw(&c);
+        assert_eq!(art.lines().filter(|l| l.contains(':')).count(), 4);
+    }
+}

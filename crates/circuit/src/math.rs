@@ -1,0 +1,664 @@
+//! Small complex linear algebra used throughout the stack.
+//!
+//! The simulator stack only ever needs scalars, 2×2 and 4×4 complex matrices,
+//! so we implement exactly those instead of pulling in a general linear
+//! algebra dependency. All types are `Copy` and allocation-free.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number.
+///
+/// # Examples
+///
+/// ```
+/// use qcirc::math::C64;
+/// let i = C64::I;
+/// assert_eq!(i * i, -C64::ONE);
+/// assert!((C64::new(3.0, 4.0).norm() - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from its real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Creates a real-valued complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// Returns `e^{iθ}` — the unit complex number at angle `theta` radians.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        C64::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        C64::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|²`; cheaper than [`C64::norm`].
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `z` is zero.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        debug_assert!(d > 0.0, "inverse of zero complex number");
+        C64::new(self.re / d, -self.im / d)
+    }
+
+    /// Complex square root (principal branch).
+    pub fn sqrt(self) -> Self {
+        let r = self.norm().sqrt();
+        let theta = self.arg() / 2.0;
+        C64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        C64::new(self.re * s, self.im * s)
+    }
+
+    /// True when both components are within `tol` of `other`'s.
+    #[inline]
+    pub fn approx_eq(self, other: C64, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        C64::real(re)
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+/// A 2×2 complex matrix in row-major order.
+///
+/// Used for single-qubit unitaries and for the operator-norm computations
+/// behind nearest-Clifford replacement.
+///
+/// # Examples
+///
+/// ```
+/// use qcirc::math::{C64, Mat2};
+/// let x = Mat2::new([
+///     [C64::ZERO, C64::ONE],
+///     [C64::ONE, C64::ZERO],
+/// ]);
+/// assert!(x.is_unitary(1e-12));
+/// assert!((x * x).approx_eq(&Mat2::identity(), 1e-12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat2 {
+    m: [[C64; 2]; 2],
+}
+
+impl Mat2 {
+    /// Creates a matrix from rows.
+    #[inline]
+    pub const fn new(m: [[C64; 2]; 2]) -> Self {
+        Mat2 { m }
+    }
+
+    /// The 2×2 identity matrix.
+    pub fn identity() -> Self {
+        Mat2::new([[C64::ONE, C64::ZERO], [C64::ZERO, C64::ONE]])
+    }
+
+    /// The all-zero matrix.
+    pub fn zero() -> Self {
+        Mat2::new([[C64::ZERO; 2]; 2])
+    }
+
+    /// Element at `(row, col)`.
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> C64 {
+        self.m[row][col]
+    }
+
+    /// Conjugate transpose.
+    pub fn dagger(&self) -> Mat2 {
+        Mat2::new([
+            [self.m[0][0].conj(), self.m[1][0].conj()],
+            [self.m[0][1].conj(), self.m[1][1].conj()],
+        ])
+    }
+
+    /// Trace.
+    pub fn trace(&self) -> C64 {
+        self.m[0][0] + self.m[1][1]
+    }
+
+    /// Determinant.
+    pub fn det(&self) -> C64 {
+        self.m[0][0] * self.m[1][1] - self.m[0][1] * self.m[1][0]
+    }
+
+    /// Multiplies every entry by a complex scalar.
+    pub fn scale(&self, s: C64) -> Mat2 {
+        let mut out = *self;
+        for row in &mut out.m {
+            for e in row {
+                *e *= s;
+            }
+        }
+        out
+    }
+
+    /// Entry-wise comparison with tolerance `tol`.
+    pub fn approx_eq(&self, other: &Mat2, tol: f64) -> bool {
+        (0..2).all(|r| (0..2).all(|c| self.m[r][c].approx_eq(other.m[r][c], tol)))
+    }
+
+    /// True when `U†U ≈ I` within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        (self.dagger() * *self).approx_eq(&Mat2::identity(), tol)
+    }
+
+    /// Operator norm (largest singular value).
+    ///
+    /// For a 2×2 matrix `A`, the singular values are the square roots of the
+    /// eigenvalues of the Hermitian matrix `A†A`, which have the closed form
+    /// `(t ± √(t² − 4d)) / 2` with `t = tr(A†A)` and `d = det(A†A)`.
+    pub fn op_norm(&self) -> f64 {
+        let g = self.dagger() * *self;
+        // `g` is Hermitian positive semidefinite: trace and det are real.
+        let t = g.trace().re;
+        let d = g.det().re;
+        let disc = (t * t - 4.0 * d).max(0.0);
+        (((t + disc.sqrt()) / 2.0).max(0.0)).sqrt()
+    }
+
+    /// Operator-norm distance `‖U − V‖∞` (Eq. 1 of the ADAPT paper).
+    pub fn op_norm_dist(&self, other: &Mat2) -> f64 {
+        (*self - *other).op_norm()
+    }
+
+    /// Global-phase-invariant operator-norm distance:
+    /// `min_φ ‖U − e^{iφ}V‖∞`.
+    ///
+    /// Physically equivalent unitaries differ by a global phase, so the
+    /// nearest-Clifford search uses this distance. For unitary arguments
+    /// the minimum has a closed form: with eigenphases `α₁, α₂` of `V†U`
+    /// separated by the circular distance `δ ∈ [0, π]`, the optimal phase
+    /// sits at their midpoint and the distance is `2·sin(δ/4)`. Inputs
+    /// that are not unitary (within 1e-6) fall back to a scan over
+    /// candidate phases.
+    pub fn phase_dist(&self, other: &Mat2) -> f64 {
+        let m = other.dagger() * *self;
+        if self.is_unitary(1e-6) && other.is_unitary(1e-6) {
+            let t = m.trace();
+            let disc = (t * t - m.det().scale(4.0)).sqrt();
+            let a1 = (t + disc).scale(0.5).arg();
+            let a2 = (t - disc).scale(0.5).arg();
+            let mut delta = (a1 - a2).abs();
+            if delta > std::f64::consts::PI {
+                delta = 2.0 * std::f64::consts::PI - delta;
+            }
+            let closed = 2.0 * (delta / 4.0).sin();
+            // Near-coincident eigenphases lose O(√ε) precision through the
+            // discriminant; the trace-aligned phase is exact there. Both
+            // are symmetric in (U, V), so their minimum is too.
+            let traced = self.op_norm_dist(&other.scale(C64::cis(t.arg())));
+            return closed.min(traced);
+        }
+        // General fallback: evaluate the distance on a phase grid with
+        // local refinement (the objective is piecewise-smooth in φ).
+        let eval = |phi: f64| self.op_norm_dist(&other.scale(C64::cis(phi)));
+        let mut best_phi = 0.0;
+        let mut best = f64::MAX;
+        for k in 0..64 {
+            let phi = 2.0 * std::f64::consts::PI * k as f64 / 64.0;
+            let d = eval(phi);
+            if d < best {
+                best = d;
+                best_phi = phi;
+            }
+        }
+        let mut width = 2.0 * std::f64::consts::PI / 64.0;
+        for _ in 0..40 {
+            width /= 2.0;
+            for phi in [best_phi - width, best_phi + width] {
+                let d = eval(phi);
+                if d < best {
+                    best = d;
+                    best_phi = phi;
+                }
+            }
+        }
+        best
+    }
+
+    /// Tensor (Kronecker) product `self ⊗ other`, yielding a 4×4 matrix.
+    pub fn kron(&self, other: &Mat2) -> Mat4 {
+        let mut out = Mat4::zero();
+        for i in 0..2 {
+            for j in 0..2 {
+                for k in 0..2 {
+                    for l in 0..2 {
+                        out.m[2 * i + k][2 * j + l] = self.m[i][j] * other.m[k][l];
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Add for Mat2 {
+    type Output = Mat2;
+    fn add(self, rhs: Mat2) -> Mat2 {
+        let mut out = Mat2::zero();
+        for r in 0..2 {
+            for c in 0..2 {
+                out.m[r][c] = self.m[r][c] + rhs.m[r][c];
+            }
+        }
+        out
+    }
+}
+
+impl Sub for Mat2 {
+    type Output = Mat2;
+    fn sub(self, rhs: Mat2) -> Mat2 {
+        let mut out = Mat2::zero();
+        for r in 0..2 {
+            for c in 0..2 {
+                out.m[r][c] = self.m[r][c] - rhs.m[r][c];
+            }
+        }
+        out
+    }
+}
+
+impl Mul for Mat2 {
+    type Output = Mat2;
+    fn mul(self, rhs: Mat2) -> Mat2 {
+        let mut out = Mat2::zero();
+        for r in 0..2 {
+            for c in 0..2 {
+                let mut acc = C64::ZERO;
+                for k in 0..2 {
+                    acc += self.m[r][k] * rhs.m[k][c];
+                }
+                out.m[r][c] = acc;
+            }
+        }
+        out
+    }
+}
+
+impl Mul<[C64; 2]> for Mat2 {
+    type Output = [C64; 2];
+    fn mul(self, v: [C64; 2]) -> [C64; 2] {
+        [
+            self.m[0][0] * v[0] + self.m[0][1] * v[1],
+            self.m[1][0] * v[0] + self.m[1][1] * v[1],
+        ]
+    }
+}
+
+impl fmt::Display for Mat2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in &self.m {
+            writeln!(f, "[{} {}]", row[0], row[1])?;
+        }
+        Ok(())
+    }
+}
+
+/// A 4×4 complex matrix in row-major order, used for two-qubit unitaries.
+///
+/// Basis ordering is `|q1 q0⟩` little-endian: index `2*b1 + b0` where `q0`
+/// is the first qubit operand of the gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat4 {
+    m: [[C64; 4]; 4],
+}
+
+impl Mat4 {
+    /// Creates a matrix from rows.
+    #[inline]
+    pub const fn new(m: [[C64; 4]; 4]) -> Self {
+        Mat4 { m }
+    }
+
+    /// The 4×4 identity.
+    pub fn identity() -> Self {
+        let mut m = [[C64::ZERO; 4]; 4];
+        for (i, row) in m.iter_mut().enumerate() {
+            row[i] = C64::ONE;
+        }
+        Mat4 { m }
+    }
+
+    /// The all-zero matrix.
+    pub fn zero() -> Self {
+        Mat4::new([[C64::ZERO; 4]; 4])
+    }
+
+    /// Element at `(row, col)`.
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> C64 {
+        self.m[row][col]
+    }
+
+    /// Conjugate transpose.
+    pub fn dagger(&self) -> Mat4 {
+        let mut out = Mat4::zero();
+        for r in 0..4 {
+            for c in 0..4 {
+                out.m[r][c] = self.m[c][r].conj();
+            }
+        }
+        out
+    }
+
+    /// Entry-wise comparison with tolerance `tol`.
+    pub fn approx_eq(&self, other: &Mat4, tol: f64) -> bool {
+        (0..4).all(|r| (0..4).all(|c| self.m[r][c].approx_eq(other.m[r][c], tol)))
+    }
+
+    /// True when `U†U ≈ I` within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        (self.dagger() * *self).approx_eq(&Mat4::identity(), tol)
+    }
+
+    /// Applies the matrix to a 4-vector.
+    pub fn mul_vec(&self, v: [C64; 4]) -> [C64; 4] {
+        let mut out = [C64::ZERO; 4];
+        for (r, o) in out.iter_mut().enumerate() {
+            for (k, x) in v.iter().enumerate() {
+                *o += self.m[r][k] * *x;
+            }
+        }
+        out
+    }
+}
+
+impl Mul for Mat4 {
+    type Output = Mat4;
+    fn mul(self, rhs: Mat4) -> Mat4 {
+        let mut out = Mat4::zero();
+        for r in 0..4 {
+            for c in 0..4 {
+                let mut acc = C64::ZERO;
+                for k in 0..4 {
+                    acc += self.m[r][k] * rhs.m[k][c];
+                }
+                out.m[r][c] = acc;
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Mat4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in &self.m {
+            writeln!(f, "[{} {} {} {}]", row[0], row[1], row[2], row[3])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    fn x() -> Mat2 {
+        Mat2::new([[C64::ZERO, C64::ONE], [C64::ONE, C64::ZERO]])
+    }
+
+    fn h() -> Mat2 {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        Mat2::new([
+            [C64::real(s), C64::real(s)],
+            [C64::real(s), C64::real(-s)],
+        ])
+    }
+
+    #[test]
+    fn complex_arithmetic_field_axioms() {
+        let a = C64::new(1.5, -2.25);
+        let b = C64::new(-0.5, 3.0);
+        assert!((a + b - b).approx_eq(a, TOL));
+        assert!((a * b / b).approx_eq(a, TOL));
+        assert!((a * b).approx_eq(b * a, TOL));
+        assert!((a * a.inv()).approx_eq(C64::ONE, TOL));
+    }
+
+    #[test]
+    fn cis_is_unit_circle() {
+        for k in 0..16 {
+            let theta = k as f64 * 0.41;
+            let z = C64::cis(theta);
+            assert!((z.norm() - 1.0).abs() < TOL);
+            assert!((z.arg() - theta.rem_euclid(2.0 * std::f64::consts::PI))
+                .abs()
+                .min(
+                    (z.arg() + 2.0 * std::f64::consts::PI
+                        - theta.rem_euclid(2.0 * std::f64::consts::PI))
+                    .abs()
+                )
+                < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &(re, im) in &[(2.0, 3.0), (-1.0, 0.5), (0.0, -4.0), (1.0, 0.0)] {
+            let z = C64::new(re, im);
+            let r = z.sqrt();
+            assert!((r * r).approx_eq(z, 1e-10));
+        }
+    }
+
+    #[test]
+    fn mat2_identity_is_neutral() {
+        let i = Mat2::identity();
+        assert!((i * x()).approx_eq(&x(), TOL));
+        assert!((x() * i).approx_eq(&x(), TOL));
+    }
+
+    #[test]
+    fn pauli_x_involution_and_unitarity() {
+        assert!(x().is_unitary(TOL));
+        assert!((x() * x()).approx_eq(&Mat2::identity(), TOL));
+    }
+
+    #[test]
+    fn hadamard_unitary_and_norm_one() {
+        assert!(h().is_unitary(TOL));
+        assert!((h().op_norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn op_norm_of_zero_and_scaled_identity() {
+        assert!(Mat2::zero().op_norm() < TOL);
+        let two_i = Mat2::identity().scale(C64::real(2.0));
+        assert!((two_i.op_norm() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn op_norm_dist_symmetry_and_triangle() {
+        let a = x();
+        let b = h();
+        let c = Mat2::identity();
+        assert!((a.op_norm_dist(&b) - b.op_norm_dist(&a)).abs() < TOL);
+        assert!(a.op_norm_dist(&c) <= a.op_norm_dist(&b) + b.op_norm_dist(&c) + TOL);
+    }
+
+    #[test]
+    fn phase_dist_ignores_global_phase() {
+        let u = h();
+        let v = h().scale(C64::cis(1.234));
+        assert!(u.phase_dist(&v) < 1e-9);
+        // But plain operator distance does not.
+        assert!(u.op_norm_dist(&v) > 0.5);
+    }
+
+    #[test]
+    fn kron_identity_is_identity() {
+        let i2 = Mat2::identity();
+        assert!(i2.kron(&i2).approx_eq(&Mat4::identity(), TOL));
+    }
+
+    #[test]
+    fn kron_x_x_swaps_both_bits() {
+        let xx = x().kron(&x());
+        // |00⟩ -> |11⟩ : column 0 has a 1 in row 3.
+        assert!(xx.at(3, 0).approx_eq(C64::ONE, TOL));
+        assert!(xx.at(0, 3).approx_eq(C64::ONE, TOL));
+        assert!(xx.is_unitary(TOL));
+    }
+
+    #[test]
+    fn mat4_mul_vec_matches_identity() {
+        let v = [
+            C64::new(0.1, 0.2),
+            C64::new(0.3, -0.4),
+            C64::new(-0.5, 0.6),
+            C64::new(0.7, 0.8),
+        ];
+        let out = Mat4::identity().mul_vec(v);
+        for k in 0..4 {
+            assert!(out[k].approx_eq(v[k], TOL));
+        }
+    }
+}

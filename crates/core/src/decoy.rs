@@ -1,0 +1,515 @@
+//! Decoy circuits (§4.2 of the paper).
+//!
+//! A decoy circuit is structurally identical to the compiled program —
+//! same CNOTs on the same links at the same times, same idle windows — but
+//! classically simulable, so its correct output is known and DD masks can
+//! be scored against it on the noisy machine.
+//!
+//! Because the transpiled physical basis is {RZ, SX, X, CX} and only RZ
+//! carries a free angle (and RZ is *virtual*, zero duration), nearest-
+//! Clifford replacement degenerates to rounding every RZ angle to the
+//! nearest multiple of π/2 — which provably preserves the schedule
+//! exactly. Three variants:
+//!
+//! - [`DecoyKind::Clifford`] (CDC): round every RZ;
+//! - [`DecoyKind::CnotOnly`]: strip all single-qubit gates (Fig. 10c's
+//!   strawman — fails to track phase errors);
+//! - [`DecoyKind::Seeded`] (SDC): keep the first non-Clifford RZ on a few
+//!   high-idle qubits so the output distribution develops bias (low
+//!   entropy) while the rest of the circuit stays Clifford (§4.2.3).
+
+use crate::gst::GateSequenceTable;
+use qcirc::{Circuit, Gate, Instruction, OpKind};
+use statevec::SimError;
+use std::collections::BTreeMap;
+use std::f64::consts::FRAC_PI_2;
+use transpiler::{TimedCircuit, TimedInstruction};
+
+/// Decoy construction strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecoyKind {
+    /// Clifford Decoy Circuit: every gate rounded to Clifford.
+    Clifford,
+    /// Only the CNOT skeleton is kept (baseline from Fig. 10).
+    CnotOnly,
+    /// Seeded Clifford Decoy Circuit: up to `max_seed_qubits` early
+    /// non-Clifford gates survive.
+    Seeded {
+        /// Maximum number of qubits that keep one non-Clifford gate.
+        max_seed_qubits: usize,
+    },
+}
+
+impl Default for DecoyKind {
+    fn default() -> Self {
+        DecoyKind::Seeded { max_seed_qubits: 4 }
+    }
+}
+
+/// Errors raised while constructing a decoy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecoyError {
+    /// A gate outside the physical basis (or not Clifford) was found; run
+    /// the transpiler first.
+    UnsupportedGate(Gate),
+    /// Ideal simulation of the decoy failed.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for DecoyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecoyError::UnsupportedGate(g) => {
+                write!(f, "gate {g} not supported in decoy construction (transpile first)")
+            }
+            DecoyError::Sim(e) => write!(f, "decoy ideal simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecoyError {}
+
+impl From<SimError> for DecoyError {
+    fn from(e: SimError) -> Self {
+        DecoyError::Sim(e)
+    }
+}
+
+/// A constructed decoy with its known-correct output.
+#[derive(Debug, Clone)]
+pub struct Decoy {
+    /// The decoy schedule (identical timing to the input program).
+    pub timed: TimedCircuit,
+    /// Construction strategy used.
+    pub kind: DecoyKind,
+    /// Exact noise-free output distribution over classical bits.
+    pub ideal: BTreeMap<u64, f64>,
+    /// Number of non-Clifford gates that survived (0 for CDC/CnotOnly).
+    pub non_clifford_count: usize,
+}
+
+/// True when the angle is a multiple of π/2 within `tol`.
+fn is_clifford_angle(theta: f64, tol: f64) -> bool {
+    let r = theta.rem_euclid(FRAC_PI_2);
+    r < tol || FRAC_PI_2 - r < tol
+}
+
+/// Rounds an angle to the nearest multiple of π/2 — the operator-norm
+/// nearest Clifford for a phase gate (§4.2.1: "the U1 gate is either
+/// replaced by Z or S gates").
+pub fn round_to_clifford_angle(theta: f64) -> f64 {
+    (theta / FRAC_PI_2).round() * FRAC_PI_2
+}
+
+/// Builds a decoy from a transpiled, scheduled circuit.
+///
+/// # Errors
+///
+/// Returns [`DecoyError::UnsupportedGate`] when the schedule contains a
+/// non-Clifford gate other than RZ (i.e. it was not produced by the
+/// transpiler), or a wrapped simulation error if the ideal output cannot
+/// be computed.
+pub fn make_decoy(timed: &TimedCircuit, kind: DecoyKind) -> Result<Decoy, DecoyError> {
+    const TOL: f64 = 1e-9;
+    // Validate gate set and find candidate seed positions.
+    for e in timed.events() {
+        if let OpKind::Gate(g) = &e.instr.kind {
+            match g {
+                Gate::RZ(_) => {}
+                _ if g.is_clifford() => {}
+                other => return Err(DecoyError::UnsupportedGate(*other)),
+            }
+        }
+    }
+
+    // Choose seed events for SDC: on the qubits with the most idle time,
+    // keep the first non-Clifford RZ that occurs after the qubit has been
+    // touched by a pulse (so it acts on a superposition, not on |0⟩).
+    let seeds: Vec<usize> = match kind {
+        DecoyKind::Seeded { max_seed_qubits } => {
+            let gst = GateSequenceTable::build(timed);
+            let priority = gst.qubits_by_idle_time();
+            let mut chosen = Vec::new();
+            for &q in &priority {
+                if chosen.len() >= max_seed_qubits {
+                    break;
+                }
+                if let Some(idx) = first_seedable_rz(timed, q, TOL) {
+                    chosen.push(idx);
+                }
+            }
+            chosen
+        }
+        _ => Vec::new(),
+    };
+
+    let mut events: Vec<TimedInstruction> = Vec::with_capacity(timed.events().len());
+    let mut non_clifford = 0usize;
+    for (i, e) in timed.events().iter().enumerate() {
+        let new_instr = match &e.instr.kind {
+            OpKind::Gate(Gate::RZ(theta)) => {
+                if seeds.contains(&i) && !is_clifford_angle(*theta, TOL) {
+                    non_clifford += 1;
+                    e.instr.clone()
+                } else if matches!(kind, DecoyKind::CnotOnly) {
+                    continue;
+                } else {
+                    Instruction::gate(
+                        Gate::RZ(round_to_clifford_angle(*theta)),
+                        e.instr.qubits.clone(),
+                    )
+                }
+            }
+            OpKind::Gate(g) if g.arity() == 1 && matches!(kind, DecoyKind::CnotOnly) => {
+                let _ = g;
+                continue;
+            }
+            _ => e.instr.clone(),
+        };
+        events.push(TimedInstruction {
+            instr: new_instr,
+            start_ns: e.start_ns,
+            end_ns: e.end_ns,
+        });
+    }
+    let decoy_timed = TimedCircuit::from_events(timed.num_qubits(), timed.num_clbits(), events);
+    let ideal = decoy_ideal_distribution(&decoy_timed)?;
+    Ok(Decoy {
+        timed: decoy_timed,
+        kind,
+        ideal,
+        non_clifford_count: non_clifford,
+    })
+}
+
+/// Index (into the event list) of the first non-Clifford RZ on wire `q`
+/// occurring after the wire's first amplitude-mixing pulse.
+fn first_seedable_rz(timed: &TimedCircuit, q: u32, tol: f64) -> Option<usize> {
+    let mut touched = false;
+    for (i, e) in timed.events().iter().enumerate() {
+        if e.instr.qubits.iter().all(|x| x.index() != q as usize) {
+            continue;
+        }
+        match &e.instr.kind {
+            OpKind::Gate(Gate::RZ(theta)) => {
+                if touched && !is_clifford_angle(*theta, tol) {
+                    return Some(i);
+                }
+            }
+            OpKind::Gate(_) => touched = true,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Computes the exact ideal output distribution of a decoy schedule.
+///
+/// Pure-Clifford decoys go through the stabilizer simulator (polynomial in
+/// qubits — this is what makes 100-qubit decoys tractable). Seeded decoys
+/// are compacted onto their active qubits and solved densely when small
+/// enough; larger seeded decoys fall back to the Heisenberg-picture
+/// extended stabilizer (exact up to `2^seeds` Pauli branching, measured
+/// register ≤ [`stab::heisenberg::MAX_MEASURED`] qubits).
+///
+/// # Errors
+///
+/// Returns a wrapped [`SimError`] when the seeded decoy exceeds both the
+/// dense simulator and the Heisenberg path's measured-register limit.
+pub fn decoy_ideal_distribution(
+    timed: &TimedCircuit,
+) -> Result<BTreeMap<u64, f64>, DecoyError> {
+    let circuit = timed.to_circuit();
+    if let Some(clifford) = to_stabilizer_circuit(&circuit) {
+        return Ok(stab::chp::exact_distribution(&clifford)
+            .expect("converted circuit is Clifford"));
+    }
+    let (compact, _) = circuit.compacted();
+    if compact.num_qubits() <= statevec::MAX_QUBITS {
+        return Ok(statevec::ideal_distribution(&compact)?);
+    }
+    let measured = compact
+        .iter()
+        .filter(|i| matches!(i.kind, OpKind::Measure(_)))
+        .count();
+    if measured <= stab::heisenberg::MAX_MEASURED {
+        return Ok(stab::heisenberg::output_distribution(&compact)
+            .expect("decoys contain only Clifford + diagonal gates"));
+    }
+    Err(DecoyError::Sim(SimError::TooManyQubits {
+        requested: compact.num_qubits(),
+        limit: statevec::MAX_QUBITS,
+    }))
+}
+
+/// Rewrites a circuit whose rotations all sit at Clifford angles into the
+/// named Clifford gate set the tableau simulator accepts. Returns `None`
+/// when any gate is genuinely non-Clifford.
+pub fn to_stabilizer_circuit(circuit: &Circuit) -> Option<Circuit> {
+    const TOL: f64 = 1e-9;
+    let mut out = Circuit::with_clbits(circuit.num_qubits(), circuit.num_clbits());
+    for instr in circuit.iter() {
+        match &instr.kind {
+            OpKind::Gate(Gate::RZ(theta)) | OpKind::Gate(Gate::P(theta)) => {
+                if !is_clifford_angle(*theta, TOL) {
+                    return None;
+                }
+                let quarter = ((theta / FRAC_PI_2).round() as i64).rem_euclid(4);
+                let gate = match quarter {
+                    0 => None,
+                    1 => Some(Gate::S),
+                    2 => Some(Gate::Z),
+                    3 => Some(Gate::Sdg),
+                    _ => unreachable!("rem_euclid(4) ∈ 0..4"),
+                };
+                if let Some(g) = gate {
+                    out.push(Instruction::gate(g, instr.qubits.clone()));
+                }
+            }
+            OpKind::Gate(g) if g.is_clifford() => {
+                out.push(instr.clone());
+            }
+            OpKind::Gate(_) => return None,
+            _ => {
+                out.push(instr.clone());
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::entropy_bits;
+    use device::Device;
+    use transpiler::{transpile, TranspileOptions};
+
+    /// A QFT-like program: plenty of non-Clifford phases.
+    fn qft_like(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.x(0);
+        for i in 0..n as u32 {
+            c.h(i);
+            for j in (i + 1)..n as u32 {
+                let angle = std::f64::consts::PI / (1 << (j - i)) as f64;
+                c.p(angle / 2.0, i);
+                c.cx(j, i);
+                c.p(-angle / 2.0, i);
+                c.cx(j, i);
+                c.p(angle / 2.0, j);
+            }
+        }
+        c.measure_all();
+        c
+    }
+
+    fn transpiled(n: usize) -> (Device, TimedCircuit) {
+        let dev = Device::ibmq_guadalupe(11);
+        let t = transpile(&qft_like(n), &dev, &TranspileOptions::default());
+        (dev, t.timed)
+    }
+
+    #[test]
+    fn clifford_angle_rounding() {
+        assert_eq!(round_to_clifford_angle(0.1), 0.0);
+        assert!((round_to_clifford_angle(1.0) - FRAC_PI_2).abs() < 1e-12);
+        assert!((round_to_clifford_angle(3.0) - std::f64::consts::PI).abs() < 1e-12);
+        assert!((round_to_clifford_angle(-0.9) + FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdc_is_fully_clifford_with_identical_schedule() {
+        let (_, timed) = transpiled(4);
+        let decoy = make_decoy(&timed, DecoyKind::Clifford).unwrap();
+        assert_eq!(decoy.non_clifford_count, 0);
+        assert!(to_stabilizer_circuit(&decoy.timed.to_circuit()).is_some());
+        // Identical event count and timing.
+        assert_eq!(decoy.timed.events().len(), timed.events().len());
+        for (a, b) in decoy.timed.events().iter().zip(timed.events()) {
+            assert_eq!(a.start_ns, b.start_ns);
+            assert_eq!(a.end_ns, b.end_ns);
+            assert_eq!(a.instr.qubits, b.instr.qubits);
+        }
+        assert!((decoy.timed.total_ns() - timed.total_ns()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdc_preserves_cnot_structure() {
+        let (_, timed) = transpiled(4);
+        let decoy = make_decoy(&timed, DecoyKind::Clifford).unwrap();
+        let orig: Vec<_> = timed.two_qubit_activity();
+        let dec: Vec<_> = decoy.timed.two_qubit_activity();
+        assert_eq!(orig, dec, "CNOT placement must be identical");
+    }
+
+    #[test]
+    fn sdc_keeps_bounded_seeds() {
+        let (_, timed) = transpiled(5);
+        let decoy = make_decoy(&timed, DecoyKind::Seeded { max_seed_qubits: 3 }).unwrap();
+        assert!(decoy.non_clifford_count <= 3);
+        assert!(decoy.non_clifford_count >= 1, "QFT has seedable phases");
+        // Schedule still identical.
+        assert_eq!(decoy.timed.events().len(), timed.events().len());
+    }
+
+    #[test]
+    fn sdc_with_zero_seeds_equals_cdc() {
+        let (_, timed) = transpiled(4);
+        let sdc = make_decoy(&timed, DecoyKind::Seeded { max_seed_qubits: 0 }).unwrap();
+        let cdc = make_decoy(&timed, DecoyKind::Clifford).unwrap();
+        assert_eq!(sdc.non_clifford_count, 0);
+        assert_eq!(sdc.ideal, cdc.ideal);
+    }
+
+    #[test]
+    fn cnot_only_strips_single_qubit_gates() {
+        let (_, timed) = transpiled(4);
+        let decoy = make_decoy(&timed, DecoyKind::CnotOnly).unwrap();
+        for e in decoy.timed.events() {
+            if let OpKind::Gate(g) = &e.instr.kind {
+                assert_eq!(g.arity(), 2, "1q gate {g} survived CnotOnly");
+            }
+        }
+        // CNOT skeleton intact.
+        assert_eq!(
+            decoy.timed.two_qubit_activity(),
+            timed.two_qubit_activity()
+        );
+        // All qubits start in |0⟩ and CX preserves that: output is the
+        // all-zeros point mass.
+        assert_eq!(decoy.ideal.len(), 1);
+    }
+
+    #[test]
+    fn ideal_distributions_normalized() {
+        let (_, timed) = transpiled(5);
+        for kind in [
+            DecoyKind::Clifford,
+            DecoyKind::CnotOnly,
+            DecoyKind::Seeded { max_seed_qubits: 4 },
+        ] {
+            let decoy = make_decoy(&timed, kind).unwrap();
+            let total: f64 = decoy.ideal.values().sum();
+            assert!((total - 1.0).abs() < 1e-9, "{kind:?} not normalized");
+        }
+    }
+
+    #[test]
+    fn sdc_entropy_at_most_cdc_scale() {
+        // The seeded decoy must not *increase* entropy beyond the CDC's
+        // uniform-over-subspace output, and for QFT-like circuits it
+        // should bias the distribution (strictly lower entropy).
+        let (_, timed) = transpiled(5);
+        let cdc = make_decoy(&timed, DecoyKind::Clifford).unwrap();
+        let sdc = make_decoy(&timed, DecoyKind::Seeded { max_seed_qubits: 4 }).unwrap();
+        let h_cdc = entropy_bits(&cdc.ideal);
+        let h_sdc = entropy_bits(&sdc.ideal);
+        assert!(
+            h_sdc <= h_cdc + 1e-9,
+            "SDC entropy {h_sdc} should not exceed CDC entropy {h_cdc}"
+        );
+    }
+
+    #[test]
+    fn stabilizer_conversion_handles_all_quarter_angles() {
+        let mut c = Circuit::new(1);
+        c.h(0)
+            .rz(FRAC_PI_2, 0)
+            .rz(std::f64::consts::PI, 0)
+            .rz(-FRAC_PI_2, 0)
+            .rz(0.0, 0)
+            .rz(2.0 * std::f64::consts::PI, 0)
+            .h(0)
+            .measure(0, 0);
+        let conv = to_stabilizer_circuit(&c).unwrap();
+        // RZ(0) and RZ(2π) vanish; others map to S/Z/Sdg.
+        let p_stab = stab::chp::exact_distribution(&conv).unwrap();
+        let p_dense = statevec::ideal_distribution(&c).unwrap();
+        for (k, v) in &p_dense {
+            assert!((v - p_stab.get(k).copied().unwrap_or(0.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stabilizer_conversion_rejects_non_clifford() {
+        let mut c = Circuit::new(1);
+        c.rz(0.3, 0);
+        assert!(to_stabilizer_circuit(&c).is_none());
+        let mut c = Circuit::new(1);
+        c.t(0);
+        assert!(to_stabilizer_circuit(&c).is_none());
+    }
+
+    #[test]
+    fn unsupported_gate_rejected() {
+        use qcirc::Qubit;
+        let e = TimedInstruction {
+            instr: Instruction::gate(Gate::T, vec![Qubit::new(0)]),
+            start_ns: 0.0,
+            end_ns: 0.0,
+        };
+        let timed = TimedCircuit::from_events(1, 1, vec![e]);
+        let err = make_decoy(&timed, DecoyKind::Clifford).unwrap_err();
+        assert_eq!(err, DecoyError::UnsupportedGate(Gate::T));
+    }
+
+    #[test]
+    fn large_seeded_decoy_uses_heisenberg_path() {
+        // 30 active qubits (beyond the dense limit) with non-Clifford
+        // seeds and a small measured register: only the Heisenberg path
+        // can solve this, and the result must be a valid distribution.
+        use qcirc::Qubit;
+        let n = 30;
+        let mut events = Vec::new();
+        let mut t = 0.0;
+        let push = |g: Gate, qs: Vec<u32>, t: &mut f64, events: &mut Vec<TimedInstruction>| {
+            let dur = if g.arity() == 2 { 300.0 } else { 35.0 };
+            events.push(TimedInstruction {
+                instr: Instruction::gate(g, qs.into_iter().map(Qubit::new).collect()),
+                start_ns: *t,
+                end_ns: *t + dur,
+            });
+            *t += dur;
+        };
+        push(Gate::H, vec![0], &mut t, &mut events);
+        for q in 0..(n - 1) as u32 {
+            push(Gate::CX, vec![q, q + 1], &mut t, &mut events);
+        }
+        push(Gate::RZ(0.9), vec![2], &mut t, &mut events);
+        push(Gate::RZ(0.4), vec![17], &mut t, &mut events);
+        for q in 0..8u32 {
+            events.push(TimedInstruction {
+                instr: Instruction {
+                    kind: OpKind::Measure(qcirc::Clbit::new(q)),
+                    qubits: vec![Qubit::new(q)],
+                },
+                start_ns: t,
+                end_ns: t + 1000.0,
+            });
+        }
+        let timed = TimedCircuit::from_events(n, n, events);
+        let dist = decoy_ideal_distribution(&timed).unwrap();
+        let total: f64 = dist.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // GHZ-like: mass sits on all-zeros / all-ones of the measured set.
+        assert!(dist.get(&0).copied().unwrap_or(0.0) > 0.4);
+        assert!(dist.get(&0xFF).copied().unwrap_or(0.0) > 0.4);
+    }
+
+    #[test]
+    fn large_clifford_decoy_uses_stabilizer_path() {
+        // 20 active qubits would be heavy densely; all-Clifford goes via
+        // the tableau.
+        let mut c = Circuit::new(24);
+        c.h(0);
+        for q in 0..23 {
+            c.cx(q, q + 1);
+        }
+        c.measure_all();
+        let dev = Device::all_to_all(24, 1);
+        let t = transpile(&c, &dev, &TranspileOptions::default());
+        let decoy = make_decoy(&t.timed, DecoyKind::Clifford).unwrap();
+        assert_eq!(decoy.ideal.len(), 2); // GHZ: two outcomes
+    }
+}

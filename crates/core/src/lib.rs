@@ -1,0 +1,454 @@
+//! # adapt — Adaptive Dynamical Decoupling
+//!
+//! Rust reproduction of **ADAPT** (Das, Tannu, Dangwal, Qureshi —
+//! MICRO 2021): a post-compile framework that mitigates idling errors by
+//! applying dynamical-decoupling sequences to exactly the subset of qubits
+//! that benefit from them.
+//!
+//! The pipeline, mirroring Fig. 7/11 of the paper:
+//!
+//! 1. transpile the program (external: the `transpiler` crate);
+//! 2. build the [`gst::GateSequenceTable`] to locate idle windows;
+//! 3. construct a [`decoy`] circuit with a known ideal output;
+//! 4. run the localized [`search`] over DD masks on the decoy;
+//! 5. [`dd::insert_dd`] the winning mask into the real program and run it.
+//!
+//! The four competing policies of §5.6 are available through
+//! [`Policy`] / [`Adapt::run_policy`].
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use adapt::{Adapt, AdaptConfig, Policy};
+//! use device::Device;
+//! use machine::Machine;
+//! use qcirc::Circuit;
+//!
+//! let machine = Machine::new(Device::ibmq_guadalupe(42));
+//! let adapt = Adapt::new(machine);
+//! let mut program = Circuit::new(4);
+//! program.h(0).cx(0, 1).t(1).cx(1, 2).cx(2, 3).measure_all();
+//! let cfg = AdaptConfig::default();
+//! let run = adapt.run_policy(&program, Policy::Adapt, &cfg)?;
+//! println!("mask {} fidelity {:.3}", run.mask, run.fidelity);
+//! # Ok::<(), adapt::AdaptError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dd;
+pub mod decoy;
+pub mod gst;
+pub mod metrics;
+pub mod search;
+
+pub use dd::{DdConfig, DdMask, DdProtocol};
+pub use decoy::{Decoy, DecoyKind};
+pub use gst::GateSequenceTable;
+pub use search::{MaskScore, SearchResult};
+
+use machine::{ExecError, ExecutionConfig, Machine};
+use qcirc::{Circuit, Counts};
+use statevec::SimError;
+use std::collections::BTreeMap;
+use transpiler::{transpile, TranspileOptions, TranspiledCircuit};
+
+/// The competing DD policies of §5.6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Baseline: no DD anywhere.
+    NoDd,
+    /// DD on every program qubit in every idle window.
+    AllDd,
+    /// ADAPT: decoy-driven localized search for the best subset.
+    Adapt,
+    /// Oracle: exhaustive sweep of all `2^N` masks on the *real* program,
+    /// keeping the best. Requires the true answer, so it is an upper
+    /// bound, not a deployable policy.
+    RuntimeBest,
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Policy::NoDd => write!(f, "No-DD"),
+            Policy::AllDd => write!(f, "All-DD"),
+            Policy::Adapt => write!(f, "ADAPT"),
+            Policy::RuntimeBest => write!(f, "Runtime-Best"),
+        }
+    }
+}
+
+/// Errors from the framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdaptError {
+    /// Machine execution failed.
+    Exec(ExecError),
+    /// Decoy construction failed.
+    Decoy(decoy::DecoyError),
+    /// Ideal-output simulation failed.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for AdaptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdaptError::Exec(e) => write!(f, "execution failed: {e}"),
+            AdaptError::Decoy(e) => write!(f, "decoy construction failed: {e}"),
+            AdaptError::Sim(e) => write!(f, "ideal simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AdaptError {}
+
+impl From<ExecError> for AdaptError {
+    fn from(e: ExecError) -> Self {
+        AdaptError::Exec(e)
+    }
+}
+
+impl From<decoy::DecoyError> for AdaptError {
+    fn from(e: decoy::DecoyError) -> Self {
+        AdaptError::Decoy(e)
+    }
+}
+
+impl From<SimError> for AdaptError {
+    fn from(e: SimError) -> Self {
+        AdaptError::Sim(e)
+    }
+}
+
+/// Framework configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptConfig {
+    /// DD protocol and insertion parameters.
+    pub dd: DdConfig,
+    /// Decoy construction strategy (SDC with 4 seeds by default).
+    pub decoy_kind: DecoyKind,
+    /// Localized-search neighborhood size (4 in the paper).
+    pub neighborhood: usize,
+    /// Commit the OR of the top-2 neighborhood masks (§4.3).
+    pub top2_merge: bool,
+    /// Execution budget per decoy evaluation.
+    pub search_exec: ExecutionConfig,
+    /// Execution budget for the final program run.
+    pub final_exec: ExecutionConfig,
+    /// Compiler options.
+    pub transpile: TranspileOptions,
+}
+
+impl Default for AdaptConfig {
+    fn default() -> Self {
+        AdaptConfig {
+            dd: DdConfig::default(),
+            decoy_kind: DecoyKind::default(),
+            neighborhood: 4,
+            top2_merge: true,
+            search_exec: ExecutionConfig {
+                shots: 2048,
+                trajectories: 48,
+                seed: 0xDEC0,
+                threads: 0,
+            },
+            final_exec: ExecutionConfig {
+                shots: 8192,
+                trajectories: 96,
+                seed: 0xF1DE,
+                threads: 0,
+            },
+            transpile: TranspileOptions::default(),
+        }
+    }
+}
+
+impl AdaptConfig {
+    /// Default configuration with a specific DD protocol.
+    pub fn with_protocol(protocol: DdProtocol) -> Self {
+        AdaptConfig {
+            dd: DdConfig::for_protocol(protocol),
+            ..Default::default()
+        }
+    }
+}
+
+/// Result of running a program under one policy.
+#[derive(Debug, Clone)]
+pub struct PolicyRun {
+    /// Which policy produced this run.
+    pub policy: Policy,
+    /// The DD mask that was applied.
+    pub mask: DdMask,
+    /// Measured output histogram.
+    pub counts: Counts,
+    /// Program fidelity (1 − TVD against the ideal output).
+    pub fidelity: f64,
+    /// DD pulses inserted into the final program.
+    pub pulse_count: usize,
+    /// Decoy/oracle executions spent finding the mask.
+    pub search_runs: usize,
+}
+
+/// The ADAPT framework bound to a noisy machine.
+#[derive(Debug, Clone)]
+pub struct Adapt {
+    machine: Machine,
+}
+
+impl Adapt {
+    /// Creates the framework over a machine.
+    pub fn new(machine: Machine) -> Self {
+        Adapt { machine }
+    }
+
+    /// The underlying machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Exact noise-free output distribution of a logical program.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the program's active set exceeds the dense simulator.
+    pub fn ideal_output(&self, program: &Circuit) -> Result<BTreeMap<u64, f64>, AdaptError> {
+        let (compact, _) = program.compacted();
+        Ok(statevec::ideal_distribution(&compact)?)
+    }
+
+    /// Transpiles a program for this machine's device.
+    pub fn compile(&self, program: &Circuit, cfg: &AdaptConfig) -> TranspiledCircuit {
+        transpile(program, self.machine.device(), &cfg.transpile)
+    }
+
+    /// Runs the decoy-driven localized search and returns the chosen mask
+    /// (steps ①–③ of Fig. 7).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoy-construction and execution failures.
+    pub fn choose_mask(
+        &self,
+        compiled: &TranspiledCircuit,
+        num_program_qubits: usize,
+        cfg: &AdaptConfig,
+    ) -> Result<SearchResult, AdaptError> {
+        let decoy = decoy::make_decoy(&compiled.timed, cfg.decoy_kind)?;
+        let ctx = search::SearchContext {
+            machine: &self.machine,
+            decoy: &decoy,
+            layout: &compiled.initial_layout,
+            dd: cfg.dd,
+            exec: cfg.search_exec,
+            num_program_qubits,
+        };
+        // Order program qubits most-idle-first (on their physical wires).
+        let gst = GateSequenceTable::build(&compiled.timed);
+        let mut order: Vec<u32> = (0..num_program_qubits as u32).collect();
+        order.sort_by(|&a, &b| {
+            let ia = gst.total_idle_ns(compiled.initial_layout.phys_of(a));
+            let ib = gst.total_idle_ns(compiled.initial_layout.phys_of(b));
+            ib.partial_cmp(&ia).expect("idle times are finite")
+        });
+        let mut result = search::localized_search(
+            &ctx,
+            &order,
+            cfg.neighborhood,
+            cfg.top2_merge,
+        )?;
+        // Referee step: localized commitment can lock in a bad early
+        // decision (it evaluates each neighborhood with later qubits
+        // unprotected). Score the committed mask against the two global
+        // extremes on the decoy and keep the best — three extra decoy
+        // runs on top of the ≤ 4·N search budget.
+        let mut best = ctx.score(result.best)?;
+        result.evaluations.push(best);
+        for candidate in [DdMask::all(num_program_qubits), DdMask::none(num_program_qubits)] {
+            let score = ctx.score(candidate)?;
+            result.evaluations.push(score);
+            if score.fidelity > best.fidelity {
+                best = score;
+            }
+        }
+        result.best = best.mask;
+        Ok(result)
+    }
+
+    /// Inserts `mask`'s DD into a compiled program and executes it,
+    /// scoring fidelity against `ideal`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution failures.
+    pub fn run_with_mask(
+        &self,
+        compiled: &TranspiledCircuit,
+        ideal: &BTreeMap<u64, f64>,
+        mask: DdMask,
+        cfg: &AdaptConfig,
+    ) -> Result<(Counts, f64, usize), AdaptError> {
+        let wires = dd::mask_to_wires(mask, &compiled.initial_layout);
+        let inserted = dd::insert_dd(&compiled.timed, self.machine.device(), &wires, &cfg.dd);
+        let counts = self.machine.execute_timed(&inserted.timed, &cfg.final_exec)?;
+        let fidelity = metrics::fidelity(ideal, &counts);
+        Ok((counts, fidelity, inserted.pulse_count))
+    }
+
+    /// Compiles and executes a program under one policy (§5.6), returning
+    /// the applied mask, output counts and fidelity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation/decoy/execution failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `Policy::RuntimeBest` is requested for programs larger
+    /// than 16 qubits (the oracle sweep is exponential).
+    pub fn run_policy(
+        &self,
+        program: &Circuit,
+        policy: Policy,
+        cfg: &AdaptConfig,
+    ) -> Result<PolicyRun, AdaptError> {
+        let n = program.num_qubits();
+        let compiled = self.compile(program, cfg);
+        let ideal = self.ideal_output(program)?;
+        let (mask, search_runs) = match policy {
+            Policy::NoDd => (DdMask::none(n), 0),
+            Policy::AllDd => (DdMask::all(n), 0),
+            Policy::Adapt => {
+                let result = self.choose_mask(&compiled, n, cfg)?;
+                let runs = result.decoy_runs();
+                (result.best, runs)
+            }
+            Policy::RuntimeBest => {
+                assert!(n <= 16, "Runtime-Best sweep infeasible for {n} qubits");
+                let mut best = (DdMask::none(n), f64::MIN);
+                let mut runs = 0;
+                for mask in DdMask::enumerate_all(n) {
+                    let (_, fidelity, _) = self.run_with_mask(
+                        &compiled,
+                        &ideal,
+                        mask,
+                        &AdaptConfig {
+                            final_exec: cfg.search_exec,
+                            ..*cfg
+                        },
+                    )?;
+                    runs += 1;
+                    if fidelity > best.1 {
+                        best = (mask, fidelity);
+                    }
+                }
+                (best.0, runs)
+            }
+        };
+        let (counts, fidelity, pulse_count) = self.run_with_mask(&compiled, &ideal, mask, cfg)?;
+        Ok(PolicyRun {
+            policy,
+            mask,
+            counts,
+            fidelity,
+            pulse_count,
+            search_runs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use device::Device;
+
+    fn small_cfg() -> AdaptConfig {
+        AdaptConfig {
+            search_exec: ExecutionConfig {
+                shots: 400,
+                trajectories: 16,
+                seed: 3,
+                threads: 1,
+            },
+            final_exec: ExecutionConfig {
+                shots: 800,
+                trajectories: 24,
+                seed: 4,
+                threads: 1,
+            },
+            ..Default::default()
+        }
+    }
+
+    fn program() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0).t(0).cx(0, 1).t(1).cx(1, 2).t(2).cx(0, 1).measure_all();
+        c
+    }
+
+    #[test]
+    fn policies_produce_expected_masks() {
+        let adapt = Adapt::new(Machine::new(Device::ibmq_guadalupe(17)));
+        let cfg = small_cfg();
+        let c = program();
+        let no_dd = adapt.run_policy(&c, Policy::NoDd, &cfg).unwrap();
+        assert_eq!(no_dd.mask, DdMask::none(3));
+        assert_eq!(no_dd.pulse_count, 0);
+        assert_eq!(no_dd.search_runs, 0);
+        let all_dd = adapt.run_policy(&c, Policy::AllDd, &cfg).unwrap();
+        assert_eq!(all_dd.mask, DdMask::all(3));
+        let ad = adapt.run_policy(&c, Policy::Adapt, &cfg).unwrap();
+        assert!(ad.search_runs > 0 && ad.search_runs <= 4 * 3);
+    }
+
+    #[test]
+    fn fidelities_are_probabilities() {
+        let adapt = Adapt::new(Machine::new(Device::ibmq_guadalupe(17)));
+        let cfg = small_cfg();
+        let c = program();
+        for policy in [Policy::NoDd, Policy::AllDd, Policy::Adapt] {
+            let run = adapt.run_policy(&c, policy, &cfg).unwrap();
+            assert!(
+                (0.0..=1.0).contains(&run.fidelity),
+                "{policy}: fidelity {}",
+                run.fidelity
+            );
+            assert_eq!(run.counts.total(), cfg.final_exec.shots);
+        }
+    }
+
+    #[test]
+    fn runtime_best_sweeps_the_mask_space() {
+        let adapt = Adapt::new(Machine::new(Device::ibmq_london(29)));
+        let mut cfg = small_cfg();
+        cfg.search_exec.shots = 300;
+        cfg.search_exec.trajectories = 12;
+        let mut c = Circuit::new(2);
+        c.h(0).t(0).cx(0, 1).cx(0, 1).cx(0, 1).measure_all();
+        let rb = adapt.run_policy(&c, Policy::RuntimeBest, &cfg).unwrap();
+        assert_eq!(rb.search_runs, 4); // 2^2 masks swept
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let adapt = Adapt::new(Machine::new(Device::ibmq_guadalupe(17)));
+        let cfg = small_cfg();
+        let c = program();
+        let a = adapt.run_policy(&c, Policy::Adapt, &cfg).unwrap();
+        let b = adapt.run_policy(&c, Policy::Adapt, &cfg).unwrap();
+        assert_eq!(a.mask, b.mask);
+        assert_eq!(a.fidelity, b.fidelity);
+    }
+
+    #[test]
+    fn ideal_output_matches_statevec_on_logical_circuit() {
+        let adapt = Adapt::new(Machine::new(Device::ibmq_guadalupe(17)));
+        let c = program();
+        let ideal = adapt.ideal_output(&c).unwrap();
+        let direct = statevec::ideal_distribution(&c).unwrap();
+        assert_eq!(ideal.len(), direct.len());
+        for (k, v) in &direct {
+            assert!((v - ideal[k]).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! DD-mask search (§4.3 of the paper).
+//!
+//! The mask space is `2^N` for an `N`-qubit program. ADAPT avoids the
+//! exponential sweep with a **localized search**: qubits are processed in
+//! neighborhoods of 4, each neighborhood's 16 combinations are evaluated
+//! exhaustively on the decoy circuit, and the top-2 masks are merged
+//! bitwise-OR (the "conservative estimate") before moving on — at most
+//! `4·N` decoy executions overall, linear in qubits.
+//!
+//! Both searches score a candidate mask by inserting the DD sequence into
+//! the *decoy* schedule, executing it on the noisy machine, and measuring
+//! fidelity against the decoy's known ideal output. All candidates share
+//! one execution seed (common random numbers), so scores differ by mask
+//! effect rather than by sampling luck.
+
+use crate::dd::{insert_dd, mask_to_wires, DdConfig, DdMask};
+use crate::decoy::Decoy;
+use machine::{ExecError, ExecutionConfig, Machine};
+use transpiler::Layout;
+
+/// One scored mask.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaskScore {
+    /// The candidate mask.
+    pub mask: DdMask,
+    /// Decoy fidelity achieved with it.
+    pub fidelity: f64,
+}
+
+/// Search output.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The selected mask.
+    pub best: DdMask,
+    /// Every evaluated mask with its decoy fidelity, in evaluation order.
+    pub evaluations: Vec<MaskScore>,
+}
+
+impl SearchResult {
+    /// Number of decoy executions the search spent.
+    pub fn decoy_runs(&self) -> usize {
+        self.evaluations.len()
+    }
+
+    /// The evaluations sorted best-first.
+    pub fn ranked(&self) -> Vec<MaskScore> {
+        let mut v = self.evaluations.clone();
+        v.sort_by(|a, b| {
+            b.fidelity
+                .partial_cmp(&a.fidelity)
+                .expect("fidelities are finite")
+        });
+        v
+    }
+}
+
+/// Everything needed to score a mask on the decoy.
+#[derive(Debug)]
+pub struct SearchContext<'a> {
+    /// The noisy machine.
+    pub machine: &'a Machine,
+    /// The decoy circuit (schedule + known ideal output).
+    pub decoy: &'a Decoy,
+    /// Initial layout of the program (maps mask bits to physical wires).
+    pub layout: &'a Layout,
+    /// DD protocol/parameters to insert.
+    pub dd: DdConfig,
+    /// Execution budget per decoy run.
+    pub exec: ExecutionConfig,
+    /// Number of program qubits (mask width).
+    pub num_program_qubits: usize,
+}
+
+impl SearchContext<'_> {
+    /// Scores one mask: decoy fidelity under that DD assignment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine execution failures.
+    pub fn score(&self, mask: DdMask) -> Result<MaskScore, ExecError> {
+        let wires = mask_to_wires(mask, self.layout);
+        let inserted = insert_dd(&self.decoy.timed, self.machine.device(), &wires, &self.dd);
+        let counts = self.machine.execute_timed(&inserted.timed, &self.exec)?;
+        let fidelity = crate::metrics::fidelity(&self.decoy.ideal, &counts);
+        Ok(MaskScore { mask, fidelity })
+    }
+}
+
+/// Exhaustively scores all `2^N` masks (the Runtime-Best oracle uses the
+/// same sweep on the real circuit).
+///
+/// # Errors
+///
+/// Propagates machine execution failures.
+///
+/// # Panics
+///
+/// Panics for more than 20 program qubits (the sweep would not terminate
+/// in reasonable time).
+pub fn exhaustive_search(ctx: &SearchContext<'_>) -> Result<SearchResult, ExecError> {
+    let mut evaluations = Vec::new();
+    for mask in DdMask::enumerate_all(ctx.num_program_qubits) {
+        evaluations.push(ctx.score(mask)?);
+    }
+    // First-evaluated wins ties, matching the stable ranking used by the
+    // localized search.
+    let mut best = evaluations[0];
+    for e in &evaluations[1..] {
+        if e.fidelity > best.fidelity {
+            best = *e;
+        }
+    }
+    Ok(SearchResult {
+        best: best.mask,
+        evaluations,
+    })
+}
+
+/// ADAPT's localized search.
+///
+/// `qubit_order` determines how program qubits are grouped into
+/// neighborhoods of `neighborhood` qubits (the paper uses 4); pass the
+/// GST's most-idle-first order for the default behaviour. When
+/// `top2_merge` is set, each neighborhood commits the bitwise OR of its
+/// two best local masks (§4.3), otherwise just the best.
+///
+/// # Errors
+///
+/// Propagates machine execution failures.
+///
+/// # Panics
+///
+/// Panics when `neighborhood` is 0 or exceeds 16 bits.
+pub fn localized_search(
+    ctx: &SearchContext<'_>,
+    qubit_order: &[u32],
+    neighborhood: usize,
+    top2_merge: bool,
+) -> Result<SearchResult, ExecError> {
+    assert!(neighborhood > 0 && neighborhood <= 16, "neighborhood size");
+    let n = ctx.num_program_qubits;
+    let mut committed = DdMask::none(n);
+    let mut evaluations = Vec::new();
+
+    for group in qubit_order.chunks(neighborhood) {
+        // Score all 2^|group| settings of this neighborhood's bits, with
+        // already-committed bits fixed and future bits at 0.
+        let mut local: Vec<MaskScore> = Vec::with_capacity(1 << group.len());
+        for combo in 0u64..(1 << group.len()) {
+            let mut mask = committed;
+            for (bit_pos, &q) in group.iter().enumerate() {
+                mask = mask.with(q as usize, combo >> bit_pos & 1 == 1);
+            }
+            let score = ctx.score(mask)?;
+            local.push(score);
+            evaluations.push(score);
+        }
+        local.sort_by(|a, b| {
+            b.fidelity
+                .partial_cmp(&a.fidelity)
+                .expect("fidelities are finite")
+        });
+        let mut winner = local[0].mask;
+        if top2_merge && local.len() > 1 {
+            winner = winner.union(local[1].mask);
+        }
+        // Commit only this neighborhood's bits.
+        for &q in group {
+            committed = committed.with(q as usize, winner.is_set(q as usize));
+        }
+    }
+
+    Ok(SearchResult {
+        best: committed,
+        evaluations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoy::{make_decoy, DecoyKind};
+    use device::Device;
+    use qcirc::Circuit;
+    use transpiler::{transpile, TranspileOptions};
+
+    /// Builds a small program with real idle structure on Guadalupe.
+    fn context_fixture() -> (Machine, Decoy, Layout, usize) {
+        let dev = Device::ibmq_guadalupe(31);
+        let mut c = Circuit::new(3);
+        c.h(0).t(1).cx(0, 1).t(0).cx(1, 2).cx(0, 1).measure_all();
+        let t = transpile(&c, &dev, &TranspileOptions::default());
+        let decoy = make_decoy(&t.timed, DecoyKind::Seeded { max_seed_qubits: 2 }).unwrap();
+        let machine = Machine::new(dev);
+        (machine, decoy, t.initial_layout, 3)
+    }
+
+    fn exec() -> ExecutionConfig {
+        ExecutionConfig {
+            shots: 600,
+            trajectories: 24,
+            seed: 5,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn exhaustive_covers_all_masks_and_picks_argmax() {
+        let (machine, decoy, layout, n) = context_fixture();
+        let ctx = SearchContext {
+            machine: &machine,
+            decoy: &decoy,
+            layout: &layout,
+            dd: DdConfig::default(),
+            exec: exec(),
+            num_program_qubits: n,
+        };
+        let r = exhaustive_search(&ctx).unwrap();
+        assert_eq!(r.decoy_runs(), 8);
+        let max_fid = r
+            .evaluations
+            .iter()
+            .map(|e| e.fidelity)
+            .fold(f64::MIN, f64::max);
+        let best_fid = r
+            .evaluations
+            .iter()
+            .find(|e| e.mask == r.best)
+            .expect("best was evaluated")
+            .fidelity;
+        assert_eq!(best_fid, max_fid);
+    }
+
+    #[test]
+    fn scores_are_deterministic_given_seed() {
+        let (machine, decoy, layout, n) = context_fixture();
+        let ctx = SearchContext {
+            machine: &machine,
+            decoy: &decoy,
+            layout: &layout,
+            dd: DdConfig::default(),
+            exec: exec(),
+            num_program_qubits: n,
+        };
+        let a = ctx.score(DdMask::all(n)).unwrap();
+        let b = ctx.score(DdMask::all(n)).unwrap();
+        assert_eq!(a.fidelity, b.fidelity);
+    }
+
+    #[test]
+    fn localized_search_is_linear_in_qubits() {
+        let (machine, decoy, layout, n) = context_fixture();
+        let ctx = SearchContext {
+            machine: &machine,
+            decoy: &decoy,
+            layout: &layout,
+            dd: DdConfig::default(),
+            exec: exec(),
+            num_program_qubits: n,
+        };
+        let order: Vec<u32> = (0..n as u32).collect();
+        // Neighborhood 2 over 3 qubits: 4 + 2·... chunks of [2,1] → 4+2=6.
+        let r = localized_search(&ctx, &order, 2, true).unwrap();
+        assert_eq!(r.decoy_runs(), 6);
+        // Neighborhood 4 (single chunk of 3): 8 evaluations ≤ 4·N = 12.
+        let r4 = localized_search(&ctx, &order, 4, true).unwrap();
+        assert_eq!(r4.decoy_runs(), 8);
+        assert!(r4.decoy_runs() <= 4 * n);
+    }
+
+    #[test]
+    fn localized_with_full_neighborhood_matches_exhaustive_best_score() {
+        let (machine, decoy, layout, n) = context_fixture();
+        let ctx = SearchContext {
+            machine: &machine,
+            decoy: &decoy,
+            layout: &layout,
+            dd: DdConfig::default(),
+            exec: exec(),
+            num_program_qubits: n,
+        };
+        let order: Vec<u32> = (0..n as u32).collect();
+        let ex = exhaustive_search(&ctx).unwrap();
+        let loc = localized_search(&ctx, &order, 4, false).unwrap();
+        // One neighborhood spanning everything without merge = exhaustive.
+        assert_eq!(loc.best, ex.best);
+    }
+
+    #[test]
+    fn top2_merge_is_superset_of_best() {
+        let (machine, decoy, layout, n) = context_fixture();
+        let ctx = SearchContext {
+            machine: &machine,
+            decoy: &decoy,
+            layout: &layout,
+            dd: DdConfig::default(),
+            exec: exec(),
+            num_program_qubits: n,
+        };
+        let order: Vec<u32> = (0..n as u32).collect();
+        let plain = localized_search(&ctx, &order, 4, false).unwrap();
+        let merged = localized_search(&ctx, &order, 4, true).unwrap();
+        // The merged mask contains every bit of the locally-best mask.
+        assert_eq!(
+            merged.best.bits() & plain.best.bits(),
+            plain.best.bits()
+        );
+    }
+
+    #[test]
+    fn ranked_is_sorted() {
+        let (machine, decoy, layout, n) = context_fixture();
+        let ctx = SearchContext {
+            machine: &machine,
+            decoy: &decoy,
+            layout: &layout,
+            dd: DdConfig::default(),
+            exec: exec(),
+            num_program_qubits: n,
+        };
+        let r = exhaustive_search(&ctx).unwrap();
+        let ranked = r.ranked();
+        for w in ranked.windows(2) {
+            assert!(w[0].fidelity >= w[1].fidelity);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests for the ADAPT framework layers: masks, DD insertion
+//! invariants, decoy schedule preservation and metric laws.
+
+use adapt::dd::{insert_dd, DdConfig, DdMask, DdProtocol};
+use adapt::decoy::{make_decoy, DecoyKind};
+use adapt::metrics;
+use device::Device;
+use proptest::prelude::*;
+use qcirc::{Circuit, OpKind};
+use transpiler::{transpile, TranspileOptions};
+
+fn arb_mask(n: usize) -> impl Strategy<Value = DdMask> {
+    (0u64..(1 << n)).prop_map(move |bits| DdMask::from_bits(bits, n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mask_display_parse_roundtrip(m in arb_mask(8)) {
+        let s = m.to_string();
+        let parsed: DdMask = s.parse().expect("well-formed");
+        prop_assert_eq!(parsed, m);
+        prop_assert_eq!(s.len(), 8);
+    }
+
+    #[test]
+    fn mask_union_is_monotone_and_idempotent(a in arb_mask(8), b in arb_mask(8)) {
+        let u = a.union(b);
+        prop_assert_eq!(u.bits() & a.bits(), a.bits());
+        prop_assert_eq!(u.bits() & b.bits(), b.bits());
+        prop_assert_eq!(u.union(u), u);
+        prop_assert_eq!(a.union(b), b.union(a));
+        prop_assert!(u.count_ones() >= a.count_ones().max(b.count_ones()));
+    }
+
+    #[test]
+    fn mask_with_and_is_set_agree(m in arb_mask(8), i in 0usize..8, on in any::<bool>()) {
+        let m2 = m.with(i, on);
+        prop_assert_eq!(m2.is_set(i), on);
+        for j in 0..8 {
+            if j != i {
+                prop_assert_eq!(m2.is_set(j), m.is_set(j));
+            }
+        }
+    }
+
+    #[test]
+    fn tvd_is_a_bounded_metric_against_counts(
+        ps in proptest::collection::vec(0.0..1.0f64, 4),
+        shots in proptest::collection::vec(0u64..100, 4),
+    ) {
+        let total: f64 = ps.iter().sum::<f64>().max(1e-9);
+        let ideal: std::collections::BTreeMap<u64, f64> =
+            ps.iter().enumerate().map(|(i, &p)| (i as u64, p / total)).collect();
+        let mut counts = qcirc::Counts::new(2);
+        for (i, &s) in shots.iter().enumerate() {
+            counts.record_many(i as u64, s);
+        }
+        let d = metrics::tvd(&ideal, &counts);
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&d));
+        let f = metrics::fidelity(&ideal, &counts);
+        prop_assert!((f + d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_bounded_and_self_correlated(
+        xs in proptest::collection::vec(-100.0..100.0f64, 3..20)
+    ) {
+        let rho = metrics::spearman(&xs, &xs);
+        // 1 unless constant (then 0 by convention).
+        prop_assert!(rho == 0.0 || (rho - 1.0).abs() < 1e-9);
+        let ys: Vec<f64> = xs.iter().rev().copied().collect();
+        let r2 = metrics::spearman(&xs, &ys);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r2));
+    }
+}
+
+// DD-insertion invariants are checked on a grid (device + benchmarks are
+// heavyweight for proptest's shrinking, and a seeded grid covers the same
+// input space deterministically).
+#[test]
+fn dd_insertion_invariants_over_mask_grid() {
+    let dev = Device::ibmq_guadalupe(13);
+    let mut program = Circuit::new(4);
+    program.h(0).t(1).cx(0, 1).cx(1, 2).t(2).cx(2, 3).cx(0, 1).measure_all();
+    let t = transpile(&program, &dev, &TranspileOptions::default());
+
+    for protocol in [DdProtocol::Xy4, DdProtocol::IbmqDd, DdProtocol::Cpmg] {
+        for mask in DdMask::enumerate_all(4) {
+            let wires = adapt::dd::mask_to_wires(mask, &t.initial_layout);
+            let out = insert_dd(&t.timed, &dev, &wires, &DdConfig::for_protocol(protocol));
+            // 1. Makespan unchanged.
+            assert!((out.timed.total_ns() - t.timed.total_ns()).abs() < 1e-6);
+            // 2. Original events all survive.
+            assert_eq!(
+                out.timed.events().len(),
+                t.timed.events().len() + out.pulse_count
+            );
+            // 3. No pulse overlaps any original busy interval on its wire.
+            for &wire in &wires {
+                let busy = t.timed.busy_intervals(wire);
+                for e in out.timed.events() {
+                    let is_pulse = matches!(e.instr.kind, OpKind::Gate(_))
+                        && e.instr.qubits.len() == 1
+                        && e.instr.qubits[0].index() == wire as usize
+                        && !busy.iter().any(|b| {
+                            (b.start_ns - e.start_ns).abs() < 1e-9
+                                && (b.end_ns - e.end_ns).abs() < 1e-9
+                        });
+                    if is_pulse {
+                        for b in &busy {
+                            let overlap =
+                                e.start_ns < b.end_ns - 1e-9 && b.start_ns < e.end_ns - 1e-9;
+                            assert!(
+                                !overlap,
+                                "{protocol}: pulse [{}, {}] overlaps busy [{}, {}] on wire {wire}",
+                                e.start_ns, e.end_ns, b.start_ns, b.end_ns
+                            );
+                        }
+                    }
+                }
+            }
+            // 4. Monotone: more qubits → at least as many pulses.
+            let all_out = insert_dd(
+                &t.timed,
+                &dev,
+                &adapt::dd::mask_to_wires(DdMask::all(4), &t.initial_layout),
+                &DdConfig::for_protocol(protocol),
+            );
+            assert!(all_out.pulse_count >= out.pulse_count);
+        }
+    }
+}
+
+#[test]
+fn decoy_schedule_preservation_over_kind_grid() {
+    let dev = Device::ibmq_guadalupe(17);
+    for (i, bench) in benchmarks::paper_suite().into_iter().take(4).enumerate() {
+        let t = transpile(&bench.circuit, &dev, &TranspileOptions::default());
+        for kind in [
+            DecoyKind::Clifford,
+            DecoyKind::CnotOnly,
+            DecoyKind::Seeded { max_seed_qubits: i },
+        ] {
+            let d = make_decoy(&t.timed, kind).expect("decoy");
+            assert_eq!(d.timed.two_qubit_activity(), t.timed.two_qubit_activity());
+            let total: f64 = d.ideal.values().sum();
+            assert!((total - 1.0).abs() < 1e-9, "{}: {kind:?}", bench.name);
+        }
+    }
+}

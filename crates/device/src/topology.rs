@@ -1,0 +1,409 @@
+//! Qubit connectivity graphs.
+//!
+//! NISQ machines restrict two-qubit gates to physically coupled pairs; the
+//! transpiler routes around missing couplings with SWAPs, which is one of
+//! the three sources of idle time the ADAPT paper identifies (§2.4). The
+//! presets mirror the IBMQ machines used in the paper's evaluation.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a coupling link (an index into [`Topology::edges`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link#{}", self.0)
+    }
+}
+
+/// An undirected qubit coupling graph.
+///
+/// # Examples
+///
+/// ```
+/// use device::Topology;
+/// let t = Topology::line(5);
+/// assert!(t.are_connected(1, 2));
+/// assert!(!t.are_connected(0, 4));
+/// assert_eq!(t.distance(0, 4), Some(4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    num_qubits: usize,
+    edges: Vec<(u32, u32)>,
+    adjacency: Vec<Vec<u32>>,
+    /// All-pairs shortest-path distances (u32::MAX = unreachable).
+    dist: Vec<Vec<u32>>,
+}
+
+impl Topology {
+    /// Builds a topology from an undirected edge list.
+    ///
+    /// Edges are normalized to `(min, max)` order and deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an edge endpoint is out of range or a self-loop appears.
+    pub fn new(num_qubits: usize, edge_list: &[(u32, u32)]) -> Self {
+        let mut edges: Vec<(u32, u32)> = edge_list
+            .iter()
+            .map(|&(a, b)| {
+                assert!(
+                    (a as usize) < num_qubits && (b as usize) < num_qubits,
+                    "edge ({a},{b}) out of range for {num_qubits} qubits"
+                );
+                assert_ne!(a, b, "self-loop edge ({a},{b})");
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        let mut adjacency = vec![Vec::new(); num_qubits];
+        for &(a, b) in &edges {
+            adjacency[a as usize].push(b);
+            adjacency[b as usize].push(a);
+        }
+        for adj in &mut adjacency {
+            adj.sort_unstable();
+        }
+        let dist = Self::all_pairs_bfs(num_qubits, &adjacency);
+        Topology {
+            num_qubits,
+            edges,
+            adjacency,
+            dist,
+        }
+    }
+
+    fn all_pairs_bfs(n: usize, adjacency: &[Vec<u32>]) -> Vec<Vec<u32>> {
+        let mut dist = vec![vec![u32::MAX; n]; n];
+        for (src, row) in dist.iter_mut().enumerate() {
+            row[src] = 0;
+            let mut queue = VecDeque::from([src as u32]);
+            while let Some(u) = queue.pop_front() {
+                let du = row[u as usize];
+                for &v in &adjacency[u as usize] {
+                    if row[v as usize] == u32::MAX {
+                        row[v as usize] = du + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        dist
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The normalized, sorted edge list.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Number of coupling links.
+    pub fn num_links(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The endpoints of a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the link id is out of range.
+    pub fn link_endpoints(&self, link: LinkId) -> (u32, u32) {
+        self.edges[link.index()]
+    }
+
+    /// The link joining `a` and `b`, if coupled.
+    pub fn link_between(&self, a: u32, b: u32) -> Option<LinkId> {
+        let key = (a.min(b), a.max(b));
+        self.edges
+            .binary_search(&key)
+            .ok()
+            .map(|i| LinkId(i as u32))
+    }
+
+    /// Neighbors of a qubit, ascending.
+    pub fn neighbors(&self, q: u32) -> &[u32] {
+        &self.adjacency[q as usize]
+    }
+
+    /// True when `a` and `b` share a coupling link.
+    pub fn are_connected(&self, a: u32, b: u32) -> bool {
+        self.link_between(a, b).is_some()
+    }
+
+    /// Shortest-path hop count between two qubits, `None` when disconnected.
+    pub fn distance(&self, a: u32, b: u32) -> Option<u32> {
+        let d = self.dist[a as usize][b as usize];
+        (d != u32::MAX).then_some(d)
+    }
+
+    /// A shortest path from `a` to `b` (inclusive), `None` when disconnected.
+    pub fn shortest_path(&self, a: u32, b: u32) -> Option<Vec<u32>> {
+        self.distance(a, b)?;
+        let mut path = vec![b];
+        let mut cur = b;
+        while cur != a {
+            let d = self.dist[a as usize][cur as usize];
+            let prev = *self.adjacency[cur as usize]
+                .iter()
+                .find(|&&v| self.dist[a as usize][v as usize] + 1 == d)
+                .expect("BFS predecessor exists");
+            path.push(prev);
+            cur = prev;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Links whose endpoints both differ from `q` — the candidate "active
+    /// links" of the paper's qubit–link characterization experiments.
+    pub fn links_excluding(&self, q: u32) -> Vec<LinkId> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, &(a, b))| a != q && b != q)
+            .map(|(i, _)| LinkId(i as u32))
+            .collect()
+    }
+
+    /// Every (idle qubit, link) combination where the link does not touch
+    /// the qubit. On IBMQ-Guadalupe this yields the paper's 224
+    /// combinations; on Toronto, 700.
+    pub fn qubit_link_combinations(&self) -> Vec<(u32, LinkId)> {
+        (0..self.num_qubits as u32)
+            .flat_map(|q| {
+                self.links_excluding(q)
+                    .into_iter()
+                    .map(move |l| (q, l))
+            })
+            .collect()
+    }
+
+    /// A 1-D chain: `0 – 1 – … – (n−1)` (IBMQ-Rome shape).
+    pub fn line(n: usize) -> Self {
+        let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect();
+        Topology::new(n, &edges)
+    }
+
+    /// Fully connected graph (the paper's Fig. 3b all-to-all comparator).
+    pub fn all_to_all(n: usize) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..n as u32 {
+            for b in (a + 1)..n as u32 {
+                edges.push((a, b));
+            }
+        }
+        Topology::new(n, &edges)
+    }
+
+    /// IBMQ-London: 5-qubit T shape.
+    pub fn ibmq_london() -> Self {
+        Topology::new(5, &[(0, 1), (1, 2), (1, 3), (3, 4)])
+    }
+
+    /// IBMQ-Rome: 5-qubit line.
+    pub fn ibmq_rome() -> Self {
+        Topology::line(5)
+    }
+
+    /// IBMQ-Guadalupe: 16-qubit heavy-hex (Falcon r4).
+    pub fn ibmq_guadalupe() -> Self {
+        Topology::new(
+            16,
+            &[
+                (0, 1),
+                (1, 2),
+                (1, 4),
+                (2, 3),
+                (3, 5),
+                (4, 7),
+                (5, 8),
+                (6, 7),
+                (7, 10),
+                (8, 9),
+                (8, 11),
+                (10, 12),
+                (11, 14),
+                (12, 13),
+                (12, 15),
+                (13, 14),
+            ],
+        )
+    }
+
+    /// 27-qubit heavy-hex (Falcon) — the IBMQ-Paris / IBMQ-Toronto layout.
+    pub fn ibmq_falcon27() -> Self {
+        Topology::new(
+            27,
+            &[
+                (0, 1),
+                (1, 2),
+                (1, 4),
+                (2, 3),
+                (3, 5),
+                (4, 7),
+                (5, 8),
+                (6, 7),
+                (7, 10),
+                (8, 9),
+                (8, 11),
+                (10, 12),
+                (11, 14),
+                (12, 13),
+                (12, 15),
+                (13, 14),
+                (14, 16),
+                (15, 18),
+                (16, 19),
+                (17, 18),
+                (18, 21),
+                (19, 20),
+                (19, 22),
+                (21, 23),
+                (22, 25),
+                (23, 24),
+                (24, 25),
+                (25, 26),
+            ],
+        )
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "topology({} qubits, {} links)",
+            self.num_qubits,
+            self.edges.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_structure() {
+        let t = Topology::line(5);
+        assert_eq!(t.num_links(), 4);
+        assert!(t.are_connected(2, 3));
+        assert!(!t.are_connected(0, 2));
+        assert_eq!(t.neighbors(2), &[1, 3]);
+        assert_eq!(t.distance(0, 4), Some(4));
+        assert_eq!(t.shortest_path(0, 3), Some(vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn all_to_all_distances() {
+        let t = Topology::all_to_all(6);
+        assert_eq!(t.num_links(), 15);
+        for a in 0..6 {
+            for b in 0..6 {
+                if a != b {
+                    assert_eq!(t.distance(a, b), Some(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edges_normalized_and_deduped() {
+        let t = Topology::new(3, &[(2, 1), (1, 2), (0, 1)]);
+        assert_eq!(t.edges(), &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        Topology::new(3, &[(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_rejected() {
+        Topology::new(3, &[(0, 3)]);
+    }
+
+    #[test]
+    fn link_lookup_roundtrips() {
+        let t = Topology::ibmq_guadalupe();
+        for (i, &(a, b)) in t.edges().iter().enumerate() {
+            let l = t.link_between(a, b).unwrap();
+            assert_eq!(l.index(), i);
+            assert_eq!(t.link_endpoints(l), (a, b));
+            assert_eq!(t.link_between(b, a), Some(l));
+        }
+        assert_eq!(t.link_between(0, 15), None);
+    }
+
+    #[test]
+    fn guadalupe_has_224_qubit_link_combinations() {
+        // §3.2: "On IBMQ-Guadalupe, there are 224 such possible combinations".
+        let t = Topology::ibmq_guadalupe();
+        assert_eq!(t.num_qubits(), 16);
+        assert_eq!(t.num_links(), 16);
+        assert_eq!(t.qubit_link_combinations().len(), 224);
+    }
+
+    #[test]
+    fn falcon27_has_700_qubit_link_combinations() {
+        // §3.3: "on 27-qubit IBMQ-Toronto, there are 700 qubit-link
+        // combinations".
+        let t = Topology::ibmq_falcon27();
+        assert_eq!(t.num_qubits(), 27);
+        assert_eq!(t.num_links(), 28);
+        assert_eq!(t.qubit_link_combinations().len(), 700);
+    }
+
+    #[test]
+    fn falcon27_contains_paper_landmarks() {
+        // Fig. 6 studies Qubit-12 against Link 17–18.
+        let t = Topology::ibmq_falcon27();
+        assert!(t.link_between(17, 18).is_some());
+        assert!(t.neighbors(12).contains(&10));
+    }
+
+    #[test]
+    fn london_t_shape() {
+        let t = Topology::ibmq_london();
+        assert_eq!(t.neighbors(1), &[0, 2, 3]);
+        assert_eq!(t.distance(0, 4), Some(3));
+    }
+
+    #[test]
+    fn connected_graphs_have_paths_everywhere() {
+        for t in [
+            Topology::ibmq_guadalupe(),
+            Topology::ibmq_falcon27(),
+            Topology::ibmq_london(),
+        ] {
+            let n = t.num_qubits() as u32;
+            for a in 0..n {
+                for b in 0..n {
+                    assert!(t.distance(a, b).is_some(), "{t}: {a}->{b} unreachable");
+                    let p = t.shortest_path(a, b).unwrap();
+                    assert_eq!(p.len() as u32, t.distance(a, b).unwrap() + 1);
+                    for w in p.windows(2) {
+                        assert!(t.are_connected(w[0], w[1]));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,956 @@
+//! The noisy trajectory executor — "the quantum machine" of this stack.
+//!
+//! Executes a [`TimedCircuit`] under the device noise model by Monte-Carlo
+//! trajectories. Each trajectory draws one realization of every stochastic
+//! process (static detunings, OU paths, gate/readout error events) and
+//! evolves a dense state vector over the circuit's *active* qubits in time
+//! order, interleaving idle-noise advancement with gate application. Shots
+//! are distributed over trajectories.
+//!
+//! The crucial property: DD pulses inserted by ADAPT are ordinary gates
+//! here. Echo cancellation of the coherent detuning, its degradation at
+//! long pulse spacing, and the extra depolarizing cost of each pulse all
+//! emerge from the simulation rather than being modeled directly.
+
+use crate::noise::{PauliFloor, QubitDetuning};
+use device::{Device, SeedSpawner};
+use qcirc::{Circuit, Counts, Gate, OpKind, Qubit};
+use rand::rngs::StdRng;
+use rand::Rng;
+use statevec::{SimError, StateVector};
+use transpiler::{schedule, SchedulePolicy, TimedCircuit};
+
+/// Relative std-dev of the per-CNOT crosstalk kick around its calibrated
+/// coupling (state-dependent ZZ fluctuation).
+pub const CROSSTALK_JITTER: f64 = 1.0;
+
+/// Execution errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The circuit touches more qubits than the dense simulator can hold.
+    TooManyActiveQubits {
+        /// Number of active qubits in the circuit.
+        active: usize,
+        /// Simulator limit.
+        limit: usize,
+    },
+    /// Underlying simulator error.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::TooManyActiveQubits { active, limit } => {
+                write!(f, "{active} active qubits exceed the simulator limit of {limit}")
+            }
+            ExecError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<SimError> for ExecError {
+    fn from(e: SimError) -> Self {
+        ExecError::Sim(e)
+    }
+}
+
+/// Knobs for one execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutionConfig {
+    /// Total measurement shots.
+    pub shots: u64,
+    /// Independent noise realizations; shots are spread across them.
+    pub trajectories: u32,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads (`0` = use all available cores).
+    pub threads: usize,
+}
+
+impl Default for ExecutionConfig {
+    fn default() -> Self {
+        ExecutionConfig {
+            shots: 8192,
+            trajectories: 128,
+            seed: 0,
+            threads: 0,
+        }
+    }
+}
+
+impl ExecutionConfig {
+    /// Convenience constructor with a specific seed.
+    pub fn seeded(seed: u64) -> Self {
+        ExecutionConfig {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Budget-reduced configuration for inner search loops.
+    pub fn fast(seed: u64) -> Self {
+        ExecutionConfig {
+            shots: 2048,
+            trajectories: 48,
+            seed,
+            threads: 0,
+        }
+    }
+}
+
+/// Enables/disables individual noise channels — the ablation knobs used
+/// by the `ablation_noise` experiment and the error-budget diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoiseToggles {
+    /// Depolarizing gate errors (1q and 2q).
+    pub gate_err: bool,
+    /// Readout bit flips.
+    pub readout_err: bool,
+    /// Coherent idling detuning (static + OU).
+    pub idle_coherent: bool,
+    /// Spectator crosstalk from active CNOT links.
+    pub idle_crosstalk: bool,
+    /// Stochastic T1/white-dephasing Pauli floor.
+    pub idle_floor: bool,
+}
+
+impl Default for NoiseToggles {
+    fn default() -> Self {
+        NoiseToggles {
+            gate_err: true,
+            readout_err: true,
+            idle_coherent: true,
+            idle_crosstalk: true,
+            idle_floor: true,
+        }
+    }
+}
+
+impl NoiseToggles {
+    /// Everything off: the executor becomes an (expensive) ideal sampler.
+    pub fn none() -> Self {
+        NoiseToggles {
+            gate_err: false,
+            readout_err: false,
+            idle_coherent: false,
+            idle_crosstalk: false,
+            idle_floor: false,
+        }
+    }
+}
+
+/// A device bound to the trajectory executor.
+///
+/// # Examples
+///
+/// ```
+/// use device::Device;
+/// use machine::{ExecutionConfig, Machine};
+/// use qcirc::Circuit;
+///
+/// let machine = Machine::new(Device::ibmq_rome(7));
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1).measure_all();
+/// let counts = machine
+///     .execute(&c, &ExecutionConfig { shots: 512, trajectories: 16, seed: 1, threads: 1 })
+///     .unwrap();
+/// assert_eq!(counts.total(), 512);
+/// // Bell correlations survive the (mild) noise.
+/// let agree = counts.get(0b00) + counts.get(0b11);
+/// assert!(agree > 400);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    device: Device,
+    toggles: NoiseToggles,
+}
+
+/// Compact view of the circuit used by trajectories.
+struct Compiled {
+    /// phys qubit -> compact index.
+    compact_of: Vec<Option<usize>>,
+    /// compact index -> phys qubit.
+    phys_of: Vec<u32>,
+    /// Per compact qubit: (start, end, chi rad/µs) crosstalk episodes.
+    xtalk: Vec<Vec<(f64, f64, f64)>>,
+    /// Whether the fast measurement-terminated path applies.
+    terminal_measurements: bool,
+}
+
+impl Machine {
+    /// Binds the executor to a device with all noise channels enabled.
+    pub fn new(device: Device) -> Self {
+        Machine {
+            device,
+            toggles: NoiseToggles::default(),
+        }
+    }
+
+    /// Binds the executor with selected noise channels (ablation studies).
+    pub fn with_toggles(device: Device, toggles: NoiseToggles) -> Self {
+        Machine { device, toggles }
+    }
+
+    /// The active noise toggles.
+    pub fn toggles(&self) -> &NoiseToggles {
+        &self.toggles
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Schedules (ALAP) and executes a plain circuit.
+    ///
+    /// # Errors
+    ///
+    /// See [`Machine::execute_timed`].
+    pub fn execute(&self, circuit: &Circuit, config: &ExecutionConfig) -> Result<Counts, ExecError> {
+        let timed = schedule(circuit, &self.device, SchedulePolicy::Alap);
+        self.execute_timed(&timed, config)
+    }
+
+    /// Executes a timed circuit under the device noise model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::TooManyActiveQubits`] when the circuit touches
+    /// more qubits than the dense simulator supports, or a wrapped
+    /// [`SimError`] on internal failures.
+    pub fn execute_timed(
+        &self,
+        timed: &TimedCircuit,
+        config: &ExecutionConfig,
+    ) -> Result<Counts, ExecError> {
+        let compiled = self.compile(timed)?;
+        let trajectories = config.trajectories.max(1);
+        let shots_per_traj = config.shots.div_ceil(trajectories as u64).max(1);
+        let spawner = SeedSpawner::new(config.seed);
+
+        let threads = if config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(trajectories as usize)
+                .max(1)
+        } else {
+            config.threads
+        };
+
+        let traj_seeds: Vec<u64> = (0..trajectories)
+            .map(|i| spawner.derive(i as u64))
+            .collect();
+        let mut remaining = config.shots;
+        let mut traj_shots = Vec::with_capacity(trajectories as usize);
+        for _ in 0..trajectories {
+            let s = remaining.min(shots_per_traj);
+            traj_shots.push(s);
+            remaining -= s;
+        }
+
+        let run_range = |range: std::ops::Range<usize>| -> Result<Counts, ExecError> {
+            let mut counts = Counts::new(timed.num_clbits());
+            for i in range {
+                if traj_shots[i] == 0 {
+                    continue;
+                }
+                let mut rng = StdRng::from_seed_u64(traj_seeds[i]);
+                let c = self.run_trajectory(timed, &compiled, traj_shots[i], &mut rng)?;
+                counts.merge(&c);
+            }
+            Ok(counts)
+        };
+
+        if threads <= 1 {
+            return run_range(0..trajectories as usize);
+        }
+        let chunk = (trajectories as usize).div_ceil(threads);
+        let results: Vec<Result<Counts, ExecError>> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(trajectories as usize);
+                if lo >= hi {
+                    break;
+                }
+                let run = &run_range;
+                handles.push(scope.spawn(move || run(lo..hi)));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("trajectory worker panicked"))
+                .collect()
+        });
+        let mut counts = Counts::new(timed.num_clbits());
+        for r in results {
+            counts.merge(&r?);
+        }
+        Ok(counts)
+    }
+
+    fn compile(&self, timed: &TimedCircuit) -> Result<Compiled, ExecError> {
+        let n_phys = timed.num_qubits();
+        let mut active = vec![false; n_phys];
+        for e in timed.events() {
+            if !matches!(e.instr.kind, OpKind::Delay(_) | OpKind::Barrier) {
+                for q in &e.instr.qubits {
+                    active[q.index()] = true;
+                }
+            }
+        }
+        let phys_of: Vec<u32> = active
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a)
+            .map(|(i, _)| i as u32)
+            .collect();
+        if phys_of.len() > statevec::MAX_QUBITS {
+            return Err(ExecError::TooManyActiveQubits {
+                active: phys_of.len(),
+                limit: statevec::MAX_QUBITS,
+            });
+        }
+        let mut compact_of = vec![None; n_phys];
+        for (c, &p) in phys_of.iter().enumerate() {
+            compact_of[p as usize] = Some(c);
+        }
+
+        // Crosstalk episodes per active qubit.
+        let topo = self.device.topology();
+        let cal = self.device.calibration();
+        let mut xtalk = vec![Vec::new(); phys_of.len()];
+        for (start, end, a, b) in timed.two_qubit_activity() {
+            let Some(link) = topo.link_between(a, b) else {
+                continue; // uncoupled 2q gates carry no spectator crosstalk
+            };
+            for (ci, &p) in phys_of.iter().enumerate() {
+                let chi = cal.crosstalk(p, link);
+                if chi != 0.0 {
+                    xtalk[ci].push((start, end, chi));
+                }
+            }
+        }
+
+        Ok(Compiled {
+            compact_of,
+            phys_of,
+            xtalk,
+            terminal_measurements: is_terminal_measured(timed),
+        })
+    }
+
+    /// One noise realization; returns `shots` sampled outcomes.
+    fn run_trajectory(
+        &self,
+        timed: &TimedCircuit,
+        compiled: &Compiled,
+        shots: u64,
+        rng: &mut StdRng,
+    ) -> Result<Counts, ExecError> {
+        let k = compiled.phys_of.len();
+        let cal = self.device.calibration();
+        let mut sv = StateVector::try_new(k)?;
+        let mut detuning: Vec<QubitDetuning> = compiled
+            .phys_of
+            .iter()
+            .map(|&p| QubitDetuning::sample(cal.qubit(p), rng))
+            .collect();
+        // Per-trajectory, per-CNOT-event crosstalk jitter: the phase kick a
+        // spectator receives from a given CNOT depends on the (shot-varying)
+        // state of the gate qubits, so each episode's amplitude fluctuates
+        // around the calibrated coupling. This is what dense DD sequences
+        // can echo out and sparse ones cannot (Fig. 16 of the paper).
+        let xtalk_jitter: Vec<Vec<f64>> = compiled
+            .xtalk
+            .iter()
+            .map(|eps| {
+                eps.iter()
+                    .map(|_| 1.0 + CROSSTALK_JITTER * crate::noise::standard_normal(rng))
+                    .collect()
+            })
+            .collect();
+        let mut frame = vec![0.0f64; k];
+        let mut clbits = 0u64;
+        // Deferred measurements for the fast path: (compact qubit, clbit).
+        let mut deferred: Vec<(usize, usize)> = Vec::new();
+
+        for e in timed.events() {
+            match &e.instr.kind {
+                OpKind::Gate(g) => {
+                    let qs: Vec<usize> = e
+                        .instr
+                        .qubits
+                        .iter()
+                        .map(|q| compiled.compact_of[q.index()].expect("active qubit"))
+                        .collect();
+                    for &q in &qs {
+                        self.advance_idle(
+                            &mut sv,
+                            q,
+                            &mut frame[q],
+                            e.start_ns,
+                            &mut detuning[q],
+                            &xtalk_jitter[q],
+                            &compiled.xtalk[q],
+                            compiled.phys_of[q],
+                            rng,
+                        )?;
+                    }
+                    self.apply_gate_noisy(&mut sv, *g, &qs, &e.instr.qubits, rng)?;
+                    // Decoherence does not pause during gates: the T1/white
+                    // floor also applies over the gate duration (otherwise
+                    // dense DD trains would artificially shield qubits from
+                    // relaxation).
+                    let dur = e.end_ns - e.start_ns;
+                    if dur > 0.0 && self.toggles.idle_floor {
+                        for &q in &qs {
+                            self.apply_floor(&mut sv, q, compiled.phys_of[q], dur, rng)?;
+                        }
+                    }
+                    for &q in &qs {
+                        frame[q] = e.end_ns;
+                    }
+                }
+                OpKind::Measure(c) => {
+                    let q = compiled.compact_of[e.instr.qubits[0].index()]
+                        .expect("active qubit");
+                    self.advance_idle(
+                        &mut sv,
+                        q,
+                        &mut frame[q],
+                        e.start_ns,
+                        &mut detuning[q],
+                        &xtalk_jitter[q],
+                        &compiled.xtalk[q],
+                        compiled.phys_of[q],
+                        rng,
+                    )?;
+                    frame[q] = e.end_ns;
+                    if compiled.terminal_measurements {
+                        deferred.push((q, c.index()));
+                    } else {
+                        let p_flip = if self.toggles.readout_err {
+                            cal.qubit(compiled.phys_of[q]).err_readout
+                        } else {
+                            0.0
+                        };
+                        let mut bit = sv.measure(q, rng)?;
+                        if rng.gen::<f64>() < p_flip {
+                            bit = !bit;
+                        }
+                        if bit {
+                            clbits |= 1 << c.index();
+                        } else {
+                            clbits &= !(1 << c.index());
+                        }
+                    }
+                }
+                OpKind::Reset => {
+                    let q = compiled.compact_of[e.instr.qubits[0].index()]
+                        .expect("active qubit");
+                    self.advance_idle(
+                        &mut sv,
+                        q,
+                        &mut frame[q],
+                        e.start_ns,
+                        &mut detuning[q],
+                        &xtalk_jitter[q],
+                        &compiled.xtalk[q],
+                        compiled.phys_of[q],
+                        rng,
+                    )?;
+                    sv.reset(q, rng)?;
+                    frame[q] = e.end_ns;
+                }
+                OpKind::Delay(_) | OpKind::Barrier => {}
+            }
+        }
+
+        let mut counts = Counts::new(timed.num_clbits());
+        if compiled.terminal_measurements {
+            sv.normalize();
+            for _ in 0..shots {
+                let sample = sv.sample(rng);
+                let mut out = 0u64;
+                for &(q, c) in &deferred {
+                    let mut bit = sample >> q & 1 == 1;
+                    let p_flip = if self.toggles.readout_err {
+                        cal.qubit(compiled.phys_of[q]).err_readout
+                    } else {
+                        0.0
+                    };
+                    if rng.gen::<f64>() < p_flip {
+                        bit = !bit;
+                    }
+                    if bit {
+                        out |= 1 << c;
+                    }
+                }
+                counts.record(out);
+            }
+        } else {
+            // Mid-circuit measurement: the trajectory fixed one outcome
+            // record; honor shot count by replay-free repetition of the
+            // same record (callers wanting independent mid-circuit shots
+            // should raise `trajectories` instead).
+            counts.record_many(clbits, shots);
+        }
+        Ok(counts)
+    }
+
+    /// Applies accumulated idle noise on compact qubit `q` from
+    /// `*frame` to `until`, updating the frame time.
+    #[allow(clippy::too_many_arguments)]
+    fn advance_idle(
+        &self,
+        sv: &mut StateVector,
+        q: usize,
+        frame: &mut f64,
+        until: f64,
+        detuning: &mut QubitDetuning,
+        xtalk_jitter: &[f64],
+        xtalk: &[(f64, f64, f64)],
+        phys: u32,
+        rng: &mut StdRng,
+    ) -> Result<(), ExecError> {
+        let dt = until - *frame;
+        if dt <= 1e-9 {
+            *frame = frame.max(until);
+            return Ok(());
+        }
+        let t0 = *frame;
+        let mut phase = if self.toggles.idle_coherent {
+            detuning.advance(dt, rng)
+        } else {
+            0.0
+        };
+        if self.toggles.idle_crosstalk {
+            // Crosstalk from CNOTs active during [t0, until], each episode
+            // scaled by its per-trajectory jitter.
+            for (ei, &(s, e, chi)) in xtalk.iter().enumerate() {
+                let overlap = (e.min(until) - s.max(t0)).max(0.0);
+                if overlap > 0.0 {
+                    phase += chi * xtalk_jitter[ei] * overlap / 1000.0;
+                }
+            }
+        }
+        sv.apply1(
+            &Gate::RZ(phase).unitary1().expect("RZ is single-qubit"),
+            q,
+        )?;
+        // Stochastic floor (T1 relaxation + white dephasing).
+        if self.toggles.idle_floor {
+            self.apply_floor(sv, q, phys, dt, rng)?;
+        }
+        *frame = until;
+        Ok(())
+    }
+
+    /// Applies the stochastic T1/white-dephasing floor over `dt_ns`.
+    fn apply_floor(
+        &self,
+        sv: &mut StateVector,
+        q: usize,
+        phys: u32,
+        dt_ns: f64,
+        rng: &mut StdRng,
+    ) -> Result<(), ExecError> {
+        let floor = PauliFloor::for_idle(self.device.calibration().qubit(phys), dt_ns);
+        match floor.sample(rng) {
+            1 => sv.apply1(&Gate::X.unitary1().expect("1q"), q)?,
+            2 => sv.apply1(&Gate::Y.unitary1().expect("1q"), q)?,
+            3 => sv.apply1(&Gate::Z.unitary1().expect("1q"), q)?,
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn apply_gate_noisy(
+        &self,
+        sv: &mut StateVector,
+        g: Gate,
+        compact: &[usize],
+        phys: &[Qubit],
+        rng: &mut StdRng,
+    ) -> Result<(), ExecError> {
+        if let Some(u) = g.unitary1() {
+            sv.apply1(&u, compact[0])?;
+            let phys_q = phys[0].index() as u32;
+            let dur = self.device.gate_duration(g, &[phys_q]);
+            if dur > 0.0 && self.toggles.gate_err {
+                let err = self.device.calibration().qubit(phys_q).err_1q;
+                if rng.gen::<f64>() < err {
+                    apply_random_pauli1(sv, compact[0], rng)?;
+                }
+            }
+        } else if let Some(u) = g.unitary2() {
+            sv.apply2(&u, compact[0], compact[1])?;
+            let (a, b) = (phys[0].index() as u32, phys[1].index() as u32);
+            let err = self
+                .device
+                .cnot_error(a, b)
+                .unwrap_or(self.device.profile().cnot_err_mean);
+            // SWAP = 3 CNOTs worth of error opportunities.
+            let reps = if !self.toggles.gate_err {
+                0
+            } else if matches!(g, Gate::Swap) {
+                3
+            } else {
+                1
+            };
+            for _ in 0..reps {
+                if rng.gen::<f64>() < err {
+                    apply_random_pauli2(sv, compact[0], compact[1], rng)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn apply_random_pauli1(sv: &mut StateVector, q: usize, rng: &mut StdRng) -> Result<(), SimError> {
+    let g = [Gate::X, Gate::Y, Gate::Z][rng.gen_range(0..3)];
+    sv.apply1(&g.unitary1().expect("1q"), q)
+}
+
+fn apply_random_pauli2(
+    sv: &mut StateVector,
+    a: usize,
+    b: usize,
+    rng: &mut StdRng,
+) -> Result<(), SimError> {
+    // One of the 15 non-identity two-qubit Paulis.
+    let idx = rng.gen_range(1..16);
+    let (pa, pb) = (idx & 3, idx >> 2);
+    let table = [None, Some(Gate::X), Some(Gate::Y), Some(Gate::Z)];
+    if let Some(g) = table[pa] {
+        sv.apply1(&g.unitary1().expect("1q"), a)?;
+    }
+    if let Some(g) = table[pb] {
+        sv.apply1(&g.unitary1().expect("1q"), b)?;
+    }
+    Ok(())
+}
+
+/// True when no gate/reset follows a measurement on the same qubit.
+fn is_terminal_measured(timed: &TimedCircuit) -> bool {
+    let mut measured = vec![false; timed.num_qubits()];
+    for e in timed.events() {
+        match e.instr.kind {
+            OpKind::Measure(_) => measured[e.instr.qubits[0].index()] = true,
+            OpKind::Gate(_) | OpKind::Reset => {
+                if e.instr.qubits.iter().any(|q| measured[q.index()]) {
+                    return false;
+                }
+            }
+            OpKind::Delay(_) | OpKind::Barrier => {}
+        }
+    }
+    true
+}
+
+/// Extension trait: seed an [`StdRng`] from a `u64` (newtype-free helper).
+trait SeedU64 {
+    fn from_seed_u64(seed: u64) -> Self;
+}
+
+impl SeedU64 for StdRng {
+    fn from_seed_u64(seed: u64) -> Self {
+        use rand::SeedableRng;
+        StdRng::seed_from_u64(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn cfg(seed: u64) -> ExecutionConfig {
+        ExecutionConfig {
+            shots: 2000,
+            trajectories: 40,
+            seed,
+            threads: 1,
+        }
+    }
+
+    fn fidelity(ideal: &BTreeMap<u64, f64>, counts: &Counts) -> f64 {
+        let mut tvd = 0.0;
+        let mut seen = std::collections::BTreeSet::new();
+        for (&k, &p) in ideal {
+            tvd += (p - counts.probability(k)).abs();
+            seen.insert(k);
+        }
+        for (k, _) in counts.iter() {
+            if !seen.contains(&k) {
+                tvd += counts.probability(k);
+            }
+        }
+        1.0 - tvd / 2.0
+    }
+
+    #[test]
+    fn noiseless_limit_reproduces_ideal_distribution() {
+        // A machine with negligible noise: use tiny circuit and compare
+        // against the ideal Bell distribution within sampling error.
+        let m = Machine::new(Device::ibmq_guadalupe(1));
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        let counts = m.execute(&c, &cfg(5)).unwrap();
+        let ideal = statevec::ideal_distribution(&c).unwrap();
+        let f = fidelity(&ideal, &counts);
+        assert!(f > 0.9, "short Bell circuit should stay high fidelity: {f}");
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_thread_counts() {
+        let m = Machine::new(Device::ibmq_rome(9));
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).measure_all();
+        let a = m.execute(&c, &cfg(7)).unwrap();
+        let b = m.execute(&c, &cfg(7)).unwrap();
+        assert_eq!(a, b);
+        let mut cfg4 = cfg(7);
+        cfg4.threads = 4;
+        let d = m.execute(&c, &cfg4).unwrap();
+        assert_eq!(a, d);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let m = Machine::new(Device::ibmq_rome(9));
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        let a = m.execute(&c, &cfg(1)).unwrap();
+        let b = m.execute(&c, &cfg(2)).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn long_idle_degrades_fidelity() {
+        // Ramsey-style: H — idle — H should decay with idle time.
+        let m = Machine::new(Device::ibmq_london(3));
+        let run = |idle_ns: f64| -> f64 {
+            let mut c = Circuit::new(1);
+            c.h(0);
+            c.delay(idle_ns, 0);
+            c.h(0);
+            c.measure(0, 0);
+            let counts = m.execute(&c, &cfg(11)).unwrap();
+            counts.probability(0) // survival of |0⟩
+        };
+        let short = run(50.0);
+        let long = run(20_000.0);
+        assert!(
+            short > long + 0.05,
+            "idling must hurt: short {short}, long {long}"
+        );
+    }
+
+    #[test]
+    fn spin_echo_recovers_fidelity() {
+        // The core DD physics end-to-end: H — idle — X — idle — X — idle…
+        // echoes out the quasi-static detuning.
+        let m = Machine::new(Device::ibmq_london(3));
+        let idle = 20_000.0;
+        let free = {
+            let mut c = Circuit::new(1);
+            c.h(0);
+            c.delay(idle, 0);
+            c.h(0).measure(0, 0);
+            m.execute(&c, &cfg(13)).unwrap().probability(0)
+        };
+        let echoed = {
+            let mut c = Circuit::new(1);
+            c.h(0);
+            // Dense XY4: 10 repetitions so the pulse spacing stays well
+            // inside the OU correlation time.
+            let seg = idle / 40.0;
+            for _ in 0..10 {
+                for g in [Gate::X, Gate::Y, Gate::X, Gate::Y] {
+                    c.delay(seg, 0);
+                    c.gate(g, &[0]);
+                }
+            }
+            c.h(0).measure(0, 0);
+            m.execute(&c, &cfg(13)).unwrap().probability(0)
+        };
+        assert!(
+            echoed > free + 0.05,
+            "DD must beat free evolution: free {free}, echoed {echoed}"
+        );
+    }
+
+    #[test]
+    fn dd_pulses_cost_fidelity_when_noise_is_absent_target() {
+        // On a qubit idling in |0⟩ (insensitive to dephasing), DD only
+        // adds pulse errors.
+        let m = Machine::new(Device::ibmq_london(3));
+        let idle = 20_000.0;
+        let plain = {
+            let mut c = Circuit::new(1);
+            c.delay(idle, 0);
+            c.measure(0, 0);
+            m.execute(&c, &cfg(17)).unwrap().probability(0)
+        };
+        let with_pulses = {
+            let mut c = Circuit::new(1);
+            let reps = 40;
+            let seg = idle / (4.0 * reps as f64);
+            for _ in 0..reps {
+                for g in [Gate::X, Gate::Y, Gate::X, Gate::Y] {
+                    c.delay(seg, 0);
+                    c.gate(g, &[0]);
+                }
+            }
+            c.measure(0, 0);
+            m.execute(&c, &cfg(17)).unwrap().probability(0)
+        };
+        assert!(
+            plain > with_pulses,
+            "pulse errors must show: plain {plain}, pulsed {with_pulses}"
+        );
+    }
+
+    #[test]
+    fn crosstalk_from_neighbor_cnots_hurts_idle_qubit() {
+        // §3.2: an idle qubit loses fidelity when CNOTs run nearby. Find a
+        // spectator strongly coupled to a link, idle it in |+⟩ while the
+        // link fires repeatedly.
+        let dev = Device::ibmq_guadalupe(21);
+        let cal = dev.calibration().clone();
+        let topo = dev.topology().clone();
+        // Pick the (qubit, link) combination with maximal |chi|.
+        let mut best = (0u32, device::LinkId(0), 0.0f64);
+        for q in 0..16u32 {
+            for (l, chi) in cal.crosstalk_on(q) {
+                if chi.abs() > best.2.abs() {
+                    best = (q, l, chi);
+                }
+            }
+        }
+        let (victim, link, chi) = best;
+        assert!(chi.abs() > 0.1, "calibration should have a strong coupling");
+        let (a, b) = topo.link_endpoints(link);
+        let m = Machine::new(dev);
+        let run = |with_cnots: bool| -> f64 {
+            let mut c = Circuit::new(16);
+            c.h(victim);
+            // Pin the preparation before the burst (ALAP would otherwise
+            // delay it past the CNOTs, hiding the crosstalk).
+            c.barrier(&[victim, a, b]);
+            for _ in 0..12 {
+                if with_cnots {
+                    c.cx(a, b);
+                } else {
+                    c.delay(400.0, a);
+                }
+            }
+            // Wait out the same wall-clock on the victim, then unwind.
+            c.barrier(&[victim, a, b]);
+            c.h(victim);
+            c.measure(victim, 0);
+            let counts = m.execute(&c, &cfg(23)).unwrap();
+            counts.probability(0)
+        };
+        let quiet = run(false);
+        let noisy = run(true);
+        assert!(
+            quiet > noisy + 0.03,
+            "concurrent CNOTs must hurt the spectator: quiet {quiet}, noisy {noisy}"
+        );
+    }
+
+    #[test]
+    fn readout_error_shows_on_trivial_circuit() {
+        let m = Machine::new(Device::ibmq_toronto(2));
+        let mut c = Circuit::new(1);
+        c.measure(0, 0);
+        let counts = m.execute(&c, &cfg(3)).unwrap();
+        let p1 = counts.probability(1);
+        let expected = m.device().qubit(0).err_readout;
+        assert!(p1 > 0.0, "readout flips must occur");
+        assert!((p1 - expected).abs() < 0.05, "p1 {p1} vs calibrated {expected}");
+    }
+
+    #[test]
+    fn too_many_active_qubits_rejected() {
+        let dev = Device::all_to_all(27, 1);
+        let m = Machine::new(dev);
+        let mut c = Circuit::new(27);
+        for q in 0..27 {
+            c.h(q as u32);
+        }
+        c.measure_all();
+        let err = m.execute(&c, &cfg(1)).unwrap_err();
+        assert!(matches!(err, ExecError::TooManyActiveQubits { active: 27, .. }));
+    }
+
+    #[test]
+    fn inactive_qubits_do_not_count_against_limit() {
+        // 27-qubit register but only 2 active qubits.
+        let m = Machine::new(Device::ibmq_toronto(4));
+        let mut c = Circuit::new(27);
+        c.h(12).cx(12, 13).measure(12, 0).measure(13, 1);
+        let counts = m.execute(&c, &cfg(9)).unwrap();
+        assert_eq!(counts.total(), 2000);
+    }
+
+    #[test]
+    fn noise_free_executor_matches_ideal_on_transpiled_circuit() {
+        // Regression: ALAP schedules once reversed zero-duration RZ chains,
+        // which silently corrupted every transpiled execution.
+        use transpiler::{transpile, TranspileOptions};
+        let dev = Device::ibmq_toronto(2021);
+        let mut c = Circuit::new(5);
+        c.x(4).h(4);
+        for q in 0..4 {
+            c.h(q);
+        }
+        c.cx(0, 4).cx(2, 4).cx(3, 4);
+        for q in 0..4 {
+            c.h(q);
+            c.measure(q, q);
+        }
+        let t = transpile(&c, &dev, &TranspileOptions::default());
+        let m = Machine::with_toggles(dev, NoiseToggles::none());
+        let counts = m
+            .execute_timed(
+                &t.timed,
+                &ExecutionConfig {
+                    shots: 64,
+                    trajectories: 2,
+                    seed: 1,
+                    threads: 1,
+                },
+            )
+            .unwrap();
+        assert_eq!(counts.get(0b1101), 64, "{counts}");
+    }
+
+    #[test]
+    fn shots_land_exactly() {
+        let m = Machine::new(Device::ibmq_rome(2));
+        let mut c = Circuit::new(1);
+        c.h(0).measure(0, 0);
+        for shots in [1u64, 7, 100, 1001] {
+            let counts = m
+                .execute(
+                    &c,
+                    &ExecutionConfig {
+                        shots,
+                        trajectories: 8,
+                        seed: 3,
+                        threads: 1,
+                    },
+                )
+                .unwrap();
+            assert_eq!(counts.total(), shots);
+        }
+    }
+}

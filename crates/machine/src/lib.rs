@@ -1,0 +1,34 @@
+//! # machine — noisy quantum-machine emulation
+//!
+//! Binds a [`device::Device`] noise model to the dense state-vector
+//! simulator and executes timed circuits by Monte-Carlo trajectories. This
+//! crate plays the role the IBMQ backends play in the ADAPT paper: the
+//! thing programs (and decoy circuits, and DD sequences) actually run on.
+//!
+//! See [`noise`] for the idling-noise model — coherent quasi-static + OU
+//! detuning with spectator crosstalk, a Pauli-twirled T1/T2 floor,
+//! depolarizing gate errors and readout flips — and [`executor`] for the
+//! trajectory engine.
+//!
+//! # Examples
+//!
+//! ```
+//! use device::Device;
+//! use machine::{ExecutionConfig, Machine};
+//! use qcirc::Circuit;
+//!
+//! let machine = Machine::new(Device::ibmq_guadalupe(42));
+//! let mut c = Circuit::new(2);
+//! c.h(0).cx(0, 1).measure_all();
+//! let counts = machine
+//!     .execute(&c, &ExecutionConfig { shots: 256, trajectories: 8, seed: 0, threads: 1 })
+//!     .unwrap();
+//! assert_eq!(counts.total(), 256);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod noise;
+
+pub use executor::{ExecError, ExecutionConfig, Machine, NoiseToggles};

@@ -1,0 +1,170 @@
+//! Validates the Monte-Carlo trajectory executor against exact
+//! density-matrix channel evolution: the stochastic machinery must
+//! reproduce the closed-form channels in expectation.
+
+use device::Device;
+use machine::{ExecutionConfig, Machine, NoiseToggles};
+use qcirc::{Circuit, Gate};
+use statevec::DensityMatrix;
+
+fn big_budget(seed: u64) -> ExecutionConfig {
+    ExecutionConfig {
+        shots: 40_000,
+        trajectories: 4_000,
+        seed,
+        threads: 1,
+    }
+}
+
+#[test]
+fn quasi_static_dephasing_matches_gaussian_channel() {
+    // Ramsey on one qubit with ONLY the coherent static detuning enabled:
+    // the trajectory average must match the exact Gaussian-dephasing
+    // channel p(0) = (1 + e^{−σ²/2})/2 with σ = static_sigma · T.
+    let base = Device::ibmq_london(7);
+    let dev = base.with_adjusted_qubits(|q| {
+        q.ou_sigma = 1e-9; // isolate the static component
+    });
+    let sigma_rate = dev.qubit(0).static_sigma; // rad/µs
+    let idle_us = 10.0;
+    let machine = Machine::with_toggles(
+        dev,
+        NoiseToggles {
+            gate_err: false,
+            readout_err: false,
+            idle_crosstalk: false,
+            idle_floor: false,
+            idle_coherent: true,
+        },
+    );
+    let mut c = Circuit::new(1);
+    c.h(0);
+    c.delay(idle_us * 1000.0, 0);
+    c.h(0);
+    c.measure(0, 0);
+    let counts = machine.execute(&c, &big_budget(3)).expect("run");
+    let p0 = counts.probability(0);
+
+    let sigma = sigma_rate * idle_us;
+    let mut dm = DensityMatrix::new(1).expect("1 qubit");
+    dm.apply1(&Gate::H.unitary1().expect("1q"), 0).expect("H");
+    dm.gaussian_z_phase(0, sigma).expect("channel");
+    dm.apply1(&Gate::H.unitary1().expect("1q"), 0).expect("H");
+    let exact = dm.probabilities()[0];
+
+    assert!(
+        (p0 - exact).abs() < 0.02,
+        "trajectory {p0:.4} vs exact channel {exact:.4} (sigma {sigma:.3})"
+    );
+}
+
+#[test]
+fn gate_depolarizing_matches_exact_channel() {
+    // A train of X pulses with gate error p: the executor samples a random
+    // Pauli with probability p per pulse; the exact channel is
+    // depolarize1(p) after each X.
+    let base = Device::ibmq_london(7);
+    let p_err = 0.02;
+    let dev = base.with_adjusted_qubits(|q| q.err_1q = p_err);
+    let machine = Machine::with_toggles(
+        dev,
+        NoiseToggles {
+            gate_err: true,
+            readout_err: false,
+            idle_coherent: false,
+            idle_crosstalk: false,
+            idle_floor: false,
+        },
+    );
+    let pulses = 15;
+    let mut c = Circuit::new(1);
+    for _ in 0..pulses {
+        c.x(0);
+    }
+    c.measure(0, 0);
+    let counts = machine.execute(&c, &big_budget(11)).expect("run");
+    let p1 = counts.probability(1); // odd pulse count → ideally |1⟩
+
+    let mut dm = DensityMatrix::new(1).expect("1 qubit");
+    let x = Gate::X.unitary1().expect("1q");
+    for _ in 0..pulses {
+        dm.apply1(&x, 0).expect("X");
+        dm.depolarize1(0, p_err).expect("channel");
+    }
+    let exact = dm.probabilities()[1];
+
+    assert!(
+        (p1 - exact).abs() < 0.02,
+        "trajectory {p1:.4} vs exact channel {exact:.4}"
+    );
+}
+
+#[test]
+fn readout_flips_match_exact_channel() {
+    let base = Device::ibmq_london(7);
+    let p_ro = 0.08;
+    let dev = base.with_adjusted_qubits(|q| q.err_readout = p_ro);
+    let machine = Machine::with_toggles(
+        dev,
+        NoiseToggles {
+            gate_err: false,
+            readout_err: true,
+            idle_coherent: false,
+            idle_crosstalk: false,
+            idle_floor: false,
+        },
+    );
+    let mut c = Circuit::new(1);
+    c.x(0);
+    c.measure(0, 0);
+    let counts = machine.execute(&c, &big_budget(13)).expect("run");
+
+    let mut dm = DensityMatrix::new(1).expect("1 qubit");
+    dm.apply1(&Gate::X.unitary1().expect("1q"), 0).expect("X");
+    dm.readout_flip(0, p_ro).expect("channel");
+    let exact = dm.probabilities()[1];
+    assert!(
+        (counts.probability(1) - exact).abs() < 0.01,
+        "trajectory {} vs exact {exact}",
+        counts.probability(1)
+    );
+}
+
+#[test]
+fn spin_echo_cancels_gaussian_channel_completely() {
+    // With only static detuning, a single mid-window X echo restores the
+    // state exactly (up to the second H): the trajectory result must beat
+    // the no-echo Gaussian channel and approach the noise-free value.
+    let base = Device::ibmq_london(23);
+    let dev = base.with_adjusted_qubits(|q| {
+        q.ou_sigma = 1e-9;
+    });
+    let sigma_rate = dev.qubit(0).static_sigma;
+    let idle_us = 10.0;
+    let machine = Machine::with_toggles(
+        dev,
+        NoiseToggles {
+            gate_err: false,
+            readout_err: false,
+            idle_crosstalk: false,
+            idle_floor: false,
+            idle_coherent: true,
+        },
+    );
+    let mut c = Circuit::new(1);
+    c.h(0);
+    c.delay(idle_us * 500.0, 0);
+    c.x(0);
+    c.delay(idle_us * 500.0, 0);
+    c.x(0);
+    c.h(0);
+    c.measure(0, 0);
+    let counts = machine.execute(&c, &big_budget(17)).expect("run");
+    let p0 = counts.probability(0);
+    let no_echo = (1.0 + (-(sigma_rate * idle_us).powi(2) / 2.0).exp()) / 2.0;
+    assert!(
+        p0 > 0.999,
+        "perfect echo expected under purely static noise: {p0}"
+    );
+    assert!(p0 > no_echo, "echo {p0} must beat free decay {no_echo}");
+}

@@ -1,0 +1,792 @@
+//! Aaronson–Gottesman CHP stabilizer tableau simulator.
+//!
+//! Simulates Clifford circuits (CX, CZ, SWAP, H, S, S†, X, Y, Z, √X, √X†)
+//! in polynomial time and space — the engine behind ADAPT's Clifford Decoy
+//! Circuits, whose ideal outputs must be classically computable
+//! (Insight #1, §4.2 of the paper).
+//!
+//! The tableau follows Aaronson & Gottesman, *Improved simulation of
+//! stabilizer circuits* (PRA 70, 052328): `2n` rows of X/Z bit-vectors plus
+//! a sign bit; rows `0..n` are destabilizers, rows `n..2n` stabilizers.
+
+use qcirc::{Circuit, Counts, Gate, OpKind};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Bit-packed binary vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct BitVec {
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    fn zeros(n: usize) -> Self {
+        BitVec {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, v: bool) {
+        let w = &mut self.words[i / 64];
+        if v {
+            *w |= 1 << (i % 64);
+        } else {
+            *w &= !(1 << (i % 64));
+        }
+    }
+
+    #[inline]
+    fn xor_in(&mut self, other: &BitVec) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+}
+
+/// One Pauli row of the tableau: (-1)^sign · ⊗ X^x Z^z.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PauliRow {
+    x: BitVec,
+    z: BitVec,
+    sign: bool,
+}
+
+impl PauliRow {
+    fn identity(n: usize) -> Self {
+        PauliRow {
+            x: BitVec::zeros(n),
+            z: BitVec::zeros(n),
+            sign: false,
+        }
+    }
+}
+
+/// The outcome of measuring a qubit on a stabilizer state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeasureKind {
+    /// The outcome was determined by the state.
+    Deterministic(bool),
+    /// The outcome was uniformly random; the recorded bit was sampled.
+    Random(bool),
+}
+
+impl MeasureKind {
+    /// The measured bit.
+    pub fn bit(self) -> bool {
+        match self {
+            MeasureKind::Deterministic(b) | MeasureKind::Random(b) => b,
+        }
+    }
+}
+
+/// Error raised when a non-Clifford instruction reaches the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NonCliffordError {
+    /// The offending gate.
+    pub gate: Gate,
+}
+
+impl std::fmt::Display for NonCliffordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gate {} is not Clifford-simulable", self.gate)
+    }
+}
+
+impl std::error::Error for NonCliffordError {}
+
+/// A stabilizer state over `n` qubits, initially `|0…0⟩`.
+///
+/// # Examples
+///
+/// ```
+/// use stab::chp::Tableau;
+/// use rand::SeedableRng;
+///
+/// let mut t = Tableau::new(2);
+/// t.h(0);
+/// t.cx(0, 1);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let a = t.measure(0, &mut rng).bit();
+/// let b = t.measure(1, &mut rng).bit();
+/// assert_eq!(a, b); // Bell pair: perfectly correlated
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tableau {
+    n: usize,
+    /// Rows 0..n destabilizers, n..2n stabilizers.
+    rows: Vec<PauliRow>,
+}
+
+impl Tableau {
+    /// Creates the `|0…0⟩` state: stabilizers `Z_i`, destabilizers `X_i`.
+    pub fn new(n: usize) -> Self {
+        let mut rows = vec![PauliRow::identity(n); 2 * n];
+        for i in 0..n {
+            rows[i].x.set(i, true); // destabilizer X_i
+            rows[n + i].z.set(i, true); // stabilizer Z_i
+        }
+        Tableau { n, rows }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Hadamard on qubit `q`.
+    pub fn h(&mut self, q: usize) {
+        for row in &mut self.rows {
+            let (xq, zq) = (row.x.get(q), row.z.get(q));
+            row.sign ^= xq & zq;
+            row.x.set(q, zq);
+            row.z.set(q, xq);
+        }
+    }
+
+    /// Phase gate S on qubit `q`.
+    pub fn s(&mut self, q: usize) {
+        for row in &mut self.rows {
+            let (xq, zq) = (row.x.get(q), row.z.get(q));
+            row.sign ^= xq & zq;
+            row.z.set(q, xq ^ zq);
+        }
+    }
+
+    /// S† on qubit `q` (S·S·S).
+    pub fn sdg(&mut self, q: usize) {
+        self.s(q);
+        self.s(q);
+        self.s(q);
+    }
+
+    /// Pauli-Z on `q` (S²).
+    pub fn z(&mut self, q: usize) {
+        for row in &mut self.rows {
+            row.sign ^= row.x.get(q);
+        }
+    }
+
+    /// Pauli-X on `q`.
+    pub fn x(&mut self, q: usize) {
+        for row in &mut self.rows {
+            row.sign ^= row.z.get(q);
+        }
+    }
+
+    /// Pauli-Y on `q`.
+    pub fn y(&mut self, q: usize) {
+        for row in &mut self.rows {
+            row.sign ^= row.x.get(q) ^ row.z.get(q);
+        }
+    }
+
+    /// √X on `q` (H·S·H, exactly equal as matrices).
+    pub fn sx(&mut self, q: usize) {
+        self.h(q);
+        self.s(q);
+        self.h(q);
+    }
+
+    /// √X† on `q`.
+    pub fn sxdg(&mut self, q: usize) {
+        self.h(q);
+        self.sdg(q);
+        self.h(q);
+    }
+
+    /// CNOT with control `a`, target `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `a == b`.
+    pub fn cx(&mut self, a: usize, b: usize) {
+        debug_assert_ne!(a, b);
+        for row in &mut self.rows {
+            let (xa, za) = (row.x.get(a), row.z.get(a));
+            let (xb, zb) = (row.x.get(b), row.z.get(b));
+            row.sign ^= xa & zb & (xb ^ za ^ true);
+            row.x.set(b, xb ^ xa);
+            row.z.set(a, za ^ zb);
+        }
+    }
+
+    /// CZ on `a`, `b` (H on target conjugating CX).
+    pub fn cz(&mut self, a: usize, b: usize) {
+        self.h(b);
+        self.cx(a, b);
+        self.h(b);
+    }
+
+    /// SWAP via three CNOTs.
+    pub fn swap(&mut self, a: usize, b: usize) {
+        self.cx(a, b);
+        self.cx(b, a);
+        self.cx(a, b);
+    }
+
+    /// Applies a Clifford gate by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonCliffordError`] for gates outside the Clifford group
+    /// (including parameterized rotations — decoy circuits replace those
+    /// before simulation).
+    pub fn apply_gate(&mut self, gate: Gate, qubits: &[usize]) -> Result<(), NonCliffordError> {
+        match gate {
+            Gate::I => {}
+            Gate::X => self.x(qubits[0]),
+            Gate::Y => self.y(qubits[0]),
+            Gate::Z => self.z(qubits[0]),
+            Gate::H => self.h(qubits[0]),
+            Gate::S => self.s(qubits[0]),
+            Gate::Sdg => self.sdg(qubits[0]),
+            Gate::SX => self.sx(qubits[0]),
+            Gate::SXdg => self.sxdg(qubits[0]),
+            Gate::CX => self.cx(qubits[0], qubits[1]),
+            Gate::CZ => self.cz(qubits[0], qubits[1]),
+            Gate::Swap => self.swap(qubits[0], qubits[1]),
+            g => return Err(NonCliffordError { gate: g }),
+        }
+        Ok(())
+    }
+
+    /// Phase exponent contribution of multiplying Pauli terms, the `g`
+    /// function of Aaronson–Gottesman: returns the exponent of `i`
+    /// (mod 4, in {-1, 0, 1}) when `X^{x1}Z^{z1}` multiplies `X^{x2}Z^{z2}`.
+    #[inline]
+    fn g(x1: bool, z1: bool, x2: bool, z2: bool) -> i32 {
+        match (x1, z1) {
+            (false, false) => 0,
+            (true, true) => (z2 as i32) - (x2 as i32),
+            (true, false) => (z2 as i32) * (2 * (x2 as i32) - 1),
+            (false, true) => (x2 as i32) * (1 - 2 * (z2 as i32)),
+        }
+    }
+
+    /// Row multiplication: row[h] ← row[i] · row[h] with phase tracking.
+    ///
+    /// Only meaningful when the two rows commute (the product of commuting
+    /// Pauli strings is again a ±1-signed Pauli string). Stabilizer rows
+    /// always satisfy this; destabilizer signs are irrelevant to the
+    /// algorithm, so callers may rowsum them regardless.
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let n = self.n;
+        let mut scratch = self.rows[h].clone();
+        Self::row_mul_into(&mut scratch, &self.rows[i], n);
+        self.rows[h] = scratch;
+    }
+
+    /// `scratch ← other · scratch` with Aaronson–Gottesman phase tracking.
+    fn row_mul_into(scratch: &mut PauliRow, other: &PauliRow, n: usize) {
+        let mut phase = 2 * (scratch.sign as i32) + 2 * (other.sign as i32);
+        for q in 0..n {
+            phase += Self::g(
+                other.x.get(q),
+                other.z.get(q),
+                scratch.x.get(q),
+                scratch.z.get(q),
+            );
+        }
+        scratch.x.xor_in(&other.x);
+        scratch.z.xor_in(&other.z);
+        scratch.sign = phase.rem_euclid(4) == 2;
+    }
+
+    /// Measures qubit `q` in the computational basis, collapsing the state.
+    pub fn measure<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> MeasureKind {
+        self.measure_with(q, || rng.gen::<bool>())
+    }
+
+    /// Measures qubit `q`, forcing random outcomes to `forced` — used to
+    /// enumerate branches when computing exact distributions.
+    pub fn measure_forced(&mut self, q: usize, forced: bool) -> MeasureKind {
+        self.measure_with(q, || forced)
+    }
+
+    fn measure_with<F: FnOnce() -> bool>(&mut self, q: usize, sample: F) -> MeasureKind {
+        let n = self.n;
+        // Find a stabilizer row with X on q (outcome random) if any.
+        let p = (n..2 * n).find(|&r| self.rows[r].x.get(q));
+        if let Some(p) = p {
+            let outcome = sample();
+            // All other rows with X_q get multiplied by row p. Row p−n is
+            // skipped: it is overwritten with row p below, and its product
+            // with row p would carry an imaginary phase (they anticommute).
+            for r in 0..2 * n {
+                if r != p && r != p - n && self.rows[r].x.get(q) {
+                    self.rowsum(r, p);
+                }
+            }
+            // Destabilizer p-n becomes old stabilizer p; stabilizer p
+            // becomes ±Z_q.
+            self.rows[p - n] = self.rows[p].clone();
+            let row = &mut self.rows[p];
+            row.x = BitVec::zeros(n);
+            row.z = BitVec::zeros(n);
+            row.z.set(q, true);
+            row.sign = outcome;
+            MeasureKind::Random(outcome)
+        } else {
+            // Deterministic: the outcome sign is carried by the product of
+            // the stabilizers whose destabilizer partner has X on q
+            // (Aaronson–Gottesman's scratch row 2n).
+            let mut scratch = PauliRow::identity(n);
+            for i in 0..n {
+                if self.rows[i].x.get(q) {
+                    Self::row_mul_into(&mut scratch, &self.rows[n + i], n);
+                }
+            }
+            MeasureKind::Deterministic(scratch.sign)
+        }
+    }
+
+    /// The deterministic value of qubit `q` if its measurement outcome is
+    /// fixed by the state, otherwise `None`. Does not modify the state.
+    pub fn peek_deterministic(&self, q: usize) -> Option<bool> {
+        let n = self.n;
+        if (n..2 * n).any(|r| self.rows[r].x.get(q)) {
+            return None;
+        }
+        let mut clone = self.clone();
+        match clone.measure_forced(q, false) {
+            MeasureKind::Deterministic(b) => Some(b),
+            MeasureKind::Random(_) => unreachable!("checked no X on q"),
+        }
+    }
+
+    /// Runs all Clifford instructions of a circuit, recording measurements
+    /// into a classical-bit accumulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonCliffordError`] on the first non-Clifford gate.
+    pub fn run_circuit<R: Rng + ?Sized>(
+        &mut self,
+        circuit: &Circuit,
+        clbits: &mut u64,
+        rng: &mut R,
+    ) -> Result<(), NonCliffordError> {
+        for instr in circuit.iter() {
+            match &instr.kind {
+                OpKind::Gate(g) => {
+                    let qs: Vec<usize> = instr.qubits.iter().map(|q| q.index()).collect();
+                    self.apply_gate(*g, &qs)?;
+                }
+                OpKind::Measure(c) => {
+                    let bit = self.measure(instr.qubits[0].index(), rng).bit();
+                    if bit {
+                        *clbits |= 1 << c.index();
+                    } else {
+                        *clbits &= !(1 << c.index());
+                    }
+                }
+                OpKind::Reset => {
+                    let q = instr.qubits[0].index();
+                    if self.measure(q, rng).bit() {
+                        self.x(q);
+                    }
+                }
+                OpKind::Delay(_) | OpKind::Barrier => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// True when the circuit contains only Clifford gates (and
+    /// measure/reset/delay/barrier).
+    pub fn is_simulable(circuit: &Circuit) -> bool {
+        circuit.iter().all(|i| match &i.kind {
+            OpKind::Gate(g) => g.is_clifford(),
+            _ => true,
+        })
+    }
+}
+
+/// Samples `shots` outcomes of a Clifford circuit.
+///
+/// Each shot replays the circuit on a fresh tableau (mid-circuit
+/// measurement and reset therefore behave correctly).
+///
+/// # Errors
+///
+/// Returns [`NonCliffordError`] when the circuit contains a non-Clifford
+/// gate.
+pub fn sample_counts<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    shots: u64,
+    rng: &mut R,
+) -> Result<Counts, NonCliffordError> {
+    let mut counts = Counts::new(circuit.num_clbits());
+    for _ in 0..shots {
+        let mut t = Tableau::new(circuit.num_qubits());
+        let mut clbits = 0u64;
+        t.run_circuit(circuit, &mut clbits, rng)?;
+        counts.record(clbits);
+    }
+    Ok(counts)
+}
+
+/// Computes the **exact** output distribution of a measurement-terminated
+/// Clifford circuit by branching on every random measurement.
+///
+/// The output of a Clifford circuit is uniform over an affine subspace, so
+/// the number of branches is `2^r` with `r` ≤ number of measured qubits.
+///
+/// # Errors
+///
+/// Returns [`NonCliffordError`] when the circuit contains a non-Clifford
+/// gate.
+///
+/// # Panics
+///
+/// Panics when more than 24 random measurements would need branching
+/// (2^24 branches) — decoy circuits in this stack measure ≤ ~16 qubits.
+pub fn exact_distribution(circuit: &Circuit) -> Result<BTreeMap<u64, f64>, NonCliffordError> {
+    // Split the circuit into its unitary prefix and its measurements.
+    let mut t = Tableau::new(circuit.num_qubits());
+    let mut measures: Vec<(usize, usize)> = Vec::new(); // (qubit, clbit)
+    for instr in circuit.iter() {
+        match &instr.kind {
+            OpKind::Gate(g) => {
+                let qs: Vec<usize> = instr.qubits.iter().map(|q| q.index()).collect();
+                t.apply_gate(*g, &qs)?;
+            }
+            OpKind::Measure(c) => measures.push((instr.qubits[0].index(), c.index())),
+            OpKind::Reset => {
+                // Reset before any measurement is fine to apply eagerly with
+                // a forced outcome branch — but a reset collapses state
+                // randomly. Treat reset-on-random as both branches giving
+                // the same post-state (|0⟩), so forcing false is exact.
+                let q = instr.qubits[0].index();
+                if t.measure_forced(q, false).bit() {
+                    t.x(q);
+                }
+            }
+            OpKind::Delay(_) | OpKind::Barrier => {}
+        }
+    }
+    let mut dist = BTreeMap::new();
+    let mut stack: Vec<(Tableau, usize, u64, f64)> = vec![(t, 0, 0u64, 1.0)];
+    let mut branches = 0usize;
+    while let Some((mut state, idx, clbits, prob)) = stack.pop() {
+        if idx == measures.len() {
+            *dist.entry(clbits).or_insert(0.0) += prob;
+            continue;
+        }
+        let (q, c) = measures[idx];
+        match state.peek_deterministic(q) {
+            Some(bit) => {
+                let _ = state.measure_forced(q, bit);
+                let new_bits = if bit { clbits | 1 << c } else { clbits };
+                stack.push((state, idx + 1, new_bits, prob));
+            }
+            None => {
+                branches += 1;
+                assert!(
+                    branches < (1 << 24),
+                    "exact_distribution: too many random-measurement branches"
+                );
+                let mut zero = state.clone();
+                let _ = zero.measure_forced(q, false);
+                stack.push((zero, idx + 1, clbits, prob / 2.0));
+                let _ = state.measure_forced(q, true);
+                stack.push((state, idx + 1, clbits | 1 << c, prob / 2.0));
+            }
+        }
+    }
+    Ok(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcirc::Circuit;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC4F)
+    }
+
+    #[test]
+    fn zero_state_measures_zero() {
+        let mut t = Tableau::new(4);
+        let mut r = rng();
+        for q in 0..4 {
+            let m = t.measure(q, &mut r);
+            assert_eq!(m, MeasureKind::Deterministic(false));
+        }
+    }
+
+    #[test]
+    fn x_flips_measurement() {
+        let mut t = Tableau::new(2);
+        t.x(1);
+        let mut r = rng();
+        assert_eq!(t.measure(0, &mut r).bit(), false);
+        assert_eq!(t.measure(1, &mut r).bit(), true);
+    }
+
+    #[test]
+    fn hadamard_measurement_random_then_sticky() {
+        let mut r = rng();
+        let mut saw = [false; 2];
+        for _ in 0..50 {
+            let mut t = Tableau::new(1);
+            t.h(0);
+            let m1 = t.measure(0, &mut r);
+            assert!(matches!(m1, MeasureKind::Random(_)));
+            let m2 = t.measure(0, &mut r);
+            assert!(matches!(m2, MeasureKind::Deterministic(_)));
+            assert_eq!(m1.bit(), m2.bit());
+            saw[m1.bit() as usize] = true;
+        }
+        assert!(saw[0] && saw[1], "both outcomes should occur");
+    }
+
+    #[test]
+    fn bell_pair_correlations() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let mut t = Tableau::new(2);
+            t.h(0);
+            t.cx(0, 1);
+            let a = t.measure(0, &mut r).bit();
+            let b = t.measure(1, &mut r).bit();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn ghz_all_equal() {
+        let mut r = rng();
+        for _ in 0..30 {
+            let mut t = Tableau::new(5);
+            t.h(0);
+            for q in 0..4 {
+                t.cx(q, q + 1);
+            }
+            let bits: Vec<bool> = (0..5).map(|q| t.measure(q, &mut r).bit()).collect();
+            assert!(bits.iter().all(|&b| b == bits[0]));
+        }
+    }
+
+    #[test]
+    fn z_phase_visible_through_h_basis() {
+        // H Z H = X: |0⟩ → |1⟩.
+        let mut t = Tableau::new(1);
+        t.h(0);
+        t.z(0);
+        t.h(0);
+        let mut r = rng();
+        assert_eq!(t.measure(0, &mut r), MeasureKind::Deterministic(true));
+    }
+
+    #[test]
+    fn s_gates_compose_to_z() {
+        let mut t = Tableau::new(1);
+        t.h(0);
+        t.s(0);
+        t.s(0);
+        t.h(0);
+        let mut r = rng();
+        assert_eq!(t.measure(0, &mut r), MeasureKind::Deterministic(true));
+    }
+
+    #[test]
+    fn sdg_inverts_s() {
+        let mut t = Tableau::new(1);
+        t.h(0);
+        t.s(0);
+        t.sdg(0);
+        t.h(0);
+        let mut r = rng();
+        assert_eq!(t.measure(0, &mut r), MeasureKind::Deterministic(false));
+    }
+
+    #[test]
+    fn sx_squared_is_x() {
+        let mut t = Tableau::new(1);
+        t.sx(0);
+        t.sx(0);
+        let mut r = rng();
+        assert_eq!(t.measure(0, &mut r), MeasureKind::Deterministic(true));
+    }
+
+    #[test]
+    fn y_is_xz_up_to_phase() {
+        // Y|0⟩ = i|1⟩ → measures 1 deterministically.
+        let mut t = Tableau::new(1);
+        t.y(0);
+        let mut r = rng();
+        assert_eq!(t.measure(0, &mut r), MeasureKind::Deterministic(true));
+    }
+
+    #[test]
+    fn swap_moves_excitation() {
+        let mut t = Tableau::new(3);
+        t.x(0);
+        t.swap(0, 2);
+        let mut r = rng();
+        assert_eq!(t.measure(0, &mut r).bit(), false);
+        assert_eq!(t.measure(2, &mut r).bit(), true);
+    }
+
+    #[test]
+    fn cz_creates_phase_kickback() {
+        // H(0) H(1) CZ H(1): CZ in |+⟩|+⟩ then H maps to CX behaviour.
+        let mut t = Tableau::new(2);
+        t.x(0);
+        t.h(1);
+        t.cz(0, 1);
+        t.h(1);
+        // q0=1 so CZ→(after H conj)=CX flips q1.
+        let mut r = rng();
+        assert_eq!(t.measure(1, &mut r), MeasureKind::Deterministic(true));
+    }
+
+    #[test]
+    fn non_clifford_rejected() {
+        let mut t = Tableau::new(1);
+        let err = t.apply_gate(Gate::T, &[0]).unwrap_err();
+        assert_eq!(err.gate, Gate::T);
+        let mut c = Circuit::new(1);
+        c.t(0);
+        assert!(!Tableau::is_simulable(&c));
+        c = Circuit::new(1);
+        c.h(0).s(0);
+        assert!(Tableau::is_simulable(&c));
+    }
+
+    #[test]
+    fn exact_distribution_bell() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        let d = exact_distribution(&c).unwrap();
+        assert_eq!(d.len(), 2);
+        assert!((d[&0b00] - 0.5).abs() < 1e-12);
+        assert!((d[&0b11] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_distribution_deterministic_circuit() {
+        let mut c = Circuit::new(3);
+        c.x(0).x(2).measure_all();
+        let d = exact_distribution(&c).unwrap();
+        assert_eq!(d.len(), 1);
+        assert!((d[&0b101] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_distribution_uniform_over_subspace() {
+        // H on both qubits: uniform over 4 outcomes.
+        let mut c = Circuit::new(2);
+        c.h(0).h(1).measure_all();
+        let d = exact_distribution(&c).unwrap();
+        assert_eq!(d.len(), 4);
+        for p in d.values() {
+            assert!((p - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sample_counts_matches_exact() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).measure_all();
+        let exact = exact_distribution(&c).unwrap();
+        let counts = sample_counts(&c, 4000, &mut rng()).unwrap();
+        for (&outcome, &p) in &exact {
+            let emp = counts.probability(outcome);
+            assert!((emp - p).abs() < 0.05, "outcome {outcome}: {emp} vs {p}");
+        }
+    }
+
+    #[test]
+    fn matches_statevector_on_random_clifford_circuits() {
+        use rand::seq::SliceRandom;
+        let gates1 = [Gate::H, Gate::S, Gate::Sdg, Gate::X, Gate::Y, Gate::Z, Gate::SX];
+        let mut r = rng();
+        for trial in 0..25 {
+            let n = 3 + trial % 3;
+            let mut c = Circuit::new(n);
+            for _ in 0..20 {
+                if r.gen::<f64>() < 0.4 && n >= 2 {
+                    let a = r.gen_range(0..n as u32);
+                    let mut b = r.gen_range(0..n as u32);
+                    while b == a {
+                        b = r.gen_range(0..n as u32);
+                    }
+                    if r.gen::<bool>() {
+                        c.cx(a, b);
+                    } else {
+                        c.cz(a, b);
+                    }
+                } else {
+                    let g = *gates1.choose(&mut r).unwrap();
+                    c.gate(g, &[r.gen_range(0..n as u32)]);
+                }
+            }
+            c.measure_all();
+            let exact = exact_distribution(&c).unwrap();
+            let sv = statevec_reference(&c);
+            assert_eq!(exact.len(), sv.len(), "support mismatch on trial {trial}");
+            for (k, p) in &exact {
+                let q = sv.get(k).copied().unwrap_or(0.0);
+                assert!((p - q).abs() < 1e-9, "trial {trial} outcome {k}: {p} vs {q}");
+            }
+        }
+    }
+
+    fn statevec_reference(c: &Circuit) -> BTreeMap<u64, f64> {
+        statevec::ideal_distribution(c).unwrap()
+    }
+
+    #[test]
+    fn reset_in_run_circuit() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.push(qcirc::Instruction {
+            kind: OpKind::Reset,
+            qubits: vec![qcirc::Qubit::new(0)],
+        });
+        c.measure(0, 0);
+        let counts = sample_counts(&c, 200, &mut rng()).unwrap();
+        assert_eq!(counts.get(0), 200);
+    }
+
+    #[test]
+    fn peek_deterministic_does_not_mutate() {
+        let mut t = Tableau::new(2);
+        t.h(0);
+        t.cx(0, 1);
+        let before = t.clone();
+        assert_eq!(t.peek_deterministic(0), None);
+        assert_eq!(t, before);
+        let mut t2 = Tableau::new(1);
+        t2.x(0);
+        assert_eq!(t2.peek_deterministic(0), Some(true));
+    }
+
+    #[test]
+    fn large_register_smoke() {
+        // 100-qubit GHZ: the scalability CDCs rely on.
+        let n = 100;
+        let mut t = Tableau::new(n);
+        t.h(0);
+        for q in 0..n - 1 {
+            t.cx(q, q + 1);
+        }
+        let mut r = rng();
+        let first = t.measure(0, &mut r).bit();
+        for q in 1..n {
+            assert_eq!(t.measure(q, &mut r).bit(), first);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # stab — stabilizer-circuit simulators
+//!
+//! Classical simulation of Clifford(-dominated) circuits, the engine behind
+//! ADAPT's decoy circuits:
+//!
+//! - [`chp`]: the Aaronson–Gottesman CHP tableau simulator for pure Clifford
+//!   circuits (Clifford Decoy Circuits), with exact output distributions and
+//!   shot sampling;
+//! - [`heisenberg`]: an extended stabilizer simulator handling a bounded
+//!   number of non-Clifford *diagonal* gates (the Seeded Decoy Circuits'
+//!   RZ seeds) by backward Pauli propagation with 2^seeds branching — the
+//!   same stabilizer-rank bound as the low-rank decompositions of Bravyi
+//!   et al. (Quantum 3, 181), evaluated in the Heisenberg picture.
+//!
+//! # Examples
+//!
+//! ```
+//! use qcirc::Circuit;
+//!
+//! let mut c = Circuit::new(2);
+//! c.h(0).cx(0, 1).measure_all();
+//! let dist = stab::chp::exact_distribution(&c).unwrap();
+//! assert_eq!(dist.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chp;
+pub mod heisenberg;
+
+pub use chp::{exact_distribution, sample_counts, Tableau};

@@ -1,0 +1,136 @@
+//! Property tests: the CHP tableau and the Heisenberg propagator agree
+//! with the dense simulator on arbitrary generated circuits.
+
+use proptest::prelude::*;
+use qcirc::{Circuit, Gate};
+use stab::heisenberg::{expectation, Pauli};
+
+#[derive(Debug, Clone, Copy)]
+enum CliffOp {
+    One(u8, u8),
+    Two(u8, u8, u8),
+}
+
+fn arb_cliff(n: u8) -> impl Strategy<Value = CliffOp> {
+    let one = (0u8..9, 0..n).prop_map(|(g, q)| CliffOp::One(g, q));
+    let two = (0u8..2, 0..n, 1..n).prop_map(move |(g, a, d)| CliffOp::Two(g, a, (a + d) % n));
+    prop_oneof![2 => one, 1 => two]
+}
+
+fn build(n: u8, ops: &[CliffOp], seeds: &[(u8, f64)]) -> Circuit {
+    let mut c = Circuit::new(n as usize);
+    let one_gates = [
+        Gate::H,
+        Gate::S,
+        Gate::Sdg,
+        Gate::X,
+        Gate::Y,
+        Gate::Z,
+        Gate::SX,
+        Gate::SXdg,
+        Gate::I,
+    ];
+    let mid = ops.len() / 2;
+    for (i, op) in ops.iter().enumerate() {
+        if i == mid {
+            for &(q, t) in seeds {
+                c.rz(t, (q % n) as u32);
+            }
+        }
+        match *op {
+            CliffOp::One(g, q) => {
+                c.gate(one_gates[g as usize], &[q as u32]);
+            }
+            CliffOp::Two(g, a, b) => {
+                if g == 0 {
+                    c.cx(a as u32, b as u32);
+                } else {
+                    c.cz(a as u32, b as u32);
+                }
+            }
+        }
+    }
+    c
+}
+
+fn dense_parity(c: &Circuit, qubits: &[u32]) -> f64 {
+    let sv = statevec::run_ideal(c).expect("small");
+    sv.probabilities()
+        .iter()
+        .enumerate()
+        .map(|(idx, p)| {
+            let parity = qubits.iter().map(|&q| (idx >> q & 1) as u32).sum::<u32>() & 1;
+            if parity == 1 {
+                -p
+            } else {
+                *p
+            }
+        })
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn chp_exact_distribution_matches_dense(
+        ops in proptest::collection::vec(arb_cliff(4), 1..40)
+    ) {
+        let mut c = build(4, &ops, &[]);
+        c.measure_all();
+        let chp = stab::exact_distribution(&c).expect("Clifford");
+        let dense = statevec::ideal_distribution(&c).expect("small");
+        prop_assert_eq!(chp.len(), dense.len());
+        for (k, v) in &dense {
+            let w = chp.get(k).copied().unwrap_or(0.0);
+            prop_assert!((v - w).abs() < 1e-9, "outcome {}: {} vs {}", k, v, w);
+        }
+    }
+
+    #[test]
+    fn heisenberg_expectations_match_dense_with_seeds(
+        ops in proptest::collection::vec(arb_cliff(4), 2..35),
+        s1 in (0u8..4, 0.05..1.5f64),
+        s2 in (0u8..4, 0.05..1.5f64),
+        mask in 1u8..16,
+    ) {
+        let c = build(4, &ops, &[s1, s2]);
+        let qs: Vec<u32> = (0..4u32).filter(|q| mask >> q & 1 == 1).collect();
+        let e = expectation(&c, Pauli::z_on(4, &qs)).expect("supported gates");
+        let d = dense_parity(&c, &qs);
+        prop_assert!((e - d).abs() < 1e-8, "Z_{:?}: {} vs {}", qs, e, d);
+    }
+
+    #[test]
+    fn heisenberg_distribution_is_a_distribution(
+        ops in proptest::collection::vec(arb_cliff(3), 2..30),
+        s1 in (0u8..3, 0.05..1.5f64),
+    ) {
+        let mut c = build(3, &ops, &[s1]);
+        c.measure_all();
+        let d = stab::heisenberg::output_distribution(&c).expect("supported");
+        let total: f64 = d.values().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let dense = statevec::ideal_distribution(&c).expect("small");
+        for (k, v) in &dense {
+            let w = d.get(k).copied().unwrap_or(0.0);
+            prop_assert!((v - w).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn tableau_measurement_marginals_match_dense(
+        ops in proptest::collection::vec(arb_cliff(3), 1..25),
+        q in 0u32..3,
+    ) {
+        // The probability that qubit q reads 1 on the tableau (averaged
+        // over its exact branch structure) equals the dense marginal.
+        let mut c = build(3, &ops, &[]);
+        c.measure(q, 0);
+        let chp = stab::exact_distribution(&c).expect("Clifford");
+        let p1_chp = chp.get(&1).copied().unwrap_or(0.0);
+        let sv = statevec::run_ideal(&c).expect("small");
+        let p1_dense = sv.prob_one(q as usize).expect("in range");
+        prop_assert!((p1_chp - p1_dense).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,257 @@
+//! Lowering to the IBMQ physical basis {RZ, SX, X, CX}.
+//!
+//! IBM hardware executes RZ virtually (zero duration, software frame
+//! change — McKay et al.) and implements every other single-qubit gate as
+//! RZ/SX/X pulse sequences. Keeping the decomposition explicit lets the
+//! scheduler assign physically accurate durations, which is what creates
+//! the idle-time structure ADAPT exploits.
+
+use qcirc::{Circuit, Gate, Instruction, OpKind, Qubit};
+use std::f64::consts::{FRAC_PI_2, PI};
+
+/// True when the gate is already in the physical basis.
+pub fn is_basis_gate(gate: Gate) -> bool {
+    matches!(gate, Gate::RZ(_) | Gate::SX | Gate::X | Gate::CX | Gate::I)
+}
+
+/// Decomposes one single-qubit gate into basis gates, in application order.
+///
+/// Uses the standard identity `U(θ, φ, λ) = RZ(φ+π) · SX · RZ(θ+π) · SX ·
+/// RZ(λ)` (up to global phase) for generic rotations, with shorter special
+/// cases for named gates.
+pub fn decompose_1q(gate: Gate) -> Vec<Gate> {
+    match gate {
+        Gate::I | Gate::X | Gate::SX => vec![gate],
+        Gate::Z => vec![Gate::RZ(PI)],
+        Gate::S => vec![Gate::RZ(FRAC_PI_2)],
+        Gate::Sdg => vec![Gate::RZ(-FRAC_PI_2)],
+        Gate::T => vec![Gate::RZ(PI / 4.0)],
+        Gate::Tdg => vec![Gate::RZ(-PI / 4.0)],
+        Gate::P(t) | Gate::RZ(t) => vec![Gate::RZ(t)],
+        // Y = X·RZ(π) up to global phase (apply RZ first).
+        Gate::Y => vec![Gate::RZ(PI), Gate::X],
+        // √X† = X·SX up to global phase (apply SX first).
+        Gate::SXdg => vec![Gate::SX, Gate::X],
+        // H = SX conjugated by RZ(π/2) up to global phase.
+        Gate::H => vec![Gate::RZ(FRAC_PI_2), Gate::SX, Gate::RZ(FRAC_PI_2)],
+        Gate::RX(t) => decompose_u(t, -FRAC_PI_2, FRAC_PI_2),
+        Gate::RY(t) => decompose_u(t, 0.0, 0.0),
+        Gate::U(t, p, l) => decompose_u(t, p, l),
+        Gate::CX | Gate::CZ | Gate::Swap => {
+            unreachable!("decompose_1q called with a two-qubit gate")
+        }
+    }
+}
+
+/// `U(θ, φ, λ)` as RZ/SX pulses, in application order.
+fn decompose_u(theta: f64, phi: f64, lambda: f64) -> Vec<Gate> {
+    const TOL: f64 = 1e-12;
+    let theta = normalize_angle(theta);
+    if theta.abs() < TOL {
+        // Pure phase.
+        return compact_rz(phi + lambda);
+    }
+    if (theta - FRAC_PI_2).abs() < TOL {
+        // One-pulse form: U(π/2, φ, λ) = RZ(φ+π/2)·SX·RZ(λ−π/2) (global
+        // phase ignored).
+        let mut out = compact_rz(lambda - FRAC_PI_2);
+        out.push(Gate::SX);
+        out.extend(compact_rz(phi + FRAC_PI_2));
+        return out;
+    }
+    // Two-pulse generic form.
+    let mut out = compact_rz(lambda);
+    out.push(Gate::SX);
+    out.extend(compact_rz(theta + PI));
+    out.push(Gate::SX);
+    out.extend(compact_rz(phi + PI));
+    out
+}
+
+fn compact_rz(t: f64) -> Vec<Gate> {
+    let t = normalize_angle(t);
+    if t.abs() < 1e-12 {
+        vec![]
+    } else {
+        vec![Gate::RZ(t)]
+    }
+}
+
+/// Maps an angle into `(-π, π]`.
+pub fn normalize_angle(t: f64) -> f64 {
+    let two_pi = 2.0 * PI;
+    let mut r = t % two_pi;
+    if r > PI {
+        r -= two_pi;
+    } else if r <= -PI {
+        r += two_pi;
+    }
+    r
+}
+
+/// Decomposes a two-qubit gate into basis gates over its two operands.
+/// Returned instructions reference operand slots 0 and 1.
+fn decompose_2q(gate: Gate) -> Vec<(Gate, Vec<usize>)> {
+    match gate {
+        Gate::CX => vec![(Gate::CX, vec![0, 1])],
+        Gate::CZ => {
+            // CZ = (I⊗H)·CX·(I⊗H) with H on the target.
+            let mut out: Vec<(Gate, Vec<usize>)> = decompose_1q(Gate::H)
+                .into_iter()
+                .map(|g| (g, vec![1]))
+                .collect();
+            out.push((Gate::CX, vec![0, 1]));
+            out.extend(decompose_1q(Gate::H).into_iter().map(|g| (g, vec![1])));
+            out
+        }
+        Gate::Swap => vec![
+            (Gate::CX, vec![0, 1]),
+            (Gate::CX, vec![1, 0]),
+            (Gate::CX, vec![0, 1]),
+        ],
+        _ => unreachable!("decompose_2q called with a single-qubit gate"),
+    }
+}
+
+/// Lowers every gate of `circuit` into the physical basis. Measurements,
+/// resets, delays and barriers pass through unchanged.
+pub fn decompose_circuit(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::with_clbits(circuit.num_qubits(), circuit.num_clbits());
+    for instr in circuit.iter() {
+        match &instr.kind {
+            OpKind::Gate(g) if g.arity() == 1 => {
+                for gate in decompose_1q(*g) {
+                    out.push(Instruction::gate(gate, instr.qubits.clone()));
+                }
+            }
+            OpKind::Gate(g) => {
+                for (gate, slots) in decompose_2q(*g) {
+                    let qs: Vec<Qubit> = slots.iter().map(|&s| instr.qubits[s]).collect();
+                    out.push(Instruction::gate(gate, qs));
+                }
+            }
+            _ => {
+                out.push(instr.clone());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcirc::math::Mat2;
+
+    fn word_unitary(word: &[Gate]) -> Mat2 {
+        let mut u = Mat2::identity();
+        for g in word {
+            u = g.unitary1().unwrap() * u;
+        }
+        u
+    }
+
+    #[test]
+    fn every_1q_gate_decomposition_is_exact_up_to_phase() {
+        let gates = [
+            Gate::I,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::SX,
+            Gate::SXdg,
+            Gate::RX(0.37),
+            Gate::RX(std::f64::consts::FRAC_PI_2),
+            Gate::RY(1.21),
+            Gate::RY(-2.5),
+            Gate::RZ(-0.7),
+            Gate::P(2.3),
+            Gate::U(0.5, 1.2, -0.4),
+            Gate::U(std::f64::consts::FRAC_PI_2, 0.1, 0.2),
+            Gate::U(0.0, 0.4, 0.6),
+        ];
+        for g in gates {
+            let word = decompose_1q(g);
+            assert!(
+                word.iter().all(|w| is_basis_gate(*w)),
+                "{g:?} produced non-basis gates {word:?}"
+            );
+            let u = word_unitary(&word);
+            let target = g.unitary1().unwrap();
+            assert!(
+                u.phase_dist(&target) < 1e-9,
+                "{g:?}: decomposition mismatch (dist {})",
+                u.phase_dist(&target)
+            );
+        }
+    }
+
+    #[test]
+    fn pulse_counts_are_tight() {
+        // RZ-family gates cost zero pulses; H costs one SX; generic
+        // rotations at most two SX.
+        assert!(decompose_1q(Gate::T).iter().all(|g| matches!(g, Gate::RZ(_))));
+        let h = decompose_1q(Gate::H);
+        assert_eq!(h.iter().filter(|g| matches!(g, Gate::SX)).count(), 1);
+        let ry = decompose_1q(Gate::RY(0.9));
+        assert!(ry.iter().filter(|g| matches!(g, Gate::SX)).count() <= 2);
+    }
+
+    #[test]
+    fn angle_normalization() {
+        assert!((normalize_angle(3.0 * PI) - PI).abs() < 1e-12);
+        assert!((normalize_angle(-3.0 * PI) - PI).abs() < 1e-12);
+        assert!((normalize_angle(0.5) - 0.5).abs() < 1e-12);
+        assert!(normalize_angle(2.0 * PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circuit_decomposition_preserves_semantics() {
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .t(1)
+            .cz(0, 1)
+            .swap(1, 2)
+            .ry(0.7, 2)
+            .cx(2, 0)
+            .measure_all();
+        let d = decompose_circuit(&c);
+        for instr in d.iter() {
+            if let OpKind::Gate(g) = instr.kind {
+                assert!(is_basis_gate(g), "{g:?} survived decomposition");
+            }
+        }
+        let p0 = statevec::ideal_distribution(&c).unwrap();
+        let p1 = statevec::ideal_distribution(&d).unwrap();
+        for (k, v) in &p0 {
+            let w = p1.get(k).copied().unwrap_or(0.0);
+            assert!((v - w).abs() < 1e-9, "outcome {k}: {v} vs {w}");
+        }
+        assert_eq!(p0.len(), p1.len());
+    }
+
+    #[test]
+    fn swap_becomes_three_cnots() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        let d = decompose_circuit(&c);
+        assert_eq!(d.len(), 3);
+        assert!(d.iter().all(|i| i.as_gate() == Some(Gate::CX)));
+    }
+
+    #[test]
+    fn measurements_and_barriers_pass_through() {
+        let mut c = Circuit::new(2);
+        c.h(0).barrier_all().measure(0, 0).delay(100.0, 1);
+        let d = decompose_circuit(&c);
+        let ops = d.count_ops();
+        assert_eq!(ops["barrier"], 1);
+        assert_eq!(ops["measure"], 1);
+        assert_eq!(ops["delay"], 1);
+    }
+}

@@ -1,0 +1,319 @@
+//! Initial placement of program qubits onto physical qubits.
+//!
+//! Mirrors Qiskit's "noise adaptive" layout (Murali et al.): heavily
+//! interacting program qubits are placed on low-error, well-connected
+//! physical regions. The paper compiles every benchmark with this strategy
+//! (§5.1); ADAPT itself runs after layout/routing and is orthogonal to it.
+
+use device::Device;
+use qcirc::{Circuit, OpKind};
+
+/// A program-to-physical qubit assignment.
+///
+/// # Examples
+///
+/// ```
+/// use transpiler::Layout;
+/// let l = Layout::trivial(3);
+/// assert_eq!(l.phys_of(2), 2);
+/// assert_eq!(l.prog_of(2), Some(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    prog_to_phys: Vec<u32>,
+    phys_to_prog: Vec<Option<u32>>,
+}
+
+impl Layout {
+    /// Builds a layout from an explicit assignment vector indexed by
+    /// program qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the assignment repeats a physical qubit or exceeds
+    /// `num_phys`.
+    pub fn from_assignment(prog_to_phys: Vec<u32>, num_phys: usize) -> Self {
+        let mut phys_to_prog = vec![None; num_phys];
+        for (p, &phys) in prog_to_phys.iter().enumerate() {
+            assert!(
+                (phys as usize) < num_phys,
+                "physical qubit {phys} out of range"
+            );
+            assert!(
+                phys_to_prog[phys as usize].is_none(),
+                "physical qubit {phys} assigned twice"
+            );
+            phys_to_prog[phys as usize] = Some(p as u32);
+        }
+        Layout {
+            prog_to_phys,
+            phys_to_prog,
+        }
+    }
+
+    /// Identity layout over `n` qubits.
+    pub fn trivial(n: usize) -> Self {
+        Layout::from_assignment((0..n as u32).collect(), n)
+    }
+
+    /// Number of program qubits.
+    pub fn num_prog(&self) -> usize {
+        self.prog_to_phys.len()
+    }
+
+    /// Physical qubit hosting program qubit `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is out of range.
+    pub fn phys_of(&self, p: u32) -> u32 {
+        self.prog_to_phys[p as usize]
+    }
+
+    /// Program qubit hosted on physical qubit `q`, if any.
+    pub fn prog_of(&self, q: u32) -> Option<u32> {
+        self.phys_to_prog.get(q as usize).copied().flatten()
+    }
+
+    /// The assignment vector, indexed by program qubit.
+    pub fn assignment(&self) -> &[u32] {
+        &self.prog_to_phys
+    }
+
+    /// Swaps the program qubits held by two physical qubits (routing step).
+    pub fn swap_phys(&mut self, a: u32, b: u32) {
+        let pa = self.phys_to_prog[a as usize];
+        let pb = self.phys_to_prog[b as usize];
+        self.phys_to_prog[a as usize] = pb;
+        self.phys_to_prog[b as usize] = pa;
+        if let Some(p) = pa {
+            self.prog_to_phys[p as usize] = b;
+        }
+        if let Some(p) = pb {
+            self.prog_to_phys[p as usize] = a;
+        }
+    }
+}
+
+/// Interaction weight matrix: number of two-qubit gates between each
+/// program qubit pair.
+fn interaction_graph(circuit: &Circuit) -> Vec<Vec<u32>> {
+    let n = circuit.num_qubits();
+    let mut w = vec![vec![0u32; n]; n];
+    for instr in circuit.iter() {
+        if let OpKind::Gate(g) = instr.kind {
+            if g.arity() == 2 {
+                let a = instr.qubits[0].index();
+                let b = instr.qubits[1].index();
+                w[a][b] += 1;
+                w[b][a] += 1;
+            }
+        }
+    }
+    w
+}
+
+/// Reliability score of a physical qubit: lower is better. Combines
+/// readout error with the best CNOT errors of its incident links.
+fn phys_cost(device: &Device, q: u32) -> f64 {
+    let cal = device.calibration();
+    let mut link_errs: Vec<f64> = device
+        .topology()
+        .neighbors(q)
+        .iter()
+        .filter_map(|&nb| device.cnot_error(q, nb))
+        .collect();
+    link_errs.sort_by(|a, b| a.partial_cmp(b).expect("error rates are finite"));
+    let best_links: f64 = link_errs.iter().take(2).sum();
+    cal.qubit(q).err_readout + 3.0 * best_links
+}
+
+/// Computes a noise-adaptive layout: seeds the most-interacting program
+/// qubit on the most reliable physical qubit, then greedily attaches each
+/// remaining program qubit (by interaction weight with already-placed
+/// ones) to the free neighbor minimizing CNOT error toward its partners.
+///
+/// # Panics
+///
+/// Panics when the circuit needs more qubits than the device has.
+pub fn noise_adaptive_layout(circuit: &Circuit, device: &Device) -> Layout {
+    let n_prog = circuit.num_qubits();
+    let n_phys = device.num_qubits();
+    assert!(
+        n_prog <= n_phys,
+        "{n_prog}-qubit circuit does not fit on {n_phys}-qubit device"
+    );
+    let w = interaction_graph(circuit);
+    let topo = device.topology();
+
+    let total_weight = |p: usize| -> u32 { w[p].iter().sum() };
+    let mut placed: Vec<Option<u32>> = vec![None; n_prog]; // prog -> phys
+    let mut used = vec![false; n_phys];
+
+    // Seed: heaviest program qubit on the cheapest physical qubit that has
+    // at least as many neighbors as it has partners (when possible).
+    let seed_prog = (0..n_prog)
+        .max_by_key(|&p| total_weight(p))
+        .unwrap_or(0);
+    let seed_phys = (0..n_phys as u32)
+        .min_by(|&a, &b| {
+            phys_cost(device, a)
+                .partial_cmp(&phys_cost(device, b))
+                .expect("costs are finite")
+        })
+        .expect("device has qubits");
+    placed[seed_prog] = Some(seed_phys);
+    used[seed_phys as usize] = true;
+
+    for _ in 1..n_prog {
+        // Next program qubit: strongest interaction with the placed set;
+        // fall back to any unplaced one.
+        let next = (0..n_prog)
+            .filter(|&p| placed[p].is_none())
+            .max_by_key(|&p| {
+                (0..n_prog)
+                    .filter(|&q| placed[q].is_some())
+                    .map(|q| w[p][q])
+                    .sum::<u32>()
+                    * 1000
+                    + total_weight(p)
+            })
+            .expect("an unplaced program qubit remains");
+        // Candidate physical sites: free neighbors of partners' sites,
+        // else any free qubit (closest to partners).
+        let partners: Vec<u32> = (0..n_prog)
+            .filter(|&q| w[next][q] > 0 && placed[q].is_some())
+            .map(|q| placed[q].expect("filtered on placed"))
+            .collect();
+        let mut candidates: Vec<u32> = partners
+            .iter()
+            .flat_map(|&ph| topo.neighbors(ph).iter().copied())
+            .filter(|&c| !used[c as usize])
+            .collect();
+        if candidates.is_empty() {
+            candidates = (0..n_phys as u32).filter(|&c| !used[c as usize]).collect();
+        }
+        let site = candidates
+            .into_iter()
+            .min_by(|&a, &b| {
+                let cost = |c: u32| -> f64 {
+                    let dist_cost: f64 = partners
+                        .iter()
+                        .map(|&ph| topo.distance(c, ph).unwrap_or(99) as f64)
+                        .sum();
+                    let err_cost: f64 = partners
+                        .iter()
+                        .filter_map(|&ph| device.cnot_error(c, ph))
+                        .sum();
+                    10.0 * dist_cost + 100.0 * err_cost + phys_cost(device, c)
+                };
+                cost(a).partial_cmp(&cost(b)).expect("costs are finite")
+            })
+            .expect("a free physical qubit remains");
+        placed[next] = Some(site);
+        used[site as usize] = true;
+    }
+
+    let assignment: Vec<u32> = placed
+        .into_iter()
+        .map(|p| p.expect("all program qubits placed"))
+        .collect();
+    Layout::from_assignment(assignment, n_phys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use device::Device;
+
+    fn ghz(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 0..(n - 1) as u32 {
+            c.cx(q, q + 1);
+        }
+        c.measure_all();
+        c
+    }
+
+    #[test]
+    fn trivial_layout_roundtrips() {
+        let l = Layout::trivial(4);
+        for q in 0..4 {
+            assert_eq!(l.phys_of(q), q);
+            assert_eq!(l.prog_of(q), Some(q));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn duplicate_assignment_rejected() {
+        Layout::from_assignment(vec![0, 0], 3);
+    }
+
+    #[test]
+    fn swap_phys_updates_both_directions() {
+        let mut l = Layout::from_assignment(vec![2, 0], 3);
+        l.swap_phys(0, 1); // prog 1 moves from phys 0 to phys 1
+        assert_eq!(l.phys_of(1), 1);
+        assert_eq!(l.prog_of(0), None);
+        assert_eq!(l.prog_of(1), Some(1));
+        // Swapping with an empty site works too.
+        l.swap_phys(2, 1);
+        assert_eq!(l.phys_of(0), 1);
+        assert_eq!(l.phys_of(1), 2);
+    }
+
+    #[test]
+    fn layout_is_injective_and_in_range() {
+        let dev = Device::ibmq_guadalupe(7);
+        for n in [2, 4, 8, 16] {
+            let l = noise_adaptive_layout(&ghz(n), &dev);
+            let mut seen = std::collections::BTreeSet::new();
+            for p in 0..n as u32 {
+                let phys = l.phys_of(p);
+                assert!((phys as usize) < 16);
+                assert!(seen.insert(phys), "phys {phys} reused");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_maps_to_mostly_adjacent_sites() {
+        // A GHZ chain's consecutive qubits should usually land on coupled
+        // physical qubits.
+        let dev = Device::ibmq_guadalupe(7);
+        let l = noise_adaptive_layout(&ghz(6), &dev);
+        let adjacent = (0..5u32)
+            .filter(|&q| {
+                dev.topology()
+                    .are_connected(l.phys_of(q), l.phys_of(q + 1))
+            })
+            .count();
+        assert!(adjacent >= 4, "only {adjacent}/5 chain links adjacent");
+    }
+
+    #[test]
+    fn avoids_worst_readout_qubit_for_small_circuits() {
+        let dev = Device::ibmq_toronto(11);
+        let worst = (0..27u32)
+            .max_by(|&a, &b| {
+                dev.qubit(a)
+                    .err_readout
+                    .partial_cmp(&dev.qubit(b).err_readout)
+                    .unwrap()
+            })
+            .unwrap();
+        let l = noise_adaptive_layout(&ghz(3), &dev);
+        for p in 0..3u32 {
+            assert_ne!(l.phys_of(p), worst, "placed on worst-readout qubit");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_circuit_rejected() {
+        let dev = Device::ibmq_rome(1);
+        noise_adaptive_layout(&ghz(6), &dev);
+    }
+}

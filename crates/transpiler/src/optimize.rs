@@ -1,0 +1,276 @@
+//! Peephole optimization of physical circuits.
+//!
+//! Mirrors the "redundant gates eliminated" step of the Qiskit O3 pipeline
+//! the paper compiles with (§4.4.1): RZ chains merge (they are virtual
+//! anyway), identity rotations vanish, and adjacent self-inverse pairs
+//! (X·X, CX·CX) cancel — including the CX pairs that SWAP decomposition
+//! leaves next to routed CNOTs.
+
+use crate::decompose::normalize_angle;
+use qcirc::{Circuit, Gate, Instruction, OpKind};
+
+/// Maximum fixpoint iterations (each pass strictly shrinks the circuit, so
+/// this is a safety bound, not a tuning knob).
+const MAX_PASSES: usize = 64;
+
+/// Applies cancellation/merging until fixpoint and returns the optimized
+/// circuit.
+pub fn optimize_circuit(circuit: &Circuit) -> Circuit {
+    let mut instrs: Vec<Option<Instruction>> =
+        circuit.iter().cloned().map(Some).collect();
+    for _ in 0..MAX_PASSES {
+        let changed = pass(&mut instrs, circuit.num_qubits());
+        if !changed {
+            break;
+        }
+    }
+    let mut out = Circuit::with_clbits(circuit.num_qubits(), circuit.num_clbits());
+    for instr in instrs.into_iter().flatten() {
+        out.push(instr);
+    }
+    out
+}
+
+/// One peephole pass. Returns true when anything changed.
+fn pass(instrs: &mut [Option<Instruction>], num_qubits: usize) -> bool {
+    let mut changed = false;
+    // last_on[q] = index of the most recent live instruction touching q.
+    let mut last_on: Vec<Option<usize>> = vec![None; num_qubits];
+
+    for i in 0..instrs.len() {
+        let Some(instr) = instrs[i].clone() else {
+            continue;
+        };
+        match &instr.kind {
+            OpKind::Gate(g) => {
+                let qubits: Vec<usize> = instr.qubits.iter().map(|q| q.index()).collect();
+                // The candidate predecessor must be the immediately
+                // preceding live instruction on *all* operands.
+                let preds: Vec<Option<usize>> =
+                    qubits.iter().map(|&q| last_on[q]).collect();
+                let same_pred = preds
+                    .first()
+                    .copied()
+                    .flatten()
+                    .filter(|&p| preds.iter().all(|&x| x == Some(p)));
+
+                let mut consumed = false;
+                let mut replaced = false;
+                if let Some(p) = same_pred {
+                    if let Some(prev) = instrs[p].clone() {
+                        if prev.qubits == instr.qubits {
+                            if let (OpKind::Gate(pg), OpKind::Gate(cg)) =
+                                (&prev.kind, &instr.kind)
+                            {
+                                match combine(*pg, *cg) {
+                                    Combine::Cancel => {
+                                        instrs[p] = None;
+                                        instrs[i] = None;
+                                        for &q in &qubits {
+                                            last_on[q] = None;
+                                        }
+                                        changed = true;
+                                        consumed = true;
+                                    }
+                                    Combine::Replace(g) => {
+                                        instrs[p] = None;
+                                        instrs[i] = Some(Instruction::gate(
+                                            g,
+                                            instr.qubits.clone(),
+                                        ));
+                                        changed = true;
+                                        replaced = true;
+                                    }
+                                    Combine::Keep => {}
+                                }
+                            }
+                        }
+                    }
+                }
+                if replaced {
+                    // The merged gate at `i` is live (Cancel covers the
+                    // identity-merge case, so no further identity check —
+                    // in particular not against the *original* gate).
+                    for &q in &qubits {
+                        last_on[q] = Some(i);
+                    }
+                } else if !consumed {
+                    // Drop no-ops outright.
+                    if is_identity(*g) {
+                        instrs[i] = None;
+                        changed = true;
+                    } else {
+                        for &q in &qubits {
+                            last_on[q] = Some(i);
+                        }
+                    }
+                }
+            }
+            OpKind::Measure(_) | OpKind::Reset | OpKind::Delay(_) => {
+                for q in &instr.qubits {
+                    last_on[q.index()] = Some(i);
+                }
+            }
+            OpKind::Barrier => {
+                for q in &instr.qubits {
+                    last_on[q.index()] = Some(i);
+                }
+            }
+        }
+    }
+    changed
+}
+
+enum Combine {
+    /// Both gates vanish.
+    Cancel,
+    /// The pair is replaced by one gate.
+    Replace(Gate),
+    /// No rewrite applies.
+    Keep,
+}
+
+fn is_identity(g: Gate) -> bool {
+    match g {
+        Gate::I => true,
+        Gate::RZ(t) | Gate::P(t) => normalize_angle(t).abs() < 1e-12,
+        _ => false,
+    }
+}
+
+fn combine(prev: Gate, cur: Gate) -> Combine {
+    match (prev, cur) {
+        (Gate::RZ(a), Gate::RZ(b)) => {
+            let t = normalize_angle(a + b);
+            if t.abs() < 1e-12 {
+                Combine::Cancel
+            } else {
+                Combine::Replace(Gate::RZ(t))
+            }
+        }
+        (Gate::X, Gate::X) | (Gate::CX, Gate::CX) | (Gate::H, Gate::H) => Combine::Cancel,
+        // SX·SX = X exactly: fewer pulses once merged further.
+        (Gate::SX, Gate::SX) => Combine::Replace(Gate::X),
+        _ => Combine::Keep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rz_chain_merges() {
+        let mut c = Circuit::new(1);
+        c.rz(0.3, 0).rz(0.4, 0).rz(-0.1, 0);
+        let o = optimize_circuit(&c);
+        assert_eq!(o.len(), 1);
+        match o.instructions()[0].as_gate() {
+            Some(Gate::RZ(t)) => assert!((t - 0.6).abs() < 1e-12),
+            other => panic!("expected merged RZ, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn opposite_rz_cancels() {
+        let mut c = Circuit::new(1);
+        c.rz(0.7, 0).rz(-0.7, 0);
+        assert!(optimize_circuit(&c).is_empty());
+    }
+
+    #[test]
+    fn xx_and_cxcx_cancel() {
+        let mut c = Circuit::new(2);
+        c.x(0).x(0).cx(0, 1).cx(0, 1);
+        assert!(optimize_circuit(&c).is_empty());
+    }
+
+    #[test]
+    fn cx_with_different_orientation_survives() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(1, 0);
+        assert_eq!(optimize_circuit(&c).len(), 2);
+    }
+
+    #[test]
+    fn intervening_gate_blocks_cancellation() {
+        let mut c = Circuit::new(2);
+        c.x(0).cx(0, 1).x(0);
+        assert_eq!(optimize_circuit(&c).len(), 3);
+    }
+
+    #[test]
+    fn intervening_gate_on_either_cx_operand_blocks() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).x(1).cx(0, 1);
+        assert_eq!(optimize_circuit(&c).len(), 3);
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).rz(0.5, 0).cx(0, 1);
+        assert_eq!(optimize_circuit(&c).len(), 3);
+    }
+
+    #[test]
+    fn sx_pair_fuses_to_x_then_cancels_with_x() {
+        let mut c = Circuit::new(1);
+        c.sx(0).sx(0).x(0);
+        assert!(optimize_circuit(&c).is_empty());
+    }
+
+    #[test]
+    fn identity_and_zero_rz_dropped() {
+        let mut c = Circuit::new(1);
+        c.gate(Gate::I, &[0]).rz(0.0, 0).rz(2.0 * std::f64::consts::PI, 0);
+        assert!(optimize_circuit(&c).is_empty());
+    }
+
+    #[test]
+    fn measure_blocks_merging() {
+        let mut c = Circuit::new(1);
+        c.rz(0.3, 0).measure(0, 0).rz(0.4, 0);
+        assert_eq!(optimize_circuit(&c).len(), 3);
+    }
+
+    #[test]
+    fn cascading_cancellation_reaches_fixpoint() {
+        // H X X H → H H → empty.
+        let mut c = Circuit::new(1);
+        c.h(0).x(0).x(0).h(0);
+        assert!(optimize_circuit(&c).is_empty());
+    }
+
+    #[test]
+    fn merge_with_full_turn_angle_keeps_the_merged_gate() {
+        // Regression: RZ(a)+RZ(2πk) merged to RZ(a), but the identity
+        // check then ran on the *original* RZ(2πk) and deleted the merged
+        // gate, silently losing RZ(a).
+        let full_turns = 42.0 * std::f64::consts::PI;
+        let mut c = Circuit::new(1);
+        c.rz(0.5, 0).rz(full_turns, 0);
+        let o = optimize_circuit(&c);
+        assert_eq!(o.len(), 1);
+        match o.instructions()[0].as_gate() {
+            Some(Gate::RZ(t)) => assert!((t - 0.5).abs() < 1e-9, "angle {t}"),
+            other => panic!("expected RZ(0.5), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn semantics_preserved_on_mixed_circuit() {
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .rz(0.3, 0)
+            .rz(0.3, 0)
+            .cx(0, 1)
+            .x(2)
+            .x(2)
+            .cx(1, 2)
+            .measure_all();
+        let o = optimize_circuit(&c);
+        assert!(o.len() < c.len());
+        let p0 = statevec::ideal_distribution(&c).unwrap();
+        let p1 = statevec::ideal_distribution(&o).unwrap();
+        for (k, v) in &p0 {
+            assert!((v - p1.get(k).copied().unwrap_or(0.0)).abs() < 1e-9);
+        }
+    }
+}

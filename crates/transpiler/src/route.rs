@@ -1,0 +1,357 @@
+//! SWAP-insertion routing onto restricted connectivity.
+//!
+//! A SABRE-style greedy router (Li, Ding, Xie — ASPLOS'19): two-qubit gates
+//! whose operands are not physically coupled trigger SWAP insertion chosen
+//! by a distance heuristic with lookahead over upcoming gates, tie-broken
+//! toward low-error links. SWAPs decompose to 3 CNOTs — the serialization
+//! and latency they add is the third idle-time source named in §2.4 of the
+//! ADAPT paper.
+
+use crate::layout::Layout;
+use device::Device;
+use qcirc::{Circuit, Instruction, OpKind, Qubit};
+
+/// Result of routing: a physical circuit plus the evolving layout.
+#[derive(Debug, Clone)]
+pub struct RoutedCircuit {
+    /// The physical circuit (over device qubits, coupling-respecting).
+    pub circuit: Circuit,
+    /// Layout before the first instruction.
+    pub initial_layout: Layout,
+    /// Layout after the last instruction (SWAPs permute it).
+    pub final_layout: Layout,
+    /// Number of SWAPs inserted.
+    pub swap_count: usize,
+}
+
+/// How many upcoming two-qubit gates the SWAP heuristic looks at.
+const LOOKAHEAD: usize = 8;
+
+/// Routes a (decomposed, logical) circuit onto the device starting from
+/// `initial_layout`.
+///
+/// # Panics
+///
+/// Panics when the circuit has more qubits than the device.
+pub fn route(circuit: &Circuit, device: &Device, initial_layout: Layout) -> RoutedCircuit {
+    let n_phys = device.num_qubits();
+    assert!(
+        circuit.num_qubits() <= n_phys,
+        "circuit does not fit on device"
+    );
+    let topo = device.topology();
+    let mut layout = initial_layout.clone();
+    let mut out = Circuit::with_clbits(n_phys, circuit.num_clbits());
+    let mut swap_count = 0usize;
+
+    // Pre-extract the positions of two-qubit gates for lookahead.
+    let two_qubit_gates: Vec<(usize, u32, u32)> = circuit
+        .iter()
+        .enumerate()
+        .filter_map(|(i, instr)| match instr.kind {
+            OpKind::Gate(g) if g.arity() == 2 => {
+                Some((i, instr.qubits[0].index() as u32, instr.qubits[1].index() as u32))
+            }
+            _ => None,
+        })
+        .collect();
+    let mut next_2q_cursor = 0usize;
+
+    for (idx, instr) in circuit.iter().enumerate() {
+        while next_2q_cursor < two_qubit_gates.len() && two_qubit_gates[next_2q_cursor].0 <= idx {
+            next_2q_cursor += 1;
+        }
+        match &instr.kind {
+            OpKind::Gate(g) if g.arity() == 2 => {
+                let (pa, pb) = (
+                    instr.qubits[0].index() as u32,
+                    instr.qubits[1].index() as u32,
+                );
+                // Insert SWAPs until the operands are coupled.
+                while !topo.are_connected(layout.phys_of(pa), layout.phys_of(pb)) {
+                    let (sa, sb) = choose_swap(
+                        device,
+                        &layout,
+                        (pa, pb),
+                        &two_qubit_gates[next_2q_cursor.min(two_qubit_gates.len())..],
+                    );
+                    emit_swap(&mut out, sa, sb, device);
+                    swap_count += 1;
+                    // Update layout: physical sites sa and sb exchange
+                    // their program qubits.
+                    layout.swap_phys(sa, sb);
+                }
+                let qa = layout.phys_of(pa);
+                let qb = layout.phys_of(pb);
+                out.push(Instruction::gate(
+                    *g,
+                    vec![Qubit::new(qa), Qubit::new(qb)],
+                ));
+            }
+            OpKind::Gate(g) => {
+                let q = layout.phys_of(instr.qubits[0].index() as u32);
+                out.push(Instruction::gate(*g, vec![Qubit::new(q)]));
+            }
+            OpKind::Measure(c) => {
+                let q = layout.phys_of(instr.qubits[0].index() as u32);
+                out.push(Instruction {
+                    kind: OpKind::Measure(*c),
+                    qubits: vec![Qubit::new(q)],
+                });
+            }
+            OpKind::Reset => {
+                let q = layout.phys_of(instr.qubits[0].index() as u32);
+                out.push(Instruction {
+                    kind: OpKind::Reset,
+                    qubits: vec![Qubit::new(q)],
+                });
+            }
+            OpKind::Delay(ns) => {
+                let q = layout.phys_of(instr.qubits[0].index() as u32);
+                out.push(Instruction {
+                    kind: OpKind::Delay(*ns),
+                    qubits: vec![Qubit::new(q)],
+                });
+            }
+            OpKind::Barrier => {
+                let qs: Vec<Qubit> = instr
+                    .qubits
+                    .iter()
+                    .map(|q| Qubit::new(layout.phys_of(q.index() as u32)))
+                    .collect();
+                out.push(Instruction {
+                    kind: OpKind::Barrier,
+                    qubits: qs,
+                });
+            }
+        }
+    }
+
+    RoutedCircuit {
+        circuit: out,
+        initial_layout,
+        final_layout: layout,
+        swap_count,
+    }
+}
+
+/// Emits SWAP as its 3-CNOT decomposition on physical qubits.
+fn emit_swap(out: &mut Circuit, a: u32, b: u32, _device: &Device) {
+    out.cx(a, b).cx(b, a).cx(a, b);
+}
+
+/// Picks the best physical SWAP for bringing the current gate's operands
+/// together, with lookahead over `upcoming` two-qubit program gates.
+fn choose_swap(
+    device: &Device,
+    layout: &Layout,
+    gate: (u32, u32),
+    upcoming: &[(usize, u32, u32)],
+) -> (u32, u32) {
+    let topo = device.topology();
+    let (pa, pb) = gate;
+    let (qa, qb) = (layout.phys_of(pa), layout.phys_of(pb));
+    let current = topo.distance(qa, qb).expect("device is connected");
+
+    let dist_after = |layout: &Layout, sa: u32, sb: u32, x: u32, y: u32| -> u32 {
+        // Positions of program qubits x,y after swapping sites sa<->sb.
+        let reloc = |q: u32| -> u32 {
+            if q == sa {
+                sb
+            } else if q == sb {
+                sa
+            } else {
+                q
+            }
+        };
+        let px = reloc(layout.phys_of(x));
+        let py = reloc(layout.phys_of(y));
+        topo.distance(px, py).unwrap_or(u32::MAX)
+    };
+
+    // Candidate swaps: links touching either operand's current site.
+    let mut candidates: Vec<(u32, u32)> = Vec::new();
+    for &site in &[qa, qb] {
+        for &nb in topo.neighbors(site) {
+            candidates.push((site.min(nb), site.max(nb)));
+        }
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+
+    let mut best: Option<((u32, u32), f64)> = None;
+    for &(sa, sb) in &candidates {
+        let primary = dist_after(layout, sa, sb, pa, pb);
+        if primary >= current {
+            continue; // only accept strict progress — guarantees termination
+        }
+        let look: f64 = upcoming
+            .iter()
+            .take(LOOKAHEAD)
+            .enumerate()
+            .map(|(k, &(_, x, y))| {
+                let decay = 0.5f64.powi(k as i32 + 1);
+                decay * dist_after(layout, sa, sb, x, y) as f64
+            })
+            .sum();
+        let err = device
+            .cnot_error(sa, sb)
+            .expect("candidate swap is a coupled link");
+        let score = primary as f64 * 100.0 + look + err * 10.0;
+        if best.map_or(true, |(_, s)| score < s) {
+            best = Some(((sa, sb), score));
+        }
+    }
+    if let Some((swap, _)) = best {
+        return swap;
+    }
+    // Fallback: first hop along a shortest path (always strict progress).
+    let path = topo.shortest_path(qa, qb).expect("device is connected");
+    (path[0].min(path[1]), path[0].max(path[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::decompose_circuit;
+    use crate::layout::noise_adaptive_layout;
+    use device::Device;
+    use std::collections::BTreeMap;
+
+    fn assert_all_2q_coupled(c: &Circuit, device: &Device) {
+        for instr in c.iter() {
+            if instr.is_two_qubit_gate() {
+                let a = instr.qubits[0].index() as u32;
+                let b = instr.qubits[1].index() as u32;
+                assert!(
+                    device.topology().are_connected(a, b),
+                    "gate on uncoupled pair ({a},{b})"
+                );
+            }
+        }
+    }
+
+    /// Distribution over clbits must be preserved by routing.
+    fn assert_equivalent(logical: &Circuit, routed: &Circuit) {
+        let p0 = statevec::ideal_distribution(logical).unwrap();
+        let p1 = statevec::ideal_distribution(routed).unwrap();
+        let nonzero = |m: &BTreeMap<u64, f64>| -> BTreeMap<u64, i64> {
+            m.iter()
+                .filter(|(_, &v)| v > 1e-12)
+                .map(|(&k, &v)| (k, (v * 1e9).round() as i64))
+                .collect()
+        };
+        assert_eq!(nonzero(&p0), nonzero(&p1));
+    }
+
+    fn bv_circuit(n: usize, secret: u64) -> Circuit {
+        // Bernstein–Vazirani with ancilla at qubit n-1.
+        let mut c = Circuit::new(n);
+        let anc = (n - 1) as u32;
+        c.x(anc).h(anc);
+        for q in 0..anc {
+            c.h(q);
+        }
+        for q in 0..anc {
+            if secret >> q & 1 == 1 {
+                c.cx(q, anc);
+            }
+        }
+        for q in 0..anc {
+            c.h(q);
+            c.measure(q, q);
+        }
+        c
+    }
+
+    #[test]
+    fn already_coupled_circuit_needs_no_swaps() {
+        let dev = Device::ibmq_rome(1);
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).measure_all();
+        let r = route(&c, &dev, Layout::trivial(3));
+        assert_eq!(r.swap_count, 0);
+        assert_all_2q_coupled(&r.circuit, &dev);
+    }
+
+    #[test]
+    fn distant_gate_gets_routed() {
+        let dev = Device::ibmq_rome(1);
+        let mut c = Circuit::new(5);
+        c.h(0).cx(0, 4).measure(0, 0).measure(4, 4);
+        let r = route(&c, &dev, Layout::trivial(5));
+        assert!(r.swap_count >= 1, "0↔4 on a line needs swaps");
+        assert_all_2q_coupled(&r.circuit, &dev);
+        assert_equivalent(&c, &r.circuit);
+    }
+
+    #[test]
+    fn routed_bv_preserves_semantics() {
+        let dev = Device::ibmq_rome(2);
+        for secret in [0b1011u64, 0b0110, 0b1111] {
+            let c = bv_circuit(5, secret);
+            let d = decompose_circuit(&c);
+            let layout = noise_adaptive_layout(&d, &dev);
+            let r = route(&d, &dev, layout);
+            assert_all_2q_coupled(&r.circuit, &dev);
+            assert_equivalent(&c, &r.circuit);
+        }
+    }
+
+    #[test]
+    fn routed_ghz_on_guadalupe_preserves_semantics() {
+        let dev = Device::ibmq_guadalupe(5);
+        let mut c = Circuit::new(6);
+        c.h(0);
+        // Star pattern from qubit 0 — stresses routing.
+        for q in 1..6 {
+            c.cx(0, q);
+        }
+        c.measure_all();
+        let d = decompose_circuit(&c);
+        let layout = noise_adaptive_layout(&d, &dev);
+        let r = route(&d, &dev, layout);
+        assert_all_2q_coupled(&r.circuit, &dev);
+        assert_equivalent(&c, &r.circuit);
+    }
+
+    #[test]
+    fn final_layout_tracks_swaps() {
+        let dev = Device::ibmq_rome(1);
+        let mut c = Circuit::new(5);
+        c.cx(0, 4);
+        let r = route(&c, &dev, Layout::trivial(5));
+        if r.swap_count > 0 {
+            assert_ne!(
+                r.initial_layout.assignment(),
+                r.final_layout.assignment()
+            );
+        }
+        // Each program qubit still has exactly one site.
+        let mut seen = std::collections::BTreeSet::new();
+        for p in 0..5u32 {
+            assert!(seen.insert(r.final_layout.phys_of(p)));
+        }
+    }
+
+    #[test]
+    fn all_to_all_never_swaps() {
+        let dev = Device::all_to_all(8, 3);
+        let c = bv_circuit(8, 0b1010101);
+        let d = decompose_circuit(&c);
+        let r = route(&d, &dev, Layout::trivial(8));
+        assert_eq!(r.swap_count, 0);
+    }
+
+    #[test]
+    fn swap_count_scales_with_distance_on_line() {
+        let dev = Device::ibmq_rome(1);
+        let mut near = Circuit::new(5);
+        near.cx(0, 1);
+        let mut far = Circuit::new(5);
+        far.cx(0, 4);
+        let rn = route(&near, &dev, Layout::trivial(5));
+        let rf = route(&far, &dev, Layout::trivial(5));
+        assert!(rf.swap_count > rn.swap_count);
+    }
+}

@@ -1,0 +1,471 @@
+//! Timed scheduling of physical circuits.
+//!
+//! The paper's Gate Sequence Table (§4.4.2) needs instruction start/end
+//! timestamps computed from per-link calibration latencies — "typical
+//! circuit representations do not capture idle cycles as gate latencies
+//! are not embedded". [`TimedCircuit`] is that timestamped representation:
+//! the scheduler produces it, ADAPT reads idle windows from it and splices
+//! DD pulses into it, and the noisy executor replays it in time order.
+
+use device::Device;
+use qcirc::{Circuit, Instruction, OpKind};
+
+/// Scheduling direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// As soon as possible.
+    Asap,
+    /// As late as possible — the default, matching the compilers the paper
+    /// describes ("existing compilers minimize idle times by scheduling
+    /// instructions as late as possible", §2.4).
+    #[default]
+    Alap,
+}
+
+/// An instruction with assigned wall-clock times (ns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedInstruction {
+    /// The underlying instruction (physical qubits).
+    pub instr: Instruction,
+    /// Start time in nanoseconds.
+    pub start_ns: f64,
+    /// End time in nanoseconds (`start + duration`).
+    pub end_ns: f64,
+}
+
+impl TimedInstruction {
+    /// Instruction duration in nanoseconds.
+    pub fn duration_ns(&self) -> f64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// One idle window on a qubit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdleWindow {
+    /// Qubit index.
+    pub qubit: u32,
+    /// Window start (ns).
+    pub start_ns: f64,
+    /// Window end (ns).
+    pub end_ns: f64,
+    /// Position of the window within the qubit's timeline.
+    pub kind: IdleKind,
+}
+
+impl IdleWindow {
+    /// Window length in nanoseconds.
+    pub fn duration_ns(&self) -> f64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// Where an idle window sits relative to the qubit's operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdleKind {
+    /// Before the qubit's first operation (state is still `|0⟩`).
+    Leading,
+    /// Between two operations.
+    Interior,
+    /// After the last operation until the end of the program.
+    Trailing,
+    /// The qubit never operates at all.
+    Unused,
+}
+
+/// A fully scheduled circuit: instructions with timestamps, sorted by
+/// start time (stable on program order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedCircuit {
+    num_qubits: usize,
+    num_clbits: usize,
+    events: Vec<TimedInstruction>,
+    total_ns: f64,
+}
+
+impl TimedCircuit {
+    /// Assembles a timed circuit from raw events (used by DD insertion).
+    /// Events are re-sorted by start time; the total duration is the
+    /// latest end time.
+    pub fn from_events(
+        num_qubits: usize,
+        num_clbits: usize,
+        mut events: Vec<TimedInstruction>,
+    ) -> Self {
+        events.sort_by(|a, b| {
+            a.start_ns
+                .partial_cmp(&b.start_ns)
+                .expect("times are finite")
+        });
+        let total_ns = events.iter().map(|e| e.end_ns).fold(0.0, f64::max);
+        TimedCircuit {
+            num_qubits,
+            num_clbits,
+            events,
+            total_ns,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of classical bits.
+    pub fn num_clbits(&self) -> usize {
+        self.num_clbits
+    }
+
+    /// The timed events, ordered by start time.
+    pub fn events(&self) -> &[TimedInstruction] {
+        &self.events
+    }
+
+    /// Program makespan in nanoseconds.
+    pub fn total_ns(&self) -> f64 {
+        self.total_ns
+    }
+
+    /// The events occupying qubit `q`, in time order (delays and barriers
+    /// excluded — they do not make the qubit busy).
+    pub fn busy_intervals(&self, q: u32) -> Vec<&TimedInstruction> {
+        self.events
+            .iter()
+            .filter(|e| {
+                !matches!(e.instr.kind, OpKind::Delay(_) | OpKind::Barrier)
+                    && e.instr.qubits.iter().any(|x| x.index() == q as usize)
+            })
+            .collect()
+    }
+
+    /// Idle windows of qubit `q` over the program, with classification.
+    /// Zero-length gaps are omitted.
+    pub fn idle_windows(&self, q: u32) -> Vec<IdleWindow> {
+        let busy = self.busy_intervals(q);
+        let mut out = Vec::new();
+        const EPS: f64 = 1e-9;
+        if busy.is_empty() {
+            if self.total_ns > EPS {
+                out.push(IdleWindow {
+                    qubit: q,
+                    start_ns: 0.0,
+                    end_ns: self.total_ns,
+                    kind: IdleKind::Unused,
+                });
+            }
+            return out;
+        }
+        if busy[0].start_ns > EPS {
+            out.push(IdleWindow {
+                qubit: q,
+                start_ns: 0.0,
+                end_ns: busy[0].start_ns,
+                kind: IdleKind::Leading,
+            });
+        }
+        for w in busy.windows(2) {
+            if w[1].start_ns - w[0].end_ns > EPS {
+                out.push(IdleWindow {
+                    qubit: q,
+                    start_ns: w[0].end_ns,
+                    end_ns: w[1].start_ns,
+                    kind: IdleKind::Interior,
+                });
+            }
+        }
+        let last_end = busy.last().expect("nonempty").end_ns;
+        if self.total_ns - last_end > EPS {
+            out.push(IdleWindow {
+                qubit: q,
+                start_ns: last_end,
+                end_ns: self.total_ns,
+                kind: IdleKind::Trailing,
+            });
+        }
+        out
+    }
+
+    /// Fraction of the program during which qubit `q` is idle (including
+    /// leading/trailing windows — the paper's Table 1 "Idle Fraction").
+    pub fn idle_fraction(&self, q: u32) -> f64 {
+        if self.total_ns <= 0.0 {
+            return 0.0;
+        }
+        let idle: f64 = self.idle_windows(q).iter().map(|w| w.duration_ns()).sum();
+        idle / self.total_ns
+    }
+
+    /// The CNOT-active intervals of every link-shaped gate: `(start, end,
+    /// qubit_a, qubit_b)` for each two-qubit gate. The noise model uses
+    /// these to drive spectator crosstalk.
+    pub fn two_qubit_activity(&self) -> Vec<(f64, f64, u32, u32)> {
+        self.events
+            .iter()
+            .filter(|e| e.instr.is_two_qubit_gate())
+            .map(|e| {
+                (
+                    e.start_ns,
+                    e.end_ns,
+                    e.instr.qubits[0].index() as u32,
+                    e.instr.qubits[1].index() as u32,
+                )
+            })
+            .collect()
+    }
+
+    /// Reconstructs a plain (untimed) circuit in event order.
+    pub fn to_circuit(&self) -> Circuit {
+        let mut c = Circuit::with_clbits(self.num_qubits, self.num_clbits);
+        for e in &self.events {
+            c.push(e.instr.clone());
+        }
+        c
+    }
+}
+
+/// Computes instruction durations and assigns start times.
+///
+/// ASAP places each instruction at the earliest moment all operands are
+/// free; ALAP mirrors the circuit, schedules ASAP, and reflects the times,
+/// yielding the latest-possible placement with identical makespan.
+pub fn schedule(circuit: &Circuit, device: &Device, policy: SchedulePolicy) -> TimedCircuit {
+    match policy {
+        SchedulePolicy::Asap => schedule_asap(circuit, device),
+        SchedulePolicy::Alap => {
+            // Reverse program order, ASAP-schedule, then reflect times.
+            let mut rev = Circuit::with_clbits(circuit.num_qubits(), circuit.num_clbits());
+            for instr in circuit.iter().rev() {
+                rev.push(instr.clone());
+            }
+            let asap = schedule_asap(&rev, device);
+            let total = asap.total_ns;
+            let mut events: Vec<TimedInstruction> = asap
+                .events
+                .iter()
+                .map(|e| TimedInstruction {
+                    instr: e.instr.clone(),
+                    start_ns: total - e.end_ns,
+                    end_ns: total - e.start_ns,
+                })
+                .collect();
+            // Restore program order so that the stable sort in
+            // `from_events` keeps zero-duration chains (RZ–SX–RZ) in their
+            // original sequence when start times tie.
+            events.reverse();
+            TimedCircuit::from_events(circuit.num_qubits(), circuit.num_clbits(), events)
+        }
+    }
+}
+
+fn instruction_duration(instr: &Instruction, device: &Device) -> f64 {
+    match &instr.kind {
+        OpKind::Gate(g) => {
+            let qs: Vec<u32> = instr.qubits.iter().map(|q| q.index() as u32).collect();
+            device.gate_duration(*g, &qs)
+        }
+        OpKind::Measure(_) => device.readout_duration(),
+        OpKind::Reset => device.readout_duration(),
+        OpKind::Delay(ns) => *ns,
+        OpKind::Barrier => 0.0,
+    }
+}
+
+fn schedule_asap(circuit: &Circuit, device: &Device) -> TimedCircuit {
+    let n = circuit.num_qubits();
+    let mut free_at = vec![0.0f64; n];
+    let mut events = Vec::with_capacity(circuit.len());
+    for instr in circuit.iter() {
+        let dur = instruction_duration(instr, device);
+        let start = instr
+            .qubits
+            .iter()
+            .map(|q| free_at[q.index()])
+            .fold(0.0, f64::max);
+        let end = start + dur;
+        for q in &instr.qubits {
+            free_at[q.index()] = end;
+        }
+        events.push(TimedInstruction {
+            instr: instr.clone(),
+            start_ns: start,
+            end_ns: end,
+        });
+    }
+    TimedCircuit::from_events(n, circuit.num_clbits(), events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use device::Device;
+
+    fn dev() -> Device {
+        Device::ibmq_rome(1)
+    }
+
+    #[test]
+    fn asap_serializes_dependent_gates() {
+        let d = dev();
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let t = schedule(&c, &d, SchedulePolicy::Asap);
+        let ev = t.events();
+        // h starts at 0; cx(0,1) after h; cx(1,2) after cx(0,1).
+        assert_eq!(ev[0].start_ns, 0.0);
+        assert!(ev[1].start_ns >= ev[0].end_ns - 1e-9);
+        assert!(ev[2].start_ns >= ev[1].end_ns - 1e-9);
+        assert!(t.total_ns() >= ev[2].end_ns - 1e-9);
+    }
+
+    #[test]
+    fn independent_gates_run_in_parallel() {
+        let d = dev();
+        let mut c = Circuit::new(4);
+        c.cx(0, 1).cx(2, 3);
+        let t = schedule(&c, &d, SchedulePolicy::Asap);
+        assert_eq!(t.events()[0].start_ns, 0.0);
+        assert_eq!(t.events()[1].start_ns, 0.0);
+    }
+
+    #[test]
+    fn rz_takes_zero_time() {
+        let d = dev();
+        let mut c = Circuit::new(1);
+        c.rz(0.4, 0).x(0);
+        let t = schedule(&c, &d, SchedulePolicy::Asap);
+        assert_eq!(t.events()[0].duration_ns(), 0.0);
+        assert_eq!(t.events()[1].start_ns, 0.0);
+    }
+
+    #[test]
+    fn alap_pushes_gates_late_keeping_makespan() {
+        let d = dev();
+        // q2 has a single H while q0-q1 run a long CX; ALAP moves the H to
+        // the end, ASAP to the start.
+        let mut c = Circuit::new(3);
+        c.h(2).cx(0, 1).barrier_all().measure_all();
+        let asap = schedule(&c, &d, SchedulePolicy::Asap);
+        let alap = schedule(&c, &d, SchedulePolicy::Alap);
+        assert!((asap.total_ns() - alap.total_ns()).abs() < 1e-6);
+        let h_asap = asap
+            .events()
+            .iter()
+            .find(|e| e.instr.as_gate() == Some(qcirc::Gate::H))
+            .unwrap()
+            .start_ns;
+        let h_alap = alap
+            .events()
+            .iter()
+            .find(|e| e.instr.as_gate() == Some(qcirc::Gate::H))
+            .unwrap()
+            .start_ns;
+        assert!(h_alap > h_asap, "ALAP should delay the H ({h_alap} vs {h_asap})");
+    }
+
+    #[test]
+    fn idle_windows_classify_correctly() {
+        let d = dev();
+        let mut c = Circuit::new(3);
+        // q0: h, long gap while cx(1,2) runs twice, then cx(0,1).
+        c.h(0).cx(1, 2).cx(1, 2).cx(0, 1);
+        let t = schedule(&c, &d, SchedulePolicy::Asap);
+        let w0 = t.idle_windows(0);
+        assert!(w0.iter().any(|w| w.kind == IdleKind::Interior));
+        // q2 idles at the end (after its cx gates until makespan).
+        let w2 = t.idle_windows(2);
+        assert!(w2.last().map(|w| w.kind) == Some(IdleKind::Trailing) || w2.is_empty());
+    }
+
+    #[test]
+    fn unused_qubit_is_fully_idle() {
+        let d = dev();
+        let mut c = Circuit::new(3);
+        c.cx(0, 1);
+        let t = schedule(&c, &d, SchedulePolicy::Asap);
+        let w = t.idle_windows(2);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].kind, IdleKind::Unused);
+        assert!((t.idle_fraction(2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_fraction_matches_hand_computation() {
+        let d = dev();
+        let mut c = Circuit::new(2);
+        c.x(0).cx(0, 1);
+        let t = schedule(&c, &d, SchedulePolicy::Asap);
+        // q1 idles while x(0) runs: 35ns of sq pulse.
+        let sq = 35.0;
+        let expected = sq / t.total_ns();
+        assert!((t.idle_fraction(1) - expected).abs() < 1e-9);
+        assert!(t.idle_fraction(0) < 1e-9);
+    }
+
+    #[test]
+    fn delay_occupies_time_without_busy() {
+        let d = dev();
+        let mut c = Circuit::new(1);
+        c.x(0).delay(500.0, 0).x(0);
+        let t = schedule(&c, &d, SchedulePolicy::Asap);
+        // The delay creates a 500ns interior idle window.
+        let w = t.idle_windows(0);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].kind, IdleKind::Interior);
+        assert!((w[0].duration_ns() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        let d = dev();
+        let mut c = Circuit::new(2);
+        c.x(0).barrier_all().x(1);
+        let t = schedule(&c, &d, SchedulePolicy::Asap);
+        let x1 = t
+            .events()
+            .iter()
+            .filter(|e| e.instr.as_gate() == Some(qcirc::Gate::X))
+            .nth(1)
+            .unwrap();
+        assert!(x1.start_ns >= 35.0 - 1e-9, "x(1) must wait for the barrier");
+    }
+
+    #[test]
+    fn two_qubit_activity_reports_links() {
+        let d = dev();
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(1, 2);
+        let t = schedule(&c, &d, SchedulePolicy::Asap);
+        let act = t.two_qubit_activity();
+        assert_eq!(act.len(), 2);
+        assert_eq!((act[0].2, act[0].3), (0, 1));
+        assert!(act[1].0 >= act[0].1 - 1e-9);
+    }
+
+    #[test]
+    fn cnot_durations_differ_across_links() {
+        let d = Device::ibmq_toronto(5);
+        let mut c = Circuit::new(27);
+        c.cx(0, 1).cx(12, 13);
+        let t = schedule(&c, &d, SchedulePolicy::Asap);
+        let d0 = t.events()[0].duration_ns();
+        let d1 = t.events()[1].duration_ns();
+        assert_ne!(d0, d1);
+    }
+
+    #[test]
+    fn from_events_sorts_and_computes_total() {
+        let e1 = TimedInstruction {
+            instr: Instruction::gate(qcirc::Gate::X, vec![qcirc::Qubit::new(0)]),
+            start_ns: 100.0,
+            end_ns: 135.0,
+        };
+        let e2 = TimedInstruction {
+            instr: Instruction::gate(qcirc::Gate::X, vec![qcirc::Qubit::new(0)]),
+            start_ns: 0.0,
+            end_ns: 35.0,
+        };
+        let t = TimedCircuit::from_events(1, 1, vec![e1, e2]);
+        assert_eq!(t.events()[0].start_ns, 0.0);
+        assert_eq!(t.total_ns(), 135.0);
+    }
+}

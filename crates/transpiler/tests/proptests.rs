@@ -1,0 +1,140 @@
+//! Property tests: the transpiler preserves program semantics and always
+//! produces coupling-legal, consistently-scheduled circuits.
+
+use device::Device;
+use proptest::prelude::*;
+use qcirc::{Circuit, Gate, OpKind};
+use transpiler::{transpile, LayoutStrategy, SchedulePolicy, TranspileOptions};
+
+#[derive(Debug, Clone, Copy)]
+enum ProgOp {
+    One(u8, u8, f64),
+    Two(u8, u8, u8),
+}
+
+fn arb_prog(n: u8, len: usize) -> impl Strategy<Value = Vec<ProgOp>> {
+    let one = (0u8..6, 0..n, -3.0..3.0f64).prop_map(|(g, q, t)| ProgOp::One(g, q, t));
+    let two = (0u8..2, 0..n, 1..n).prop_map(move |(g, a, d)| ProgOp::Two(g, a, (a + d) % n));
+    proptest::collection::vec(prop_oneof![2 => one, 1 => two], 1..len)
+}
+
+fn build(n: u8, ops: &[ProgOp]) -> Circuit {
+    let mut c = Circuit::new(n as usize);
+    for op in ops {
+        match *op {
+            ProgOp::One(g, q, t) => {
+                let gate = match g {
+                    0 => Gate::H,
+                    1 => Gate::X,
+                    2 => Gate::T,
+                    3 => Gate::RZ(t),
+                    4 => Gate::RY(t),
+                    _ => Gate::S,
+                };
+                c.gate(gate, &[q as u32]);
+            }
+            ProgOp::Two(g, a, b) => {
+                if g == 0 {
+                    c.cx(a as u32, b as u32);
+                } else {
+                    c.cz(a as u32, b as u32);
+                }
+            }
+        }
+    }
+    c.measure_all();
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn transpiled_circuits_are_coupling_legal_and_equivalent(
+        ops in arb_prog(4, 25),
+        seed in 0u64..50,
+        trivial in any::<bool>(),
+        asap in any::<bool>(),
+    ) {
+        let c = build(4, &ops);
+        let dev = Device::ibmq_guadalupe(seed);
+        let opts = TranspileOptions {
+            layout: if trivial { LayoutStrategy::Trivial } else { LayoutStrategy::NoiseAdaptive },
+            scheduling: if asap { SchedulePolicy::Asap } else { SchedulePolicy::Alap },
+            skip_optimization: false,
+        };
+        let t = transpile(&c, &dev, &opts);
+        // 1. Coupling-legal.
+        for instr in t.circuit.iter() {
+            if instr.is_two_qubit_gate() {
+                let a = instr.qubits[0].index() as u32;
+                let b = instr.qubits[1].index() as u32;
+                prop_assert!(dev.topology().are_connected(a, b));
+            }
+        }
+        // 2. Semantics preserved (exact distribution equality).
+        let ideal = statevec::ideal_distribution(&c).expect("logical");
+        let (compact, _) = t.circuit.compacted();
+        let routed = statevec::ideal_distribution(&compact).expect("routed");
+        for (k, v) in &ideal {
+            let w = routed.get(k).copied().unwrap_or(0.0);
+            prop_assert!((v - w).abs() < 1e-8, "outcome {}: {} vs {}", k, v, w);
+        }
+        // 3. Schedule is consistent: per-qubit busy intervals never overlap
+        //    and events fit inside the makespan.
+        for q in 0..dev.num_qubits() as u32 {
+            let busy = t.timed.busy_intervals(q);
+            for w in busy.windows(2) {
+                prop_assert!(w[1].start_ns >= w[0].end_ns - 1e-9);
+            }
+        }
+        for e in t.timed.events() {
+            prop_assert!(e.end_ns <= t.timed.total_ns() + 1e-9);
+            prop_assert!(e.start_ns >= -1e-9);
+        }
+        // 4. Idle fractions are probabilities.
+        for q in 0..dev.num_qubits() as u32 {
+            let f = t.timed.idle_fraction(q);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&f));
+        }
+    }
+
+    #[test]
+    fn optimization_never_changes_semantics(ops in arb_prog(3, 30)) {
+        let c = build(3, &ops);
+        let physical = transpiler::decompose_circuit(&c);
+        let optimized = transpiler::optimize_circuit(&physical);
+        prop_assert!(optimized.len() <= physical.len());
+        let a = statevec::ideal_distribution(&physical).expect("decomposed");
+        let b = statevec::ideal_distribution(&optimized).expect("optimized");
+        for (k, v) in &a {
+            let w = b.get(k).copied().unwrap_or(0.0);
+            prop_assert!((v - w).abs() < 1e-8, "outcome {}: {} vs {}", k, v, w);
+        }
+    }
+
+    #[test]
+    fn decompose_emits_only_basis_gates(ops in arb_prog(3, 30)) {
+        let c = build(3, &ops);
+        let d = transpiler::decompose_circuit(&c);
+        for instr in d.iter() {
+            if let OpKind::Gate(g) = instr.kind {
+                prop_assert!(
+                    transpiler::decompose::is_basis_gate(g),
+                    "{:?} escaped decomposition",
+                    g
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_angle_lands_in_half_open_interval(t in -1e4..1e4f64) {
+        let r = transpiler::decompose::normalize_angle(t);
+        prop_assert!(r > -std::f64::consts::PI - 1e-9);
+        prop_assert!(r <= std::f64::consts::PI + 1e-9);
+        // Same angle modulo 2π.
+        let diff = (t - r) / (2.0 * std::f64::consts::PI);
+        prop_assert!((diff - diff.round()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,76 @@
+//! Reproduce the paper's §3 device characterization on a simulated
+//! machine: how badly does an idle qubit decay, how much worse is it when
+//! CNOTs fire next door, and how much does dynamical decoupling recover?
+//!
+//! ```sh
+//! cargo run --release --example characterize_idling
+//! ```
+
+use adapt::dd::{insert_dd, DdConfig, DdProtocol};
+use adapt_suite::prelude::*;
+use benchmarks::characterization::{idle_probe, idle_probe_with_cnots, theta_grid};
+use transpiler::{decompose_circuit, schedule};
+
+fn run_probe(
+    machine: &Machine,
+    circuit: &qcirc::Circuit,
+    probe: u32,
+    dd: Option<DdProtocol>,
+    exec: &ExecutionConfig,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let physical = decompose_circuit(circuit);
+    let timed = schedule(&physical, machine.device(), SchedulePolicy::Asap);
+    let timed = match dd {
+        None => timed,
+        Some(p) => {
+            insert_dd(
+                &timed,
+                machine.device(),
+                &[probe],
+                &DdConfig::for_protocol(p),
+            )
+            .timed
+        }
+    };
+    let counts = machine.execute_timed(&timed, exec)?;
+    Ok(counts.probability(0))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dev = Device::ibmq_london(7);
+    let machine = Machine::new(dev.clone());
+    let exec = ExecutionConfig {
+        shots: 2000,
+        trajectories: 80,
+        seed: 11,
+        threads: 0,
+    };
+
+    println!("-- free evolution vs XY4, 5 states, 8us idle --");
+    for theta in theta_grid(5) {
+        let probe = idle_probe(5, 0, theta, 8000.0);
+        let free = run_probe(&machine, &probe, 0, None, &exec)?;
+        let dd = run_probe(&machine, &probe, 0, Some(DdProtocol::Xy4), &exec)?;
+        println!("  theta {theta:4.2}: free {free:.3}   XY4 {dd:.3}");
+    }
+
+    // Find the spectator/link pair with the strongest crosstalk coupling.
+    let mut best = (0u32, device::LinkId(0), 0.0f64);
+    for q in 0..dev.num_qubits() as u32 {
+        for (l, chi) in dev.calibration().crosstalk_on(q) {
+            if chi.abs() > best.2.abs() {
+                best = (q, l, chi);
+            }
+        }
+    }
+    let (victim, link, chi) = best;
+    let (a, b) = dev.topology().link_endpoints(link);
+    println!("\n-- crosstalk: spectator q{victim} vs CNOTs on {a}-{b} (chi {chi:+.2} rad/us) --");
+    for theta in theta_grid(5) {
+        let probe = idle_probe_with_cnots(5, victim, theta, a, b, 6);
+        let free = run_probe(&machine, &probe, victim, None, &exec)?;
+        let dd = run_probe(&machine, &probe, victim, Some(DdProtocol::Xy4), &exec)?;
+        println!("  theta {theta:4.2}: free {free:.3}   XY4 {dd:.3}");
+    }
+    Ok(())
+}

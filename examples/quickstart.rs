@@ -1,0 +1,39 @@
+//! Quickstart: compile a program for a simulated IBMQ machine and compare
+//! the four DD policies of the ADAPT paper.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use adapt_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A noisy 16-qubit machine modeled after IBMQ-Guadalupe. The seed
+    // fixes the calibration snapshot and every stochastic process.
+    let machine = Machine::new(Device::ibmq_guadalupe(42));
+    println!("machine: {}", machine.device());
+
+    // A 5-qubit QFT benchmark whose correct answer is |11⟩ = 3.
+    let program = benchmarks::qft_bench(5, 3);
+    println!(
+        "program: QFT-5, {} gates, depth {}",
+        program.gate_count(),
+        program.depth()
+    );
+
+    let framework = Adapt::new(machine);
+    let cfg = AdaptConfig::default();
+
+    for policy in [Policy::NoDd, Policy::AllDd, Policy::Adapt] {
+        let run = framework.run_policy(&program, policy, &cfg)?;
+        println!(
+            "{:12}  fidelity {:.3}   mask {}   ({} DD pulses, {} decoy runs)",
+            run.policy.to_string(),
+            run.fidelity,
+            run.mask,
+            run.pulse_count,
+            run.search_runs,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! # adapt-suite — the ADAPT reproduction, in one crate
+//!
+//! Umbrella crate re-exporting every layer of the stack so downstream
+//! users can depend on a single package:
+//!
+//! - [`qcirc`]: circuit IR, gates, Clifford machinery;
+//! - [`stab`]: CHP / extended stabilizer simulators;
+//! - [`statevec`]: dense state-vector simulator;
+//! - [`device`]: IBMQ machine models (topology, calibration, crosstalk);
+//! - [`transpiler`]: decompose → layout → route → optimize → schedule;
+//! - [`machine`]: noisy Monte-Carlo trajectory executor;
+//! - [`adapt`]: the paper's contribution — GST, DD protocols, decoy
+//!   circuits, localized search, policies;
+//! - [`benchmarks`]: BV/QFT/QAOA/Adder/QPE generators and probes.
+//!
+//! # Quick start
+//!
+//! ```
+//! use adapt_suite::prelude::*;
+//!
+//! let machine = Machine::new(Device::ibmq_guadalupe(42));
+//! let framework = Adapt::new(machine);
+//! let program = benchmarks::qft_bench(4, 6);
+//! let cfg = AdaptConfig::default();
+//! let compiled = framework.compile(&program, &cfg);
+//! // ADAPT's localized search needs at most 4·N decoy circuits
+//! // (plus a 3-run referee pass; see the adapt crate docs).
+//! let choice = framework.choose_mask(&compiled, 4, &cfg).unwrap();
+//! assert!(choice.decoy_runs() <= 4 * 4 + 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use adapt;
+pub use benchmarks;
+pub use device;
+pub use machine;
+pub use qcirc;
+pub use stab;
+pub use statevec;
+pub use transpiler;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use adapt::{
+        Adapt, AdaptConfig, DdConfig, DdMask, DdProtocol, DecoyKind, Policy, PolicyRun,
+    };
+    pub use benchmarks::{self, BenchmarkSpec};
+    pub use device::{Device, SeedSpawner, Topology};
+    pub use machine::{ExecutionConfig, Machine, NoiseToggles};
+    pub use qcirc::{Circuit, Counts, Gate, Qubit};
+    pub use transpiler::{transpile, SchedulePolicy, TranspileOptions};
+}

@@ -1,0 +1,125 @@
+//! Cross-simulator equivalence: the CHP tableau, the dense state vector
+//! and the noise-free trajectory executor must agree wherever their
+//! domains overlap.
+
+use adapt_suite::prelude::*;
+use machine::NoiseToggles;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random Clifford + measurement circuit.
+fn random_clifford(n: usize, depth: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    let one_q = [Gate::H, Gate::S, Gate::Sdg, Gate::X, Gate::Y, Gate::Z, Gate::SX, Gate::SXdg];
+    for _ in 0..depth {
+        if rng.gen::<f64>() < 0.35 && n >= 2 {
+            let a = rng.gen_range(0..n as u32);
+            let mut b = rng.gen_range(0..n as u32);
+            while b == a {
+                b = rng.gen_range(0..n as u32);
+            }
+            match rng.gen_range(0..3) {
+                0 => c.cx(a, b),
+                1 => c.cz(a, b),
+                _ => c.swap(a, b),
+            };
+        } else {
+            let g = one_q[rng.gen_range(0..one_q.len())];
+            c.gate(g, &[rng.gen_range(0..n as u32)]);
+        }
+    }
+    c.measure_all();
+    c
+}
+
+#[test]
+fn chp_and_statevec_agree_on_random_clifford_circuits() {
+    for seed in 0..30 {
+        let n = 2 + (seed as usize) % 5;
+        let c = random_clifford(n, 25, seed);
+        let chp = stab::exact_distribution(&c).expect("Clifford circuit");
+        let dense = statevec::ideal_distribution(&c).expect("dense");
+        assert_eq!(chp.len(), dense.len(), "seed {seed}: support mismatch");
+        for (k, v) in &dense {
+            let w = chp.get(k).copied().unwrap_or(0.0);
+            assert!((v - w).abs() < 1e-9, "seed {seed}, outcome {k}: {v} vs {w}");
+        }
+    }
+}
+
+#[test]
+fn chp_sampling_converges_to_exact_distribution() {
+    let c = random_clifford(4, 30, 99);
+    let exact = stab::exact_distribution(&c).expect("Clifford");
+    let mut rng = StdRng::seed_from_u64(7);
+    let counts = stab::sample_counts(&c, 8000, &mut rng).expect("sampling");
+    for (&k, &p) in &exact {
+        let emp = counts.probability(k);
+        assert!(
+            (emp - p).abs() < 0.03,
+            "outcome {k}: empirical {emp} vs exact {p}"
+        );
+    }
+}
+
+#[test]
+fn noise_free_executor_agrees_with_statevec_sampler() {
+    // Non-Clifford circuit: compare the trajectory executor (noise off)
+    // against the dense ideal distribution.
+    let mut c = Circuit::new(3);
+    c.h(0).t(0).cx(0, 1).ry(0.9, 2).cx(1, 2).rz(0.4, 1).measure_all();
+    let ideal = statevec::ideal_distribution(&c).expect("ideal");
+    let dev = Device::ibmq_rome(1);
+    let m = Machine::with_toggles(dev, NoiseToggles::none());
+    let counts = m
+        .execute(
+            &c,
+            &ExecutionConfig {
+                shots: 20_000,
+                trajectories: 4,
+                seed: 3,
+                threads: 1,
+            },
+        )
+        .expect("execution");
+    for (&k, &p) in &ideal {
+        let emp = counts.probability(k);
+        assert!((emp - p).abs() < 0.02, "outcome {k}: {emp} vs {p}");
+    }
+}
+
+#[test]
+fn stabilizer_conversion_roundtrips_through_decoys() {
+    // Any Clifford-angle physical circuit must convert and agree.
+    let mut c = Circuit::new(4);
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..40 {
+        match rng.gen_range(0..4) {
+            0 => {
+                let q = rng.gen_range(0..4u32);
+                let quarters = rng.gen_range(0..4) as f64;
+                c.rz(quarters * std::f64::consts::FRAC_PI_2, q);
+            }
+            1 => {
+                c.sx(rng.gen_range(0..4u32));
+            }
+            2 => {
+                c.x(rng.gen_range(0..4u32));
+            }
+            _ => {
+                let a = rng.gen_range(0..4u32);
+                let b = (a + rng.gen_range(1..4u32)) % 4;
+                c.cx(a, b);
+            }
+        }
+    }
+    c.measure_all();
+    let converted = adapt::decoy::to_stabilizer_circuit(&c).expect("Clifford angles");
+    let chp = stab::exact_distribution(&converted).expect("Clifford");
+    let dense = statevec::ideal_distribution(&c).expect("dense");
+    for (k, v) in &dense {
+        let w = chp.get(k).copied().unwrap_or(0.0);
+        assert!((v - w).abs() < 1e-9, "outcome {k}: {v} vs {w}");
+    }
+}
