@@ -54,9 +54,7 @@ fn bench_chp(c: &mut Criterion) {
         let circuit = ghz_clifford(n);
         group.bench_with_input(BenchmarkId::new("sample_100_shots", n), &n, |b, _| {
             let mut rng = StdRng::seed_from_u64(7);
-            b.iter(|| {
-                black_box(stab::sample_counts(&circuit, 100, &mut rng).expect("Clifford"))
-            });
+            b.iter(|| black_box(stab::sample_counts(&circuit, 100, &mut rng).expect("Clifford")));
         });
         group.bench_with_input(BenchmarkId::new("exact_distribution", n), &n, |b, _| {
             b.iter(|| black_box(stab::exact_distribution(&circuit).expect("Clifford")));
@@ -87,9 +85,7 @@ fn bench_heisenberg(c: &mut Criterion) {
             &seeds,
             |b, _| {
                 b.iter(|| {
-                    black_box(
-                        stab::heisenberg::output_distribution(&circuit).expect("supported"),
-                    )
+                    black_box(stab::heisenberg::output_distribution(&circuit).expect("supported"))
                 });
             },
         );

@@ -1,12 +1,17 @@
 //! Runs the entire experiment suite in order, regenerating every table
 //! and figure of the paper plus the ablations. Pass `--quick` for a
-//! reduced-budget pass.
+//! reduced-budget pass, `--faults <profile>` to run the backends under
+//! seeded fault injection, and `--resume` to continue a killed run from
+//! its `results/*.partial.csv` checkpoints.
 use bench_harness::experiments as ex;
 
 fn main() {
     let cfg = bench_harness::runner::ExperimentCfg::from_args();
     let t0 = std::time::Instant::now();
-    println!("ADAPT experiment suite (seed {}, quick={})", cfg.seed, cfg.quick);
+    println!(
+        "ADAPT experiment suite (seed {}, quick={}, faults={}, resume={})",
+        cfg.seed, cfg.quick, cfg.fault_name, cfg.resume
+    );
     ex::table1::run(&cfg);
     ex::fig03::run(&cfg);
     ex::fig04::run(&cfg);
@@ -24,5 +29,11 @@ fn main() {
     ex::ablation_search::run(&cfg);
     ex::ablation_protocols::run(&cfg);
     ex::ablation_decoy::run(&cfg);
-    println!("\nfull suite completed in {:.1} minutes", t0.elapsed().as_secs_f64() / 60.0);
+    if let Some(summary) = bench_harness::runner::suite_fault_summary() {
+        println!("\n== fault/retry summary ==\n{summary}");
+    }
+    println!(
+        "\nfull suite completed in {:.1} minutes",
+        t0.elapsed().as_secs_f64() / 60.0
+    );
 }

@@ -1,0 +1,335 @@
+//! Experiment checkpointing: streamed partial CSVs plus a manifest.
+//!
+//! Long experiment suites die for mundane reasons — a laptop sleeps, a
+//! CI job hits its wall-clock limit, a flaky backend exhausts a retry
+//! budget. A [`Checkpoint`] makes each datapoint durable the moment it is
+//! computed: rows stream to `results/<stem>.partial.csv` (flushed per
+//! row) and a line-based manifest at `results/<stem>.manifest` records
+//! the experiment seed, a configuration hash, and the key of every
+//! completed datapoint. Re-running with `--resume` skips completed keys;
+//! a seed or configuration mismatch invalidates the checkpoint and
+//! restarts from scratch (stale datapoints must never contaminate a
+//! differently-configured run).
+//!
+//! Manifest format (one `key=value` per line, no dependencies needed):
+//!
+//! ```text
+//! seed=2021
+//! config=9a3f01c2e77b4d10
+//! done=BV-7
+//! done=QFT-6A
+//! ```
+//!
+//! The `done=` line for a row is written *after* the row itself is
+//! flushed, so a process killed mid-write loses at most the in-flight
+//! datapoint: on resume, trailing rows without a matching `done=` entry
+//! are discarded and recomputed.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// FNV-1a hash of the configuration facets that must match for a
+/// checkpoint to be resumable (budgets, protocol, benchmark list, fault
+/// profile...). Order-sensitive by design.
+pub fn config_hash(parts: &[&str]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for p in parts {
+        for b in p.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        // Separate parts so ["ab","c"] != ["a","bc"].
+        h = (h ^ 0x1f).wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// A resumable, per-datapoint-durable CSV being written for one
+/// experiment.
+#[derive(Debug)]
+pub struct Checkpoint {
+    out_dir: PathBuf,
+    stem: String,
+    header: Vec<String>,
+    partial: File,
+    manifest: File,
+    /// Completed datapoints in completion order: `(key, csv cells)`.
+    rows: Vec<(String, Vec<String>)>,
+    resumed: usize,
+}
+
+impl Checkpoint {
+    /// Path of the streaming partial CSV for `stem`.
+    pub fn partial_path(out_dir: &Path, stem: &str) -> PathBuf {
+        out_dir.join(format!("{stem}.partial.csv"))
+    }
+
+    /// Path of the manifest for `stem`.
+    pub fn manifest_path(out_dir: &Path, stem: &str) -> PathBuf {
+        out_dir.join(format!("{stem}.manifest"))
+    }
+
+    /// Opens a checkpoint for `results/<stem>.csv`-style output.
+    ///
+    /// With `resume` set, a valid existing manifest (matching `seed` and
+    /// `config`) reloads its completed rows so the caller can skip them;
+    /// otherwise any stale checkpoint files are discarded and the
+    /// experiment starts clean.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures creating the checkpoint files.
+    pub fn open(
+        out_dir: &Path,
+        stem: &str,
+        header: &[&str],
+        seed: u64,
+        config: u64,
+        resume: bool,
+    ) -> io::Result<Self> {
+        fs::create_dir_all(out_dir)?;
+        let rows = if resume {
+            load_completed(out_dir, stem, seed, config)
+        } else {
+            Vec::new()
+        };
+        let resumed = rows.len();
+
+        // Rewrite both files from the surviving prefix: this truncates
+        // any half-written trailing row and normalizes stale content.
+        let mut partial = File::create(Self::partial_path(out_dir, stem))?;
+        writeln!(partial, "{}", header.join(","))?;
+        let mut manifest = File::create(Self::manifest_path(out_dir, stem))?;
+        writeln!(manifest, "seed={seed}")?;
+        writeln!(manifest, "config={config:016x}")?;
+        for (key, cells) in &rows {
+            writeln!(partial, "{}", cells.join(","))?;
+            writeln!(manifest, "done={key}")?;
+        }
+        partial.flush()?;
+        manifest.flush()?;
+        // Reopen in append mode so subsequent records stream.
+        let partial = OpenOptions::new()
+            .append(true)
+            .open(Self::partial_path(out_dir, stem))?;
+        let manifest = OpenOptions::new()
+            .append(true)
+            .open(Self::manifest_path(out_dir, stem))?;
+
+        Ok(Checkpoint {
+            out_dir: out_dir.to_path_buf(),
+            stem: stem.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            partial,
+            manifest,
+            rows,
+            resumed,
+        })
+    }
+
+    /// Whether `key` was already completed (by this run or a resumed one).
+    pub fn is_done(&self, key: &str) -> bool {
+        self.rows.iter().any(|(k, _)| k == key)
+    }
+
+    /// Number of datapoints inherited from a previous run.
+    pub fn resumed_rows(&self) -> usize {
+        self.resumed
+    }
+
+    /// All completed rows in completion order.
+    pub fn rows(&self) -> &[(String, Vec<String>)] {
+        &self.rows
+    }
+
+    /// Records one completed datapoint durably: the row is flushed to the
+    /// partial CSV before its `done=` manifest entry is written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell count does not match the header or the key
+    /// was already recorded.
+    pub fn record(&mut self, key: &str, cells: Vec<String>) -> io::Result<()> {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        assert!(!self.is_done(key), "datapoint {key:?} recorded twice");
+        writeln!(self.partial, "{}", cells.join(","))?;
+        self.partial.flush()?;
+        writeln!(self.manifest, "done={key}")?;
+        self.manifest.flush()?;
+        self.rows.push((key.to_string(), cells));
+        Ok(())
+    }
+
+    /// Promotes the partial CSV to the final `results/<stem>.csv` and
+    /// removes the checkpoint files. Returns the final path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures writing the final file.
+    pub fn finalize(self) -> io::Result<PathBuf> {
+        let path = self.out_dir.join(format!("{}.csv", self.stem));
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for (_, cells) in &self.rows {
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        fs::write(&path, out)?;
+        let _ = fs::remove_file(Self::partial_path(&self.out_dir, &self.stem));
+        let _ = fs::remove_file(Self::manifest_path(&self.out_dir, &self.stem));
+        println!("  wrote {}", path.display());
+        Ok(path)
+    }
+}
+
+/// Loads the completed rows of a prior run, or nothing when the
+/// checkpoint is absent, unparsable, or was produced under a different
+/// seed/configuration.
+fn load_completed(
+    out_dir: &Path,
+    stem: &str,
+    seed: u64,
+    config: u64,
+) -> Vec<(String, Vec<String>)> {
+    let Ok(manifest) = fs::read_to_string(Checkpoint::manifest_path(out_dir, stem)) else {
+        return Vec::new();
+    };
+    let Ok(partial) = fs::read_to_string(Checkpoint::partial_path(out_dir, stem)) else {
+        return Vec::new();
+    };
+    let mut seed_ok = false;
+    let mut config_ok = false;
+    let mut done: Vec<String> = Vec::new();
+    for line in manifest.lines() {
+        if let Some(v) = line.strip_prefix("seed=") {
+            seed_ok = v.trim() == seed.to_string();
+        } else if let Some(v) = line.strip_prefix("config=") {
+            config_ok = v.trim() == format!("{config:016x}");
+        } else if let Some(v) = line.strip_prefix("done=") {
+            done.push(v.to_string());
+        }
+    }
+    if !seed_ok || !config_ok {
+        return Vec::new();
+    }
+    // Data rows follow the header; the i-th row belongs to the i-th
+    // `done=` key. A row without a matching key (killed mid-write) is
+    // dropped and recomputed.
+    let rows: Vec<Vec<String>> = partial
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').map(|c| c.to_string()).collect())
+        .collect();
+    done.into_iter().zip(rows).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("adapt_ckpt_tests").join(name);
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    const HDR: &[&str] = &["bench", "fidelity"];
+
+    #[test]
+    fn resume_reloads_completed_rows() {
+        let dir = tmp("resume");
+        let mut ck = Checkpoint::open(&dir, "exp", HDR, 7, 0xABCD, false).unwrap();
+        ck.record("BV-7", vec!["BV-7".into(), "0.9".into()])
+            .unwrap();
+        ck.record("QFT-6A", vec!["QFT-6A".into(), "0.8".into()])
+            .unwrap();
+        drop(ck); // simulate a kill: no finalize
+
+        let ck = Checkpoint::open(&dir, "exp", HDR, 7, 0xABCD, true).unwrap();
+        assert_eq!(ck.resumed_rows(), 2);
+        assert!(ck.is_done("BV-7"));
+        assert!(ck.is_done("QFT-6A"));
+        assert!(!ck.is_done("QAOA-8A"));
+        assert_eq!(ck.rows()[1].1[1], "0.8");
+    }
+
+    #[test]
+    fn seed_or_config_mismatch_invalidates() {
+        let dir = tmp("mismatch");
+        let mut ck = Checkpoint::open(&dir, "exp", HDR, 7, 0xABCD, false).unwrap();
+        ck.record("BV-7", vec!["BV-7".into(), "0.9".into()])
+            .unwrap();
+        drop(ck);
+        let other_seed = Checkpoint::open(&dir, "exp", HDR, 8, 0xABCD, true).unwrap();
+        assert_eq!(other_seed.resumed_rows(), 0);
+        drop(other_seed);
+        // (the failed resume rewrote the checkpoint under seed 8)
+        let other_cfg = Checkpoint::open(&dir, "exp", HDR, 8, 0xEEEE, true).unwrap();
+        assert_eq!(other_cfg.resumed_rows(), 0);
+    }
+
+    #[test]
+    fn without_resume_flag_checkpoint_restarts() {
+        let dir = tmp("fresh");
+        let mut ck = Checkpoint::open(&dir, "exp", HDR, 7, 1, false).unwrap();
+        ck.record("BV-7", vec!["BV-7".into(), "0.9".into()])
+            .unwrap();
+        drop(ck);
+        let ck = Checkpoint::open(&dir, "exp", HDR, 7, 1, false).unwrap();
+        assert_eq!(ck.resumed_rows(), 0);
+    }
+
+    #[test]
+    fn half_written_trailing_row_is_discarded() {
+        let dir = tmp("torn");
+        let mut ck = Checkpoint::open(&dir, "exp", HDR, 7, 1, false).unwrap();
+        ck.record("BV-7", vec!["BV-7".into(), "0.9".into()])
+            .unwrap();
+        drop(ck);
+        // Append a row that never got its done= entry (killed mid-write).
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(Checkpoint::partial_path(&dir, "exp"))
+            .unwrap();
+        write!(f, "QFT-6A,0.").unwrap();
+        drop(f);
+        let ck = Checkpoint::open(&dir, "exp", HDR, 7, 1, true).unwrap();
+        assert_eq!(ck.resumed_rows(), 1);
+        assert!(!ck.is_done("QFT-6A"));
+    }
+
+    #[test]
+    fn finalize_promotes_and_cleans_up() {
+        let dir = tmp("final");
+        let mut ck = Checkpoint::open(&dir, "exp", HDR, 7, 1, false).unwrap();
+        ck.record("BV-7", vec!["BV-7".into(), "0.9".into()])
+            .unwrap();
+        let path = ck.finalize().unwrap();
+        let content = fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "bench,fidelity\nBV-7,0.9\n");
+        assert!(!Checkpoint::partial_path(&dir, "exp").exists());
+        assert!(!Checkpoint::manifest_path(&dir, "exp").exists());
+    }
+
+    #[test]
+    fn config_hash_is_order_and_boundary_sensitive() {
+        assert_ne!(config_hash(&["ab", "c"]), config_hash(&["a", "bc"]));
+        assert_ne!(config_hash(&["a", "b"]), config_hash(&["b", "a"]));
+        assert_eq!(config_hash(&["x", "y"]), config_hash(&["x", "y"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "recorded twice")]
+    fn duplicate_keys_are_rejected() {
+        let dir = tmp("dup");
+        let mut ck = Checkpoint::open(&dir, "exp", HDR, 7, 1, false).unwrap();
+        ck.record("BV-7", vec!["BV-7".into(), "0.9".into()])
+            .unwrap();
+        let _ = ck.record("BV-7", vec!["BV-7".into(), "0.9".into()]);
+    }
+}

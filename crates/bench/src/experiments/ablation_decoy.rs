@@ -47,13 +47,16 @@ pub fn run(cfg: &ExperimentCfg) {
         ("SDC, 6 seeds", DecoyKind::Seeded { max_seed_qubits: 6 }),
     ];
     let mut table = Table::new(&["decoy", "spearman", "output entropy (bits)", "seeds kept"]);
-    let mut csv = Csv::create(&cfg.out_dir(), "ablation_decoy", &[
-        "decoy", "spearman", "entropy_bits", "non_clifford",
-    ]);
+    let mut csv = Csv::create(
+        &cfg.out_dir(),
+        "ablation_decoy",
+        &["decoy", "spearman", "entropy_bits", "non_clifford"],
+    );
     for (label, kind) in kinds {
         let decoy = make_decoy(&compiled.timed, kind).expect("decoy");
         let ctx = SearchContext {
-            machine: &machine,
+            backend: &machine,
+            device: machine.device().clone(),
             decoy: &decoy,
             layout: &compiled.initial_layout,
             dd: acfg.dd,

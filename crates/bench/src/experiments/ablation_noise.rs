@@ -45,9 +45,11 @@ pub fn run(cfg: &ExperimentCfg) {
         ),
     ];
     let mut table = Table::new(&["noise model", "No-DD", "All-DD", "All-DD rel"]);
-    let mut csv = Csv::create(&cfg.out_dir(), "ablation_noise", &[
-        "case", "no_dd", "all_dd", "rel",
-    ]);
+    let mut csv = Csv::create(
+        &cfg.out_dir(),
+        "ablation_noise",
+        &["case", "no_dd", "all_dd", "rel"],
+    );
     for (label, toggles) in cases {
         let adapt = Adapt::new(Machine::with_toggles(dev.clone(), toggles));
         let no_dd = adapt
@@ -69,9 +71,11 @@ pub fn run(cfg: &ExperimentCfg) {
 
     println!("\n-- OU correlation time vs protocol gap (probe, 8us idle) --");
     let mut table = Table::new(&["tau_c (us)", "free", "XY4", "IBMQ-DD", "XY4 - IBMQ-DD"]);
-    let mut csv2 = Csv::create(&cfg.out_dir(), "ablation_noise_tau", &[
-        "tau_us", "free", "xy4", "ibmq_dd",
-    ]);
+    let mut csv2 = Csv::create(
+        &cfg.out_dir(),
+        "ablation_noise_tau",
+        &["tau_us", "free", "xy4", "ibmq_dd"],
+    );
     use crate::probes::{probe_fidelity, ProbeDd};
     let base = Device::ibmq_guadalupe(cfg.seed);
     let (probe, link) = super::fig04::strongest_pair(&base);

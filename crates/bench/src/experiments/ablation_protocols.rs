@@ -30,9 +30,11 @@ pub fn run(cfg: &ExperimentCfg) {
     println!("  probe q{probe} vs CNOTs on {a}-{b}");
 
     let mut table = Table::new(&["idle(us)", "XY4", "XY8", "IBMQ-DD", "CPMG", "UDD-8"]);
-    let mut csv = Csv::create(&cfg.out_dir(), "ablation_protocols", &[
-        "idle_us", "xy4", "xy8", "ibmq_dd", "cpmg", "udd8",
-    ]);
+    let mut csv = Csv::create(
+        &cfg.out_dir(),
+        "ablation_protocols",
+        &["idle_us", "xy4", "xy8", "ibmq_dd", "cpmg", "udd8"],
+    );
     for (ti, idle_us) in [2.0f64, 8.0, 16.0].into_iter().enumerate() {
         let reps = (idle_us * 1000.0 / dev.link(link).dur_ns).round().max(1.0) as usize;
         let c = idle_probe_with_cnots(16, probe, std::f64::consts::FRAC_PI_2, a, b, reps);
@@ -59,9 +61,11 @@ pub fn run(cfg: &ExperimentCfg) {
     let bench = by_name("QFT-6A").expect("QFT-6A exists");
     let adapt = Adapt::new(machine);
     let mut table = Table::new(&["protocol", "ADAPT fidelity", "mask", "pulses"]);
-    let mut csv2 = Csv::create(&cfg.out_dir(), "ablation_protocols_app", &[
-        "protocol", "fidelity", "mask", "pulses",
-    ]);
+    let mut csv2 = Csv::create(
+        &cfg.out_dir(),
+        "ablation_protocols_app",
+        &["protocol", "fidelity", "mask", "pulses"],
+    );
     for protocol in PROTOCOLS {
         let acfg = AdaptConfig {
             dd: DdConfig::for_protocol(protocol),
@@ -76,7 +80,12 @@ pub fn run(cfg: &ExperimentCfg) {
             run.mask.to_string(),
             run.pulse_count.to_string(),
         ]);
-        csv2.rowd(&[&protocol.to_string(), &run.fidelity, &run.mask, &run.pulse_count]);
+        csv2.rowd(&[
+            &protocol.to_string(),
+            &run.fidelity,
+            &run.mask,
+            &run.pulse_count,
+        ]);
     }
     table.print();
     csv.flush().expect("write ablation_protocols.csv");

@@ -18,10 +18,18 @@ pub fn run(cfg: &ExperimentCfg) {
     let adapt = Adapt::new(Machine::new(dev));
     let base = cfg.adapt_cfg(adapt::DdProtocol::Xy4, spawner.derive(1));
 
-    let mut table = Table::new(&["neighborhood", "top-2 merge", "fidelity", "mask", "decoy runs"]);
-    let mut csv = Csv::create(&cfg.out_dir(), "ablation_search", &[
-        "neighborhood", "top2", "fidelity", "mask", "decoy_runs",
+    let mut table = Table::new(&[
+        "neighborhood",
+        "top-2 merge",
+        "fidelity",
+        "mask",
+        "decoy runs",
     ]);
+    let mut csv = Csv::create(
+        &cfg.out_dir(),
+        "ablation_search",
+        &["neighborhood", "top2", "fidelity", "mask", "decoy_runs"],
+    );
     for neighborhood in [1usize, 2, 4, 6] {
         for top2 in [false, true] {
             let acfg = AdaptConfig {
@@ -39,7 +47,13 @@ pub fn run(cfg: &ExperimentCfg) {
                 run.mask.to_string(),
                 run.search_runs.to_string(),
             ]);
-            csv.rowd(&[&neighborhood, &top2, &run.fidelity, &run.mask, &run.search_runs]);
+            csv.rowd(&[
+                &neighborhood,
+                &top2,
+                &run.fidelity,
+                &run.mask,
+                &run.search_runs,
+            ]);
         }
     }
     table.print();

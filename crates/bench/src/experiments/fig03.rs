@@ -11,10 +11,17 @@ use transpiler::{transpile, TranspileOptions};
 pub fn run(cfg: &ExperimentCfg) {
     println!("\n== Fig 3b: SWAP-induced idle time of Q0, BV-n ==");
     let toronto = Device::ibmq_toronto(cfg.seed);
-    let mut table = Table::new(&["BV size", "Toronto idle(us)", "All-to-all idle(us)", "ratio"]);
-    let mut csv = Csv::create(&cfg.out_dir(), "fig03", &[
-        "bv_size", "toronto_idle_us", "all_to_all_idle_us", "ratio",
+    let mut table = Table::new(&[
+        "BV size",
+        "Toronto idle(us)",
+        "All-to-all idle(us)",
+        "ratio",
     ]);
+    let mut csv = Csv::create(
+        &cfg.out_dir(),
+        "fig03",
+        &["bv_size", "toronto_idle_us", "all_to_all_idle_us", "ratio"],
+    );
 
     for n in 4..=10usize {
         let secret = (1u64 << (n - 1)) - 1; // all-ones: maximal CNOT chain

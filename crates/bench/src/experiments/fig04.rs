@@ -47,8 +47,10 @@ fn part_f(cfg: &ExperimentCfg, spawner: &SeedSpawner) {
     // Use the spectator/link pair with the strongest coupling.
     let (probe, link) = strongest_pair(&dev);
     let (a, b) = dev.topology().link_endpoints(link);
-    println!("  probe q{probe}, active link {a}-{b}, chi={:.2} rad/us",
-        dev.calibration().crosstalk(probe, link));
+    println!(
+        "  probe q{probe}, active link {a}-{b}, chi={:.2} rad/us",
+        dev.calibration().crosstalk(probe, link)
+    );
     let machine = Machine::new(dev.clone());
     // ~2.4 µs of CNOT activity.
     let reps = (2400.0 / dev.link(link).dur_ns).round() as usize;
@@ -60,7 +62,13 @@ fn part_f(cfg: &ExperimentCfg, spawner: &SeedSpawner) {
         let c = idle_probe_with_cnots(5, probe, theta, a, b, reps);
         let exec = cfg.probe_exec(spawner.derive(200 + i as u64));
         let free = probe_fidelity(&machine, &c, probe, ProbeDd::Free, &exec);
-        let dd = probe_fidelity(&machine, &c, probe, ProbeDd::Protocol(DdProtocol::Xy4), &exec);
+        let dd = probe_fidelity(
+            &machine,
+            &c,
+            probe,
+            ProbeDd::Protocol(DdProtocol::Xy4),
+            &exec,
+        );
         worst_free = worst_free.min(free);
         worst_dd = worst_dd.min(dd);
         table.row_owned(vec![
@@ -86,9 +94,11 @@ fn parts_gh(cfg: &ExperimentCfg, spawner: &SeedSpawner) {
     } else {
         theta_grid(5)
     };
-    let mut csv = Csv::create(&cfg.out_dir(), "fig04gh", &[
-        "qubit", "link_a", "link_b", "theta", "free", "dd",
-    ]);
+    let mut csv = Csv::create(
+        &cfg.out_dir(),
+        "fig04gh",
+        &["qubit", "link_a", "link_b", "theta", "free", "dd"],
+    );
     let mut free_all = Vec::new();
     let mut dd_all = Vec::new();
     for (ci, &(q, link)) in combos.iter().enumerate() {
@@ -111,9 +121,17 @@ fn parts_gh(cfg: &ExperimentCfg, spawner: &SeedSpawner) {
     };
     let (fm, fw) = stats(&free_all);
     let (dm, dw) = stats(&dd_all);
-    println!("  (g) free evolution: mean {:.1}%  worst {:.1}%", fm * 100.0, fw * 100.0);
+    println!(
+        "  (g) free evolution: mean {:.1}%  worst {:.1}%",
+        fm * 100.0,
+        fw * 100.0
+    );
     println!("{}", text_histogram(&free_all, 0.0, 1.0, 10));
-    println!("  (h) with XY4 DD:    mean {:.1}%  worst {:.1}%", dm * 100.0, dw * 100.0);
+    println!(
+        "  (h) with XY4 DD:    mean {:.1}%  worst {:.1}%",
+        dm * 100.0,
+        dw * 100.0
+    );
     println!("{}", text_histogram(&dd_all, 0.0, 1.0, 10));
     csv.flush().expect("write fig04gh.csv");
 }

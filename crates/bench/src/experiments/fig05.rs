@@ -23,9 +23,11 @@ pub fn run(cfg: &ExperimentCfg) {
     } else {
         theta_grid(3)
     };
-    let mut csv = Csv::create(&cfg.out_dir(), "fig05", &[
-        "qubit", "link_a", "link_b", "relative_fidelity",
-    ]);
+    let mut csv = Csv::create(
+        &cfg.out_dir(),
+        "fig05",
+        &["qubit", "link_a", "link_b", "relative_fidelity"],
+    );
     let mut rels = Vec::with_capacity(combos.len());
     for (ci, &(q, link)) in combos.iter().enumerate() {
         let (a, b) = dev.topology().link_endpoints(link);

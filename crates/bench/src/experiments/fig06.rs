@@ -38,9 +38,11 @@ pub fn run(cfg: &ExperimentCfg) {
 
     let thetas = theta_grid(if cfg.quick { 5 } else { 9 });
     let mut table = Table::new(&["theta", "cycle-1 rel", "cycle-2 rel"]);
-    let mut csv = Csv::create(&cfg.out_dir(), "fig06", &[
-        "theta", "cycle", "free", "dd", "relative",
-    ]);
+    let mut csv = Csv::create(
+        &cfg.out_dir(),
+        "fig06",
+        &["theta", "cycle", "free", "dd", "relative"],
+    );
     let mut rows: Vec<Vec<String>> = thetas.iter().map(|t| vec![format!("{t:.2}")]).collect();
     for cycle in 0..2u64 {
         let dev = base.at_calibration_cycle(cycle);

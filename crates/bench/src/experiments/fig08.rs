@@ -24,7 +24,13 @@ pub fn run(cfg: &ExperimentCfg) {
     ];
     let mut csv = Csv::create(&cfg.out_dir(), "fig08", &["mask", "workload", "fidelity"]);
     let mut summary = Table::new(&[
-        "workload", "baseline", "all-DD", "best mask", "best", "all-DD rel", "best rel",
+        "workload",
+        "baseline",
+        "all-DD",
+        "best mask",
+        "best",
+        "all-DD rel",
+        "best rel",
     ]);
     // Sweep at search budget (64 runs per workload), mirroring the paper's
     // per-mask executions.

@@ -34,8 +34,8 @@ pub fn run(cfg: &ExperimentCfg) {
     let circuit = adder4(true, true, false);
     let compiled = adapt.compile(&circuit, &acfg);
     let ideal = adapt.ideal_output(&circuit).expect("ideal");
-    let decoy = make_decoy(&compiled.timed, DecoyKind::Seeded { max_seed_qubits: 4 })
-        .expect("decoy");
+    let decoy =
+        make_decoy(&compiled.timed, DecoyKind::Seeded { max_seed_qubits: 4 }).expect("decoy");
     // Two decoy sweeps: one sharing the execution seed with the real
     // sweep (on hardware, decoy and real circuits run back-to-back inside
     // one calibration window and see the same slow-noise environment —
@@ -43,7 +43,8 @@ pub fn run(cfg: &ExperimentCfg) {
     // one with independent seeds (the pessimistic bound where the machine
     // drifted between the sweeps). The paper's ρ = 0.78 sits between.
     let ctx = SearchContext {
-        machine: &machine,
+        backend: &machine,
+        device: machine.device().clone(),
         decoy: &decoy,
         layout: &compiled.initial_layout,
         dd: acfg.dd,
@@ -51,7 +52,8 @@ pub fn run(cfg: &ExperimentCfg) {
         num_program_qubits: 4,
     };
     let ctx_drifted = SearchContext {
-        machine: &machine,
+        backend: &machine,
+        device: machine.device().clone(),
         decoy: &decoy,
         layout: &compiled.initial_layout,
         dd: acfg.dd,
@@ -67,9 +69,11 @@ pub fn run(cfg: &ExperimentCfg) {
     };
 
     let mut table = Table::new(&["mask", "real", "decoy", "decoy (drifted)"]);
-    let mut csv = Csv::create(&cfg.out_dir(), "fig09", &[
-        "mask", "real", "decoy_shared", "decoy_drifted",
-    ]);
+    let mut csv = Csv::create(
+        &cfg.out_dir(),
+        "fig09",
+        &["mask", "real", "decoy_shared", "decoy_drifted"],
+    );
     let mut real = Vec::new();
     let mut dec = Vec::new();
     let mut dec_drift = Vec::new();

@@ -16,6 +16,13 @@ pub fn run(cfg: &ExperimentCfg) {
     };
     for protocol in [DdProtocol::Xy4, DdProtocol::IbmqDd] {
         println!("\n== Fig 13: policies on IBMQ-Toronto, {protocol} ==");
-        super::policy_figure(cfg, &dev, &names, protocol, true, &format!("fig13_{protocol}"));
+        super::policy_figure(
+            cfg,
+            &dev,
+            &names,
+            protocol,
+            true,
+            &format!("fig13_{protocol}"),
+        );
     }
 }

@@ -19,6 +19,13 @@ pub fn run(cfg: &ExperimentCfg) {
         // Runtime-Best is omitted on Guadalupe: QFT-7-class sweeps are the
         // costliest executions in the suite and the figure's claim is
         // ADAPT-vs-All-DD robustness (§6.3). EXPERIMENTS.md notes this.
-        super::policy_figure(cfg, &dev, &names, protocol, false, &format!("fig15_{protocol}"));
+        super::policy_figure(
+            cfg,
+            &dev,
+            &names,
+            protocol,
+            false,
+            &format!("fig15_{protocol}"),
+        );
     }
 }

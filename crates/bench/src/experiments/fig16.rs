@@ -22,12 +22,18 @@ pub fn run(cfg: &ExperimentCfg) {
     // Subsample combinations to keep the sweep tractable.
     let stride = if cfg.quick { 16 } else { 6 };
     let sample: Vec<_> = combos.iter().step_by(stride).copied().collect();
-    println!("  {} of {} combinations, theta = pi/2", sample.len(), combos.len());
+    println!(
+        "  {} of {} combinations, theta = pi/2",
+        sample.len(),
+        combos.len()
+    );
 
     let mut table = Table::new(&["idle(us)", "free", "XY4", "IBMQ-DD"]);
-    let mut csv = Csv::create(&cfg.out_dir(), "fig16", &[
-        "idle_us", "free", "xy4", "ibmq_dd",
-    ]);
+    let mut csv = Csv::create(
+        &cfg.out_dir(),
+        "fig16",
+        &["idle_us", "free", "xy4", "ibmq_dd"],
+    );
     for (ii, idle_us) in [1.0f64, 2.0, 4.0, 8.0, 12.0].into_iter().enumerate() {
         let mut sums = [0.0f64; 3];
         for (ci, &(q, link)) in sample.iter().enumerate() {

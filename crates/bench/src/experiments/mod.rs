@@ -5,8 +5,8 @@
 //! `all_experiments` binary chains them in order.
 
 pub mod ablation_decoy;
-pub mod ablation_protocols;
 pub mod ablation_noise;
+pub mod ablation_protocols;
 pub mod ablation_search;
 pub mod fig03;
 pub mod fig04;
@@ -22,7 +22,8 @@ pub mod table1;
 pub mod table2;
 pub mod table5;
 
-use crate::report::{Csv, Table};
+use crate::checkpoint::{config_hash, Checkpoint};
+use crate::report::Table;
 use crate::runner::{policy_sweep, ExperimentCfg};
 use adapt::DdProtocol;
 use device::Device;
@@ -30,6 +31,10 @@ use device::Device;
 /// Shared driver for the Fig. 13/14/15-style policy comparisons: runs the
 /// four policies per benchmark, prints relative fidelities, and writes
 /// `results/<stem>.csv`.
+///
+/// Datapoints stream to a [`Checkpoint`] as they complete: a killed run
+/// leaves `results/<stem>.partial.csv` + manifest behind, and re-running
+/// with `--resume` skips every completed benchmark.
 pub fn policy_figure(
     cfg: &ExperimentCfg,
     device: &Device,
@@ -38,46 +43,100 @@ pub fn policy_figure(
     with_oracle: bool,
     stem: &str,
 ) {
-    let mut table = Table::new(&[
-        "benchmark", "baseline", "All-DD", "ADAPT", "Runtime-Best", "ADAPT mask", "decoys",
+    let header = [
+        "benchmark",
+        "protocol",
+        "baseline",
+        "all_dd_rel",
+        "adapt_rel",
+        "runtime_best_rel",
+        "adapt_mask",
+        "decoy_runs",
+        "degraded_groups",
+    ];
+    let cfg_hash = config_hash(&[
+        &cfg.quick.to_string(),
+        &protocol.to_string(),
+        &names.join("+"),
+        &with_oracle.to_string(),
+        cfg.fault_name,
     ]);
-    let mut csv = Csv::create(&cfg.out_dir(), stem, &[
-        "benchmark", "protocol", "baseline", "all_dd_rel", "adapt_rel", "runtime_best_rel",
-        "adapt_mask", "decoy_runs",
+    let mut ck = Checkpoint::open(
+        &cfg.out_dir(),
+        stem,
+        &header,
+        cfg.seed,
+        cfg_hash,
+        cfg.resume,
+    )
+    .expect("open experiment checkpoint");
+    if ck.resumed_rows() > 0 {
+        println!(
+            "  (resume: {} of {} datapoints already complete)",
+            ck.resumed_rows(),
+            names.len()
+        );
+    }
+    for name in names {
+        if ck.is_done(name) {
+            continue;
+        }
+        let bench = benchmarks::suite::by_name(name).expect("known benchmark");
+        let r = policy_sweep(device, &bench, protocol, cfg, with_oracle);
+        ck.record(
+            name,
+            vec![
+                r.name.clone(),
+                protocol.to_string(),
+                format!("{:.4}", r.baseline),
+                format!("{:.4}", r.all_dd_rel),
+                format!("{:.4}", r.adapt_rel),
+                r.runtime_best_rel
+                    .map(|v| format!("{v:.4}"))
+                    .unwrap_or_default(),
+                r.adapt_mask,
+                r.adapt_search_runs.to_string(),
+                r.degraded_groups.to_string(),
+            ],
+        )
+        .expect("stream datapoint to checkpoint");
+    }
+
+    // Render the table (and summary geomeans) from the checkpoint rows so
+    // resumed datapoints appear exactly like freshly computed ones.
+    let mut table = Table::new(&[
+        "benchmark",
+        "baseline",
+        "All-DD",
+        "ADAPT",
+        "Runtime-Best",
+        "ADAPT mask",
+        "decoys",
     ]);
     let mut all_rels = Vec::new();
     let mut adapt_rels = Vec::new();
     let mut rb_rels = Vec::new();
-    for name in names {
-        let bench = benchmarks::suite::by_name(name).expect("known benchmark");
-        let r = policy_sweep(device, &bench, protocol, cfg, with_oracle);
-        all_rels.push(r.all_dd_rel);
-        adapt_rels.push(r.adapt_rel);
-        if let Some(rb) = r.runtime_best_rel {
+    for (_, cells) in ck.rows() {
+        let baseline: f64 = cells[2].parse().unwrap_or(0.0);
+        let all_dd: f64 = cells[3].parse().unwrap_or(0.0);
+        let adapt_rel: f64 = cells[4].parse().unwrap_or(0.0);
+        all_rels.push(all_dd);
+        adapt_rels.push(adapt_rel);
+        if let Ok(rb) = cells[5].parse::<f64>() {
             rb_rels.push(rb);
         }
         table.row_owned(vec![
-            r.name.clone(),
-            format!("{:.3}", r.baseline),
-            format!("{:.2}x", r.all_dd_rel),
-            format!("{:.2}x", r.adapt_rel),
-            r.runtime_best_rel
-                .map(|v| format!("{v:.2}x"))
-                .unwrap_or_else(|| "-".into()),
-            r.adapt_mask.clone(),
-            r.adapt_search_runs.to_string(),
-        ]);
-        csv.row(&[
-            r.name.clone(),
-            protocol.to_string(),
-            format!("{:.4}", r.baseline),
-            format!("{:.4}", r.all_dd_rel),
-            format!("{:.4}", r.adapt_rel),
-            r.runtime_best_rel
-                .map(|v| format!("{v:.4}"))
-                .unwrap_or_default(),
-            r.adapt_mask,
-            r.adapt_search_runs.to_string(),
+            cells[0].clone(),
+            format!("{baseline:.3}"),
+            format!("{all_dd:.2}x"),
+            format!("{adapt_rel:.2}x"),
+            if cells[5].is_empty() {
+                "-".into()
+            } else {
+                format!("{:.2}x", cells[5].parse::<f64>().unwrap_or(0.0))
+            },
+            cells[6].clone(),
+            cells[7].clone(),
         ]);
     }
     use adapt::metrics::geomean;
@@ -95,5 +154,5 @@ pub fn policy_figure(
         String::new(),
     ]);
     table.print();
-    csv.flush().expect("write policy figure csv");
+    ck.finalize().expect("write policy figure csv");
 }

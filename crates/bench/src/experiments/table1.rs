@@ -17,12 +17,31 @@ pub fn run(cfg: &ExperimentCfg) {
     let acfg = cfg.adapt_cfg(adapt::DdProtocol::Xy4, spawner.derive(1));
 
     let mut table = Table::new(&[
-        "Workload", "Latency(us)", "Q0%", "Q1%", "Q2%", "Q3%", "Q4%", "NoDD", "AllDD",
+        "Workload",
+        "Latency(us)",
+        "Q0%",
+        "Q1%",
+        "Q2%",
+        "Q3%",
+        "Q4%",
+        "NoDD",
+        "AllDD",
     ]);
-    let mut csv = Csv::create(&cfg.out_dir(), "table1", &[
-        "workload", "latency_us", "idle_q0", "idle_q1", "idle_q2", "idle_q3", "idle_q4",
-        "fid_no_dd", "fid_all_dd",
-    ]);
+    let mut csv = Csv::create(
+        &cfg.out_dir(),
+        "table1",
+        &[
+            "workload",
+            "latency_us",
+            "idle_q0",
+            "idle_q1",
+            "idle_q2",
+            "idle_q3",
+            "idle_q4",
+            "fid_no_dd",
+            "fid_all_dd",
+        ],
+    );
 
     for bench in table1_suite() {
         let compiled = adapt.compile(&bench.circuit, &acfg);

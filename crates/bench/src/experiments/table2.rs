@@ -24,11 +24,23 @@ pub fn run(cfg: &ExperimentCfg) {
     ];
 
     let mut table = Table::new(&[
-        "Benchmark", "Platform", "CDC-corr", "SDC-corr", "SDC-SimTime",
+        "Benchmark",
+        "Platform",
+        "CDC-corr",
+        "SDC-corr",
+        "SDC-SimTime",
     ]);
-    let mut csv = Csv::create(&cfg.out_dir(), "table2", &[
-        "benchmark", "platform", "cdc_corr", "sdc_corr", "sdc_sim_ms",
-    ]);
+    let mut csv = Csv::create(
+        &cfg.out_dir(),
+        "table2",
+        &[
+            "benchmark",
+            "platform",
+            "cdc_corr",
+            "sdc_corr",
+            "sdc_sim_ms",
+        ],
+    );
 
     for (bi, (name, dev)) in cases.into_iter().enumerate() {
         let bench = by_name(name).expect("known benchmark");
@@ -74,7 +86,8 @@ pub fn run(cfg: &ExperimentCfg) {
         let corr_for = |kind: DecoyKind| -> f64 {
             let decoy = make_decoy(&compiled.timed, kind).expect("decoy");
             let ctx = SearchContext {
-                machine: &machine,
+                backend: &machine,
+                device: machine.device().clone(),
                 decoy: &decoy,
                 layout: &compiled.initial_layout,
                 dd: acfg.dd,
@@ -97,8 +110,8 @@ pub fn run(cfg: &ExperimentCfg) {
         let sdc = corr_for(DecoyKind::Seeded { max_seed_qubits: 4 });
 
         // SDC ideal-output simulation time.
-        let sdc_decoy = make_decoy(&compiled.timed, DecoyKind::Seeded { max_seed_qubits: 4 })
-            .expect("decoy");
+        let sdc_decoy =
+            make_decoy(&compiled.timed, DecoyKind::Seeded { max_seed_qubits: 4 }).expect("decoy");
         let t0 = Instant::now();
         let _ = decoy_ideal_distribution(&sdc_decoy.timed).expect("ideal decoy sim");
         let sim_ms = t0.elapsed().as_secs_f64() * 1000.0;

@@ -18,17 +18,32 @@ pub fn run(cfg: &ExperimentCfg) {
         ("Guadalupe", "fig15_IBMQ-DD", "IBMQ-DD"),
     ];
     let mut table = Table::new(&[
-        "Machine", "Protocol", "All-DD min/gmean/max", "ADAPT min/gmean/max",
+        "Machine",
+        "Protocol",
+        "All-DD min/gmean/max",
+        "ADAPT min/gmean/max",
     ]);
-    let mut csv = Csv::create(&cfg.out_dir(), "table5", &[
-        "machine", "protocol",
-        "all_dd_min", "all_dd_gmean", "all_dd_max",
-        "adapt_min", "adapt_gmean", "adapt_max",
-    ]);
+    let mut csv = Csv::create(
+        &cfg.out_dir(),
+        "table5",
+        &[
+            "machine",
+            "protocol",
+            "all_dd_min",
+            "all_dd_gmean",
+            "all_dd_max",
+            "adapt_min",
+            "adapt_gmean",
+            "adapt_max",
+        ],
+    );
     for (machine, stem, protocol) in sources {
         let path = cfg.out_dir().join(format!("{stem}.csv"));
         let Ok(content) = fs::read_to_string(&path) else {
-            println!("  (skipping {machine}/{protocol}: {} not found — run the figure first)", path.display());
+            println!(
+                "  (skipping {machine}/{protocol}: {} not found — run the figure first)",
+                path.display()
+            );
             continue;
         };
         let mut all_dd = Vec::new();
@@ -60,7 +75,9 @@ pub fn run(cfg: &ExperimentCfg) {
             format!("{a_min:.2} / {a_gm:.2} / {a_max:.2}"),
             format!("{d_min:.2} / {d_gm:.2} / {d_max:.2}"),
         ]);
-        csv.rowd(&[&machine, &protocol, &a_min, &a_gm, &a_max, &d_min, &d_gm, &d_max]);
+        csv.rowd(&[
+            &machine, &protocol, &a_min, &a_gm, &a_max, &d_min, &d_gm, &d_max,
+        ]);
     }
     table.print();
     csv.flush().expect("write table5.csv");

@@ -7,10 +7,12 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod experiments;
 pub mod probes;
 pub mod report;
 pub mod runner;
 
+pub use checkpoint::Checkpoint;
 pub use report::{Csv, Table};
-pub use runner::{policy_sweep, BenchResult, ExperimentCfg};
+pub use runner::{policy_sweep, BenchResult, ExperimentCfg, SuiteFaultSummary};

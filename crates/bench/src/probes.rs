@@ -91,13 +91,7 @@ mod tests {
             threads: 1,
         };
         let free = probe_fidelity(&machine, &c, 0, ProbeDd::Free, &exec);
-        let dd = probe_fidelity(
-            &machine,
-            &c,
-            0,
-            ProbeDd::Protocol(DdProtocol::Xy4),
-            &exec,
-        );
+        let dd = probe_fidelity(&machine, &c, 0, ProbeDd::Protocol(DdProtocol::Xy4), &exec);
         assert!(dd > free, "XY4 {dd} must beat free {free} at 12µs idle");
     }
 }

@@ -119,8 +119,7 @@ pub fn qft_bench(n: usize, k: u64) -> Circuit {
     for q in 0..n32 {
         c.h(q);
         // Bit-reversed phase assignment matches the swap-free inverse QFT.
-        let angle = 2.0 * PI * (k as f64) * (1u64 << (n32 - 1 - q)) as f64
-            / (1u64 << n) as f64;
+        let angle = 2.0 * PI * (k as f64) * (1u64 << (n32 - 1 - q)) as f64 / (1u64 << n) as f64;
         c.p(angle, q);
     }
     qft_rotations(&mut c, n32, true);
@@ -422,8 +421,8 @@ mod tests {
         // Ring of 4: optimal cuts are the alternating colorings 0101/1010.
         let c = qaoa_maxcut(4, &ring_edges(4), 0.4, 0.7, 1);
         let d = ideal_distribution(&c).unwrap();
-        let p_best = d.get(&0b0101).copied().unwrap_or(0.0)
-            + d.get(&0b1010).copied().unwrap_or(0.0);
+        let p_best =
+            d.get(&0b0101).copied().unwrap_or(0.0) + d.get(&0b1010).copied().unwrap_or(0.0);
         assert!(p_best > 2.0 / 16.0, "maxcut states underweighted: {p_best}");
     }
 

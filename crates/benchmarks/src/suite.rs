@@ -41,18 +41,9 @@ pub fn paper_suite() -> Vec<BenchmarkSpec> {
         BenchmarkSpec::new("QFT-6B", qft_bench(6, 42)),
         BenchmarkSpec::new("QFT-7A", qft_bench(7, 19)),
         BenchmarkSpec::new("QFT-7B", qft_bench(7, 97)),
-        BenchmarkSpec::new(
-            "QAOA-8A",
-            qaoa_maxcut(8, &ring_edges(8), 0.4, 0.7, 1),
-        ),
-        BenchmarkSpec::new(
-            "QAOA-8B",
-            qaoa_maxcut(8, &chorded_edges(8), 0.55, 0.6, 1),
-        ),
-        BenchmarkSpec::new(
-            "QAOA-10A",
-            qaoa_maxcut(10, &ring_edges(10), 0.4, 0.7, 1),
-        ),
+        BenchmarkSpec::new("QAOA-8A", qaoa_maxcut(8, &ring_edges(8), 0.4, 0.7, 1)),
+        BenchmarkSpec::new("QAOA-8B", qaoa_maxcut(8, &chorded_edges(8), 0.55, 0.6, 1)),
+        BenchmarkSpec::new("QAOA-10A", qaoa_maxcut(10, &ring_edges(10), 0.4, 0.7, 1)),
         BenchmarkSpec::new(
             "QAOA-10B",
             qaoa_maxcut(10, &chorded_edges(10), 0.5, 0.55, 2),
@@ -86,8 +77,7 @@ mod tests {
     fn paper_suite_matches_table4_sizes() {
         let suite = paper_suite();
         assert_eq!(suite.len(), 11);
-        let sizes: Vec<(&str, usize)> =
-            suite.iter().map(|b| (b.name, b.num_qubits)).collect();
+        let sizes: Vec<(&str, usize)> = suite.iter().map(|b| (b.name, b.num_qubits)).collect();
         assert!(sizes.contains(&("BV-7", 7)));
         assert!(sizes.contains(&("BV-8", 8)));
         assert!(sizes.contains(&("QFT-6A", 6)));

@@ -185,10 +185,16 @@ impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CircuitError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit circuit")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for {num_qubits}-qubit circuit"
+                )
             }
             CircuitError::ClbitOutOfRange { clbit, num_clbits } => {
-                write!(f, "clbit {clbit} out of range for {num_clbits} classical bits")
+                write!(
+                    f,
+                    "clbit {clbit} out of range for {num_clbits} classical bits"
+                )
             }
             CircuitError::DuplicateOperand { qubit } => {
                 write!(f, "duplicate qubit operand {qubit}")
@@ -614,7 +620,11 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "qreg q[{}]; creg c[{}];", self.num_qubits, self.num_clbits)?;
+        writeln!(
+            f,
+            "qreg q[{}]; creg c[{}];",
+            self.num_qubits, self.num_clbits
+        )?;
         for instr in &self.instrs {
             writeln!(f, "{instr};")?;
         }
@@ -665,14 +675,20 @@ mod tests {
         let err = c
             .try_push(Instruction::gate(Gate::X, vec![Qubit::new(5)]))
             .unwrap_err();
-        assert!(matches!(err, CircuitError::QubitOutOfRange { qubit: 5, .. }));
+        assert!(matches!(
+            err,
+            CircuitError::QubitOutOfRange { qubit: 5, .. }
+        ));
     }
 
     #[test]
     fn duplicate_operand_rejected() {
         let mut c = Circuit::new(2);
         let err = c
-            .try_push(Instruction::gate(Gate::CX, vec![Qubit::new(1), Qubit::new(1)]))
+            .try_push(Instruction::gate(
+                Gate::CX,
+                vec![Qubit::new(1), Qubit::new(1)],
+            ))
             .unwrap_err();
         assert!(matches!(err, CircuitError::DuplicateOperand { qubit: 1 }));
     }
@@ -748,7 +764,10 @@ mod tests {
         assert_eq!(map, vec![2, 7]);
         assert_eq!(small.num_clbits(), 10);
         // Structure preserved on renamed qubits.
-        assert_eq!(small.instructions()[1].qubits, vec![Qubit::new(0), Qubit::new(1)]);
+        assert_eq!(
+            small.instructions()[1].qubits,
+            vec![Qubit::new(0), Qubit::new(1)]
+        );
         match small.instructions()[2].kind {
             OpKind::Measure(cl) => assert_eq!(cl.index(), 3),
             ref other => panic!("expected measure, got {other:?}"),

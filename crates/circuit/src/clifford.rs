@@ -210,9 +210,7 @@ mod tests {
     fn named_paulis_present_as_single_gates() {
         let classes = single_qubit_cliffords();
         for g in [Gate::X, Gate::Y, Gate::Z, Gate::H, Gate::S, Gate::SX] {
-            let found = classes
-                .iter()
-                .any(|c| c.word() == [g]);
+            let found = classes.iter().any(|c| c.word() == [g]);
             assert!(found, "{g:?} not represented as a single named gate");
         }
     }

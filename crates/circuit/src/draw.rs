@@ -61,8 +61,8 @@ pub fn draw(circuit: &Circuit) -> String {
                 };
                 cells[a][col] = Some(la);
                 cells[b][col] = Some(lb);
-                for row in a.min(b)..a.max(b) {
-                    links[row][col] = true;
+                for link_row in links.iter_mut().take(a.max(b)).skip(a.min(b)) {
+                    link_row[col] = true;
                 }
             }
             OpKind::Gate(g) => {
@@ -132,7 +132,11 @@ pub fn draw(circuit: &Circuit) -> String {
                 line.push(' ');
                 let mid = w / 2;
                 for i in 0..*w {
-                    line.push(if links[q][col] && i == mid { '│' } else { ' ' });
+                    line.push(if links[q][col] && i == mid {
+                        '│'
+                    } else {
+                        ' '
+                    });
                 }
                 line.push(' ');
             }

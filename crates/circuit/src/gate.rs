@@ -5,7 +5,7 @@
 //! ({RZ, SX, X, CX}), and the Clifford subset the stabilizer simulator and
 //! decoy-circuit generator rely on.
 
-use crate::math::{C64, Mat2, Mat4};
+use crate::math::{Mat2, Mat4, C64};
 use std::fmt;
 
 /// A quantum gate, possibly parameterized by rotation angles (radians).
@@ -153,9 +153,7 @@ impl Gate {
             r < tol || (std::f64::consts::FRAC_PI_2 - r) < tol
         }
         match *self {
-            Gate::RX(t) | Gate::RY(t) | Gate::RZ(t) | Gate::P(t) => {
-                near_half_pi_multiple(t, tol)
-            }
+            Gate::RX(t) | Gate::RY(t) | Gate::RZ(t) | Gate::P(t) => near_half_pi_multiple(t, tol),
             Gate::U(t, p, l) => {
                 near_half_pi_multiple(t, tol)
                     && near_half_pi_multiple(p, tol)
@@ -195,10 +193,7 @@ impl Gate {
             ]),
             Gate::RX(t) => {
                 let (ch, sh) = ((t / 2.0).cos(), (t / 2.0).sin());
-                Mat2::new([
-                    [c(ch), C64::new(0.0, -sh)],
-                    [C64::new(0.0, -sh), c(ch)],
-                ])
+                Mat2::new([[c(ch), C64::new(0.0, -sh)], [C64::new(0.0, -sh), c(ch)]])
             }
             Gate::RY(t) => {
                 let (ch, sh) = ((t / 2.0).cos(), (t / 2.0).sin());
@@ -208,10 +203,7 @@ impl Gate {
                 [C64::cis(-t / 2.0), C64::ZERO],
                 [C64::ZERO, C64::cis(t / 2.0)],
             ]),
-            Gate::P(t) => Mat2::new([
-                [C64::ONE, C64::ZERO],
-                [C64::ZERO, C64::cis(t)],
-            ]),
+            Gate::P(t) => Mat2::new([[C64::ONE, C64::ZERO], [C64::ZERO, C64::cis(t)]]),
             Gate::U(t, p, l) => {
                 let (ch, sh) = ((t / 2.0).cos(), (t / 2.0).sin());
                 Mat2::new([
@@ -232,24 +224,9 @@ impl Gate {
         let z = C64::ZERO;
         let m = match self {
             // Control = operand 0 = low bit. |b1 b0⟩: flip b1 when b0 = 1.
-            Gate::CX => Mat4::new([
-                [o, z, z, z],
-                [z, z, z, o],
-                [z, z, o, z],
-                [z, o, z, z],
-            ]),
-            Gate::CZ => Mat4::new([
-                [o, z, z, z],
-                [z, o, z, z],
-                [z, z, o, z],
-                [z, z, z, -o],
-            ]),
-            Gate::Swap => Mat4::new([
-                [o, z, z, z],
-                [z, z, o, z],
-                [z, o, z, z],
-                [z, z, z, o],
-            ]),
+            Gate::CX => Mat4::new([[o, z, z, z], [z, z, z, o], [z, z, o, z], [z, o, z, z]]),
+            Gate::CZ => Mat4::new([[o, z, z, z], [z, o, z, z], [z, z, o, z], [z, z, z, -o]]),
+            Gate::Swap => Mat4::new([[o, z, z, z], [z, z, o, z], [z, o, z, z], [z, z, z, o]]),
             _ => return None,
         };
         Some(m)

@@ -192,6 +192,7 @@ impl Mul<C64> for f64 {
 impl Div for C64 {
     type Output = C64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via reciprocal
     fn div(self, rhs: C64) -> C64 {
         self * rhs.inv()
     }
@@ -547,10 +548,7 @@ mod tests {
 
     fn h() -> Mat2 {
         let s = std::f64::consts::FRAC_1_SQRT_2;
-        Mat2::new([
-            [C64::real(s), C64::real(s)],
-            [C64::real(s), C64::real(-s)],
-        ])
+        Mat2::new([[C64::real(s), C64::real(s)], [C64::real(s), C64::real(-s)]])
     }
 
     #[test]
@@ -569,14 +567,16 @@ mod tests {
             let theta = k as f64 * 0.41;
             let z = C64::cis(theta);
             assert!((z.norm() - 1.0).abs() < TOL);
-            assert!((z.arg() - theta.rem_euclid(2.0 * std::f64::consts::PI))
-                .abs()
-                .min(
-                    (z.arg() + 2.0 * std::f64::consts::PI
-                        - theta.rem_euclid(2.0 * std::f64::consts::PI))
+            assert!(
+                (z.arg() - theta.rem_euclid(2.0 * std::f64::consts::PI))
                     .abs()
-                )
-                < 1e-9);
+                    .min(
+                        (z.arg() + 2.0 * std::f64::consts::PI
+                            - theta.rem_euclid(2.0 * std::f64::consts::PI))
+                        .abs()
+                    )
+                    < 1e-9
+            );
         }
     }
 

@@ -92,13 +92,15 @@ fn qasm_gate_name(g: Gate) -> &'static str {
     }
 }
 
-/// Errors raised by the QASM parser.
+/// Errors raised by the QASM parser, located by line and column.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QasmError {
-    /// A line could not be parsed.
+    /// A statement could not be parsed.
     Syntax {
         /// 1-based line number.
         line: usize,
+        /// 1-based column of the offending token.
+        column: usize,
         /// What went wrong.
         message: String,
     },
@@ -106,6 +108,8 @@ pub enum QasmError {
     Unsupported {
         /// 1-based line number.
         line: usize,
+        /// 1-based column of the construct.
+        column: usize,
         /// The unsupported construct.
         construct: String,
     },
@@ -114,9 +118,20 @@ pub enum QasmError {
 impl std::fmt::Display for QasmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            QasmError::Syntax { line, message } => write!(f, "line {line}: {message}"),
-            QasmError::Unsupported { line, construct } => {
-                write!(f, "line {line}: unsupported construct {construct}")
+            QasmError::Syntax {
+                line,
+                column,
+                message,
+            } => write!(f, "line {line}, column {column}: {message}"),
+            QasmError::Unsupported {
+                line,
+                column,
+                construct,
+            } => {
+                write!(
+                    f,
+                    "line {line}, column {column}: unsupported construct {construct}"
+                )
             }
         }
     }
@@ -124,13 +139,57 @@ impl std::fmt::Display for QasmError {
 
 impl std::error::Error for QasmError {}
 
+/// Source location of the statement being parsed; locates error tokens by
+/// their offset inside the statement slice.
+#[derive(Clone, Copy)]
+struct Ctx<'a> {
+    /// 1-based line number.
+    line: usize,
+    /// 1-based column where the statement starts.
+    col: usize,
+    /// The statement slice (tokens passed to error helpers must be
+    /// subslices of it for exact columns; anything else falls back to the
+    /// statement start).
+    stmt: &'a str,
+}
+
+impl<'a> Ctx<'a> {
+    /// Column of `token` within the source line.
+    fn col_of(&self, token: &str) -> usize {
+        let base = self.stmt.as_ptr() as usize;
+        let tok = token.as_ptr() as usize;
+        if tok >= base && tok <= base + self.stmt.len() {
+            self.col + (tok - base)
+        } else {
+            self.col
+        }
+    }
+
+    fn syntax(&self, token: &str, message: impl Into<String>) -> QasmError {
+        QasmError::Syntax {
+            line: self.line,
+            column: self.col_of(token),
+            message: message.into(),
+        }
+    }
+
+    fn unsupported(&self, token: &str, construct: impl Into<String>) -> QasmError {
+        QasmError::Unsupported {
+            line: self.line,
+            column: self.col_of(token),
+            construct: construct.into(),
+        }
+    }
+}
+
 /// Parses the OpenQASM 2.0 subset produced by [`to_qasm`]: one `qreg`,
 /// one `creg`, standard-library gates, `measure`, `reset`, `barrier`.
 ///
 /// # Errors
 ///
 /// Returns [`QasmError`] on malformed lines or unsupported constructs
-/// (custom gate definitions, conditionals, multiple registers).
+/// (custom gate definitions, conditionals, multiple registers), located
+/// by line and column.
 pub fn from_qasm(text: &str) -> Result<Circuit, QasmError> {
     let mut circuit: Option<Circuit> = None;
     let mut num_qubits = 0usize;
@@ -138,162 +197,136 @@ pub fn from_qasm(text: &str) -> Result<Circuit, QasmError> {
 
     for (lineno, raw) in text.lines().enumerate() {
         let line = lineno + 1;
-        let stmt = raw.split("//").next().unwrap_or("").trim();
-        if stmt.is_empty() {
-            continue;
-        }
-        for piece in stmt.split(';') {
-            let piece = piece.trim();
+        let code = raw.split("//").next().unwrap_or("");
+        let mut offset = 0usize;
+        for piece_raw in code.split(';') {
+            let piece = piece_raw.trim();
+            // Column where the trimmed statement starts, 1-based.
+            let col = offset + (piece_raw.len() - piece_raw.trim_start().len()) + 1;
+            offset += piece_raw.len() + 1; // account for the ';'
             if piece.is_empty() {
                 continue;
             }
+            let ctx = Ctx {
+                line,
+                col,
+                stmt: piece,
+            };
             if piece.starts_with("OPENQASM") || piece.starts_with("include") {
                 continue;
             }
             if let Some(rest) = piece.strip_prefix("qreg") {
-                num_qubits = parse_reg_size(rest, line)?;
+                num_qubits = parse_reg_size(rest, &ctx)?;
                 continue;
             }
             if let Some(rest) = piece.strip_prefix("creg") {
-                num_clbits = parse_reg_size(rest, line)?;
+                num_clbits = parse_reg_size(rest, &ctx)?;
                 continue;
             }
             if piece.starts_with("gate ") || piece.starts_with("if") || piece.starts_with("opaque")
             {
-                return Err(QasmError::Unsupported {
-                    line,
-                    construct: piece.split_whitespace().next().unwrap_or("?").to_string(),
-                });
+                let construct = piece.split_whitespace().next().unwrap_or("?");
+                return Err(ctx.unsupported(piece, construct));
             }
             let c = circuit.get_or_insert_with(|| Circuit::with_clbits(num_qubits, num_clbits));
-            parse_statement(c, piece, line)?;
+            parse_statement(c, piece, &ctx)?;
         }
     }
     Ok(circuit.unwrap_or_else(|| Circuit::with_clbits(num_qubits, num_clbits)))
 }
 
-fn parse_reg_size(rest: &str, line: usize) -> Result<usize, QasmError> {
+fn parse_reg_size(rest: &str, ctx: &Ctx<'_>) -> Result<usize, QasmError> {
     let rest = rest.trim();
-    let open = rest.find('[').ok_or_else(|| QasmError::Syntax {
-        line,
-        message: "expected register size".into(),
-    })?;
-    let close = rest.find(']').ok_or_else(|| QasmError::Syntax {
-        line,
-        message: "unterminated register size".into(),
-    })?;
-    rest[open + 1..close].parse().map_err(|_| QasmError::Syntax {
-        line,
-        message: "bad register size".into(),
-    })
-}
-
-fn parse_index(token: &str, line: usize) -> Result<u32, QasmError> {
-    let open = token.find('[').ok_or_else(|| QasmError::Syntax {
-        line,
-        message: format!("expected indexed operand, got {token:?}"),
-    })?;
-    let close = token.find(']').ok_or_else(|| QasmError::Syntax {
-        line,
-        message: "unterminated index".into(),
-    })?;
-    token[open + 1..close]
+    let open = rest
+        .find('[')
+        .ok_or_else(|| ctx.syntax(rest, "expected register size"))?;
+    let close = rest
+        .find(']')
+        .ok_or_else(|| ctx.syntax(rest, "unterminated register size"))?;
+    let digits = &rest[open + 1..close];
+    digits
         .parse()
-        .map_err(|_| QasmError::Syntax {
-            line,
-            message: format!("bad index in {token:?}"),
-        })
+        .map_err(|_| ctx.syntax(digits, "bad register size"))
 }
 
-fn parse_statement(c: &mut Circuit, stmt: &str, line: usize) -> Result<(), QasmError> {
+fn parse_index(token: &str, ctx: &Ctx<'_>) -> Result<u32, QasmError> {
+    let open = token
+        .find('[')
+        .ok_or_else(|| ctx.syntax(token, format!("expected indexed operand, got {token:?}")))?;
+    let close = token
+        .find(']')
+        .ok_or_else(|| ctx.syntax(token, "unterminated index"))?;
+    let digits = &token[open + 1..close];
+    digits
+        .parse()
+        .map_err(|_| ctx.syntax(digits, format!("bad index in {token:?}")))
+}
+
+fn parse_statement(c: &mut Circuit, stmt: &str, ctx: &Ctx<'_>) -> Result<(), QasmError> {
     if let Some(rest) = stmt.strip_prefix("measure") {
         let mut parts = rest.split("->");
-        let q = parse_index(parts.next().unwrap_or("").trim(), line)?;
-        let cl = parse_index(parts.next().unwrap_or("").trim(), line)?;
+        let q = parse_index(parts.next().unwrap_or("").trim(), ctx)?;
+        let cl = parse_index(parts.next().unwrap_or("").trim(), ctx)?;
         c.try_push(Instruction {
             kind: OpKind::Measure(Clbit::new(cl)),
             qubits: vec![Qubit::new(q)],
         })
-        .map_err(|e| QasmError::Syntax {
-            line,
-            message: e.to_string(),
-        })?;
+        .map_err(|e| ctx.syntax(stmt, e.to_string()))?;
         return Ok(());
     }
     if let Some(rest) = stmt.strip_prefix("reset") {
-        let q = parse_index(rest.trim(), line)?;
+        let q = parse_index(rest.trim(), ctx)?;
         c.try_push(Instruction {
             kind: OpKind::Reset,
             qubits: vec![Qubit::new(q)],
         })
-        .map_err(|e| QasmError::Syntax {
-            line,
-            message: e.to_string(),
-        })?;
+        .map_err(|e| ctx.syntax(stmt, e.to_string()))?;
         return Ok(());
     }
     if let Some(rest) = stmt.strip_prefix("barrier") {
         let qubits: Result<Vec<Qubit>, QasmError> = rest
             .split(',')
-            .map(|t| parse_index(t.trim(), line).map(Qubit::new))
+            .map(|t| parse_index(t.trim(), ctx).map(Qubit::new))
             .collect();
         c.try_push(Instruction {
             kind: OpKind::Barrier,
             qubits: qubits?,
         })
-        .map_err(|e| QasmError::Syntax {
-            line,
-            message: e.to_string(),
-        })?;
+        .map_err(|e| ctx.syntax(stmt, e.to_string()))?;
         return Ok(());
     }
     // Gate: name[(params)] operands.
     let (head, operands) = match stmt.find(|ch: char| ch.is_whitespace()) {
         Some(i) => stmt.split_at(i),
-        None => {
-            return Err(QasmError::Syntax {
-                line,
-                message: format!("bare statement {stmt:?}"),
-            })
-        }
+        None => return Err(ctx.syntax(stmt, format!("bare statement {stmt:?}"))),
     };
     let (name, params) = match head.find('(') {
         Some(i) => {
-            let close = head.rfind(')').ok_or_else(|| QasmError::Syntax {
-                line,
-                message: "unterminated parameter list".into(),
-            })?;
-            let params: Result<Vec<f64>, _> = head[i + 1..close]
-                .split(',')
-                .map(|p| p.trim().parse::<f64>())
-                .collect();
+            let close = head
+                .rfind(')')
+                .ok_or_else(|| ctx.syntax(head, "unterminated parameter list"))?;
+            let plist = &head[i + 1..close];
+            let params: Result<Vec<f64>, _> =
+                plist.split(',').map(|p| p.trim().parse::<f64>()).collect();
             (
                 &head[..i],
-                params.map_err(|_| QasmError::Syntax {
-                    line,
-                    message: "bad gate parameter".into(),
-                })?,
+                params.map_err(|_| ctx.syntax(plist, "bad gate parameter"))?,
             )
         }
         None => (head, Vec::new()),
     };
     let qubits: Result<Vec<u32>, QasmError> = operands
         .split(',')
-        .map(|t| parse_index(t.trim(), line))
+        .map(|t| parse_index(t.trim(), ctx))
         .collect();
     let qubits = qubits?;
-    let gate = gate_from_name(name, &params).ok_or_else(|| QasmError::Unsupported {
-        line,
-        construct: name.to_string(),
-    })?;
+    let gate =
+        gate_from_name(name, &params).ok_or_else(|| ctx.unsupported(name, name.to_string()))?;
     c.try_push(Instruction::gate(
         gate,
         qubits.into_iter().map(Qubit::new).collect(),
     ))
-    .map_err(|e| QasmError::Syntax {
-        line,
-        message: e.to_string(),
-    })
+    .map_err(|e| ctx.syntax(stmt, e.to_string()))
 }
 
 fn gate_from_name(name: &str, params: &[f64]) -> Option<Gate> {
@@ -380,7 +413,9 @@ mod tests {
         let text = "OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\nu1(0.5) q[0];\nu3(0.1,0.2,0.3) q[0];\n";
         let c = from_qasm(text).unwrap();
         assert_eq!(c.len(), 2);
-        assert!(matches!(c.instructions()[0].as_gate(), Some(Gate::P(t)) if (t - 0.5).abs() < 1e-12));
+        assert!(
+            matches!(c.instructions()[0].as_gate(), Some(Gate::P(t)) if (t - 0.5).abs() < 1e-12)
+        );
     }
 
     #[test]
@@ -391,11 +426,16 @@ mod tests {
     }
 
     #[test]
-    fn unsupported_constructs_reported_with_line() {
+    fn unsupported_constructs_reported_with_line_and_column() {
         let text = "OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\ngate foo a { x a; }\n";
         match from_qasm(text).unwrap_err() {
-            QasmError::Unsupported { line, construct } => {
+            QasmError::Unsupported {
+                line,
+                column,
+                construct,
+            } => {
                 assert_eq!(line, 4);
+                assert_eq!(column, 1);
                 assert_eq!(construct, "gate");
             }
             other => panic!("expected Unsupported, got {other:?}"),
@@ -409,6 +449,96 @@ mod tests {
             from_qasm(text),
             Err(QasmError::Syntax { line: 4, .. })
         ));
+    }
+
+    #[test]
+    fn bad_operand_column_points_at_token() {
+        // `q1` (no index) starts at column 4 of line 4.
+        let text = "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\ncx q1, q[1];\n";
+        match from_qasm(text).unwrap_err() {
+            QasmError::Syntax {
+                line,
+                column,
+                message,
+            } => {
+                assert_eq!(line, 4);
+                assert_eq!(column, 4);
+                assert!(message.contains("indexed operand"), "{message}");
+            }
+            other => panic!("expected Syntax, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_index_column_points_at_digits() {
+        // The non-numeric index `xx` starts at column 5 of line 4.
+        let text = "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nh q[xx];\n";
+        match from_qasm(text).unwrap_err() {
+            QasmError::Syntax { line, column, .. } => {
+                assert_eq!(line, 4);
+                assert_eq!(column, 5);
+            }
+            other => panic!("expected Syntax, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_register_size_located() {
+        // `banana` starts at column 8 of line 2.
+        let text = "OPENQASM 2.0;\nqreg q[banana];\n";
+        match from_qasm(text).unwrap_err() {
+            QasmError::Syntax {
+                line,
+                column,
+                message,
+            } => {
+                assert_eq!(line, 2);
+                assert_eq!(column, 8);
+                assert_eq!(message, "bad register size");
+            }
+            other => panic!("expected Syntax, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_parameter_list_located() {
+        let text = "OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\nrz(0.5 q[0];\n";
+        match from_qasm(text).unwrap_err() {
+            QasmError::Syntax {
+                line,
+                column,
+                message,
+            } => {
+                assert_eq!(line, 4);
+                assert_eq!(column, 1);
+                assert_eq!(message, "unterminated parameter list");
+            }
+            other => panic!("expected Syntax, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_gate_column_points_at_name() {
+        // Statement starts mid-line after a prior statement on line 4.
+        let text = "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nh q[0]; warp q[1];\n";
+        match from_qasm(text).unwrap_err() {
+            QasmError::Unsupported {
+                line,
+                column,
+                construct,
+            } => {
+                assert_eq!(line, 4);
+                assert_eq!(column, 9);
+                assert_eq!(construct, "warp");
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display_includes_line_and_column() {
+        let err = from_qasm("OPENQASM 2.0;\nqreg q[banana];\n").unwrap_err();
+        assert_eq!(err.to_string(), "line 2, column 8: bad register size");
     }
 
     #[test]

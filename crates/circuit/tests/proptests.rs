@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use qcirc::clifford::{cliffordize_gate, single_qubit_cliffords};
-use qcirc::math::{C64, Mat2};
+use qcirc::math::{Mat2, C64};
 use qcirc::{Circuit, Counts, Gate};
 
 fn arb_c64() -> impl Strategy<Value = C64> {
@@ -11,14 +11,18 @@ fn arb_c64() -> impl Strategy<Value = C64> {
 
 fn arb_unitary() -> impl Strategy<Value = Mat2> {
     // U(θ, φ, λ) covers all of SU(2) up to phase; add a global phase.
-    (0.0..std::f64::consts::PI, -3.2..3.2f64, -3.2..3.2f64, -3.2..3.2f64).prop_map(
-        |(t, p, l, g)| {
+    (
+        0.0..std::f64::consts::PI,
+        -3.2..3.2f64,
+        -3.2..3.2f64,
+        -3.2..3.2f64,
+    )
+        .prop_map(|(t, p, l, g)| {
             Gate::U(t, p, l)
                 .unitary1()
                 .expect("U is single-qubit")
                 .scale(C64::cis(g))
-        },
-    )
+        })
 }
 
 proptest! {

@@ -349,14 +349,11 @@ fn fill_window(
                 return 0;
             }
             for j in 1..=n_pulses {
-                let frac = (std::f64::consts::PI * j as f64
-                    / (2.0 * n_pulses as f64 + 2.0))
+                let frac = (std::f64::consts::PI * j as f64 / (2.0 * n_pulses as f64 + 2.0))
                     .sin()
                     .powi(2);
                 let center = start + frac * duration;
-                let at = (center - pulse_ns / 2.0)
-                    .max(start)
-                    .min(end - pulse_ns);
+                let at = (center - pulse_ns / 2.0).max(start).min(end - pulse_ns);
                 push(Gate::X, at);
                 placed += 1;
             }
@@ -503,7 +500,9 @@ mod tests {
             .timed
             .events()
             .iter()
-            .filter(|e| e.instr.as_gate() == Some(Gate::X) && e.start_ns > 35.0 && e.start_ns < 1030.0)
+            .filter(|e| {
+                e.instr.as_gate() == Some(Gate::X) && e.start_ns > 35.0 && e.start_ns < 1030.0
+            })
             .collect();
         assert_eq!(pulses.len(), 2);
         // Eq. 4 spacing: gap between pulses = τ/2 = 2·τ/4.
@@ -528,7 +527,12 @@ mod tests {
     #[test]
     fn cpmg_uses_y_pulses() {
         let (dev, timed) = timed_with_idle(1000.0);
-        let out = insert_dd(&timed, &dev, &[1], &DdConfig::for_protocol(DdProtocol::Cpmg));
+        let out = insert_dd(
+            &timed,
+            &dev,
+            &[1],
+            &DdConfig::for_protocol(DdProtocol::Cpmg),
+        );
         assert_eq!(out.pulse_count, 2);
         let y_count = out
             .timed
@@ -577,7 +581,16 @@ mod tests {
             .collect();
         assert_eq!(
             &pulses[..8],
-            &[Gate::X, Gate::Y, Gate::X, Gate::Y, Gate::Y, Gate::X, Gate::Y, Gate::X]
+            &[
+                Gate::X,
+                Gate::Y,
+                Gate::X,
+                Gate::Y,
+                Gate::Y,
+                Gate::X,
+                Gate::Y,
+                Gate::X
+            ]
         );
     }
 
@@ -596,9 +609,7 @@ mod tests {
             .events()
             .iter()
             .filter(|e| {
-                e.instr.as_gate() == Some(Gate::X)
-                    && e.start_ns >= 35.0 - 1e-9
-                    && e.end_ns < 2035.0
+                e.instr.as_gate() == Some(Gate::X) && e.start_ns >= 35.0 - 1e-9 && e.end_ns < 2035.0
             })
             .map(|e| e.start_ns)
             .collect();

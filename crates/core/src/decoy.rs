@@ -60,7 +60,10 @@ impl std::fmt::Display for DecoyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DecoyError::UnsupportedGate(g) => {
-                write!(f, "gate {g} not supported in decoy construction (transpile first)")
+                write!(
+                    f,
+                    "gate {g} not supported in decoy construction (transpile first)"
+                )
             }
             DecoyError::Sim(e) => write!(f, "decoy ideal simulation failed: {e}"),
         }
@@ -191,11 +194,10 @@ fn first_seedable_rz(timed: &TimedCircuit, q: u32, tol: f64) -> Option<usize> {
             continue;
         }
         match &e.instr.kind {
-            OpKind::Gate(Gate::RZ(theta)) => {
-                if touched && !is_clifford_angle(*theta, tol) {
-                    return Some(i);
-                }
+            OpKind::Gate(Gate::RZ(theta)) if touched && !is_clifford_angle(*theta, tol) => {
+                return Some(i);
             }
+            OpKind::Gate(Gate::RZ(_)) => {}
             OpKind::Gate(_) => touched = true,
             _ => {}
         }
@@ -216,13 +218,10 @@ fn first_seedable_rz(timed: &TimedCircuit, q: u32, tol: f64) -> Option<usize> {
 ///
 /// Returns a wrapped [`SimError`] when the seeded decoy exceeds both the
 /// dense simulator and the Heisenberg path's measured-register limit.
-pub fn decoy_ideal_distribution(
-    timed: &TimedCircuit,
-) -> Result<BTreeMap<u64, f64>, DecoyError> {
+pub fn decoy_ideal_distribution(timed: &TimedCircuit) -> Result<BTreeMap<u64, f64>, DecoyError> {
     let circuit = timed.to_circuit();
     if let Some(clifford) = to_stabilizer_circuit(&circuit) {
-        return Ok(stab::chp::exact_distribution(&clifford)
-            .expect("converted circuit is Clifford"));
+        return Ok(stab::chp::exact_distribution(&clifford).expect("converted circuit is Clifford"));
     }
     let (compact, _) = circuit.compacted();
     if compact.num_qubits() <= statevec::MAX_QUBITS {
@@ -372,10 +371,7 @@ mod tests {
             }
         }
         // CNOT skeleton intact.
-        assert_eq!(
-            decoy.timed.two_qubit_activity(),
-            timed.two_qubit_activity()
-        );
+        assert_eq!(decoy.timed.two_qubit_activity(), timed.two_qubit_activity());
         // All qubits start in |0⟩ and CX preserves that: output is the
         // all-zeros point mass.
         assert_eq!(decoy.ideal.len(), 1);

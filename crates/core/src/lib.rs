@@ -35,6 +35,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod dd;
 pub mod decoy;
@@ -45,12 +46,14 @@ pub mod search;
 pub use dd::{DdConfig, DdMask, DdProtocol};
 pub use decoy::{Decoy, DecoyKind};
 pub use gst::GateSequenceTable;
-pub use search::{MaskScore, SearchResult};
+pub use search::{DegradedGroup, MaskScore, SearchResult};
 
-use machine::{ExecError, ExecutionConfig, Machine};
+use device::Device;
+use machine::{Backend, ExecError, ExecutionConfig, Machine};
 use qcirc::{Circuit, Counts};
 use statevec::SimError;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use transpiler::{transpile, TranspileOptions, TranspiledCircuit};
 
 /// The competing DD policies of §5.6.
@@ -188,23 +191,54 @@ pub struct PolicyRun {
     pub pulse_count: usize,
     /// Decoy/oracle executions spent finding the mask.
     pub search_runs: usize,
+    /// Neighborhoods that fell back to all-DD during the search because
+    /// the backend was unavailable (always empty for non-ADAPT policies
+    /// and healthy backends).
+    pub degraded: Vec<DegradedGroup>,
 }
 
-/// The ADAPT framework bound to a noisy machine.
-#[derive(Debug, Clone)]
+/// The ADAPT framework bound to an execution backend.
+///
+/// The backend may be a pristine [`Machine`], a fault-injecting
+/// [`machine::FaultyBackend`], or a [`machine::ResilientExecutor`]
+/// retrying around one — the pipeline is identical. The device view used
+/// for compilation and DD timing is snapshotted at construction, exactly
+/// as a compiler on real hardware works from the calibration data of its
+/// era even if the device drifts mid-run.
+#[derive(Clone)]
 pub struct Adapt {
-    machine: Machine,
+    backend: Arc<dyn Backend>,
+    device: Device,
+}
+
+impl std::fmt::Debug for Adapt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Adapt")
+            .field("device", &self.device)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Adapt {
-    /// Creates the framework over a machine.
+    /// Creates the framework over a pristine machine.
     pub fn new(machine: Machine) -> Self {
-        Adapt { machine }
+        Adapt::with_backend(Arc::new(machine))
     }
 
-    /// The underlying machine.
-    pub fn machine(&self) -> &Machine {
-        &self.machine
+    /// Creates the framework over any backend (faulty, resilient, ...).
+    pub fn with_backend(backend: Arc<dyn Backend>) -> Self {
+        let device = backend.device_snapshot();
+        Adapt { backend, device }
+    }
+
+    /// The backend programs execute on.
+    pub fn backend(&self) -> &dyn Backend {
+        self.backend.as_ref()
+    }
+
+    /// The compile-time device snapshot.
+    pub fn device(&self) -> &Device {
+        &self.device
     }
 
     /// Exact noise-free output distribution of a logical program.
@@ -217,9 +251,9 @@ impl Adapt {
         Ok(statevec::ideal_distribution(&compact)?)
     }
 
-    /// Transpiles a program for this machine's device.
+    /// Transpiles a program for this backend's device snapshot.
     pub fn compile(&self, program: &Circuit, cfg: &AdaptConfig) -> TranspiledCircuit {
-        transpile(program, self.machine.device(), &cfg.transpile)
+        transpile(program, &self.device, &cfg.transpile)
     }
 
     /// Runs the decoy-driven localized search and returns the chosen mask
@@ -236,7 +270,8 @@ impl Adapt {
     ) -> Result<SearchResult, AdaptError> {
         let decoy = decoy::make_decoy(&compiled.timed, cfg.decoy_kind)?;
         let ctx = search::SearchContext {
-            machine: &self.machine,
+            backend: self.backend.as_ref(),
+            device: self.device.clone(),
             decoy: &decoy,
             layout: &compiled.initial_layout,
             dd: cfg.dd,
@@ -251,27 +286,34 @@ impl Adapt {
             let ib = gst.total_idle_ns(compiled.initial_layout.phys_of(b));
             ib.partial_cmp(&ia).expect("idle times are finite")
         });
-        let mut result = search::localized_search(
-            &ctx,
-            &order,
-            cfg.neighborhood,
-            cfg.top2_merge,
-        )?;
+        let mut result = search::localized_search(&ctx, &order, cfg.neighborhood, cfg.top2_merge)?;
         // Referee step: localized commitment can lock in a bad early
         // decision (it evaluates each neighborhood with later qubits
         // unprotected). Score the committed mask against the two global
         // extremes on the decoy and keep the best — three extra decoy
-        // runs on top of the ≤ 4·N search budget.
-        let mut best = ctx.score(result.best)?;
-        result.evaluations.push(best);
-        for candidate in [DdMask::all(num_program_qubits), DdMask::none(num_program_qubits)] {
-            let score = ctx.score(candidate)?;
-            result.evaluations.push(score);
-            if score.fidelity > best.fidelity {
-                best = score;
+        // runs on top of the ≤ 4·N search budget. An extreme whose run is
+        // unavailable simply drops out of the contest; if even the
+        // committed mask cannot be re-scored, it stands as selected.
+        let mut best: Option<MaskScore> = None;
+        for candidate in [
+            result.best,
+            DdMask::all(num_program_qubits),
+            DdMask::none(num_program_qubits),
+        ] {
+            match ctx.score(candidate) {
+                Ok(score) => {
+                    result.evaluations.push(score);
+                    if best.is_none_or(|b| score.fidelity > b.fidelity) {
+                        best = Some(score);
+                    }
+                }
+                Err(e) if search::is_availability(&e) => result.unavailable_runs += 1,
+                Err(e) => return Err(e.into()),
             }
         }
-        result.best = best.mask;
+        if let Some(best) = best {
+            result.best = best.mask;
+        }
         Ok(result)
     }
 
@@ -289,10 +331,12 @@ impl Adapt {
         cfg: &AdaptConfig,
     ) -> Result<(Counts, f64, usize), AdaptError> {
         let wires = dd::mask_to_wires(mask, &compiled.initial_layout);
-        let inserted = dd::insert_dd(&compiled.timed, self.machine.device(), &wires, &cfg.dd);
-        let counts = self.machine.execute_timed(&inserted.timed, &cfg.final_exec)?;
-        let fidelity = metrics::fidelity(ideal, &counts);
-        Ok((counts, fidelity, inserted.pulse_count))
+        let inserted = dd::insert_dd(&compiled.timed, &self.device, &wires, &cfg.dd);
+        let batch = self
+            .backend
+            .execute_timed(&inserted.timed, &cfg.final_exec)?;
+        let fidelity = metrics::fidelity(ideal, &batch.counts);
+        Ok((batch.counts, fidelity, inserted.pulse_count))
     }
 
     /// Compiles and executes a program under one policy (§5.6), returning
@@ -315,20 +359,21 @@ impl Adapt {
         let n = program.num_qubits();
         let compiled = self.compile(program, cfg);
         let ideal = self.ideal_output(program)?;
-        let (mask, search_runs) = match policy {
-            Policy::NoDd => (DdMask::none(n), 0),
-            Policy::AllDd => (DdMask::all(n), 0),
+        let (mask, search_runs, degraded) = match policy {
+            Policy::NoDd => (DdMask::none(n), 0, Vec::new()),
+            Policy::AllDd => (DdMask::all(n), 0, Vec::new()),
             Policy::Adapt => {
                 let result = self.choose_mask(&compiled, n, cfg)?;
                 let runs = result.decoy_runs();
-                (result.best, runs)
+                (result.best, runs, result.degraded)
             }
             Policy::RuntimeBest => {
                 assert!(n <= 16, "Runtime-Best sweep infeasible for {n} qubits");
-                let mut best = (DdMask::none(n), f64::MIN);
+                let mut best: Option<(DdMask, f64)> = None;
                 let mut runs = 0;
+                let mut last_unavailable = None;
                 for mask in DdMask::enumerate_all(n) {
-                    let (_, fidelity, _) = self.run_with_mask(
+                    match self.run_with_mask(
                         &compiled,
                         &ideal,
                         mask,
@@ -336,13 +381,32 @@ impl Adapt {
                             final_exec: cfg.search_exec,
                             ..*cfg
                         },
-                    )?;
-                    runs += 1;
-                    if fidelity > best.1 {
-                        best = (mask, fidelity);
+                    ) {
+                        Ok((_, fidelity, _)) => {
+                            runs += 1;
+                            if best.is_none_or(|b| fidelity > b.1) {
+                                best = Some((mask, fidelity));
+                            }
+                        }
+                        // An unavailable mask drops out of the oracle
+                        // sweep; the rest still compete.
+                        Err(AdaptError::Exec(e)) if search::is_availability(&e) => {
+                            last_unavailable = Some(e);
+                        }
+                        Err(e) => return Err(e),
                     }
                 }
-                (best.0, runs)
+                match best {
+                    Some((mask, _)) => (mask, runs, Vec::new()),
+                    None => {
+                        return Err(AdaptError::Exec(last_unavailable.unwrap_or(
+                            ExecError::JobFailed {
+                                job: 0,
+                                reason: "no masks to sweep".to_string(),
+                            },
+                        )))
+                    }
+                }
             }
         };
         let (counts, fidelity, pulse_count) = self.run_with_mask(&compiled, &ideal, mask, cfg)?;
@@ -353,6 +417,7 @@ impl Adapt {
             fidelity,
             pulse_count,
             search_runs,
+            degraded,
         })
     }
 }
@@ -382,7 +447,14 @@ mod tests {
 
     fn program() -> Circuit {
         let mut c = Circuit::new(3);
-        c.h(0).t(0).cx(0, 1).t(1).cx(1, 2).t(2).cx(0, 1).measure_all();
+        c.h(0)
+            .t(0)
+            .cx(0, 1)
+            .t(1)
+            .cx(1, 2)
+            .t(2)
+            .cx(0, 1)
+            .measure_all();
         c
     }
 

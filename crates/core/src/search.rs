@@ -15,7 +15,8 @@
 
 use crate::dd::{insert_dd, mask_to_wires, DdConfig, DdMask};
 use crate::decoy::Decoy;
-use machine::{ExecError, ExecutionConfig, Machine};
+use device::Device;
+use machine::{Backend, ExecError, ExecutionConfig};
 use transpiler::Layout;
 
 /// One scored mask.
@@ -27,6 +28,28 @@ pub struct MaskScore {
     pub fidelity: f64,
 }
 
+/// A neighborhood whose decoy evaluations could not complete within the
+/// backend's availability (transient failures that outlasted every
+/// retry). The search degrades gracefully: such a group falls back to
+/// the conservative all-DD assignment instead of aborting the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedGroup {
+    /// The program qubits of the unavailable neighborhood.
+    pub qubits: Vec<u32>,
+    /// The backend error that exhausted the group's budget.
+    pub reason: String,
+}
+
+impl std::fmt::Display for DegradedGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "neighborhood {:?} fell back to all-DD: {}",
+            self.qubits, self.reason
+        )
+    }
+}
+
 /// Search output.
 #[derive(Debug, Clone)]
 pub struct SearchResult {
@@ -34,12 +57,23 @@ pub struct SearchResult {
     pub best: DdMask,
     /// Every evaluated mask with its decoy fidelity, in evaluation order.
     pub evaluations: Vec<MaskScore>,
+    /// Neighborhoods that fell back to all-DD because the backend was
+    /// unavailable for their decoy runs (empty on a healthy backend).
+    pub degraded: Vec<DegradedGroup>,
+    /// Decoy evaluations abandoned for backend availability (each one
+    /// consumed retry budget but produced no score).
+    pub unavailable_runs: usize,
 }
 
 impl SearchResult {
     /// Number of decoy executions the search spent.
     pub fn decoy_runs(&self) -> usize {
         self.evaluations.len()
+    }
+
+    /// Whether any neighborhood degraded to its all-DD fallback.
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded.is_empty()
     }
 
     /// The evaluations sorted best-first.
@@ -54,11 +88,23 @@ impl SearchResult {
     }
 }
 
+/// Whether an execution error means "the backend is (currently)
+/// unavailable" as opposed to "this request can never work". Transient
+/// errors and exhausted retry budgets degrade the search; permanent
+/// errors abort it.
+pub(crate) fn is_availability(e: &ExecError) -> bool {
+    e.is_transient() || matches!(e, ExecError::RetriesExhausted { .. })
+}
+
 /// Everything needed to score a mask on the decoy.
-#[derive(Debug)]
 pub struct SearchContext<'a> {
-    /// The noisy machine.
-    pub machine: &'a Machine,
+    /// The backend decoy runs execute on (pristine machine, faulty
+    /// wrapper, or resilient executor — the search does not care).
+    pub backend: &'a dyn Backend,
+    /// The device view used for DD insertion timing. Captured at context
+    /// construction: under calibration staleness this is deliberately
+    /// the *compile-time* calibration, as it would be on real hardware.
+    pub device: Device,
     /// The decoy circuit (schedule + known ideal output).
     pub decoy: &'a Decoy,
     /// Initial layout of the program (maps mask bits to physical wires).
@@ -71,17 +117,29 @@ pub struct SearchContext<'a> {
     pub num_program_qubits: usize,
 }
 
+impl std::fmt::Debug for SearchContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchContext")
+            .field("dd", &self.dd)
+            .field("exec", &self.exec)
+            .field("num_program_qubits", &self.num_program_qubits)
+            .finish_non_exhaustive()
+    }
+}
+
 impl SearchContext<'_> {
-    /// Scores one mask: decoy fidelity under that DD assignment.
+    /// Scores one mask: decoy fidelity under that DD assignment. Partial
+    /// batches are scored as delivered — their counts are weighted by
+    /// the shots that actually arrived.
     ///
     /// # Errors
     ///
-    /// Propagates machine execution failures.
+    /// Propagates backend execution failures.
     pub fn score(&self, mask: DdMask) -> Result<MaskScore, ExecError> {
         let wires = mask_to_wires(mask, self.layout);
-        let inserted = insert_dd(&self.decoy.timed, self.machine.device(), &wires, &self.dd);
-        let counts = self.machine.execute_timed(&inserted.timed, &self.exec)?;
-        let fidelity = crate::metrics::fidelity(&self.decoy.ideal, &counts);
+        let inserted = insert_dd(&self.decoy.timed, &self.device, &wires, &self.dd);
+        let batch = self.backend.execute_timed(&inserted.timed, &self.exec)?;
+        let fidelity = crate::metrics::fidelity(&self.decoy.ideal, &batch.counts);
         Ok(MaskScore { mask, fidelity })
     }
 }
@@ -99,8 +157,25 @@ impl SearchContext<'_> {
 /// in reasonable time).
 pub fn exhaustive_search(ctx: &SearchContext<'_>) -> Result<SearchResult, ExecError> {
     let mut evaluations = Vec::new();
+    let mut unavailable_runs = 0;
+    let mut last_unavailable = None;
     for mask in DdMask::enumerate_all(ctx.num_program_qubits) {
-        evaluations.push(ctx.score(mask)?);
+        match ctx.score(mask) {
+            Ok(score) => evaluations.push(score),
+            // A mask whose runs outlasted the retry budget drops out of
+            // the sweep; the remaining candidates still compete.
+            Err(e) if is_availability(&e) => {
+                unavailable_runs += 1;
+                last_unavailable = Some(e);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    if evaluations.is_empty() {
+        return Err(last_unavailable.unwrap_or(ExecError::JobFailed {
+            job: 0,
+            reason: "no masks to evaluate".to_string(),
+        }));
     }
     // First-evaluated wins ties, matching the stable ranking used by the
     // localized search.
@@ -113,6 +188,8 @@ pub fn exhaustive_search(ctx: &SearchContext<'_>) -> Result<SearchResult, ExecEr
     Ok(SearchResult {
         best: best.mask,
         evaluations,
+        degraded: Vec::new(),
+        unavailable_runs,
     })
 }
 
@@ -131,6 +208,15 @@ pub fn exhaustive_search(ctx: &SearchContext<'_>) -> Result<SearchResult, ExecEr
 /// # Panics
 ///
 /// Panics when `neighborhood` is 0 or exceeds 16 bits.
+///
+/// # Graceful degradation
+///
+/// A neighborhood whose decoy runs exhaust the backend's availability
+/// (transient errors that outlast every retry) does not abort the
+/// search: its qubits fall back to the conservative all-DD assignment —
+/// protection is never *silently* dropped by a flaky backend — and the
+/// group is reported in [`SearchResult::degraded`]. Permanent errors
+/// still propagate.
 pub fn localized_search(
     ctx: &SearchContext<'_>,
     qubit_order: &[u32],
@@ -141,8 +227,10 @@ pub fn localized_search(
     let n = ctx.num_program_qubits;
     let mut committed = DdMask::none(n);
     let mut evaluations = Vec::new();
+    let mut degraded = Vec::new();
+    let mut unavailable_runs = 0;
 
-    for group in qubit_order.chunks(neighborhood) {
+    'groups: for group in qubit_order.chunks(neighborhood) {
         // Score all 2^|group| settings of this neighborhood's bits, with
         // already-committed bits fixed and future bits at 0.
         let mut local: Vec<MaskScore> = Vec::with_capacity(1 << group.len());
@@ -151,9 +239,25 @@ pub fn localized_search(
             for (bit_pos, &q) in group.iter().enumerate() {
                 mask = mask.with(q as usize, combo >> bit_pos & 1 == 1);
             }
-            let score = ctx.score(mask)?;
-            local.push(score);
-            evaluations.push(score);
+            match ctx.score(mask) {
+                Ok(score) => {
+                    local.push(score);
+                    evaluations.push(score);
+                }
+                Err(e) if is_availability(&e) => {
+                    // Degrade this neighborhood: all-DD fallback.
+                    unavailable_runs += 1;
+                    for &q in group {
+                        committed = committed.with(q as usize, true);
+                    }
+                    degraded.push(DegradedGroup {
+                        qubits: group.to_vec(),
+                        reason: e.to_string(),
+                    });
+                    continue 'groups;
+                }
+                Err(e) => return Err(e),
+            }
         }
         local.sort_by(|a, b| {
             b.fidelity
@@ -173,6 +277,8 @@ pub fn localized_search(
     Ok(SearchResult {
         best: committed,
         evaluations,
+        degraded,
+        unavailable_runs,
     })
 }
 
@@ -181,6 +287,7 @@ mod tests {
     use super::*;
     use crate::decoy::{make_decoy, DecoyKind};
     use device::Device;
+    use machine::Machine;
     use qcirc::Circuit;
     use transpiler::{transpile, TranspileOptions};
 
@@ -208,7 +315,8 @@ mod tests {
     fn exhaustive_covers_all_masks_and_picks_argmax() {
         let (machine, decoy, layout, n) = context_fixture();
         let ctx = SearchContext {
-            machine: &machine,
+            backend: &machine,
+            device: machine.device().clone(),
             decoy: &decoy,
             layout: &layout,
             dd: DdConfig::default(),
@@ -235,7 +343,8 @@ mod tests {
     fn scores_are_deterministic_given_seed() {
         let (machine, decoy, layout, n) = context_fixture();
         let ctx = SearchContext {
-            machine: &machine,
+            backend: &machine,
+            device: machine.device().clone(),
             decoy: &decoy,
             layout: &layout,
             dd: DdConfig::default(),
@@ -251,7 +360,8 @@ mod tests {
     fn localized_search_is_linear_in_qubits() {
         let (machine, decoy, layout, n) = context_fixture();
         let ctx = SearchContext {
-            machine: &machine,
+            backend: &machine,
+            device: machine.device().clone(),
             decoy: &decoy,
             layout: &layout,
             dd: DdConfig::default(),
@@ -272,7 +382,8 @@ mod tests {
     fn localized_with_full_neighborhood_matches_exhaustive_best_score() {
         let (machine, decoy, layout, n) = context_fixture();
         let ctx = SearchContext {
-            machine: &machine,
+            backend: &machine,
+            device: machine.device().clone(),
             decoy: &decoy,
             layout: &layout,
             dd: DdConfig::default(),
@@ -290,7 +401,8 @@ mod tests {
     fn top2_merge_is_superset_of_best() {
         let (machine, decoy, layout, n) = context_fixture();
         let ctx = SearchContext {
-            machine: &machine,
+            backend: &machine,
+            device: machine.device().clone(),
             decoy: &decoy,
             layout: &layout,
             dd: DdConfig::default(),
@@ -301,17 +413,167 @@ mod tests {
         let plain = localized_search(&ctx, &order, 4, false).unwrap();
         let merged = localized_search(&ctx, &order, 4, true).unwrap();
         // The merged mask contains every bit of the locally-best mask.
-        assert_eq!(
-            merged.best.bits() & plain.best.bits(),
-            plain.best.bits()
-        );
+        assert_eq!(merged.best.bits() & plain.best.bits(), plain.best.bits());
+    }
+
+    /// A backend that fails (transiently) on scripted call indices.
+    struct ScriptedFailures {
+        inner: Machine,
+        calls: std::sync::atomic::AtomicU64,
+        fail_calls: std::ops::Range<u64>,
+        permanent: bool,
+    }
+
+    impl machine::Backend for ScriptedFailures {
+        fn execute(
+            &self,
+            circuit: &qcirc::Circuit,
+            config: &ExecutionConfig,
+        ) -> Result<machine::ShotBatch, ExecError> {
+            let timed = transpiler::schedule(
+                circuit,
+                self.inner.device(),
+                transpiler::SchedulePolicy::Alap,
+            );
+            self.execute_timed(&timed, config)
+        }
+
+        fn execute_timed(
+            &self,
+            timed: &transpiler::TimedCircuit,
+            config: &ExecutionConfig,
+        ) -> Result<machine::ShotBatch, ExecError> {
+            let i = self.calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            if self.fail_calls.contains(&i) {
+                if self.permanent {
+                    return Err(ExecError::TooManyActiveQubits {
+                        active: 99,
+                        limit: 25,
+                    });
+                }
+                return Err(ExecError::JobFailed {
+                    job: i,
+                    reason: "scripted outage".to_string(),
+                });
+            }
+            machine::Backend::execute_timed(&self.inner, timed, config)
+        }
+
+        fn device_snapshot(&self) -> Device {
+            self.inner.device().clone()
+        }
+    }
+
+    #[test]
+    fn unavailable_neighborhood_degrades_to_all_dd() {
+        let (machine, decoy, layout, n) = context_fixture();
+        let backend = ScriptedFailures {
+            inner: machine.clone(),
+            calls: std::sync::atomic::AtomicU64::new(0),
+            fail_calls: 0..1, // first decoy run of the first group fails
+            permanent: false,
+        };
+        let ctx = SearchContext {
+            backend: &backend,
+            device: machine.device().clone(),
+            decoy: &decoy,
+            layout: &layout,
+            dd: DdConfig::default(),
+            exec: exec(),
+            num_program_qubits: n,
+        };
+        let order: Vec<u32> = (0..n as u32).collect();
+        let r = localized_search(&ctx, &order, 2, true).unwrap();
+        // Group [0, 1] degraded: its bits fall back to all-DD.
+        assert!(r.is_degraded());
+        assert_eq!(r.degraded.len(), 1);
+        assert_eq!(r.degraded[0].qubits, vec![0, 1]);
+        assert!(r.best.is_set(0) && r.best.is_set(1));
+        assert_eq!(r.unavailable_runs, 1);
+        // The second group ([2]) still ran its 2 evaluations.
+        assert_eq!(r.decoy_runs(), 2);
+    }
+
+    #[test]
+    fn degraded_search_still_covers_every_qubit() {
+        // Even a total outage yields a valid (all-DD) mask, never a panic.
+        let (machine, decoy, layout, n) = context_fixture();
+        let backend = ScriptedFailures {
+            inner: machine.clone(),
+            calls: std::sync::atomic::AtomicU64::new(0),
+            fail_calls: 0..u64::MAX,
+            permanent: false,
+        };
+        let ctx = SearchContext {
+            backend: &backend,
+            device: machine.device().clone(),
+            decoy: &decoy,
+            layout: &layout,
+            dd: DdConfig::default(),
+            exec: exec(),
+            num_program_qubits: n,
+        };
+        let order: Vec<u32> = (0..n as u32).collect();
+        let r = localized_search(&ctx, &order, 2, true).unwrap();
+        assert_eq!(r.degraded.len(), 2);
+        for q in 0..n {
+            assert!(r.best.is_set(q), "qubit {q} must keep DD protection");
+        }
+        assert_eq!(r.decoy_runs(), 0);
+    }
+
+    #[test]
+    fn permanent_errors_abort_the_search() {
+        let (machine, decoy, layout, n) = context_fixture();
+        let backend = ScriptedFailures {
+            inner: machine.clone(),
+            calls: std::sync::atomic::AtomicU64::new(0),
+            fail_calls: 0..u64::MAX,
+            permanent: true,
+        };
+        let ctx = SearchContext {
+            backend: &backend,
+            device: machine.device().clone(),
+            decoy: &decoy,
+            layout: &layout,
+            dd: DdConfig::default(),
+            exec: exec(),
+            num_program_qubits: n,
+        };
+        let order: Vec<u32> = (0..n as u32).collect();
+        let err = localized_search(&ctx, &order, 2, true).unwrap_err();
+        assert!(matches!(err, ExecError::TooManyActiveQubits { .. }));
+    }
+
+    #[test]
+    fn exhaustive_skips_unavailable_masks() {
+        let (machine, decoy, layout, n) = context_fixture();
+        let backend = ScriptedFailures {
+            inner: machine.clone(),
+            calls: std::sync::atomic::AtomicU64::new(0),
+            fail_calls: 2..4, // two of the eight masks unavailable
+            permanent: false,
+        };
+        let ctx = SearchContext {
+            backend: &backend,
+            device: machine.device().clone(),
+            decoy: &decoy,
+            layout: &layout,
+            dd: DdConfig::default(),
+            exec: exec(),
+            num_program_qubits: n,
+        };
+        let r = exhaustive_search(&ctx).unwrap();
+        assert_eq!(r.decoy_runs(), 6);
+        assert_eq!(r.unavailable_runs, 2);
     }
 
     #[test]
     fn ranked_is_sorted() {
         let (machine, decoy, layout, n) = context_fixture();
         let ctx = SearchContext {
-            machine: &machine,
+            backend: &machine,
+            device: machine.device().clone(),
             decoy: &decoy,
             layout: &layout,
             dd: DdConfig::default(),

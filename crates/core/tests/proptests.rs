@@ -1,12 +1,18 @@
 //! Property tests for the ADAPT framework layers: masks, DD insertion
-//! invariants, decoy schedule preservation and metric laws.
+//! invariants, decoy schedule preservation, metric laws, and search
+//! robustness under fault injection.
 
 use adapt::dd::{insert_dd, DdConfig, DdMask, DdProtocol};
 use adapt::decoy::{make_decoy, DecoyKind};
 use adapt::metrics;
+use adapt::{Adapt, AdaptConfig};
 use device::Device;
+use machine::{
+    ExecutionConfig, FaultProfile, FaultyBackend, Machine, ResilientExecutor, RetryPolicy,
+};
 use proptest::prelude::*;
 use qcirc::{Circuit, OpKind};
+use std::sync::Arc;
 use transpiler::{transpile, TranspileOptions};
 
 fn arb_mask(n: usize) -> impl Strategy<Value = DdMask> {
@@ -83,7 +89,15 @@ proptest! {
 fn dd_insertion_invariants_over_mask_grid() {
     let dev = Device::ibmq_guadalupe(13);
     let mut program = Circuit::new(4);
-    program.h(0).t(1).cx(0, 1).cx(1, 2).t(2).cx(2, 3).cx(0, 1).measure_all();
+    program
+        .h(0)
+        .t(1)
+        .cx(0, 1)
+        .cx(1, 2)
+        .t(2)
+        .cx(2, 3)
+        .cx(0, 1)
+        .measure_all();
     let t = transpile(&program, &dev, &TranspileOptions::default());
 
     for protocol in [DdProtocol::Xy4, DdProtocol::IbmqDd, DdProtocol::Cpmg] {
@@ -130,6 +144,80 @@ fn dd_insertion_invariants_over_mask_grid() {
             );
             assert!(all_out.pulse_count >= out.pulse_count);
         }
+    }
+}
+
+/// One full ADAPT mask search on a faulty 5-qubit backend, with retry.
+fn faulty_search(profile: FaultProfile, fault_seed: u64) -> (usize, adapt::SearchResult) {
+    let machine = Machine::new(Device::ibmq_rome(23));
+    let faulty = FaultyBackend::new(machine, profile, fault_seed);
+    let policy = RetryPolicy {
+        max_attempts: 6,
+        ..RetryPolicy::default()
+    };
+    let adapt = Adapt::with_backend(Arc::new(ResilientExecutor::with_policy(
+        Arc::new(faulty),
+        policy,
+    )));
+
+    let mut program = Circuit::new(3);
+    program.h(0).cx(0, 1).t(1).cx(1, 2).h(2).measure_all();
+    let cfg = AdaptConfig {
+        search_exec: ExecutionConfig {
+            shots: 256,
+            trajectories: 8,
+            seed: 0xDEC0,
+            threads: 1,
+        },
+        ..AdaptConfig::default()
+    };
+    let compiled = adapt.compile(&program, &cfg);
+    let n = 3;
+    let result = adapt
+        .choose_mask(&compiled, n, &cfg)
+        .expect("search under transient faults must complete via degradation");
+    (n, result)
+}
+
+proptest! {
+    // The search is the expensive part of the pipeline, so only a handful
+    // of cases — each one is a full localized search under fault injection.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Whatever the fault schedule does, the search must return a mask
+    /// (and candidate evaluations) defined over exactly the program's
+    /// qubits, with degradations confined to in-range qubit indices —
+    /// and it must be deterministic in the fault seed.
+    #[test]
+    fn faulty_search_always_yields_valid_mask(
+        fault_seed in 0u64..1_000_000,
+        profile_idx in 0usize..3,
+    ) {
+        let profile = [
+            FaultProfile::flaky(),
+            FaultProfile::lossy(),
+            FaultProfile::brutal(),
+        ][profile_idx];
+        let (n, result) = faulty_search(profile, fault_seed);
+
+        prop_assert_eq!(result.best.num_qubits(), n);
+        prop_assert!(result.best.bits() < (1 << n));
+        prop_assert!(!result.evaluations.is_empty());
+        for score in &result.evaluations {
+            prop_assert_eq!(score.mask.num_qubits(), n);
+            prop_assert!(score.fidelity.is_finite());
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&score.fidelity));
+        }
+        for group in &result.degraded {
+            prop_assert!(!group.qubits.is_empty());
+            prop_assert!(group.qubits.iter().all(|&q| (q as usize) < n));
+        }
+
+        // Same fault seed → byte-identical search outcome.
+        let (_, again) = faulty_search(profile, fault_seed);
+        prop_assert_eq!(again.best, result.best);
+        prop_assert_eq!(again.evaluations.len(), result.evaluations.len());
+        prop_assert_eq!(again.unavailable_runs, result.unavailable_runs);
     }
 }
 

@@ -434,7 +434,10 @@ mod tests {
             let spectators: Vec<u32> = (0..t.num_qubits() as u32)
                 .filter(|&q| q != a && q != b)
                 .filter(|&q| {
-                    t.distance(q, a).unwrap_or(99).min(t.distance(q, b).unwrap_or(99)) == 1
+                    t.distance(q, a)
+                        .unwrap_or(99)
+                        .min(t.distance(q, b).unwrap_or(99))
+                        == 1
                 })
                 .collect();
             if spectators.iter().any(|&q| c.crosstalk(q, l).abs() > 0.0) {
@@ -454,10 +457,7 @@ mod tests {
             'outer: for q in 0..27u32 {
                 for (l, _) in c.crosstalk_on(q) {
                     let (a, b) = t.link_endpoints(l);
-                    let d = t
-                        .distance(q, a)
-                        .unwrap()
-                        .min(t.distance(q, b).unwrap());
+                    let d = t.distance(q, a).unwrap().min(t.distance(q, b).unwrap());
                     if d >= 3 {
                         found = true;
                         break 'outer;

@@ -74,8 +74,7 @@ impl Device {
     /// The same machine re-calibrated at a different cycle: identical
     /// topology and profile, freshly drifted calibration values.
     pub fn at_calibration_cycle(&self, cycle: u64) -> Device {
-        let calibration =
-            Calibration::generate(&self.topology, &self.profile, self.seed, cycle);
+        let calibration = Calibration::generate(&self.topology, &self.profile, self.seed, cycle);
         Device {
             topology: self.topology.clone(),
             calibration,
@@ -158,7 +157,13 @@ impl Device {
     pub fn gate_duration(&self, gate: qcirc::Gate, qubits: &[u32]) -> f64 {
         use qcirc::Gate;
         match gate {
-            Gate::RZ(_) | Gate::P(_) | Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg
+            Gate::RZ(_)
+            | Gate::P(_)
+            | Gate::Z
+            | Gate::S
+            | Gate::Sdg
+            | Gate::T
+            | Gate::Tdg
             | Gate::I => 0.0,
             Gate::X | Gate::Y | Gate::SX | Gate::SXdg | Gate::RX(_) => self.calibration.sq_dur_ns,
             // H, RY, U decompose into two physical pulses (RZ–SX–RZ / RZ–SX–RZ–SX–RZ).

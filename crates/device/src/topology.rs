@@ -185,17 +185,15 @@ impl Topology {
     /// combinations; on Toronto, 700.
     pub fn qubit_link_combinations(&self) -> Vec<(u32, LinkId)> {
         (0..self.num_qubits as u32)
-            .flat_map(|q| {
-                self.links_excluding(q)
-                    .into_iter()
-                    .map(move |l| (q, l))
-            })
+            .flat_map(|q| self.links_excluding(q).into_iter().map(move |l| (q, l)))
             .collect()
     }
 
     /// A 1-D chain: `0 – 1 – … – (n−1)` (IBMQ-Rome shape).
     pub fn line(n: usize) -> Self {
-        let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect();
+        let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1) as u32)
+            .map(|i| (i, i + 1))
+            .collect();
         Topology::new(n, &edges)
     }
 

@@ -1,0 +1,253 @@
+//! The backend abstraction: anything that can run circuits for counts.
+//!
+//! The ADAPT framework upstream of this crate (`core`, `benchmarks`) does
+//! not care whether counts come from the pristine trajectory [`Machine`],
+//! a [`crate::fault::FaultyBackend`] injecting failures, or a
+//! [`crate::resilient::ResilientExecutor`] retrying around them — only
+//! that a job either yields a [`ShotBatch`] or a typed
+//! [`ExecError`]. This module defines that seam.
+//!
+//! A [`ShotBatch`] is deliberately richer than bare [`Counts`]: real
+//! backends deliver *partial* results (a job cancelled after 60% of its
+//! shots is still data), and resilient pipelines must weight such batches
+//! by delivered shots rather than discard them. The batch therefore
+//! carries the requested shot count and a list of [`Anomaly`] flags
+//! describing every degradation that occurred while producing it.
+
+use crate::executor::{ExecError, ExecutionConfig, Machine};
+use device::Device;
+use qcirc::{Circuit, Counts};
+use transpiler::TimedCircuit;
+
+/// A degradation that occurred while producing a batch. Anomalies are not
+/// errors: the counts are usable, but downstream consumers may weight,
+/// flag, or retry based on them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Anomaly {
+    /// Fewer shots were delivered than requested.
+    ShotTruncation {
+        /// Shots the caller asked for.
+        requested: u64,
+        /// Shots actually delivered.
+        delivered: u64,
+    },
+    /// One classical register bit was lost during readout; it reads as 0
+    /// in every outcome of this batch.
+    ReadoutDropout {
+        /// The affected classical bit.
+        clbit: usize,
+    },
+    /// The batch ran against calibration data older than the device's
+    /// current drift state.
+    StaleCalibration {
+        /// Calibration cycle the batch actually ran under.
+        cycle: u64,
+    },
+}
+
+impl std::fmt::Display for Anomaly {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Anomaly::ShotTruncation {
+                requested,
+                delivered,
+            } => write!(f, "shot truncation: {delivered}/{requested} delivered"),
+            Anomaly::ReadoutDropout { clbit } => {
+                write!(f, "readout dropout on classical bit {clbit}")
+            }
+            Anomaly::StaleCalibration { cycle } => {
+                write!(f, "ran under stale calibration (cycle {cycle})")
+            }
+        }
+    }
+}
+
+/// The result of one backend job: counts plus delivery metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShotBatch {
+    /// The measured histogram (its `total()` is the delivered shots).
+    pub counts: Counts,
+    /// Shots the caller requested for this job.
+    pub requested_shots: u64,
+    /// Degradations that occurred while producing this batch.
+    pub anomalies: Vec<Anomaly>,
+}
+
+impl ShotBatch {
+    /// A clean, fully delivered batch.
+    pub fn complete(counts: Counts, requested_shots: u64) -> Self {
+        ShotBatch {
+            counts,
+            requested_shots,
+            anomalies: Vec::new(),
+        }
+    }
+
+    /// Shots actually delivered.
+    pub fn delivered_shots(&self) -> u64 {
+        self.counts.total()
+    }
+
+    /// Delivered fraction of the requested shots, in `[0, 1]`.
+    pub fn delivered_fraction(&self) -> f64 {
+        if self.requested_shots == 0 {
+            1.0
+        } else {
+            self.delivered_shots() as f64 / self.requested_shots as f64
+        }
+    }
+
+    /// Whether every requested shot arrived with no anomalies.
+    pub fn is_complete(&self) -> bool {
+        self.anomalies.is_empty() && self.delivered_shots() >= self.requested_shots
+    }
+
+    /// Whether any anomaly of the readout-dropout kind is present
+    /// (dropout corrupts the distribution, unlike truncation which only
+    /// widens its error bars).
+    pub fn has_dropout(&self) -> bool {
+        self.anomalies
+            .iter()
+            .any(|a| matches!(a, Anomaly::ReadoutDropout { .. }))
+    }
+
+    /// Merges another batch of the same circuit into this one,
+    /// accumulating counts, requested shots and anomalies. The merged
+    /// histogram weights each batch by its delivered shots — exactly the
+    /// partial-result weighting resilient executors need.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the histograms' bit widths differ.
+    pub fn absorb(&mut self, other: ShotBatch) {
+        self.counts.merge(&other.counts);
+        self.requested_shots += other.requested_shots;
+        self.anomalies.extend(other.anomalies);
+    }
+}
+
+/// Anything that can execute circuits and deliver shot batches.
+///
+/// Implementations in this crate:
+///
+/// - [`Machine`]: the pristine trajectory simulator; always returns
+///   complete batches.
+/// - [`crate::fault::FaultyBackend`]: wraps a [`Machine`] and injects
+///   seeded transient failures, timeouts, truncation, readout dropouts
+///   and calibration staleness.
+/// - [`crate::resilient::ResilientExecutor`]: wraps any backend with
+///   retry/backoff and partial-result accumulation.
+pub trait Backend: Send + Sync {
+    /// Schedules (ALAP) and executes a plain circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ExecError`]; transient variants
+    /// ([`ExecError::is_transient`]) may succeed on retry.
+    fn execute(&self, circuit: &Circuit, config: &ExecutionConfig) -> Result<ShotBatch, ExecError>;
+
+    /// Executes an already-scheduled circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ExecError`]; transient variants
+    /// ([`ExecError::is_transient`]) may succeed on retry.
+    fn execute_timed(
+        &self,
+        timed: &TimedCircuit,
+        config: &ExecutionConfig,
+    ) -> Result<ShotBatch, ExecError>;
+
+    /// A snapshot of the device this backend currently runs against.
+    /// Returned by value because fault-injecting backends drift their
+    /// calibration mid-run.
+    fn device_snapshot(&self) -> Device;
+}
+
+impl Backend for Machine {
+    fn execute(&self, circuit: &Circuit, config: &ExecutionConfig) -> Result<ShotBatch, ExecError> {
+        let counts = Machine::execute(self, circuit, config)?;
+        Ok(ShotBatch::complete(counts, config.shots))
+    }
+
+    fn execute_timed(
+        &self,
+        timed: &TimedCircuit,
+        config: &ExecutionConfig,
+    ) -> Result<ShotBatch, ExecError> {
+        let counts = Machine::execute_timed(self, timed, config)?;
+        Ok(ShotBatch::complete(counts, config.shots))
+    }
+
+    fn device_snapshot(&self) -> Device {
+        self.device().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcirc::Circuit;
+
+    #[test]
+    fn machine_backend_returns_complete_batches() {
+        let m = Machine::new(Device::ibmq_rome(4));
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        let cfg = ExecutionConfig {
+            shots: 300,
+            trajectories: 8,
+            seed: 2,
+            threads: 1,
+        };
+        let batch = Backend::execute(&m, &c, &cfg).unwrap();
+        assert!(batch.is_complete());
+        assert_eq!(batch.delivered_shots(), 300);
+        assert_eq!(batch.delivered_fraction(), 1.0);
+        assert!(!batch.has_dropout());
+    }
+
+    #[test]
+    fn absorb_accumulates_counts_and_anomalies() {
+        let mut a = ShotBatch::complete(
+            {
+                let mut c = Counts::new(1);
+                c.record_many(0, 60);
+                c
+            },
+            100,
+        );
+        a.anomalies.push(Anomaly::ShotTruncation {
+            requested: 100,
+            delivered: 60,
+        });
+        let b = ShotBatch::complete(
+            {
+                let mut c = Counts::new(1);
+                c.record_many(1, 40);
+                c
+            },
+            40,
+        );
+        a.absorb(b);
+        assert_eq!(a.delivered_shots(), 100);
+        assert_eq!(a.requested_shots, 140);
+        assert_eq!(a.anomalies.len(), 1);
+        // Weighting is by delivered shots: 60/100 zeros, 40/100 ones.
+        assert!((a.counts.probability(0) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delivered_fraction_handles_zero_request() {
+        let batch = ShotBatch::complete(Counts::new(1), 0);
+        assert_eq!(batch.delivered_fraction(), 1.0);
+        assert!(batch.is_complete());
+    }
+
+    #[test]
+    fn backend_is_object_safe() {
+        let m = Machine::new(Device::ibmq_rome(4));
+        let b: &dyn Backend = &m;
+        assert_eq!(b.device_snapshot().num_qubits(), 5);
+    }
+}

@@ -18,13 +18,20 @@ use qcirc::{Circuit, Counts, Gate, OpKind, Qubit};
 use rand::rngs::StdRng;
 use rand::Rng;
 use statevec::{SimError, StateVector};
-use transpiler::{schedule, SchedulePolicy, TimedCircuit};
+use transpiler::{try_schedule, ScheduleError, SchedulePolicy, TimedCircuit};
 
 /// Relative std-dev of the per-CNOT crosstalk kick around its calibrated
 /// coupling (state-dependent ZZ fluctuation).
 pub const CROSSTALK_JITTER: f64 = 1.0;
 
-/// Execution errors.
+/// Execution errors — the workspace-wide taxonomy for everything that can
+/// go wrong between a circuit and its counts.
+///
+/// Variants split into two classes: *permanent* failures (the same request
+/// will fail again: oversized circuits, simulator bugs, malformed
+/// schedules) and *transient* failures (a retry may succeed: flaky
+/// backend jobs, timeouts). [`ExecError::is_transient`] is the class
+/// predicate retry loops key off.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExecError {
     /// The circuit touches more qubits than the dense simulator can hold.
@@ -36,15 +43,66 @@ pub enum ExecError {
     },
     /// Underlying simulator error.
     Sim(SimError),
+    /// The circuit could not be scheduled (malformed timings).
+    Schedule(ScheduleError),
+    /// A backend job failed in a way a retry may fix (queue hiccup,
+    /// control-electronics glitch, injected fault).
+    JobFailed {
+        /// Backend-assigned job index.
+        job: u64,
+        /// Human-readable failure cause.
+        reason: String,
+    },
+    /// A backend job exceeded its wall-clock budget.
+    Timeout {
+        /// Backend-assigned job index.
+        job: u64,
+        /// The budget that was exceeded, in milliseconds.
+        budget_ms: u64,
+    },
+    /// A retry loop gave up: every attempt failed transiently.
+    RetriesExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The error from the final attempt.
+        last: Box<ExecError>,
+    },
+}
+
+impl ExecError {
+    /// Whether a retry of the same request may succeed.
+    ///
+    /// [`ExecError::RetriesExhausted`] is deliberately *not* transient:
+    /// it already represents an exhausted retry budget, and treating it as
+    /// retryable would let nested retry loops multiply their budgets.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ExecError::JobFailed { .. } | ExecError::Timeout { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExecError::TooManyActiveQubits { active, limit } => {
-                write!(f, "{active} active qubits exceed the simulator limit of {limit}")
+                write!(
+                    f,
+                    "{active} active qubits exceed the simulator limit of {limit}"
+                )
             }
             ExecError::Sim(e) => write!(f, "simulation error: {e}"),
+            ExecError::Schedule(e) => write!(f, "scheduling error: {e}"),
+            ExecError::JobFailed { job, reason } => {
+                write!(f, "job {job} failed transiently: {reason}")
+            }
+            ExecError::Timeout { job, budget_ms } => {
+                write!(f, "job {job} exceeded its {budget_ms} ms budget")
+            }
+            ExecError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last error: {last}")
+            }
         }
     }
 }
@@ -54,6 +112,12 @@ impl std::error::Error for ExecError {}
 impl From<SimError> for ExecError {
     fn from(e: SimError) -> Self {
         ExecError::Sim(e)
+    }
+}
+
+impl From<ScheduleError> for ExecError {
+    fn from(e: ScheduleError) -> Self {
+        ExecError::Schedule(e)
     }
 }
 
@@ -209,8 +273,12 @@ impl Machine {
     /// # Errors
     ///
     /// See [`Machine::execute_timed`].
-    pub fn execute(&self, circuit: &Circuit, config: &ExecutionConfig) -> Result<Counts, ExecError> {
-        let timed = schedule(circuit, &self.device, SchedulePolicy::Alap);
+    pub fn execute(
+        &self,
+        circuit: &Circuit,
+        config: &ExecutionConfig,
+    ) -> Result<Counts, ExecError> {
+        let timed = try_schedule(circuit, &self.device, SchedulePolicy::Alap)?;
         self.execute_timed(&timed, config)
     }
 
@@ -416,8 +484,7 @@ impl Machine {
                     }
                 }
                 OpKind::Measure(c) => {
-                    let q = compiled.compact_of[e.instr.qubits[0].index()]
-                        .expect("active qubit");
+                    let q = compiled.compact_of[e.instr.qubits[0].index()].expect("active qubit");
                     self.advance_idle(
                         &mut sv,
                         q,
@@ -450,8 +517,7 @@ impl Machine {
                     }
                 }
                 OpKind::Reset => {
-                    let q = compiled.compact_of[e.instr.qubits[0].index()]
-                        .expect("active qubit");
+                    let q = compiled.compact_of[e.instr.qubits[0].index()].expect("active qubit");
                     self.advance_idle(
                         &mut sv,
                         q,
@@ -538,10 +604,7 @@ impl Machine {
                 }
             }
         }
-        sv.apply1(
-            &Gate::RZ(phase).unitary1().expect("RZ is single-qubit"),
-            q,
-        )?;
+        sv.apply1(&Gate::RZ(phase).unitary1().expect("RZ is single-qubit"), q)?;
         // Stochastic floor (T1 relaxation + white dephasing).
         if self.toggles.idle_floor {
             self.apply_floor(sv, q, phys, dt, rng)?;
@@ -875,7 +938,10 @@ mod tests {
         let p1 = counts.probability(1);
         let expected = m.device().qubit(0).err_readout;
         assert!(p1 > 0.0, "readout flips must occur");
-        assert!((p1 - expected).abs() < 0.05, "p1 {p1} vs calibrated {expected}");
+        assert!(
+            (p1 - expected).abs() < 0.05,
+            "p1 {p1} vs calibrated {expected}"
+        );
     }
 
     #[test]
@@ -888,7 +954,10 @@ mod tests {
         }
         c.measure_all();
         let err = m.execute(&c, &cfg(1)).unwrap_err();
-        assert!(matches!(err, ExecError::TooManyActiveQubits { active: 27, .. }));
+        assert!(matches!(
+            err,
+            ExecError::TooManyActiveQubits { active: 27, .. }
+        ));
     }
 
     #[test]

@@ -27,8 +27,15 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod backend;
 pub mod executor;
+pub mod fault;
 pub mod noise;
+pub mod resilient;
 
+pub use backend::{Anomaly, Backend, ShotBatch};
 pub use executor::{ExecError, ExecutionConfig, Machine, NoiseToggles};
+pub use fault::{FaultCounts, FaultPlan, FaultProfile, FaultyBackend, JobFaults};
+pub use resilient::{FaultStats, ResilientExecutor, RetryPolicy};

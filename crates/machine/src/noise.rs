@@ -179,7 +179,7 @@ mod tests {
         let mut rng = SeedSpawner::new(3).rng();
         let mut d = QubitDetuning::sample(&c, &mut rng);
         d.static_offset = 2.0; // rad/µs
-        // Suppress the OU part to isolate the static contribution.
+                               // Suppress the OU part to isolate the static contribution.
         d.ou_value = 0.0;
         d.ou_sigma = 0.0;
         let phase = d.advance(500.0, &mut rng); // 0.5 µs
@@ -198,8 +198,7 @@ mod tests {
             values.push(d.ou_value());
         }
         let mean = values.iter().sum::<f64>() / values.len() as f64;
-        let var = values.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / values.len() as f64;
+        let var = values.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / values.len() as f64;
         let expected = c.ou_sigma * c.ou_sigma;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!(
@@ -222,10 +221,11 @@ mod tests {
         let corr = |lag: usize| -> f64 {
             let n = vals.len() - lag;
             let m = vals.iter().sum::<f64>() / vals.len() as f64;
-            let cov: f64 = (0..n).map(|i| (vals[i] - m) * (vals[i + lag] - m)).sum::<f64>()
+            let cov: f64 = (0..n)
+                .map(|i| (vals[i] - m) * (vals[i + lag] - m))
+                .sum::<f64>()
                 / n as f64;
-            let var: f64 =
-                vals.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / vals.len() as f64;
+            let var: f64 = vals.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / vals.len() as f64;
             cov / var
         };
         let short = corr(2); // lag 100ns ≪ τ

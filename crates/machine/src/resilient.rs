@@ -1,0 +1,564 @@
+//! Retry/backoff execution over any [`Backend`].
+//!
+//! [`ResilientExecutor`] wraps a backend and turns its transient failures
+//! into a bounded retry loop with exponential backoff and jitter, while
+//! *accumulating* partial results: a truncated batch is kept and the next
+//! attempt only asks for the missing shots, so two 60% deliveries add up
+//! to one complete histogram instead of two discarded ones. Batches with
+//! a readout-register dropout are the exception — a zeroed bit corrupts
+//! the distribution rather than widening its error bars, so they are
+//! discarded and retried.
+//!
+//! Determinism contract: the backoff schedule (including jitter) is a
+//! pure function of `(RetryPolicy, ExecutionConfig::seed, attempt)`, and
+//! attempt 0 runs under the caller's exact seed — a fault-free backend
+//! behind a `ResilientExecutor` is bit-identical to the bare backend.
+//! Backoff delays are *virtual* by default (computed and recorded, not
+//! slept): against a simulator, wall-clock waiting buys nothing, and
+//! tests must not take minutes. Set [`RetryPolicy::sleep`] for real
+//! deployments.
+
+use crate::backend::{Backend, ShotBatch};
+use crate::executor::{ExecError, ExecutionConfig};
+use device::{Device, SeedSpawner};
+use qcirc::Circuit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{Arc, Mutex};
+use transpiler::TimedCircuit;
+
+/// Salt folded into the execution seed so backoff jitter draws never
+/// collide with trajectory/shot randomness derived from the same seed.
+const BACKOFF_SALT: u64 = 0x42AC_0FF5_7E7A_11CE;
+
+/// Retry behaviour of a [`ResilientExecutor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum backend attempts per request (first try included).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt, in milliseconds.
+    pub base_backoff_ms: f64,
+    /// Multiplier applied to the backoff after every failed attempt.
+    pub backoff_factor: f64,
+    /// Ceiling on the (pre-jitter) backoff, in milliseconds.
+    pub max_backoff_ms: f64,
+    /// Symmetric jitter as a fraction of the nominal delay: the actual
+    /// delay is `nominal * (1 ± jitter_frac)`, drawn deterministically.
+    pub jitter_frac: f64,
+    /// Minimum delivered fraction at which an exhausted request is still
+    /// accepted as a (flagged) partial result instead of an error.
+    pub min_shot_fraction: f64,
+    /// Actually sleep the backoff delays. Off by default: simulated
+    /// backends fail instantly and the schedule is fully recorded in
+    /// [`FaultStats`] either way.
+    pub sleep: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ms: 10.0,
+            backoff_factor: 2.0,
+            max_backoff_ms: 1_000.0,
+            jitter_frac: 0.25,
+            min_shot_fraction: 0.5,
+            sleep: false,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (attempt 0 only, no partial top-up).
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Default::default()
+        }
+    }
+
+    /// The backoff delay (ms) charged after failed attempt `attempt`
+    /// (0-based), for a request executing under `seed`. Pure function —
+    /// the whole schedule can be predicted (and asserted) in advance.
+    pub fn delay_ms(&self, seed: u64, attempt: u32) -> f64 {
+        let nominal = (self.base_backoff_ms * self.backoff_factor.powi(attempt as i32))
+            .min(self.max_backoff_ms);
+        let spawner = SeedSpawner::new(seed ^ BACKOFF_SALT);
+        let mut rng = StdRng::seed_from_u64(spawner.derive(attempt as u64));
+        let u: f64 = rng.gen();
+        (nominal * (1.0 + self.jitter_frac * (2.0 * u - 1.0))).max(0.0)
+    }
+
+    /// The full backoff schedule for `attempts` failed attempts under
+    /// `seed`.
+    pub fn backoff_schedule(&self, seed: u64, attempts: u32) -> Vec<f64> {
+        (0..attempts).map(|a| self.delay_ms(seed, a)).collect()
+    }
+}
+
+/// Counters describing everything a [`ResilientExecutor`] absorbed.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultStats {
+    /// Requests (execute calls) received.
+    pub requests: u64,
+    /// Backend attempts dispatched (≥ requests).
+    pub attempts: u64,
+    /// Transient errors retried around.
+    pub transient_errors: u64,
+    /// Batches discarded because a readout bit dropped.
+    pub dropout_discards: u64,
+    /// Truncated batches absorbed into partial accumulation.
+    pub partial_batches: u64,
+    /// Requests resolved with fewer shots than asked (flagged partial).
+    pub partial_accepted: u64,
+    /// Requests that exhausted the retry budget and returned an error.
+    pub exhausted: u64,
+    /// Requests whose batch ran under stale calibration.
+    pub stale_batches: u64,
+    /// Total (virtual or real) backoff charged, in milliseconds.
+    pub total_backoff_ms: f64,
+}
+
+impl std::fmt::Display for FaultStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} requests / {} attempts: {} transient errors retried, \
+             {} dropout discards, {} partial batches absorbed, \
+             {} accepted partial, {} exhausted, {} stale, {:.1} ms backoff",
+            self.requests,
+            self.attempts,
+            self.transient_errors,
+            self.dropout_discards,
+            self.partial_batches,
+            self.partial_accepted,
+            self.exhausted,
+            self.stale_batches,
+            self.total_backoff_ms
+        )
+    }
+}
+
+/// A [`Backend`] decorator adding retry, backoff and partial-result
+/// accumulation.
+///
+/// # Examples
+///
+/// ```
+/// use device::Device;
+/// use machine::{
+///     Backend, ExecutionConfig, FaultProfile, FaultyBackend, Machine, ResilientExecutor,
+///     RetryPolicy,
+/// };
+/// use qcirc::Circuit;
+/// use std::sync::Arc;
+///
+/// let flaky = FaultyBackend::new(Machine::new(Device::ibmq_rome(3)), FaultProfile::flaky(), 7);
+/// let exec = ResilientExecutor::new(Arc::new(flaky));
+/// let mut c = Circuit::new(1);
+/// c.h(0).measure(0, 0);
+/// let cfg = ExecutionConfig { shots: 128, trajectories: 4, seed: 1, threads: 1 };
+/// // 10% failures + 5% timeouts: 4 attempts make every request succeed here.
+/// for _ in 0..20 {
+///     assert!(exec.execute(&c, &cfg).is_ok());
+/// }
+/// assert!(exec.stats().attempts >= 20);
+/// ```
+pub struct ResilientExecutor {
+    backend: Arc<dyn Backend>,
+    policy: RetryPolicy,
+    stats: Mutex<FaultStats>,
+}
+
+impl std::fmt::Debug for ResilientExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientExecutor")
+            .field("policy", &self.policy)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ResilientExecutor {
+    /// Wraps a backend with the default [`RetryPolicy`].
+    pub fn new(backend: Arc<dyn Backend>) -> Self {
+        Self::with_policy(backend, RetryPolicy::default())
+    }
+
+    /// Wraps a backend with an explicit policy.
+    pub fn with_policy(backend: Arc<dyn Backend>, policy: RetryPolicy) -> Self {
+        ResilientExecutor {
+            backend,
+            policy,
+            stats: Mutex::new(FaultStats::default()),
+        }
+    }
+
+    /// The active retry policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Snapshot of the absorbed-fault counters.
+    pub fn stats(&self) -> FaultStats {
+        *self.stats.lock().expect("stats lock")
+    }
+
+    /// Resets the counters (e.g. between experiment phases).
+    pub fn reset_stats(&self) {
+        *self.stats.lock().expect("stats lock") = FaultStats::default();
+    }
+
+    /// The retry loop shared by both execute paths. `dispatch` runs one
+    /// attempt under an attempt-specific config.
+    fn run_resilient(
+        &self,
+        config: &ExecutionConfig,
+        dispatch: &dyn Fn(&ExecutionConfig) -> Result<ShotBatch, ExecError>,
+    ) -> Result<ShotBatch, ExecError> {
+        self.stats.lock().expect("stats lock").requests += 1;
+        let topup_seeds = SeedSpawner::new(config.seed ^ BACKOFF_SALT);
+        let mut merged: Option<ShotBatch> = None;
+        let mut last_err: Option<ExecError> = None;
+        let mut attempts = 0u32;
+
+        for attempt in 0..self.policy.max_attempts.max(1) {
+            let have = merged.as_ref().map_or(0, ShotBatch::delivered_shots);
+            let need = config.shots.saturating_sub(have);
+            if need == 0 {
+                break;
+            }
+            // Attempt 0 runs under the caller's exact seed so a clean
+            // backend is bit-identical to the bare path; top-up attempts
+            // draw fresh sub-seeds for independent shots.
+            let attempt_cfg = ExecutionConfig {
+                shots: need,
+                seed: if attempt == 0 {
+                    config.seed
+                } else {
+                    topup_seeds.derive(0x7070 + attempt as u64)
+                },
+                ..*config
+            };
+            attempts += 1;
+            self.stats.lock().expect("stats lock").attempts += 1;
+
+            match dispatch(&attempt_cfg) {
+                Ok(batch) if batch.has_dropout() => {
+                    // A zeroed register bit corrupts the distribution;
+                    // discard the batch and treat the attempt as failed.
+                    drop(batch);
+                    self.stats.lock().expect("stats lock").dropout_discards += 1;
+                    last_err = Some(ExecError::JobFailed {
+                        job: attempt as u64,
+                        reason: "readout register dropout (batch discarded)".to_string(),
+                    });
+                    self.charge_backoff(config.seed, attempt);
+                }
+                Ok(batch) => {
+                    {
+                        let mut s = self.stats.lock().expect("stats lock");
+                        if !batch.is_complete() {
+                            s.partial_batches += 1;
+                        }
+                        if batch
+                            .anomalies
+                            .iter()
+                            .any(|a| matches!(a, crate::backend::Anomaly::StaleCalibration { .. }))
+                        {
+                            s.stale_batches += 1;
+                        }
+                    }
+                    match merged.as_mut() {
+                        Some(m) => m.absorb(batch),
+                        None => merged = Some(batch),
+                    }
+                    let m = merged.as_ref().expect("just set");
+                    if m.delivered_shots() >= config.shots {
+                        break;
+                    }
+                    // Partial delivery: top up on the next attempt.
+                    self.charge_backoff(config.seed, attempt);
+                }
+                Err(e) if e.is_transient() => {
+                    self.stats.lock().expect("stats lock").transient_errors += 1;
+                    last_err = Some(e);
+                    self.charge_backoff(config.seed, attempt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Normalize the accumulated result against the original request.
+        if let Some(mut m) = merged {
+            m.requested_shots = config.shots;
+            if m.delivered_shots() >= config.shots {
+                return Ok(m);
+            }
+            if m.delivered_fraction() >= self.policy.min_shot_fraction {
+                self.stats.lock().expect("stats lock").partial_accepted += 1;
+                return Ok(m);
+            }
+        }
+        self.stats.lock().expect("stats lock").exhausted += 1;
+        Err(ExecError::RetriesExhausted {
+            attempts,
+            last: Box::new(last_err.unwrap_or(ExecError::JobFailed {
+                job: 0,
+                reason: "no shots delivered".to_string(),
+            })),
+        })
+    }
+
+    /// Records (and optionally sleeps) the backoff after a failed
+    /// attempt, except after the final one where no retry follows.
+    fn charge_backoff(&self, seed: u64, attempt: u32) {
+        if attempt + 1 >= self.policy.max_attempts {
+            return;
+        }
+        let delay = self.policy.delay_ms(seed, attempt);
+        self.stats.lock().expect("stats lock").total_backoff_ms += delay;
+        if self.policy.sleep {
+            std::thread::sleep(std::time::Duration::from_micros((delay * 1000.0) as u64));
+        }
+    }
+}
+
+impl Backend for ResilientExecutor {
+    fn execute(&self, circuit: &Circuit, config: &ExecutionConfig) -> Result<ShotBatch, ExecError> {
+        let backend = Arc::clone(&self.backend);
+        self.run_resilient(config, &move |cfg: &ExecutionConfig| {
+            backend.execute(circuit, cfg)
+        })
+    }
+
+    fn execute_timed(
+        &self,
+        timed: &TimedCircuit,
+        config: &ExecutionConfig,
+    ) -> Result<ShotBatch, ExecError> {
+        let backend = Arc::clone(&self.backend);
+        self.run_resilient(config, &move |cfg: &ExecutionConfig| {
+            backend.execute_timed(timed, cfg)
+        })
+    }
+
+    fn device_snapshot(&self) -> Device {
+        self.backend.device_snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Machine;
+    use crate::fault::{FaultProfile, FaultyBackend};
+    use qcirc::Counts;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        c
+    }
+
+    fn cfg(seed: u64) -> ExecutionConfig {
+        ExecutionConfig {
+            shots: 240,
+            trajectories: 8,
+            seed,
+            threads: 1,
+        }
+    }
+
+    /// A backend that fails transiently a fixed number of times, then
+    /// succeeds.
+    struct FailNTimes {
+        inner: Machine,
+        remaining: Mutex<u32>,
+    }
+
+    impl Backend for FailNTimes {
+        fn execute(
+            &self,
+            circuit: &Circuit,
+            config: &ExecutionConfig,
+        ) -> Result<ShotBatch, ExecError> {
+            let mut left = self.remaining.lock().unwrap();
+            if *left > 0 {
+                *left -= 1;
+                return Err(ExecError::JobFailed {
+                    job: 0,
+                    reason: "scripted failure".to_string(),
+                });
+            }
+            Backend::execute(&self.inner, circuit, config)
+        }
+
+        fn execute_timed(
+            &self,
+            timed: &TimedCircuit,
+            config: &ExecutionConfig,
+        ) -> Result<ShotBatch, ExecError> {
+            let mut left = self.remaining.lock().unwrap();
+            if *left > 0 {
+                *left -= 1;
+                return Err(ExecError::Timeout {
+                    job: 0,
+                    budget_ms: 1,
+                });
+            }
+            Backend::execute_timed(&self.inner, timed, config)
+        }
+
+        fn device_snapshot(&self) -> Device {
+            self.inner.device().clone()
+        }
+    }
+
+    #[test]
+    fn clean_backend_is_bit_identical_through_the_executor() {
+        let m = Machine::new(Device::ibmq_rome(3));
+        let direct = m.execute(&bell(), &cfg(5)).unwrap();
+        let exec = ResilientExecutor::new(Arc::new(Machine::new(Device::ibmq_rome(3))));
+        let batch = exec.execute(&bell(), &cfg(5)).unwrap();
+        assert_eq!(batch.counts, direct);
+        assert!(batch.is_complete());
+        assert_eq!(exec.stats().attempts, 1);
+    }
+
+    #[test]
+    fn retries_recover_from_transient_failures() {
+        let backend = FailNTimes {
+            inner: Machine::new(Device::ibmq_rome(3)),
+            remaining: Mutex::new(2),
+        };
+        let exec = ResilientExecutor::new(Arc::new(backend));
+        let batch = exec.execute(&bell(), &cfg(5)).unwrap();
+        assert_eq!(batch.delivered_shots(), 240);
+        let s = exec.stats();
+        assert_eq!(s.attempts, 3);
+        assert_eq!(s.transient_errors, 2);
+        assert!(s.total_backoff_ms > 0.0);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_typed_error() {
+        let backend = FailNTimes {
+            inner: Machine::new(Device::ibmq_rome(3)),
+            remaining: Mutex::new(100),
+        };
+        let exec = ResilientExecutor::new(Arc::new(backend));
+        let err = exec.execute(&bell(), &cfg(5)).unwrap_err();
+        let ExecError::RetriesExhausted { attempts, last } = err else {
+            panic!("expected RetriesExhausted");
+        };
+        assert_eq!(attempts, 4);
+        assert!(last.is_transient());
+        // The exhausted error itself is not transient: nesting retry
+        // loops must not multiply budgets.
+        assert!(!ExecError::RetriesExhausted { attempts, last }.is_transient());
+        assert_eq!(exec.stats().exhausted, 1);
+    }
+
+    #[test]
+    fn permanent_errors_are_not_retried() {
+        let m = Machine::new(Device::all_to_all(27, 1));
+        let exec = ResilientExecutor::new(Arc::new(m));
+        let mut c = Circuit::new(27);
+        for q in 0..27 {
+            c.h(q as u32);
+        }
+        c.measure_all();
+        let err = exec.execute(&c, &cfg(1)).unwrap_err();
+        assert!(matches!(err, ExecError::TooManyActiveQubits { .. }));
+        assert_eq!(exec.stats().attempts, 1);
+    }
+
+    #[test]
+    fn truncated_batches_accumulate_to_full_delivery() {
+        let profile = FaultProfile {
+            shot_truncation: 1.0,
+            truncation_floor: 0.5,
+            ..FaultProfile::none()
+        };
+        let backend = FaultyBackend::new(Machine::new(Device::ibmq_rome(3)), profile, 3);
+        let exec = ResilientExecutor::new(Arc::new(backend));
+        let batch = exec.execute(&bell(), &cfg(9)).unwrap();
+        // Every attempt truncates, but top-ups close the gap (4 attempts
+        // at ≥50% each always cover 100%).
+        assert_eq!(batch.delivered_shots(), 240);
+        assert_eq!(batch.requested_shots, 240);
+        let s = exec.stats();
+        assert!(s.partial_batches >= 1);
+        assert!(s.attempts >= 2);
+    }
+
+    #[test]
+    fn partial_acceptance_below_full_but_above_floor() {
+        // One attempt only, always truncated to ~50-100%: accepted as
+        // partial under the default 0.5 floor.
+        let profile = FaultProfile {
+            shot_truncation: 1.0,
+            truncation_floor: 0.5,
+            ..FaultProfile::none()
+        };
+        let backend = FaultyBackend::new(Machine::new(Device::ibmq_rome(3)), profile, 3);
+        let exec = ResilientExecutor::with_policy(Arc::new(backend), RetryPolicy::no_retries());
+        let batch = exec.execute(&bell(), &cfg(9)).unwrap();
+        assert!(batch.delivered_shots() < 240);
+        assert!(batch.delivered_fraction() >= 0.5 - 1e-9);
+        assert_eq!(exec.stats().partial_accepted, 1);
+    }
+
+    #[test]
+    fn dropout_batches_are_discarded_and_retried() {
+        let profile = FaultProfile {
+            readout_dropout: 1.0,
+            ..FaultProfile::none()
+        };
+        let backend = FaultyBackend::new(Machine::new(Device::ibmq_rome(3)), profile, 3);
+        let exec = ResilientExecutor::new(Arc::new(backend));
+        let err = exec.execute(&bell(), &cfg(9)).unwrap_err();
+        assert!(matches!(err, ExecError::RetriesExhausted { .. }));
+        assert_eq!(exec.stats().dropout_discards, 4);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_seed_sensitive() {
+        let policy = RetryPolicy::default();
+        let a = policy.backoff_schedule(42, 6);
+        let b = policy.backoff_schedule(42, 6);
+        assert_eq!(a, b, "same seed must give the same schedule");
+        let c = policy.backoff_schedule(43, 6);
+        assert_ne!(a, c, "different seeds must jitter differently");
+        // Exponential growth up to the cap, jitter within ±25%.
+        for (i, d) in a.iter().enumerate() {
+            let nominal = (10.0 * 2.0f64.powi(i as i32)).min(1_000.0);
+            assert!(*d >= nominal * 0.75 - 1e-9 && *d <= nominal * 1.25 + 1e-9);
+        }
+        assert!(a[5] > a[0], "later delays must be longer");
+    }
+
+    #[test]
+    fn executor_runs_are_reproducible_under_fixed_seed() {
+        let run = || -> (Counts, FaultStats) {
+            let backend = FaultyBackend::new(
+                Machine::new(Device::ibmq_rome(3)),
+                FaultProfile::lossy(),
+                21,
+            );
+            let exec = ResilientExecutor::new(Arc::new(backend));
+            let mut counts = Counts::new(2);
+            for i in 0..10 {
+                if let Ok(b) = exec.execute(&bell(), &cfg(100 + i)) {
+                    counts.merge(&b.counts);
+                }
+            }
+            (counts, exec.stats())
+        };
+        let (c1, s1) = run();
+        let (c2, s2) = run();
+        assert_eq!(c1, c2);
+        assert_eq!(s1, s2);
+    }
+}

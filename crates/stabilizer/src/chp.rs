@@ -47,7 +47,6 @@ impl BitVec {
             *a ^= b;
         }
     }
-
 }
 
 /// One Pauli row of the tableau: (-1)^sign · ⊗ X^x Z^z.
@@ -530,8 +529,8 @@ mod tests {
         let mut t = Tableau::new(2);
         t.x(1);
         let mut r = rng();
-        assert_eq!(t.measure(0, &mut r).bit(), false);
-        assert_eq!(t.measure(1, &mut r).bit(), true);
+        assert!(!t.measure(0, &mut r).bit());
+        assert!(t.measure(1, &mut r).bit());
     }
 
     #[test]
@@ -635,8 +634,8 @@ mod tests {
         t.x(0);
         t.swap(0, 2);
         let mut r = rng();
-        assert_eq!(t.measure(0, &mut r).bit(), false);
-        assert_eq!(t.measure(2, &mut r).bit(), true);
+        assert!(!t.measure(0, &mut r).bit());
+        assert!(t.measure(2, &mut r).bit());
     }
 
     #[test]
@@ -711,7 +710,15 @@ mod tests {
     #[test]
     fn matches_statevector_on_random_clifford_circuits() {
         use rand::seq::SliceRandom;
-        let gates1 = [Gate::H, Gate::S, Gate::Sdg, Gate::X, Gate::Y, Gate::Z, Gate::SX];
+        let gates1 = [
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::SX,
+        ];
         let mut r = rng();
         for trial in 0..25 {
             let n = 3 + trial % 3;
@@ -739,7 +746,10 @@ mod tests {
             assert_eq!(exact.len(), sv.len(), "support mismatch on trial {trial}");
             for (k, p) in &exact {
                 let q = sv.get(k).copied().unwrap_or(0.0);
-                assert!((p - q).abs() < 1e-9, "trial {trial} outcome {k}: {p} vs {q}");
+                assert!(
+                    (p - q).abs() < 1e-9,
+                    "trial {trial} outcome {k}: {p} vs {q}"
+                );
             }
         }
     }

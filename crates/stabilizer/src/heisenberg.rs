@@ -456,7 +456,7 @@ pub const MAX_MEASURED: usize = 20;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qcirc::math::{C64, Mat2};
+    use qcirc::math::{Mat2, C64};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -478,7 +478,16 @@ mod tests {
 
     #[test]
     fn single_qubit_conjugation_matches_dense_algebra() {
-        let gates = [Gate::X, Gate::Y, Gate::Z, Gate::H, Gate::S, Gate::Sdg, Gate::SX, Gate::SXdg];
+        let gates = [
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::SX,
+            Gate::SXdg,
+        ];
         for g in gates {
             let u = g.unitary1().unwrap();
             for (x, z) in [(true, false), (false, true), (true, true)] {
@@ -503,11 +512,7 @@ mod tests {
         let probs = sv.probabilities();
         let mut e = 0.0;
         for (idx, p) in probs.iter().enumerate() {
-            let parity = qubits
-                .iter()
-                .map(|&q| (idx >> q & 1) as u32)
-                .sum::<u32>()
-                & 1;
+            let parity = qubits.iter().map(|&q| (idx >> q & 1) as u32).sum::<u32>() & 1;
             e += if parity == 1 { -p } else { *p };
         }
         e
@@ -516,7 +521,15 @@ mod tests {
     fn random_supported_circuit(n: usize, depth: usize, seeds: usize, rng_seed: u64) -> Circuit {
         let mut rng = StdRng::seed_from_u64(rng_seed);
         let mut c = Circuit::new(n);
-        let cliffords = [Gate::H, Gate::S, Gate::Sdg, Gate::X, Gate::Y, Gate::Z, Gate::SX];
+        let cliffords = [
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::SX,
+        ];
         let mut placed_seeds = 0;
         for d in 0..depth {
             if rng.gen::<f64>() < 0.3 && n >= 2 {

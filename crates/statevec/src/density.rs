@@ -13,7 +13,7 @@
 //!   qubit between DD pulses.
 
 use crate::{SimError, StateVector};
-use qcirc::math::{C64, Mat2};
+use qcirc::math::{Mat2, C64};
 use qcirc::Gate;
 
 /// Hard cap on density-matrix register size (2^2n complex entries).
@@ -95,7 +95,9 @@ impl DensityMatrix {
 
     /// Computational-basis outcome probabilities (the diagonal).
     pub fn probabilities(&self) -> Vec<f64> {
-        (0..self.dim).map(|i| self.rho[i * self.dim + i].re).collect()
+        (0..self.dim)
+            .map(|i| self.rho[i * self.dim + i].re)
+            .collect()
     }
 
     /// `⟨ψ|ρ|ψ⟩` against a pure reference.

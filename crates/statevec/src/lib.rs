@@ -28,7 +28,7 @@ pub mod density;
 
 pub use density::DensityMatrix;
 
-use qcirc::math::{C64, Mat2, Mat4};
+use qcirc::math::{Mat2, Mat4, C64};
 use qcirc::{Circuit, Counts, Instruction, OpKind, Qubit};
 use rand::Rng;
 use std::collections::BTreeMap;
@@ -62,7 +62,10 @@ impl std::fmt::Display for SimError {
                 write!(f, "{requested} qubits exceeds simulator limit of {limit}")
             }
             SimError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit register")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for {num_qubits}-qubit register"
+                )
             }
             SimError::InvalidAmplitudes => write!(f, "invalid amplitude vector"),
         }
@@ -727,8 +730,7 @@ mod tests {
         assert!(StateVector::from_amplitudes(vec![C64::ONE; 3]).is_err());
         assert!(StateVector::from_amplitudes(vec![C64::ONE, C64::ONE]).is_err());
         let s = std::f64::consts::FRAC_1_SQRT_2;
-        let sv =
-            StateVector::from_amplitudes(vec![C64::real(s), C64::real(s)]).unwrap();
+        let sv = StateVector::from_amplitudes(vec![C64::real(s), C64::real(s)]).unwrap();
         assert_eq!(sv.num_qubits(), 1);
     }
 

@@ -195,7 +195,9 @@ mod tests {
     fn pulse_counts_are_tight() {
         // RZ-family gates cost zero pulses; H costs one SX; generic
         // rotations at most two SX.
-        assert!(decompose_1q(Gate::T).iter().all(|g| matches!(g, Gate::RZ(_))));
+        assert!(decompose_1q(Gate::T)
+            .iter()
+            .all(|g| matches!(g, Gate::RZ(_))));
         let h = decompose_1q(Gate::H);
         assert_eq!(h.iter().filter(|g| matches!(g, Gate::SX)).count(), 1);
         let ry = decompose_1q(Gate::RY(0.9));

@@ -152,9 +152,7 @@ pub fn noise_adaptive_layout(circuit: &Circuit, device: &Device) -> Layout {
 
     // Seed: heaviest program qubit on the cheapest physical qubit that has
     // at least as many neighbors as it has partners (when possible).
-    let seed_prog = (0..n_prog)
-        .max_by_key(|&p| total_weight(p))
-        .unwrap_or(0);
+    let seed_prog = (0..n_prog).max_by_key(|&p| total_weight(p)).unwrap_or(0);
     let seed_phys = (0..n_phys as u32)
         .min_by(|&a, &b| {
             phys_cost(device, a)
@@ -285,10 +283,7 @@ mod tests {
         let dev = Device::ibmq_guadalupe(7);
         let l = noise_adaptive_layout(&ghz(6), &dev);
         let adjacent = (0..5u32)
-            .filter(|&q| {
-                dev.topology()
-                    .are_connected(l.phys_of(q), l.phys_of(q + 1))
-            })
+            .filter(|&q| dev.topology().are_connected(l.phys_of(q), l.phys_of(q + 1)))
             .count();
         assert!(adjacent >= 4, "only {adjacent}/5 chain links adjacent");
     }

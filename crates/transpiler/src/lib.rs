@@ -45,7 +45,8 @@ pub use layout::{noise_adaptive_layout, Layout};
 pub use optimize::optimize_circuit;
 pub use route::{route, RoutedCircuit};
 pub use schedule::{
-    schedule, IdleKind, IdleWindow, SchedulePolicy, TimedCircuit, TimedInstruction,
+    schedule, try_schedule, IdleKind, IdleWindow, ScheduleError, SchedulePolicy, TimedCircuit,
+    TimedInstruction,
 };
 
 use device::Device;
@@ -217,8 +218,7 @@ mod tests {
         let c = bv(5, 0b1011);
         let t = transpile(&c, &dev, &TranspileOptions::default());
         let phys: Vec<u32> = (0..5u32).map(|p| t.initial_layout.phys_of(p)).collect();
-        let mean_idle: f64 =
-            phys.iter().map(|&q| t.timed.idle_fraction(q)).sum::<f64>() / 5.0;
+        let mean_idle: f64 = phys.iter().map(|&q| t.timed.idle_fraction(q)).sum::<f64>() / 5.0;
         assert!(mean_idle > 0.3, "mean idle fraction {mean_idle}");
     }
 }

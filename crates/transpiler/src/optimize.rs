@@ -16,8 +16,7 @@ const MAX_PASSES: usize = 64;
 /// Applies cancellation/merging until fixpoint and returns the optimized
 /// circuit.
 pub fn optimize_circuit(circuit: &Circuit) -> Circuit {
-    let mut instrs: Vec<Option<Instruction>> =
-        circuit.iter().cloned().map(Some).collect();
+    let mut instrs: Vec<Option<Instruction>> = circuit.iter().cloned().map(Some).collect();
     for _ in 0..MAX_PASSES {
         let changed = pass(&mut instrs, circuit.num_qubits());
         if !changed {
@@ -46,8 +45,7 @@ fn pass(instrs: &mut [Option<Instruction>], num_qubits: usize) -> bool {
                 let qubits: Vec<usize> = instr.qubits.iter().map(|q| q.index()).collect();
                 // The candidate predecessor must be the immediately
                 // preceding live instruction on *all* operands.
-                let preds: Vec<Option<usize>> =
-                    qubits.iter().map(|&q| last_on[q]).collect();
+                let preds: Vec<Option<usize>> = qubits.iter().map(|&q| last_on[q]).collect();
                 let same_pred = preds
                     .first()
                     .copied()
@@ -59,8 +57,7 @@ fn pass(instrs: &mut [Option<Instruction>], num_qubits: usize) -> bool {
                 if let Some(p) = same_pred {
                     if let Some(prev) = instrs[p].clone() {
                         if prev.qubits == instr.qubits {
-                            if let (OpKind::Gate(pg), OpKind::Gate(cg)) =
-                                (&prev.kind, &instr.kind)
+                            if let (OpKind::Gate(pg), OpKind::Gate(cg)) = (&prev.kind, &instr.kind)
                             {
                                 match combine(*pg, *cg) {
                                     Combine::Cancel => {
@@ -74,10 +71,8 @@ fn pass(instrs: &mut [Option<Instruction>], num_qubits: usize) -> bool {
                                     }
                                     Combine::Replace(g) => {
                                         instrs[p] = None;
-                                        instrs[i] = Some(Instruction::gate(
-                                            g,
-                                            instr.qubits.clone(),
-                                        ));
+                                        instrs[i] =
+                                            Some(Instruction::gate(g, instr.qubits.clone()));
                                         changed = true;
                                         replaced = true;
                                     }
@@ -219,7 +214,9 @@ mod tests {
     #[test]
     fn identity_and_zero_rz_dropped() {
         let mut c = Circuit::new(1);
-        c.gate(Gate::I, &[0]).rz(0.0, 0).rz(2.0 * std::f64::consts::PI, 0);
+        c.gate(Gate::I, &[0])
+            .rz(0.0, 0)
+            .rz(2.0 * std::f64::consts::PI, 0);
         assert!(optimize_circuit(&c).is_empty());
     }
 

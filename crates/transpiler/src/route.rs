@@ -49,9 +49,11 @@ pub fn route(circuit: &Circuit, device: &Device, initial_layout: Layout) -> Rout
         .iter()
         .enumerate()
         .filter_map(|(i, instr)| match instr.kind {
-            OpKind::Gate(g) if g.arity() == 2 => {
-                Some((i, instr.qubits[0].index() as u32, instr.qubits[1].index() as u32))
-            }
+            OpKind::Gate(g) if g.arity() == 2 => Some((
+                i,
+                instr.qubits[0].index() as u32,
+                instr.qubits[1].index() as u32,
+            )),
             _ => None,
         })
         .collect();
@@ -83,10 +85,7 @@ pub fn route(circuit: &Circuit, device: &Device, initial_layout: Layout) -> Rout
                 }
                 let qa = layout.phys_of(pa);
                 let qb = layout.phys_of(pb);
-                out.push(Instruction::gate(
-                    *g,
-                    vec![Qubit::new(qa), Qubit::new(qb)],
-                ));
+                out.push(Instruction::gate(*g, vec![Qubit::new(qa), Qubit::new(qb)]));
             }
             OpKind::Gate(g) => {
                 let q = layout.phys_of(instr.qubits[0].index() as u32);
@@ -198,7 +197,7 @@ fn choose_swap(
             .cnot_error(sa, sb)
             .expect("candidate swap is a coupled link");
         let score = primary as f64 * 100.0 + look + err * 10.0;
-        if best.map_or(true, |(_, s)| score < s) {
+        if best.is_none_or(|(_, s)| score < s) {
             best = Some(((sa, sb), score));
         }
     }
@@ -322,10 +321,7 @@ mod tests {
         c.cx(0, 4);
         let r = route(&c, &dev, Layout::trivial(5));
         if r.swap_count > 0 {
-            assert_ne!(
-                r.initial_layout.assignment(),
-                r.final_layout.assignment()
-            );
+            assert_ne!(r.initial_layout.assignment(), r.final_layout.assignment());
         }
         // Each program qubit still has exactly one site.
         let mut seen = std::collections::BTreeSet::new();

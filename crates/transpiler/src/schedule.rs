@@ -73,6 +73,54 @@ pub enum IdleKind {
     Unused,
 }
 
+/// Errors raised while assembling a timed circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// An event carries a NaN/infinite timestamp and cannot be ordered.
+    NonFiniteTime {
+        /// Index of the offending event in the input order.
+        event: usize,
+        /// The start timestamp as given.
+        start_ns: f64,
+        /// The end timestamp as given.
+        end_ns: f64,
+    },
+    /// An event ends before it starts.
+    NegativeDuration {
+        /// Index of the offending event in the input order.
+        event: usize,
+        /// The start timestamp as given.
+        start_ns: f64,
+        /// The end timestamp as given.
+        end_ns: f64,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::NonFiniteTime {
+                event,
+                start_ns,
+                end_ns,
+            } => write!(
+                f,
+                "event {event} has non-finite times [{start_ns}, {end_ns}]"
+            ),
+            ScheduleError::NegativeDuration {
+                event,
+                start_ns,
+                end_ns,
+            } => write!(
+                f,
+                "event {event} ends before it starts [{start_ns}, {end_ns}]"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
 /// A fully scheduled circuit: instructions with timestamps, sorted by
 /// start time (stable on program order).
 #[derive(Debug, Clone, PartialEq)]
@@ -87,23 +135,64 @@ impl TimedCircuit {
     /// Assembles a timed circuit from raw events (used by DD insertion).
     /// Events are re-sorted by start time; the total duration is the
     /// latest end time.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite or negative-duration events; use
+    /// [`TimedCircuit::try_from_events`] on untrusted input.
     pub fn from_events(
         num_qubits: usize,
         num_clbits: usize,
-        mut events: Vec<TimedInstruction>,
+        events: Vec<TimedInstruction>,
     ) -> Self {
+        match Self::try_from_events(num_qubits, num_clbits, events) {
+            Ok(t) => t,
+            Err(e) => panic!("invalid timed events: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`TimedCircuit::from_events`]: validates every
+    /// timestamp before sorting, so malformed timings surface as a typed
+    /// [`ScheduleError`] instead of a comparator panic deep inside `sort`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::NonFiniteTime`] for NaN/infinite
+    /// timestamps and [`ScheduleError::NegativeDuration`] when an event
+    /// ends before it starts.
+    pub fn try_from_events(
+        num_qubits: usize,
+        num_clbits: usize,
+        mut events: Vec<TimedInstruction>,
+    ) -> Result<Self, ScheduleError> {
+        for (i, e) in events.iter().enumerate() {
+            if !e.start_ns.is_finite() || !e.end_ns.is_finite() {
+                return Err(ScheduleError::NonFiniteTime {
+                    event: i,
+                    start_ns: e.start_ns,
+                    end_ns: e.end_ns,
+                });
+            }
+            if e.end_ns < e.start_ns {
+                return Err(ScheduleError::NegativeDuration {
+                    event: i,
+                    start_ns: e.start_ns,
+                    end_ns: e.end_ns,
+                });
+            }
+        }
         events.sort_by(|a, b| {
             a.start_ns
                 .partial_cmp(&b.start_ns)
-                .expect("times are finite")
+                .expect("times validated finite above")
         });
         let total_ns = events.iter().map(|e| e.end_ns).fold(0.0, f64::max);
-        TimedCircuit {
+        Ok(TimedCircuit {
             num_qubits,
             num_clbits,
             events,
             total_ns,
-        }
+        })
     }
 
     /// Number of qubits.
@@ -228,16 +317,38 @@ impl TimedCircuit {
 /// ASAP places each instruction at the earliest moment all operands are
 /// free; ALAP mirrors the circuit, schedules ASAP, and reflects the times,
 /// yielding the latest-possible placement with identical makespan.
+///
+/// # Panics
+///
+/// Panics when the circuit carries non-finite delays; use
+/// [`try_schedule`] on untrusted input.
 pub fn schedule(circuit: &Circuit, device: &Device, policy: SchedulePolicy) -> TimedCircuit {
+    match try_schedule(circuit, device, policy) {
+        Ok(t) => t,
+        Err(e) => panic!("scheduling failed: {e}"),
+    }
+}
+
+/// Fallible variant of [`schedule`]: malformed circuits (e.g. a
+/// `Delay(NaN)`) surface as a typed [`ScheduleError`] instead of a panic.
+///
+/// # Errors
+///
+/// Returns a [`ScheduleError`] when any computed timestamp is non-finite.
+pub fn try_schedule(
+    circuit: &Circuit,
+    device: &Device,
+    policy: SchedulePolicy,
+) -> Result<TimedCircuit, ScheduleError> {
     match policy {
-        SchedulePolicy::Asap => schedule_asap(circuit, device),
+        SchedulePolicy::Asap => try_schedule_asap(circuit, device),
         SchedulePolicy::Alap => {
             // Reverse program order, ASAP-schedule, then reflect times.
             let mut rev = Circuit::with_clbits(circuit.num_qubits(), circuit.num_clbits());
             for instr in circuit.iter().rev() {
                 rev.push(instr.clone());
             }
-            let asap = schedule_asap(&rev, device);
+            let asap = try_schedule_asap(&rev, device)?;
             let total = asap.total_ns;
             let mut events: Vec<TimedInstruction> = asap
                 .events
@@ -252,7 +363,7 @@ pub fn schedule(circuit: &Circuit, device: &Device, policy: SchedulePolicy) -> T
             // `from_events` keeps zero-duration chains (RZ–SX–RZ) in their
             // original sequence when start times tie.
             events.reverse();
-            TimedCircuit::from_events(circuit.num_qubits(), circuit.num_clbits(), events)
+            TimedCircuit::try_from_events(circuit.num_qubits(), circuit.num_clbits(), events)
         }
     }
 }
@@ -270,7 +381,7 @@ fn instruction_duration(instr: &Instruction, device: &Device) -> f64 {
     }
 }
 
-fn schedule_asap(circuit: &Circuit, device: &Device) -> TimedCircuit {
+fn try_schedule_asap(circuit: &Circuit, device: &Device) -> Result<TimedCircuit, ScheduleError> {
     let n = circuit.num_qubits();
     let mut free_at = vec![0.0f64; n];
     let mut events = Vec::with_capacity(circuit.len());
@@ -291,7 +402,7 @@ fn schedule_asap(circuit: &Circuit, device: &Device) -> TimedCircuit {
             end_ns: end,
         });
     }
-    TimedCircuit::from_events(n, circuit.num_clbits(), events)
+    TimedCircuit::try_from_events(n, circuit.num_clbits(), events)
 }
 
 #[cfg(test)]
@@ -359,7 +470,10 @@ mod tests {
             .find(|e| e.instr.as_gate() == Some(qcirc::Gate::H))
             .unwrap()
             .start_ns;
-        assert!(h_alap > h_asap, "ALAP should delay the H ({h_alap} vs {h_asap})");
+        assert!(
+            h_alap > h_asap,
+            "ALAP should delay the H ({h_alap} vs {h_asap})"
+        );
     }
 
     #[test]
@@ -450,6 +564,45 @@ mod tests {
         let d0 = t.events()[0].duration_ns();
         let d1 = t.events()[1].duration_ns();
         assert_ne!(d0, d1);
+    }
+
+    #[test]
+    fn try_from_events_rejects_non_finite_times() {
+        let bad = TimedInstruction {
+            instr: Instruction::gate(qcirc::Gate::X, vec![qcirc::Qubit::new(0)]),
+            start_ns: f64::NAN,
+            end_ns: 35.0,
+        };
+        let err = TimedCircuit::try_from_events(1, 1, vec![bad]).unwrap_err();
+        assert!(matches!(err, ScheduleError::NonFiniteTime { event: 0, .. }));
+    }
+
+    #[test]
+    fn try_from_events_rejects_negative_duration() {
+        let bad = TimedInstruction {
+            instr: Instruction::gate(qcirc::Gate::X, vec![qcirc::Qubit::new(0)]),
+            start_ns: 40.0,
+            end_ns: 35.0,
+        };
+        let err = TimedCircuit::try_from_events(1, 1, vec![bad]).unwrap_err();
+        assert!(matches!(
+            err,
+            ScheduleError::NegativeDuration { event: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn try_schedule_rejects_nan_delay() {
+        let d = dev();
+        let mut c = Circuit::new(1);
+        c.x(0);
+        c.delay(f64::NAN, 0);
+        let err = try_schedule(&c, &d, SchedulePolicy::Alap).unwrap_err();
+        assert!(matches!(err, ScheduleError::NonFiniteTime { .. }));
+        // The valid path still succeeds through the fallible API.
+        let mut ok = Circuit::new(1);
+        ok.x(0).measure(0, 0);
+        assert!(try_schedule(&ok, &d, SchedulePolicy::Alap).is_ok());
     }
 
     #[test]

@@ -55,7 +55,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         row.push_str(&format!(" {free:.3}   "));
         for protocol in [DdProtocol::Xy4, DdProtocol::IbmqDd, DdProtocol::Cpmg] {
             let inserted = insert_dd(&timed, &dev, &[probe_q], &DdConfig::for_protocol(protocol));
-            let fid = machine.execute_timed(&inserted.timed, &exec)?.probability(0);
+            let fid = machine
+                .execute_timed(&inserted.timed, &exec)?
+                .probability(0);
             row.push_str(&format!(" {fid:.3}   "));
         }
         println!("{row}");

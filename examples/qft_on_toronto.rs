@@ -54,14 +54,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         search.best
     );
     for score in search.ranked().iter().take(5) {
-        println!("  mask {}  decoy fidelity {:.3}", score.mask, score.fidelity);
+        println!(
+            "  mask {}  decoy fidelity {:.3}",
+            score.mask, score.fidelity
+        );
     }
 
     // 5. Final comparison.
     println!();
     for policy in [Policy::NoDd, Policy::AllDd, Policy::Adapt] {
         let run = framework.run_policy(&program, policy, &cfg)?;
-        println!("{:8}  fidelity {:.3}  (mask {})", run.policy.to_string(), run.fidelity, run.mask);
+        println!(
+            "{:8}  fidelity {:.3}  (mask {})",
+            run.policy.to_string(),
+            run.fidelity,
+            run.mask
+        );
     }
     Ok(())
 }

@@ -47,7 +47,10 @@ pub mod prelude {
     };
     pub use benchmarks::{self, BenchmarkSpec};
     pub use device::{Device, SeedSpawner, Topology};
-    pub use machine::{ExecutionConfig, Machine, NoiseToggles};
+    pub use machine::{
+        Backend, ExecError, ExecutionConfig, FaultProfile, FaultStats, FaultyBackend, Machine,
+        NoiseToggles, ResilientExecutor, RetryPolicy,
+    };
     pub use qcirc::{Circuit, Counts, Gate, Qubit};
     pub use transpiler::{transpile, SchedulePolicy, TranspileOptions};
 }

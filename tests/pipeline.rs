@@ -144,7 +144,11 @@ fn full_adapt_run_is_deterministic_and_bounded() {
     assert_eq!(a.mask, b.mask);
     assert_eq!(a.counts, b.counts);
     // ≤ 4·N localized budget plus the 3-run referee step.
-    assert!(a.search_runs <= 4 * 5 + 3, "search not linear: {}", a.search_runs);
+    assert!(
+        a.search_runs <= 4 * 5 + 3,
+        "search not linear: {}",
+        a.search_runs
+    );
     assert!((0.0..=1.0).contains(&a.fidelity));
 }
 

@@ -11,7 +11,16 @@ use rand::{Rng, SeedableRng};
 fn random_clifford(n: usize, depth: usize, seed: u64) -> Circuit {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut c = Circuit::new(n);
-    let one_q = [Gate::H, Gate::S, Gate::Sdg, Gate::X, Gate::Y, Gate::Z, Gate::SX, Gate::SXdg];
+    let one_q = [
+        Gate::H,
+        Gate::S,
+        Gate::Sdg,
+        Gate::X,
+        Gate::Y,
+        Gate::Z,
+        Gate::SX,
+        Gate::SXdg,
+    ];
     for _ in 0..depth {
         if rng.gen::<f64>() < 0.35 && n >= 2 {
             let a = rng.gen_range(0..n as u32);
@@ -68,7 +77,13 @@ fn noise_free_executor_agrees_with_statevec_sampler() {
     // Non-Clifford circuit: compare the trajectory executor (noise off)
     // against the dense ideal distribution.
     let mut c = Circuit::new(3);
-    c.h(0).t(0).cx(0, 1).ry(0.9, 2).cx(1, 2).rz(0.4, 1).measure_all();
+    c.h(0)
+        .t(0)
+        .cx(0, 1)
+        .ry(0.9, 2)
+        .cx(1, 2)
+        .rz(0.4, 1)
+        .measure_all();
     let ideal = statevec::ideal_distribution(&c).expect("ideal");
     let dev = Device::ibmq_rome(1);
     let m = Machine::with_toggles(dev, NoiseToggles::none());

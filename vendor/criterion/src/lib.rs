@@ -1,0 +1,174 @@
+//! Offline vendored stand-in for the `criterion` API surface this
+//! workspace's benches use.
+//!
+//! The build environment cannot fetch crates, so this crate provides a
+//! minimal timing harness with the same shape: [`Criterion`],
+//! [`BenchmarkId`], benchmark groups, `bench_function` /
+//! `bench_with_input`, and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Each benchmark body is timed over a modest fixed number of
+//! iterations and the mean is printed — enough to compare before/after
+//! locally, with none of upstream's statistics machinery.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export for code that imports `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Number of timed iterations per benchmark (after one warm-up).
+const ITERS: u32 = 10;
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Passed to benchmark closures; runs and times the body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+        self.nanos_per_iter = t0.elapsed().as_nanos() as f64 / ITERS as f64;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is fixed in this stand-in.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&self.name, &id.label, b.nanos_per_iter);
+        self
+    }
+
+    /// Runs and reports one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        report(&self.name, &id.label, b.nanos_per_iter);
+        self
+    }
+
+    /// Ends the group (no-op; matches upstream's API).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs and reports one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::default();
+        f(&mut b);
+        report("bench", &id.label, b.nanos_per_iter);
+        self
+    }
+}
+
+fn report(group: &str, label: &str, nanos: f64) {
+    if nanos >= 1e6 {
+        println!("{group}/{label}: {:.3} ms/iter", nanos / 1e6);
+    } else if nanos >= 1e3 {
+        println!("{group}/{label}: {:.3} µs/iter", nanos / 1e3);
+    } else {
+        println!("{group}/{label}: {nanos:.0} ns/iter");
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,214 @@
+//! Offline vendored stand-in for the `proptest` API surface this workspace
+//! uses.
+//!
+//! The build environment cannot fetch crates, so this crate provides a
+//! compatible mini property-testing framework: the [`proptest!`] macro,
+//! [`Strategy`] with `prop_map`, range/tuple/[`Just`] strategies,
+//! [`collection::vec`], [`prop_oneof!`], [`any`], and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream: cases are generated from a seed derived from
+//! the test's module path and name (fully deterministic, no persistence
+//! files), and failing cases are reported by the underlying assertion
+//! rather than shrunk to a minimal counterexample.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{Just, Strategy, Union};
+
+/// Per-test-suite configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; this stand-in keeps the debug-profile
+        // test suite fast while still exploring a meaningful sample.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic generator driving case generation.
+pub type TestRng = StdRng;
+
+/// Derives the case-generation RNG for a named property test.
+pub fn test_rng(name: &str) -> TestRng {
+    let hash = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    });
+    StdRng::seed_from_u64(hash)
+}
+
+/// Types with a canonical "any value" strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical full-range strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A` (upstream `proptest::prelude::any`).
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+impl Arbitrary for bool {
+    type Strategy = strategy::AnyValue<bool>;
+    fn arbitrary() -> Self::Strategy {
+        strategy::AnyValue::new()
+    }
+}
+
+macro_rules! impl_arbitrary_std {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = strategy::AnyValue<$t>;
+            fn arbitrary() -> Self::Strategy {
+                strategy::AnyValue::new()
+            }
+        }
+    )*};
+}
+impl_arbitrary_std!(u8, u16, u32, u64, usize, i8, i16, i32, i64, f32, f64);
+
+/// Everything a property-test module normally imports.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+
+    /// Namespaced re-exports matching upstream's `prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` body runs
+/// for `cases` deterministic pseudo-random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..cfg.cases {
+                $(let $arg = $crate::Strategy::sample(&$strat, &mut rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a property-test condition (maps onto `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts property-test equality (maps onto `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts property-test inequality (maps onto `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Picks among strategies, optionally weighted: `prop_oneof![2 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..10, y in -2.5..2.5f64, b in any::<bool>()) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+            #[allow(clippy::overly_complex_bool_expr)] // tautology exercises prop_assert
+            {
+                prop_assert!(b || !b);
+            }
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec(0u8..4, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 4));
+        }
+
+        #[test]
+        fn prop_map_and_tuple(p in (0u8..4, 1u8..5).prop_map(|(a, b)| (a, a + b))) {
+            prop_assert!(p.1 > p.0);
+        }
+
+        #[test]
+        fn oneof_selects_both_arms(x in prop_oneof![2 => 0u8..1, 1 => 10u8..11]) {
+            prop_assert!(x == 0 || x == 10);
+        }
+
+        #[test]
+        fn just_yields_constant(x in Just(17u8)) {
+            prop_assert_eq!(x, 17);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_rng("x");
+        let mut b = crate::test_rng("x");
+        let s = 0u64..100;
+        for _ in 0..10 {
+            assert_eq!(
+                crate::Strategy::sample(&s, &mut a),
+                crate::Strategy::sample(&s, &mut b)
+            );
+        }
+    }
+}
