@@ -1,9 +1,11 @@
 //! Criterion benchmarks of the ADAPT framework itself: decoy
-//! construction, DD insertion, one noisy trajectory execution, and a
-//! single decoy-scoring step of the localized search.
+//! construction, DD insertion, one noisy trajectory execution, and the
+//! full localized mask search serial vs batched (worker threads score a
+//! neighborhood's masks in parallel).
 
 use adapt::dd::{insert_dd, DdConfig, DdMask, DdProtocol};
 use adapt::decoy::{make_decoy, DecoyKind};
+use adapt::search::{localized_search, SearchContext};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use device::Device;
 use machine::{ExecutionConfig, Machine};
@@ -83,5 +85,55 @@ fn bench_execution(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_decoy, bench_dd_insertion, bench_execution);
+/// Localized mask search on the 16-wire IBMQ-Guadalupe (QFT-8 program,
+/// 2 neighborhoods of 4 → 32 decoy executions per search), serial vs
+/// batched. With the batch path each neighborhood's 16 masks go down as
+/// one submission and the machine scores them on worker threads; on a
+/// multi-core host the `threads/4` line is expected to run ≥2× faster
+/// than `threads/1` while returning bit-identical results (see the
+/// determinism property test). The program is QFT-8 rather than QFT-16
+/// because XY4 pads the 16-qubit schedule with ~52k pulses, pushing one
+/// decoy execution to ~a minute — unusable as a benchmark iteration.
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search");
+    group.sample_size(10);
+    let n = 8usize;
+    let dev = Device::ibmq_guadalupe(7);
+    let machine = Machine::new(dev.clone());
+    let t = transpile(
+        &benchmarks::qft_bench(n, 42),
+        &dev,
+        &TranspileOptions::default(),
+    );
+    let decoy = make_decoy(&t.timed, DecoyKind::Seeded { max_seed_qubits: 4 }).expect("decoy");
+    let order: Vec<u32> = (0..n as u32).collect();
+    for threads in [1usize, 4] {
+        let ctx = SearchContext::new(
+            &machine,
+            dev.clone(),
+            &decoy,
+            &t.initial_layout,
+            DdConfig::for_protocol(DdProtocol::Xy4),
+            ExecutionConfig {
+                shots: 128,
+                trajectories: 4,
+                seed: 11,
+                threads,
+            },
+            n,
+        );
+        group.bench_function(BenchmarkId::new("localized_qft8_guadalupe", threads), |b| {
+            b.iter(|| black_box(localized_search(&ctx, &order, 4, true).expect("search")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decoy,
+    bench_dd_insertion,
+    bench_execution,
+    bench_search
+);
 criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Plan-cache effectiveness and mask-scoring throughput smoke check
+//! (see the experiments module docs). Exits nonzero when the plan cache
+//! records no hits or batched scoring diverges from serial.
+fn main() {
+    let cfg = bench_harness::runner::ExperimentCfg::from_args();
+    bench_harness::experiments::search_perf::run(&cfg);
+}

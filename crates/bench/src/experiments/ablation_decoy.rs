@@ -54,22 +54,23 @@ pub fn run(cfg: &ExperimentCfg) {
     );
     for (label, kind) in kinds {
         let decoy = make_decoy(&compiled.timed, kind).expect("decoy");
-        let ctx = SearchContext {
-            backend: &machine,
-            device: machine.device().clone(),
-            decoy: &decoy,
-            layout: &compiled.initial_layout,
-            dd: acfg.dd,
+        let ctx = SearchContext::new(
+            &machine,
+            machine.device().clone(),
+            &decoy,
+            &compiled.initial_layout,
+            acfg.dd,
             // Decorrelate decoy noise realizations from the real sweeps.
-            exec: machine::ExecutionConfig {
+            machine::ExecutionConfig {
                 seed: acfg.search_exec.seed ^ 0x5EED_DEC0,
                 ..acfg.search_exec
             },
-            num_program_qubits: 6,
-        };
-        let scores: Vec<f64> = masks
-            .iter()
-            .map(|&m| ctx.score(m).expect("decoy run").fidelity)
+            6,
+        );
+        let scores: Vec<f64> = ctx
+            .score_batch(&masks)
+            .into_iter()
+            .map(|r| r.expect("decoy run").fidelity)
             .collect();
         let rho = metrics::spearman(&real, &scores);
         let entropy = metrics::entropy_bits(&decoy.ideal);

@@ -1,0 +1,146 @@
+//! **Search performance smoke** — exercises the compiled-plan cache and
+//! the batched mask-scoring path end to end, and records throughput
+//! numbers for the perf trajectory.
+//!
+//! Runs the localized ADAPT search on IBMQ-Guadalupe twice on one
+//! machine: the second pass must be served from the plan cache (the
+//! binary fails loudly when the hit counter stays at zero, so CI catches
+//! a regression in the structural hash or the cache keying). A separate
+//! step scores one neighborhood's 16 masks serially and as one batch,
+//! checks bit-identity, and writes `results/BENCH_search.json`.
+
+use crate::runner::ExperimentCfg;
+use adapt::decoy::{make_decoy, DecoyKind};
+use adapt::search::{localized_search, SearchContext};
+use adapt::{DdConfig, DdMask, DdProtocol};
+use device::Device;
+use machine::{ExecutionConfig, Machine};
+use std::time::Instant;
+use transpiler::{transpile, TranspileOptions};
+
+/// Runs the smoke check and writes `results/BENCH_search.json`.
+///
+/// # Panics
+///
+/// Panics (failing the CI job) when the second search records no plan
+/// cache hits, or when batched scoring diverges from serial scoring.
+pub fn run(cfg: &ExperimentCfg) {
+    println!("\n== Search perf: plan-cache effectiveness + mask-scoring throughput ==");
+    // Guadalupe's 16-wire topology, with a program sized so one decoy
+    // execution stays in the tens-of-milliseconds range (XY4 pads long
+    // schedules with tens of thousands of pulses; QFT-16's decoy runs
+    // take ~a minute each, far past smoke-job budgets).
+    let n = if cfg.quick { 8usize } else { 10 };
+    let dev = Device::ibmq_guadalupe(cfg.seed);
+    let machine = Machine::new(dev.clone());
+    let t = transpile(
+        &benchmarks::qft_bench(n, 42),
+        &dev,
+        &TranspileOptions::default(),
+    );
+    let decoy = make_decoy(&t.timed, DecoyKind::Seeded { max_seed_qubits: 4 }).expect("decoy");
+    let (shots, trajectories) = if cfg.quick { (128, 4) } else { (256, 8) };
+    let exec = |threads: usize| ExecutionConfig {
+        shots,
+        trajectories,
+        seed: cfg.seed ^ 0x5EED_DEC0,
+        threads,
+    };
+    let ctx = |threads: usize| {
+        SearchContext::new(
+            &machine,
+            dev.clone(),
+            &decoy,
+            &t.initial_layout,
+            DdConfig::for_protocol(DdProtocol::Xy4),
+            exec(threads),
+            n,
+        )
+    };
+
+    // Two identical searches on one machine: the first populates the
+    // plan cache, the second must hit it for every decoy circuit.
+    let order: Vec<u32> = (0..n as u32).collect();
+    let serial_ctx = ctx(1);
+    let t0 = Instant::now();
+    let first = localized_search(&serial_ctx, &order, 4, true).expect("first search");
+    let first_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    let after_first = machine.plan_cache_stats();
+    let t0 = Instant::now();
+    let second = localized_search(&serial_ctx, &order, 4, true).expect("second search");
+    let second_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    let stats = machine.plan_cache_stats();
+    assert_eq!(first.best, second.best, "repeated search must be stable");
+    println!(
+        "  search: first {first_ms:.0} ms ({} compilations), second {second_ms:.0} ms, \
+         cache {}/{} hits ({:.0}%)",
+        after_first.misses,
+        stats.hits,
+        stats.hits + stats.misses,
+        stats.hit_rate() * 100.0
+    );
+    assert!(
+        stats.hits > after_first.hits,
+        "second search recorded no plan-cache hits: {stats:?}"
+    );
+
+    // Mask-scoring throughput: one neighborhood's 16 masks, serial vs
+    // batched submission. The results must be bit-identical.
+    let masks: Vec<DdMask> = (0u64..16).map(|bits| DdMask::from_bits(bits, n)).collect();
+    let t0 = Instant::now();
+    let serial: Vec<_> = masks
+        .iter()
+        .map(|&m| serial_ctx.score(m).expect("serial score"))
+        .collect();
+    let serial_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    let host_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let batched_ctx = ctx(host_threads.max(4));
+    let t0 = Instant::now();
+    let batched: Vec<_> = batched_ctx
+        .score_batch(&masks)
+        .into_iter()
+        .map(|r| r.expect("batched score"))
+        .collect();
+    let batched_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    for (s, b) in serial.iter().zip(&batched) {
+        assert_eq!(s.mask, b.mask);
+        assert_eq!(
+            s.fidelity.to_bits(),
+            b.fidelity.to_bits(),
+            "batched scoring diverged from serial on mask {}",
+            s.mask
+        );
+    }
+    let per_s = |ms: f64| masks.len() as f64 / (ms / 1000.0).max(1e-9);
+    println!(
+        "  scoring: serial {serial_ms:.0} ms ({:.1} masks/s), batched {batched_ms:.0} ms \
+         ({:.1} masks/s, {host_threads} host threads), bit-identical",
+        per_s(serial_ms),
+        per_s(batched_ms)
+    );
+
+    let out_dir = cfg.out_dir();
+    std::fs::create_dir_all(&out_dir).expect("create results dir");
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"device\": \"{}\",\n  \"benchmark\": \"QFT-{n}\",\n  \
+         \"shots\": {shots},\n  \"trajectories\": {trajectories},\n  \"host_threads\": {host_threads},\n  \
+         \"search\": {{ \"first_ms\": {first_ms:.1}, \"second_ms\": {second_ms:.1}, \
+         \"decoy_runs\": {}, \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+         \"hit_rate\": {:.4} }} }},\n  \
+         \"mask_scoring\": {{ \"masks\": {}, \"serial_ms\": {serial_ms:.1}, \
+         \"batched_ms\": {batched_ms:.1}, \"serial_masks_per_s\": {:.2}, \
+         \"batched_masks_per_s\": {:.2}, \"bit_identical\": true }}\n}}\n",
+        dev.name(),
+        first.decoy_runs(),
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.hit_rate(),
+        masks.len(),
+        per_s(serial_ms),
+        per_s(batched_ms),
+    );
+    let path = out_dir.join("BENCH_search.json");
+    std::fs::write(&path, json).expect("write BENCH_search.json");
+    println!("  wrote {}", path.display());
+}

@@ -85,23 +85,26 @@ pub fn run(cfg: &ExperimentCfg) {
 
         let corr_for = |kind: DecoyKind| -> f64 {
             let decoy = make_decoy(&compiled.timed, kind).expect("decoy");
-            let ctx = SearchContext {
-                backend: &machine,
-                device: machine.device().clone(),
-                decoy: &decoy,
-                layout: &compiled.initial_layout,
-                dd: acfg.dd,
+            let ctx = SearchContext::new(
+                &machine,
+                machine.device().clone(),
+                &decoy,
+                &compiled.initial_layout,
+                acfg.dd,
                 // Decoy runs are separate machine executions: decorrelate
                 // their noise realizations from the real-circuit sweeps.
-                exec: machine::ExecutionConfig {
+                machine::ExecutionConfig {
                     seed: acfg.search_exec.seed ^ 0x5EED_DEC0,
                     ..acfg.search_exec
                 },
-                num_program_qubits: n,
-            };
-            let scores: Vec<f64> = masks
-                .iter()
-                .map(|&m| ctx.score(m).expect("decoy run").fidelity)
+                n,
+            );
+            // One batched submission per decoy kind: the backend sees all
+            // masks at once and may score them in parallel.
+            let scores: Vec<f64> = ctx
+                .score_batch(&masks)
+                .into_iter()
+                .map(|r| r.expect("decoy run").fidelity)
                 .collect();
             metrics::spearman(&real, &scores)
         };

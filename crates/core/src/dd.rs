@@ -256,37 +256,104 @@ pub fn mask_to_wires(mask: DdMask, layout: &Layout) -> Vec<u32> {
     mask.iter_set().map(|p| layout.phys_of(p as u32)).collect()
 }
 
-/// Inserts the configured DD sequence into every eligible idle window of
-/// the given physical wires.
+/// The mask-independent part of DD insertion, computed once per
+/// schedule: the [`GateSequenceTable`] scan, the protocol's minimum
+/// window length and every wire's eligible idle windows.
 ///
-/// Windows are taken from the [`GateSequenceTable`]: interior and trailing
-/// idle periods long enough to hold at least one repetition of the
-/// protocol. Leading windows (qubit still `|0⟩`) are skipped.
-pub fn insert_dd(
+/// Splitting this out of [`insert_dd`] matters in the search hot loop,
+/// where a neighborhood scores 16 masks against the *same* decoy
+/// schedule: the schedule scan happens once via
+/// [`analyze_idle_windows`], and each mask pays only the cheap
+/// per-masked-wire padding pass of [`insert_dd_prepared`].
+#[derive(Debug, Clone)]
+pub struct IdleAnalysis {
+    config: DdConfig,
+    pulse_ns: f64,
+    min_window_ns: f64,
+    /// Per physical wire: eligible `(start_ns, end_ns)` windows.
+    windows: Vec<Vec<(f64, f64)>>,
+}
+
+impl IdleAnalysis {
+    /// The insertion parameters the analysis was built for.
+    pub fn config(&self) -> &DdConfig {
+        &self.config
+    }
+
+    /// Minimum idle-window length (ns) that fits one repetition of the
+    /// protocol.
+    pub fn min_window_ns(&self) -> f64 {
+        self.min_window_ns
+    }
+
+    /// The eligible `(start_ns, end_ns)` windows of one physical wire.
+    pub fn eligible_windows(&self, wire: u32) -> &[(f64, f64)] {
+        &self.windows[wire as usize]
+    }
+}
+
+/// Scans a schedule once for the idle windows eligible under `config`:
+/// interior and trailing windows long enough to hold at least one
+/// repetition of the protocol. Leading windows (qubit still `|0⟩`) are
+/// skipped.
+///
+/// The result is valid for any DD mask over the same schedule — pass it
+/// to [`insert_dd_prepared`] repeatedly.
+pub fn analyze_idle_windows(
     timed: &TimedCircuit,
     device: &Device,
-    wires: &[u32],
     config: &DdConfig,
-) -> InsertedDd {
+) -> IdleAnalysis {
     let gst = GateSequenceTable::build(timed);
     let pulse_ns = device.calibration().sq_dur_ns;
-    let min_window = match config.protocol {
+    let min_window_ns = match config.protocol {
         DdProtocol::Xy4 => 4.0 * (pulse_ns + config.buffer_ns),
         DdProtocol::Xy8 => 8.0 * (pulse_ns + config.buffer_ns),
         DdProtocol::IbmqDd | DdProtocol::Cpmg => 2.0 * pulse_ns + 4.0 * config.buffer_ns,
         DdProtocol::Udd { pulses } => (pulses.max(2) as f64) * (pulse_ns + config.buffer_ns),
     };
+    let windows = (0..timed.num_qubits() as u32)
+        .map(|q| {
+            gst.dd_eligible_windows(q, min_window_ns)
+                .iter()
+                .map(|w| (w.start_ns, w.end_ns))
+                .collect()
+        })
+        .collect();
+    IdleAnalysis {
+        config: *config,
+        pulse_ns,
+        min_window_ns,
+        windows,
+    }
+}
+
+/// Pads the given wires' pre-analyzed idle windows with the configured
+/// protocol — the cheap per-mask half of DD insertion. Only the masked
+/// wires are touched; nothing is rescanned.
+///
+/// `analysis` must come from [`analyze_idle_windows`] over the same
+/// `timed` schedule.
+///
+/// # Panics
+///
+/// Panics when a wire index exceeds the analyzed schedule's register.
+pub fn insert_dd_prepared(
+    timed: &TimedCircuit,
+    analysis: &IdleAnalysis,
+    wires: &[u32],
+) -> InsertedDd {
     let mut events: Vec<TimedInstruction> = timed.events().to_vec();
     let mut pulse_count = 0usize;
     for &wire in wires {
-        for window in gst.dd_eligible_windows(wire, min_window) {
+        for &(start, end) in analysis.eligible_windows(wire) {
             pulse_count += fill_window(
                 &mut events,
                 wire,
-                window.start_ns,
-                window.end_ns,
-                pulse_ns,
-                config,
+                start,
+                end,
+                analysis.pulse_ns,
+                &analysis.config,
             );
         }
     }
@@ -294,6 +361,25 @@ pub fn insert_dd(
         timed: TimedCircuit::from_events(timed.num_qubits(), timed.num_clbits(), events),
         pulse_count,
     }
+}
+
+/// Inserts the configured DD sequence into every eligible idle window of
+/// the given physical wires.
+///
+/// Windows are taken from the [`GateSequenceTable`]: interior and trailing
+/// idle periods long enough to hold at least one repetition of the
+/// protocol. Leading windows (qubit still `|0⟩`) are skipped.
+///
+/// One-shot convenience over [`analyze_idle_windows`] +
+/// [`insert_dd_prepared`]; callers inserting many masks into one
+/// schedule should hold the analysis and call the prepared variant.
+pub fn insert_dd(
+    timed: &TimedCircuit,
+    device: &Device,
+    wires: &[u32],
+    config: &DdConfig,
+) -> InsertedDd {
+    insert_dd_prepared(timed, &analyze_idle_windows(timed, device, config), wires)
 }
 
 /// Fills one idle window with the configured protocol; returns the number
@@ -652,5 +738,43 @@ mod tests {
         let before = timed.total_ns();
         let out = insert_dd(&timed, &dev, &[1], &DdConfig::default());
         assert!((out.timed.total_ns() - before).abs() < 1e-6);
+    }
+
+    #[test]
+    fn prepared_insertion_matches_one_shot_for_every_protocol() {
+        let (dev, timed) = timed_with_idle(3000.0);
+        for protocol in [
+            DdProtocol::Xy4,
+            DdProtocol::Xy8,
+            DdProtocol::IbmqDd,
+            DdProtocol::Cpmg,
+            DdProtocol::Udd { pulses: 6 },
+        ] {
+            let config = DdConfig::for_protocol(protocol);
+            let analysis = analyze_idle_windows(&timed, &dev, &config);
+            for wires in [vec![], vec![0], vec![1], vec![0, 1]] {
+                let one_shot = insert_dd(&timed, &dev, &wires, &config);
+                let prepared = insert_dd_prepared(&timed, &analysis, &wires);
+                assert_eq!(prepared.pulse_count, one_shot.pulse_count, "{protocol}");
+                assert_eq!(prepared.timed, one_shot.timed, "{protocol} wires {wires:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn analysis_exposes_windows_and_threshold() {
+        let (dev, timed) = timed_with_idle(2000.0);
+        let config = DdConfig::default();
+        let analysis = analyze_idle_windows(&timed, &dev, &config);
+        // XY4 on Rome: 4 · (35 + 10) = 180 ns minimum.
+        assert!((analysis.min_window_ns() - 180.0).abs() < 1e-9);
+        assert_eq!(analysis.config().protocol, DdProtocol::Xy4);
+        // Wire 1 has the 2000 ns interior window (plus any trailing one);
+        // wire 0 never operates, so nothing is eligible.
+        assert!(!analysis.eligible_windows(1).is_empty());
+        assert!(analysis.eligible_windows(0).is_empty());
+        for &(s, e) in analysis.eligible_windows(1) {
+            assert!(e - s >= analysis.min_window_ns());
+        }
     }
 }

@@ -43,7 +43,7 @@ pub mod gst;
 pub mod metrics;
 pub mod search;
 
-pub use dd::{DdConfig, DdMask, DdProtocol};
+pub use dd::{DdConfig, DdMask, DdProtocol, IdleAnalysis};
 pub use decoy::{Decoy, DecoyKind};
 pub use gst::GateSequenceTable;
 pub use search::{DegradedGroup, MaskScore, SearchResult};
@@ -189,7 +189,9 @@ pub struct PolicyRun {
     pub fidelity: f64,
     /// DD pulses inserted into the final program.
     pub pulse_count: usize,
-    /// Decoy/oracle executions spent finding the mask.
+    /// Decoy/oracle executions attempted while finding the mask —
+    /// scored runs plus runs lost to backend availability (see
+    /// [`SearchResult::decoy_runs`]).
     pub search_runs: usize,
     /// Neighborhoods that fell back to all-DD during the search because
     /// the backend was unavailable (always empty for non-ADAPT policies
@@ -269,15 +271,15 @@ impl Adapt {
         cfg: &AdaptConfig,
     ) -> Result<SearchResult, AdaptError> {
         let decoy = decoy::make_decoy(&compiled.timed, cfg.decoy_kind)?;
-        let ctx = search::SearchContext {
-            backend: self.backend.as_ref(),
-            device: self.device.clone(),
-            decoy: &decoy,
-            layout: &compiled.initial_layout,
-            dd: cfg.dd,
-            exec: cfg.search_exec,
+        let ctx = search::SearchContext::new(
+            self.backend.as_ref(),
+            self.device.clone(),
+            &decoy,
+            &compiled.initial_layout,
+            cfg.dd,
+            cfg.search_exec,
             num_program_qubits,
-        };
+        );
         // Order program qubits most-idle-first (on their physical wires).
         let gst = GateSequenceTable::build(&compiled.timed);
         let mut order: Vec<u32> = (0..num_program_qubits as u32).collect();
@@ -290,17 +292,17 @@ impl Adapt {
         // Referee step: localized commitment can lock in a bad early
         // decision (it evaluates each neighborhood with later qubits
         // unprotected). Score the committed mask against the two global
-        // extremes on the decoy and keep the best — three extra decoy
-        // runs on top of the ≤ 4·N search budget. An extreme whose run is
-        // unavailable simply drops out of the contest; if even the
+        // extremes on the decoy — one batch of three runs on top of the
+        // ≤ 4·N search budget — and keep the best. An extreme whose run
+        // is unavailable simply drops out of the contest; if even the
         // committed mask cannot be re-scored, it stands as selected.
         let mut best: Option<MaskScore> = None;
-        for candidate in [
+        for outcome in ctx.score_batch(&[
             result.best,
             DdMask::all(num_program_qubits),
             DdMask::none(num_program_qubits),
-        ] {
-            match ctx.score(candidate) {
+        ]) {
+            match outcome {
                 Ok(score) => {
                     result.evaluations.push(score);
                     if best.is_none_or(|b| score.fidelity > b.fidelity) {

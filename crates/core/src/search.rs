@@ -12,11 +12,30 @@
 //! fidelity against the decoy's known ideal output. All candidates share
 //! one execution seed (common random numbers), so scores differ by mask
 //! effect rather than by sampling luck.
+//!
+//! # Execution-plan pipeline
+//!
+//! Scoring is built on three layers of reuse so the hot loop pays only
+//! per-mask marginal cost:
+//!
+//! 1. the decoy's idle-window analysis ([`crate::dd::IdleAnalysis`]) is
+//!    computed once per [`SearchContext`] and shared by every mask;
+//! 2. each neighborhood's masks are submitted as **one batch** through
+//!    [`Backend::execute_batch`], which pristine machines execute with
+//!    scoped worker threads;
+//! 3. the machine's plan cache recognizes repeated circuit structures,
+//!    so recompilation is skipped across retries and repeated searches.
+//!
+//! Batching is bit-identical to serial scoring by the
+//! [`Backend::execute_batch`] determinism contract.
 
-use crate::dd::{insert_dd, mask_to_wires, DdConfig, DdMask};
+use crate::dd::{
+    analyze_idle_windows, insert_dd_prepared, mask_to_wires, DdConfig, DdMask, IdleAnalysis,
+};
 use crate::decoy::Decoy;
 use device::Device;
-use machine::{Backend, ExecError, ExecutionConfig};
+use machine::{Backend, ExecError, ExecutionConfig, JobSpec};
+use std::sync::OnceLock;
 use transpiler::Layout;
 
 /// One scored mask.
@@ -36,7 +55,8 @@ pub struct MaskScore {
 pub struct DegradedGroup {
     /// The program qubits of the unavailable neighborhood.
     pub qubits: Vec<u32>,
-    /// The backend error that exhausted the group's budget.
+    /// The backend error that degraded the group (the first unavailable
+    /// run, when several failed).
     pub reason: String,
 }
 
@@ -66,9 +86,13 @@ pub struct SearchResult {
 }
 
 impl SearchResult {
-    /// Number of decoy executions the search spent.
+    /// Number of decoy executions the search *attempted*: scored runs
+    /// plus runs abandoned for backend availability. The paper's
+    /// "≤ 4·N decoy executions" budget (§4.3) is about work spent, and
+    /// an unavailable run spends its execution (and retry) budget even
+    /// though it produces no score — so it counts.
     pub fn decoy_runs(&self) -> usize {
-        self.evaluations.len()
+        self.evaluations.len() + self.unavailable_runs
     }
 
     /// Whether any neighborhood degraded to its all-DD fallback.
@@ -97,24 +121,21 @@ pub(crate) fn is_availability(e: &ExecError) -> bool {
 }
 
 /// Everything needed to score a mask on the decoy.
+///
+/// Construct with [`SearchContext::new`]. The context owns the
+/// once-per-decoy idle-window analysis: the first score computes it,
+/// every later mask (serial or batched) reuses it.
 pub struct SearchContext<'a> {
-    /// The backend decoy runs execute on (pristine machine, faulty
-    /// wrapper, or resilient executor — the search does not care).
-    pub backend: &'a dyn Backend,
-    /// The device view used for DD insertion timing. Captured at context
-    /// construction: under calibration staleness this is deliberately
-    /// the *compile-time* calibration, as it would be on real hardware.
-    pub device: Device,
-    /// The decoy circuit (schedule + known ideal output).
-    pub decoy: &'a Decoy,
-    /// Initial layout of the program (maps mask bits to physical wires).
-    pub layout: &'a Layout,
-    /// DD protocol/parameters to insert.
-    pub dd: DdConfig,
-    /// Execution budget per decoy run.
-    pub exec: ExecutionConfig,
-    /// Number of program qubits (mask width).
-    pub num_program_qubits: usize,
+    backend: &'a dyn Backend,
+    device: Device,
+    decoy: &'a Decoy,
+    layout: &'a Layout,
+    dd: DdConfig,
+    exec: ExecutionConfig,
+    num_program_qubits: usize,
+    /// Lazily-built idle-window analysis of the decoy schedule, shared
+    /// by every mask scored through this context.
+    idle: OnceLock<IdleAnalysis>,
 }
 
 impl std::fmt::Debug for SearchContext<'_> {
@@ -127,7 +148,81 @@ impl std::fmt::Debug for SearchContext<'_> {
     }
 }
 
-impl SearchContext<'_> {
+impl<'a> SearchContext<'a> {
+    /// Binds a search to a backend, decoy and execution budget.
+    ///
+    /// `device` is the view used for DD insertion timing — deliberately
+    /// the *compile-time* calibration under staleness, as on real
+    /// hardware. `layout` maps mask bits (program qubits) to physical
+    /// wires; `num_program_qubits` is the mask width.
+    pub fn new(
+        backend: &'a dyn Backend,
+        device: Device,
+        decoy: &'a Decoy,
+        layout: &'a Layout,
+        dd: DdConfig,
+        exec: ExecutionConfig,
+        num_program_qubits: usize,
+    ) -> Self {
+        SearchContext {
+            backend,
+            device,
+            decoy,
+            layout,
+            dd,
+            exec,
+            num_program_qubits,
+            idle: OnceLock::new(),
+        }
+    }
+
+    /// The backend decoy runs execute on.
+    pub fn backend(&self) -> &dyn Backend {
+        self.backend
+    }
+
+    /// The device view used for DD insertion timing.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The decoy circuit being scored against.
+    pub fn decoy(&self) -> &Decoy {
+        self.decoy
+    }
+
+    /// The program's initial layout.
+    pub fn layout(&self) -> &Layout {
+        self.layout
+    }
+
+    /// DD protocol/parameters being inserted.
+    pub fn dd(&self) -> &DdConfig {
+        &self.dd
+    }
+
+    /// Execution budget per decoy run.
+    pub fn exec(&self) -> &ExecutionConfig {
+        &self.exec
+    }
+
+    /// Number of program qubits (mask width).
+    pub fn num_program_qubits(&self) -> usize {
+        self.num_program_qubits
+    }
+
+    /// The decoy's idle-window analysis, built on first use.
+    fn analysis(&self) -> &IdleAnalysis {
+        self.idle
+            .get_or_init(|| analyze_idle_windows(&self.decoy.timed, &self.device, &self.dd))
+    }
+
+    /// Builds the decoy schedule with `mask`'s DD pulses spliced in.
+    fn prepare(&self, mask: DdMask) -> transpiler::TimedCircuit {
+        let wires = mask_to_wires(mask, self.layout);
+        insert_dd_prepared(&self.decoy.timed, self.analysis(), &wires).timed
+    }
+
     /// Scores one mask: decoy fidelity under that DD assignment. Partial
     /// batches are scored as delivered — their counts are weighted by
     /// the shots that actually arrived.
@@ -136,16 +231,51 @@ impl SearchContext<'_> {
     ///
     /// Propagates backend execution failures.
     pub fn score(&self, mask: DdMask) -> Result<MaskScore, ExecError> {
-        let wires = mask_to_wires(mask, self.layout);
-        let inserted = insert_dd(&self.decoy.timed, &self.device, &wires, &self.dd);
-        let batch = self.backend.execute_timed(&inserted.timed, &self.exec)?;
+        let timed = self.prepare(mask);
+        let batch = self.backend.execute_timed(&timed, &self.exec)?;
         let fidelity = crate::metrics::fidelity(&self.decoy.ideal, &batch.counts);
         Ok(MaskScore { mask, fidelity })
     }
+
+    /// Scores a slice of masks as one backend batch, returning one
+    /// result per mask in input order.
+    ///
+    /// Every job carries the context's execution config (common random
+    /// numbers across candidates). By the [`Backend::execute_batch`]
+    /// determinism contract the results are bit-identical to calling
+    /// [`SearchContext::score`] on each mask in order.
+    pub fn score_batch(&self, masks: &[DdMask]) -> Vec<Result<MaskScore, ExecError>> {
+        let prepared: Vec<transpiler::TimedCircuit> =
+            masks.iter().map(|&m| self.prepare(m)).collect();
+        let jobs: Vec<JobSpec<'_>> = prepared
+            .iter()
+            .map(|timed| JobSpec {
+                timed,
+                config: self.exec,
+            })
+            .collect();
+        self.backend
+            .execute_batch(&jobs)
+            .into_iter()
+            .zip(masks)
+            .map(|(r, &mask)| {
+                r.map(|batch| MaskScore {
+                    mask,
+                    fidelity: crate::metrics::fidelity(&self.decoy.ideal, &batch.counts),
+                })
+            })
+            .collect()
+    }
 }
 
+/// How many masks to submit per backend batch in the exhaustive sweep —
+/// bounds peak memory (each in-flight mask holds a pulse-padded copy of
+/// the decoy schedule) while keeping workers saturated.
+const EXHAUSTIVE_BATCH: usize = 64;
+
 /// Exhaustively scores all `2^N` masks (the Runtime-Best oracle uses the
-/// same sweep on the real circuit).
+/// same sweep on the real circuit). Masks are submitted in batches of
+/// [`EXHAUSTIVE_BATCH`], which pristine machines score in parallel.
 ///
 /// # Errors
 ///
@@ -156,19 +286,23 @@ impl SearchContext<'_> {
 /// Panics for more than 20 program qubits (the sweep would not terminate
 /// in reasonable time).
 pub fn exhaustive_search(ctx: &SearchContext<'_>) -> Result<SearchResult, ExecError> {
+    let n = ctx.num_program_qubits;
+    assert!(n <= 20, "exhaustive_search over {n} program qubits");
     let mut evaluations = Vec::new();
     let mut unavailable_runs = 0;
     let mut last_unavailable = None;
-    for mask in DdMask::enumerate_all(ctx.num_program_qubits) {
-        match ctx.score(mask) {
-            Ok(score) => evaluations.push(score),
-            // A mask whose runs outlasted the retry budget drops out of
-            // the sweep; the remaining candidates still compete.
-            Err(e) if is_availability(&e) => {
-                unavailable_runs += 1;
-                last_unavailable = Some(e);
+    for chunk in DdMask::enumerate_all(n).chunks(EXHAUSTIVE_BATCH) {
+        for outcome in ctx.score_batch(chunk) {
+            match outcome {
+                Ok(score) => evaluations.push(score),
+                // A mask whose runs outlasted the retry budget drops out
+                // of the sweep; the remaining candidates still compete.
+                Err(e) if is_availability(&e) => {
+                    unavailable_runs += 1;
+                    last_unavailable = Some(e);
+                }
+                Err(e) => return Err(e),
             }
-            Err(e) => return Err(e),
         }
     }
     if evaluations.is_empty() {
@@ -201,6 +335,12 @@ pub fn exhaustive_search(ctx: &SearchContext<'_>) -> Result<SearchResult, ExecEr
 /// `top2_merge` is set, each neighborhood commits the bitwise OR of its
 /// two best local masks (§4.3), otherwise just the best.
 ///
+/// Each neighborhood's `2^|group|` candidate masks are submitted as one
+/// [`Backend::execute_batch`] — pristine machines score them with
+/// worker threads; stateful backends (fault injectors, retry wrappers)
+/// run them serially in order. Either way the scores are bit-identical
+/// to a serial mask-by-mask loop.
+///
 /// # Errors
 ///
 /// Propagates machine execution failures.
@@ -211,12 +351,15 @@ pub fn exhaustive_search(ctx: &SearchContext<'_>) -> Result<SearchResult, ExecEr
 ///
 /// # Graceful degradation
 ///
-/// A neighborhood whose decoy runs exhaust the backend's availability
+/// A neighborhood with *any* decoy run lost to backend availability
 /// (transient errors that outlast every retry) does not abort the
 /// search: its qubits fall back to the conservative all-DD assignment —
 /// protection is never *silently* dropped by a flaky backend — and the
-/// group is reported in [`SearchResult::degraded`]. Permanent errors
-/// still propagate.
+/// group is reported in [`SearchResult::degraded`]. Every mask of the
+/// group is still attempted (they are submitted together as one batch),
+/// so completed evaluations are reported and every lost run is counted
+/// in [`SearchResult::unavailable_runs`]. Permanent errors still
+/// propagate.
 pub fn localized_search(
     ctx: &SearchContext<'_>,
     qubit_order: &[u32],
@@ -230,34 +373,46 @@ pub fn localized_search(
     let mut degraded = Vec::new();
     let mut unavailable_runs = 0;
 
-    'groups: for group in qubit_order.chunks(neighborhood) {
-        // Score all 2^|group| settings of this neighborhood's bits, with
-        // already-committed bits fixed and future bits at 0.
-        let mut local: Vec<MaskScore> = Vec::with_capacity(1 << group.len());
-        for combo in 0u64..(1 << group.len()) {
-            let mut mask = committed;
-            for (bit_pos, &q) in group.iter().enumerate() {
-                mask = mask.with(q as usize, combo >> bit_pos & 1 == 1);
-            }
-            match ctx.score(mask) {
+    for group in qubit_order.chunks(neighborhood) {
+        // All 2^|group| settings of this neighborhood's bits, with
+        // already-committed bits fixed and future bits at 0, scored as
+        // one batch.
+        let masks: Vec<DdMask> = (0u64..(1 << group.len()))
+            .map(|combo| {
+                let mut mask = committed;
+                for (bit_pos, &q) in group.iter().enumerate() {
+                    mask = mask.with(q as usize, combo >> bit_pos & 1 == 1);
+                }
+                mask
+            })
+            .collect();
+        let mut local: Vec<MaskScore> = Vec::with_capacity(masks.len());
+        let mut group_outage: Option<String> = None;
+        for outcome in ctx.score_batch(&masks) {
+            match outcome {
                 Ok(score) => {
                     local.push(score);
                     evaluations.push(score);
                 }
                 Err(e) if is_availability(&e) => {
-                    // Degrade this neighborhood: all-DD fallback.
                     unavailable_runs += 1;
-                    for &q in group {
-                        committed = committed.with(q as usize, true);
+                    if group_outage.is_none() {
+                        group_outage = Some(e.to_string());
                     }
-                    degraded.push(DegradedGroup {
-                        qubits: group.to_vec(),
-                        reason: e.to_string(),
-                    });
-                    continue 'groups;
                 }
                 Err(e) => return Err(e),
             }
+        }
+        if let Some(reason) = group_outage {
+            // Degrade this neighborhood: all-DD fallback.
+            for &q in group {
+                committed = committed.with(q as usize, true);
+            }
+            degraded.push(DegradedGroup {
+                qubits: group.to_vec(),
+                reason,
+            });
+            continue;
         }
         local.sort_by(|a, b| {
             b.fidelity
@@ -311,18 +466,28 @@ mod tests {
         }
     }
 
+    fn ctx_over<'a>(
+        backend: &'a dyn Backend,
+        device: Device,
+        decoy: &'a Decoy,
+        layout: &'a Layout,
+        n: usize,
+    ) -> SearchContext<'a> {
+        SearchContext::new(
+            backend,
+            device,
+            decoy,
+            layout,
+            DdConfig::default(),
+            exec(),
+            n,
+        )
+    }
+
     #[test]
     fn exhaustive_covers_all_masks_and_picks_argmax() {
         let (machine, decoy, layout, n) = context_fixture();
-        let ctx = SearchContext {
-            backend: &machine,
-            device: machine.device().clone(),
-            decoy: &decoy,
-            layout: &layout,
-            dd: DdConfig::default(),
-            exec: exec(),
-            num_program_qubits: n,
-        };
+        let ctx = ctx_over(&machine, machine.device().clone(), &decoy, &layout, n);
         let r = exhaustive_search(&ctx).unwrap();
         assert_eq!(r.decoy_runs(), 8);
         let max_fid = r
@@ -340,34 +505,64 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "exhaustive_search over 21 program qubits")]
+    fn exhaustive_panics_above_twenty_qubits() {
+        let (machine, decoy, layout, _) = context_fixture();
+        let ctx = ctx_over(&machine, machine.device().clone(), &decoy, &layout, 21);
+        let _ = exhaustive_search(&ctx);
+    }
+
+    #[test]
     fn scores_are_deterministic_given_seed() {
         let (machine, decoy, layout, n) = context_fixture();
-        let ctx = SearchContext {
-            backend: &machine,
-            device: machine.device().clone(),
-            decoy: &decoy,
-            layout: &layout,
-            dd: DdConfig::default(),
-            exec: exec(),
-            num_program_qubits: n,
-        };
+        let ctx = ctx_over(&machine, machine.device().clone(), &decoy, &layout, n);
         let a = ctx.score(DdMask::all(n)).unwrap();
         let b = ctx.score(DdMask::all(n)).unwrap();
         assert_eq!(a.fidelity, b.fidelity);
     }
 
     #[test]
+    fn score_batch_is_bit_identical_to_serial_scoring() {
+        let (machine, decoy, layout, n) = context_fixture();
+        let ctx = ctx_over(&machine, machine.device().clone(), &decoy, &layout, n);
+        let masks = DdMask::enumerate_all(n);
+        let batched = ctx.score_batch(&masks);
+        for (outcome, &mask) in batched.iter().zip(&masks) {
+            let serial = ctx.score(mask).unwrap();
+            let got = outcome.as_ref().unwrap();
+            assert_eq!(got.mask, serial.mask);
+            assert_eq!(got.fidelity, serial.fidelity, "mask {mask}");
+        }
+    }
+
+    #[test]
+    fn score_batch_parallel_workers_match_serial() {
+        // Explicit threads > 1 routes the batch through the machine's
+        // scoped-worker pool; scores must not move by a single bit.
+        let (machine, decoy, layout, n) = context_fixture();
+        let par = SearchContext::new(
+            &machine,
+            machine.device().clone(),
+            &decoy,
+            &layout,
+            DdConfig::default(),
+            ExecutionConfig {
+                threads: 4,
+                ..exec()
+            },
+            n,
+        );
+        let ser = ctx_over(&machine, machine.device().clone(), &decoy, &layout, n);
+        let masks = DdMask::enumerate_all(n);
+        for (p, s) in par.score_batch(&masks).iter().zip(ser.score_batch(&masks)) {
+            assert_eq!(p.as_ref().unwrap().fidelity, s.unwrap().fidelity);
+        }
+    }
+
+    #[test]
     fn localized_search_is_linear_in_qubits() {
         let (machine, decoy, layout, n) = context_fixture();
-        let ctx = SearchContext {
-            backend: &machine,
-            device: machine.device().clone(),
-            decoy: &decoy,
-            layout: &layout,
-            dd: DdConfig::default(),
-            exec: exec(),
-            num_program_qubits: n,
-        };
+        let ctx = ctx_over(&machine, machine.device().clone(), &decoy, &layout, n);
         let order: Vec<u32> = (0..n as u32).collect();
         // Neighborhood 2 over 3 qubits: 4 + 2·... chunks of [2,1] → 4+2=6.
         let r = localized_search(&ctx, &order, 2, true).unwrap();
@@ -381,15 +576,7 @@ mod tests {
     #[test]
     fn localized_with_full_neighborhood_matches_exhaustive_best_score() {
         let (machine, decoy, layout, n) = context_fixture();
-        let ctx = SearchContext {
-            backend: &machine,
-            device: machine.device().clone(),
-            decoy: &decoy,
-            layout: &layout,
-            dd: DdConfig::default(),
-            exec: exec(),
-            num_program_qubits: n,
-        };
+        let ctx = ctx_over(&machine, machine.device().clone(), &decoy, &layout, n);
         let order: Vec<u32> = (0..n as u32).collect();
         let ex = exhaustive_search(&ctx).unwrap();
         let loc = localized_search(&ctx, &order, 4, false).unwrap();
@@ -400,15 +587,7 @@ mod tests {
     #[test]
     fn top2_merge_is_superset_of_best() {
         let (machine, decoy, layout, n) = context_fixture();
-        let ctx = SearchContext {
-            backend: &machine,
-            device: machine.device().clone(),
-            decoy: &decoy,
-            layout: &layout,
-            dd: DdConfig::default(),
-            exec: exec(),
-            num_program_qubits: n,
-        };
+        let ctx = ctx_over(&machine, machine.device().clone(), &decoy, &layout, n);
         let order: Vec<u32> = (0..n as u32).collect();
         let plain = localized_search(&ctx, &order, 4, false).unwrap();
         let merged = localized_search(&ctx, &order, 4, true).unwrap();
@@ -473,15 +652,7 @@ mod tests {
             fail_calls: 0..1, // first decoy run of the first group fails
             permanent: false,
         };
-        let ctx = SearchContext {
-            backend: &backend,
-            device: machine.device().clone(),
-            decoy: &decoy,
-            layout: &layout,
-            dd: DdConfig::default(),
-            exec: exec(),
-            num_program_qubits: n,
-        };
+        let ctx = ctx_over(&backend, machine.device().clone(), &decoy, &layout, n);
         let order: Vec<u32> = (0..n as u32).collect();
         let r = localized_search(&ctx, &order, 2, true).unwrap();
         // Group [0, 1] degraded: its bits fall back to all-DD.
@@ -490,8 +661,10 @@ mod tests {
         assert_eq!(r.degraded[0].qubits, vec![0, 1]);
         assert!(r.best.is_set(0) && r.best.is_set(1));
         assert_eq!(r.unavailable_runs, 1);
-        // The second group ([2]) still ran its 2 evaluations.
-        assert_eq!(r.decoy_runs(), 2);
+        // The whole batch was attempted: the degraded group's other 3
+        // masks still scored, plus the second group's ([2]) 2 runs.
+        assert_eq!(r.evaluations.len(), 5);
+        assert_eq!(r.decoy_runs(), 6);
     }
 
     #[test]
@@ -504,22 +677,17 @@ mod tests {
             fail_calls: 0..u64::MAX,
             permanent: false,
         };
-        let ctx = SearchContext {
-            backend: &backend,
-            device: machine.device().clone(),
-            decoy: &decoy,
-            layout: &layout,
-            dd: DdConfig::default(),
-            exec: exec(),
-            num_program_qubits: n,
-        };
+        let ctx = ctx_over(&backend, machine.device().clone(), &decoy, &layout, n);
         let order: Vec<u32> = (0..n as u32).collect();
         let r = localized_search(&ctx, &order, 2, true).unwrap();
         assert_eq!(r.degraded.len(), 2);
         for q in 0..n {
             assert!(r.best.is_set(q), "qubit {q} must keep DD protection");
         }
-        assert_eq!(r.decoy_runs(), 0);
+        // Every one of the 4 + 2 attempted runs was lost to availability.
+        assert!(r.evaluations.is_empty());
+        assert_eq!(r.unavailable_runs, 6);
+        assert_eq!(r.decoy_runs(), 6);
     }
 
     #[test]
@@ -531,15 +699,7 @@ mod tests {
             fail_calls: 0..u64::MAX,
             permanent: true,
         };
-        let ctx = SearchContext {
-            backend: &backend,
-            device: machine.device().clone(),
-            decoy: &decoy,
-            layout: &layout,
-            dd: DdConfig::default(),
-            exec: exec(),
-            num_program_qubits: n,
-        };
+        let ctx = ctx_over(&backend, machine.device().clone(), &decoy, &layout, n);
         let order: Vec<u32> = (0..n as u32).collect();
         let err = localized_search(&ctx, &order, 2, true).unwrap_err();
         assert!(matches!(err, ExecError::TooManyActiveQubits { .. }));
@@ -554,32 +714,18 @@ mod tests {
             fail_calls: 2..4, // two of the eight masks unavailable
             permanent: false,
         };
-        let ctx = SearchContext {
-            backend: &backend,
-            device: machine.device().clone(),
-            decoy: &decoy,
-            layout: &layout,
-            dd: DdConfig::default(),
-            exec: exec(),
-            num_program_qubits: n,
-        };
+        let ctx = ctx_over(&backend, machine.device().clone(), &decoy, &layout, n);
         let r = exhaustive_search(&ctx).unwrap();
-        assert_eq!(r.decoy_runs(), 6);
+        assert_eq!(r.evaluations.len(), 6);
         assert_eq!(r.unavailable_runs, 2);
+        // Attempted = scored + unavailable: the full 2^3 sweep.
+        assert_eq!(r.decoy_runs(), 8);
     }
 
     #[test]
     fn ranked_is_sorted() {
         let (machine, decoy, layout, n) = context_fixture();
-        let ctx = SearchContext {
-            backend: &machine,
-            device: machine.device().clone(),
-            decoy: &decoy,
-            layout: &layout,
-            dd: DdConfig::default(),
-            exec: exec(),
-            num_program_qubits: n,
-        };
+        let ctx = ctx_over(&machine, machine.device().clone(), &decoy, &layout, n);
         let r = exhaustive_search(&ctx).unwrap();
         let ranked = r.ranked();
         for w in ranked.windows(2) {

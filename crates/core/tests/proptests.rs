@@ -221,6 +221,84 @@ proptest! {
     }
 }
 
+/// One full ADAPT mask search (batched scoring inside) with an explicit
+/// executor thread count, on a clean or fault-injected backend.
+fn searched(
+    profile: Option<FaultProfile>,
+    fault_seed: u64,
+    exec_seed: u64,
+    threads: usize,
+) -> adapt::SearchResult {
+    let machine = Machine::new(Device::ibmq_rome(23));
+    let adapt = match profile {
+        None => Adapt::new(machine),
+        Some(p) => {
+            let faulty = FaultyBackend::new(machine, p, fault_seed);
+            let policy = RetryPolicy {
+                max_attempts: 6,
+                ..RetryPolicy::default()
+            };
+            Adapt::with_backend(Arc::new(ResilientExecutor::with_policy(
+                Arc::new(faulty),
+                policy,
+            )))
+        }
+    };
+    let mut program = Circuit::new(3);
+    program.h(0).cx(0, 1).t(1).cx(1, 2).h(2).measure_all();
+    let cfg = AdaptConfig {
+        search_exec: ExecutionConfig {
+            shots: 256,
+            trajectories: 8,
+            seed: exec_seed,
+            threads,
+        },
+        ..AdaptConfig::default()
+    };
+    let compiled = adapt.compile(&program, &cfg);
+    adapt
+        .choose_mask(&compiled, 3, &cfg)
+        .expect("search must complete, degrading if necessary")
+}
+
+proptest! {
+    // Each case runs two full localized searches; keep the count small.
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// The batch-scoring contract: submitting a neighborhood's masks as
+    /// one batch (and letting the backend run jobs on worker threads)
+    /// must yield a bit-identical `SearchResult` to a single-threaded
+    /// run — across execution seeds and fault profiles.
+    #[test]
+    fn batched_search_is_bit_identical_to_serial(
+        fault_seed in 0u64..1_000_000,
+        exec_seed in 0u64..1_000_000,
+        profile_idx in 0usize..4,
+    ) {
+        let profile = [
+            None,
+            Some(FaultProfile::flaky()),
+            Some(FaultProfile::lossy()),
+            Some(FaultProfile::brutal()),
+        ][profile_idx];
+        let serial = searched(profile, fault_seed, exec_seed, 1);
+        let parallel = searched(profile, fault_seed, exec_seed, 4);
+
+        prop_assert_eq!(parallel.best, serial.best);
+        prop_assert_eq!(parallel.unavailable_runs, serial.unavailable_runs);
+        prop_assert_eq!(parallel.evaluations.len(), serial.evaluations.len());
+        for (p, s) in parallel.evaluations.iter().zip(&serial.evaluations) {
+            prop_assert_eq!(p.mask, s.mask);
+            prop_assert_eq!(p.fidelity.to_bits(), s.fidelity.to_bits());
+        }
+        prop_assert_eq!(parallel.degraded.len(), serial.degraded.len());
+        for (p, s) in parallel.degraded.iter().zip(&serial.degraded) {
+            prop_assert_eq!(&p.qubits, &s.qubits);
+            prop_assert_eq!(&p.reason, &s.reason);
+        }
+    }
+}
+
 #[test]
 fn decoy_schedule_preservation_over_kind_grid() {
     let dev = Device::ibmq_guadalupe(17);

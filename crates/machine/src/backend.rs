@@ -126,17 +126,36 @@ impl ShotBatch {
     }
 }
 
+/// One job of a batch submission: an already-scheduled circuit plus its
+/// execution budget (shots, trajectories, seed, threads).
+///
+/// Per-job seeds are the caller's responsibility: derive them from a
+/// [`device::SeedSpawner`] for independent jobs, or reuse one seed
+/// across jobs for common-random-numbers comparisons (as the DD-mask
+/// search does).
+#[derive(Debug, Clone, Copy)]
+pub struct JobSpec<'a> {
+    /// The scheduled circuit to execute.
+    pub timed: &'a TimedCircuit,
+    /// Execution budget for this job.
+    pub config: ExecutionConfig,
+}
+
 /// Anything that can execute circuits and deliver shot batches.
 ///
 /// Implementations in this crate:
 ///
 /// - [`Machine`]: the pristine trajectory simulator; always returns
-///   complete batches.
+///   complete batches and overrides [`Backend::execute_batch`] with a
+///   scoped-thread parallel implementation.
 /// - [`crate::fault::FaultyBackend`]: wraps a [`Machine`] and injects
 ///   seeded transient failures, timeouts, truncation, readout dropouts
-///   and calibration staleness.
+///   and calibration staleness. Keeps the default (serial) batch path:
+///   its fault schedule depends on job submission order, so in-order
+///   dispatch is what keeps batches bit-identical to serial execution.
 /// - [`crate::resilient::ResilientExecutor`]: wraps any backend with
-///   retry/backoff and partial-result accumulation.
+///   retry/backoff and partial-result accumulation; each batch job runs
+///   through its own full retry loop, in order.
 pub trait Backend: Send + Sync {
     /// Schedules (ALAP) and executes a plain circuit.
     ///
@@ -158,6 +177,31 @@ pub trait Backend: Send + Sync {
         config: &ExecutionConfig,
     ) -> Result<ShotBatch, ExecError>;
 
+    /// Executes a batch of jobs, returning one result per job in
+    /// submission order.
+    ///
+    /// # Determinism contract
+    ///
+    /// For every backend, `execute_batch(jobs)[i]` must equal
+    /// `execute_timed(jobs[i].timed, &jobs[i].config)` called serially in
+    /// submission order on a backend in the same state — batching is a
+    /// throughput optimization, never a semantic one. The default
+    /// implementation *is* that serial loop, which is what keeps
+    /// stateful backends (fault injectors with job counters, retry
+    /// wrappers) exactly equivalent to serial execution. [`Machine`]
+    /// overrides it with scoped-thread parallelism, which preserves the
+    /// contract because its executions are stateless and thread-count
+    /// invariant.
+    ///
+    /// Per-job errors are returned in the corresponding slot rather than
+    /// aborting the batch, so callers keep their per-job degradation
+    /// semantics.
+    fn execute_batch(&self, jobs: &[JobSpec<'_>]) -> Vec<Result<ShotBatch, ExecError>> {
+        jobs.iter()
+            .map(|j| self.execute_timed(j.timed, &j.config))
+            .collect()
+    }
+
     /// A snapshot of the device this backend currently runs against.
     /// Returned by value because fault-injecting backends drift their
     /// calibration mid-run.
@@ -177,6 +221,10 @@ impl Backend for Machine {
     ) -> Result<ShotBatch, ExecError> {
         let counts = Machine::execute_timed(self, timed, config)?;
         Ok(ShotBatch::complete(counts, config.shots))
+    }
+
+    fn execute_batch(&self, jobs: &[JobSpec<'_>]) -> Vec<Result<ShotBatch, ExecError>> {
+        self.execute_batch_jobs(jobs)
     }
 
     fn device_snapshot(&self) -> Device {
@@ -249,5 +297,93 @@ mod tests {
         let m = Machine::new(Device::ibmq_rome(4));
         let b: &dyn Backend = &m;
         assert_eq!(b.device_snapshot().num_qubits(), 5);
+    }
+
+    #[test]
+    fn machine_batch_is_bit_identical_to_serial() {
+        use transpiler::{schedule, SchedulePolicy};
+        let m = Machine::new(Device::ibmq_guadalupe(11));
+        let circuits: Vec<_> = (0..5)
+            .map(|k| {
+                let mut c = Circuit::new(3);
+                c.h(0).cx(0, 1);
+                for _ in 0..k {
+                    c.t(2);
+                }
+                c.cx(1, 2).measure_all();
+                schedule(&c, m.device(), SchedulePolicy::Alap)
+            })
+            .collect();
+        let jobs: Vec<JobSpec> = circuits
+            .iter()
+            .enumerate()
+            .map(|(i, timed)| JobSpec {
+                timed,
+                config: ExecutionConfig {
+                    shots: 200,
+                    trajectories: 8,
+                    seed: 40 + i as u64,
+                    threads: 4,
+                },
+            })
+            .collect();
+        let serial: Vec<_> = jobs
+            .iter()
+            .map(|j| Backend::execute_timed(&m, j.timed, &j.config).unwrap())
+            .collect();
+        let batched = m.execute_batch(&jobs);
+        assert_eq!(batched.len(), serial.len());
+        for (b, s) in batched.into_iter().zip(serial) {
+            assert_eq!(b.unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn batch_reports_per_job_errors_in_place() {
+        use transpiler::{schedule, SchedulePolicy};
+        let dev = Device::all_to_all(27, 1);
+        let m = Machine::new(dev);
+        let mut small = Circuit::new(2);
+        small.h(0).cx(0, 1).measure_all();
+        let mut huge = Circuit::new(27);
+        for q in 0..27 {
+            huge.h(q as u32);
+        }
+        huge.measure_all();
+        let ts = schedule(&small, m.device(), SchedulePolicy::Alap);
+        let th = schedule(&huge, m.device(), SchedulePolicy::Alap);
+        let cfg = ExecutionConfig {
+            shots: 64,
+            trajectories: 4,
+            seed: 1,
+            threads: 2,
+        };
+        let jobs = [
+            JobSpec {
+                timed: &ts,
+                config: cfg,
+            },
+            JobSpec {
+                timed: &th,
+                config: cfg,
+            },
+            JobSpec {
+                timed: &ts,
+                config: cfg,
+            },
+        ];
+        let results = m.execute_batch(&jobs);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(ExecError::TooManyActiveQubits { .. })
+        ));
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let m = Machine::new(Device::ibmq_rome(4));
+        assert!(m.execute_batch(&[]).is_empty());
     }
 }

@@ -12,12 +12,16 @@
 //! long pulse spacing, and the extra depolarizing cost of each pulse all
 //! emerge from the simulation rather than being modeled directly.
 
+use crate::backend::{JobSpec, ShotBatch};
 use crate::noise::{PauliFloor, QubitDetuning};
+use crate::plan::{CompiledPlan, PlanCache, PlanCacheStats};
 use device::{Device, SeedSpawner};
 use qcirc::{Circuit, Counts, Gate, OpKind, Qubit};
 use rand::rngs::StdRng;
 use rand::Rng;
 use statevec::{SimError, StateVector};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use transpiler::{try_schedule, ScheduleError, SchedulePolicy, TimedCircuit};
 
 /// Relative std-dev of the per-CNOT crosstalk kick around its calibrated
@@ -130,7 +134,12 @@ pub struct ExecutionConfig {
     pub trajectories: u32,
     /// Master seed.
     pub seed: u64,
-    /// Worker threads (`0` = use all available cores).
+    /// Worker threads (`0` = use all available cores). Both the auto and
+    /// explicit settings are capped by [`ExecutionConfig::trajectories`]
+    /// — one thread per trajectory is the maximum useful parallelism —
+    /// and floored at 1. The thread count never affects results: shots
+    /// are partitioned per trajectory with per-trajectory derived seeds,
+    /// so any worker count produces bit-identical counts.
     pub threads: usize,
 }
 
@@ -230,18 +239,9 @@ impl NoiseToggles {
 pub struct Machine {
     device: Device,
     toggles: NoiseToggles,
-}
-
-/// Compact view of the circuit used by trajectories.
-struct Compiled {
-    /// phys qubit -> compact index.
-    compact_of: Vec<Option<usize>>,
-    /// compact index -> phys qubit.
-    phys_of: Vec<u32>,
-    /// Per compact qubit: (start, end, chi rad/µs) crosstalk episodes.
-    xtalk: Vec<Vec<(f64, f64, f64)>>,
-    /// Whether the fast measurement-terminated path applies.
-    terminal_measurements: bool,
+    /// LRU of compiled plans, shared by every clone of this machine so
+    /// batch workers and repeated executions reuse each other's work.
+    plans: Arc<PlanCache>,
 }
 
 impl Machine {
@@ -250,12 +250,17 @@ impl Machine {
         Machine {
             device,
             toggles: NoiseToggles::default(),
+            plans: Arc::new(PlanCache::default()),
         }
     }
 
     /// Binds the executor with selected noise channels (ablation studies).
     pub fn with_toggles(device: Device, toggles: NoiseToggles) -> Self {
-        Machine { device, toggles }
+        Machine {
+            device,
+            toggles,
+            plans: Arc::new(PlanCache::default()),
+        }
     }
 
     /// The active noise toggles.
@@ -266,6 +271,12 @@ impl Machine {
     /// The underlying device.
     pub fn device(&self) -> &Device {
         &self.device
+    }
+
+    /// Effectiveness counters of this machine's plan cache (shared across
+    /// clones).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plans.stats()
     }
 
     /// Schedules (ALAP) and executes a plain circuit.
@@ -294,20 +305,22 @@ impl Machine {
         timed: &TimedCircuit,
         config: &ExecutionConfig,
     ) -> Result<Counts, ExecError> {
-        let compiled = self.compile(timed)?;
+        let compiled = self.plans.get_or_build(timed, &self.device)?;
         let trajectories = config.trajectories.max(1);
         let shots_per_traj = config.shots.div_ceil(trajectories as u64).max(1);
         let spawner = SeedSpawner::new(config.seed);
 
+        // Both paths cap at one thread per trajectory: extra workers
+        // would only idle (and results are thread-count invariant anyway).
         let threads = if config.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
-                .min(trajectories as usize)
-                .max(1)
         } else {
             config.threads
-        };
+        }
+        .min(trajectories as usize)
+        .max(1);
 
         let traj_seeds: Vec<u64> = (0..trajectories)
             .map(|i| spawner.derive(i as u64))
@@ -360,62 +373,66 @@ impl Machine {
         Ok(counts)
     }
 
-    fn compile(&self, timed: &TimedCircuit) -> Result<Compiled, ExecError> {
-        let n_phys = timed.num_qubits();
-        let mut active = vec![false; n_phys];
-        for e in timed.events() {
-            if !matches!(e.instr.kind, OpKind::Delay(_) | OpKind::Barrier) {
-                for q in &e.instr.qubits {
-                    active[q.index()] = true;
-                }
-            }
-        }
-        let phys_of: Vec<u32> = active
-            .iter()
-            .enumerate()
-            .filter(|&(_, &a)| a)
-            .map(|(i, _)| i as u32)
-            .collect();
-        if phys_of.len() > statevec::MAX_QUBITS {
-            return Err(ExecError::TooManyActiveQubits {
-                active: phys_of.len(),
-                limit: statevec::MAX_QUBITS,
-            });
-        }
-        let mut compact_of = vec![None; n_phys];
-        for (c, &p) in phys_of.iter().enumerate() {
-            compact_of[p as usize] = Some(c);
-        }
+    /// Executes a slice of jobs with scoped worker threads, preserving
+    /// the per-job result order. Each job runs with `threads: 1` — valid
+    /// because [`Machine::execute_timed`] results are thread-count
+    /// invariant — so parallelism comes from running *jobs* concurrently
+    /// instead of oversubscribing cores per job. Results are therefore
+    /// bit-identical to executing the jobs serially.
+    pub(crate) fn execute_batch_jobs(
+        &self,
+        jobs: &[JobSpec<'_>],
+    ) -> Vec<Result<ShotBatch, ExecError>> {
+        // Worker-count hint: the largest per-job request (0 = all cores),
+        // never more workers than jobs.
+        let avail = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let hint = jobs.iter().map(|j| j.config.threads).max().unwrap_or(0);
+        let workers = if hint == 0 { avail } else { hint }.min(jobs.len()).max(1);
 
-        // Crosstalk episodes per active qubit.
-        let topo = self.device.topology();
-        let cal = self.device.calibration();
-        let mut xtalk = vec![Vec::new(); phys_of.len()];
-        for (start, end, a, b) in timed.two_qubit_activity() {
-            let Some(link) = topo.link_between(a, b) else {
-                continue; // uncoupled 2q gates carry no spectator crosstalk
+        let run_one = |job: &JobSpec<'_>| -> Result<ShotBatch, ExecError> {
+            let cfg = ExecutionConfig {
+                threads: 1,
+                ..job.config
             };
-            for (ci, &p) in phys_of.iter().enumerate() {
-                let chi = cal.crosstalk(p, link);
-                if chi != 0.0 {
-                    xtalk[ci].push((start, end, chi));
-                }
-            }
+            let counts = self.execute_timed(job.timed, &cfg)?;
+            Ok(ShotBatch::complete(counts, cfg.shots))
+        };
+
+        if workers <= 1 {
+            return jobs.iter().map(run_one).collect();
         }
 
-        Ok(Compiled {
-            compact_of,
-            phys_of,
-            xtalk,
-            terminal_measurements: is_terminal_measured(timed),
-        })
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<ShotBatch, ExecError>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    *slots[i].lock().expect("batch slot lock") = Some(run_one(&jobs[i]));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("batch slot lock")
+                    .expect("every job index was claimed by a worker")
+            })
+            .collect()
     }
 
     /// One noise realization; returns `shots` sampled outcomes.
     fn run_trajectory(
         &self,
         timed: &TimedCircuit,
-        compiled: &Compiled,
+        compiled: &CompiledPlan,
         shots: u64,
         rng: &mut StdRng,
     ) -> Result<Counts, ExecError> {
@@ -697,23 +714,6 @@ fn apply_random_pauli2(
         sv.apply1(&g.unitary1().expect("1q"), b)?;
     }
     Ok(())
-}
-
-/// True when no gate/reset follows a measurement on the same qubit.
-fn is_terminal_measured(timed: &TimedCircuit) -> bool {
-    let mut measured = vec![false; timed.num_qubits()];
-    for e in timed.events() {
-        match e.instr.kind {
-            OpKind::Measure(_) => measured[e.instr.qubits[0].index()] = true,
-            OpKind::Gate(_) | OpKind::Reset => {
-                if e.instr.qubits.iter().any(|q| measured[q.index()]) {
-                    return false;
-                }
-            }
-            OpKind::Delay(_) | OpKind::Barrier => {}
-        }
-    }
-    true
 }
 
 /// Extension trait: seed an [`StdRng`] from a `u64` (newtype-free helper).
@@ -1000,6 +1000,60 @@ mod tests {
             )
             .unwrap();
         assert_eq!(counts.get(0b1101), 64, "{counts}");
+    }
+
+    #[test]
+    fn explicit_thread_counts_are_capped_and_deterministic() {
+        // An absurd explicit thread count must behave exactly like the
+        // trajectory-capped one (and not spawn hundreds of idle workers).
+        let m = Machine::new(Device::ibmq_rome(9));
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        let mut base = cfg(7);
+        base.trajectories = 2;
+        let a = m.execute(&c, &base).unwrap();
+        let mut huge = base;
+        huge.threads = 512;
+        let b = m.execute(&c, &huge).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repeated_executions_hit_the_plan_cache() {
+        let m = Machine::new(Device::ibmq_rome(9));
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        m.execute(&c, &cfg(1)).unwrap();
+        m.execute(&c, &cfg(2)).unwrap();
+        m.execute(&c, &cfg(3)).unwrap();
+        let stats = m.plan_cache_stats();
+        assert_eq!(stats.misses, 1, "one structure, one compile");
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.len, 1);
+    }
+
+    #[test]
+    fn clones_share_the_plan_cache() {
+        let m = Machine::new(Device::ibmq_rome(9));
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        m.execute(&c, &cfg(1)).unwrap();
+        let clone = m.clone();
+        clone.execute(&c, &cfg(2)).unwrap();
+        assert_eq!(m.plan_cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn cached_plan_does_not_change_results() {
+        let m = Machine::new(Device::ibmq_rome(9));
+        let fresh = Machine::new(Device::ibmq_rome(9));
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).measure_all();
+        let warm = m.execute(&c, &cfg(7)).unwrap(); // miss
+        let hit = m.execute(&c, &cfg(7)).unwrap(); // hit
+        let cold = fresh.execute(&c, &cfg(7)).unwrap();
+        assert_eq!(warm, hit);
+        assert_eq!(warm, cold);
     }
 
     #[test]

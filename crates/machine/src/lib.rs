@@ -33,9 +33,11 @@ pub mod backend;
 pub mod executor;
 pub mod fault;
 pub mod noise;
+pub mod plan;
 pub mod resilient;
 
-pub use backend::{Anomaly, Backend, ShotBatch};
+pub use backend::{Anomaly, Backend, JobSpec, ShotBatch};
 pub use executor::{ExecError, ExecutionConfig, Machine, NoiseToggles};
 pub use fault::{FaultCounts, FaultPlan, FaultProfile, FaultyBackend, JobFaults};
+pub use plan::{structural_hash, CompiledPlan, PlanCache, PlanCacheStats};
 pub use resilient::{FaultStats, ResilientExecutor, RetryPolicy};

@@ -1,0 +1,507 @@
+//! Compiled execution plans and the plan cache.
+//!
+//! Executing a [`TimedCircuit`](transpiler::TimedCircuit) requires a
+//! *compilation* step before any trajectory runs: find the active qubits,
+//! compact them into dense simulator indices, extract the crosstalk
+//! episodes every spectator sees from the schedule's two-qubit activity,
+//! and decide whether the fast terminal-measurement sampling path
+//! applies. None of that depends on seeds, shots or trajectories — only
+//! on the circuit structure and the device calibration — yet the executor
+//! used to redo it for every execution.
+//!
+//! That matters because ADAPT's search hot loop executes *structurally
+//! identical* circuits over and over: every mask evaluation of a
+//! neighborhood runs the same decoy with different DD pulses, and the
+//! same decoy+mask circuit recurs across retries, referee runs and
+//! repeated experiments. This module gives that work a first-class home:
+//!
+//! - [`CompiledPlan`]: the immutable output of compilation.
+//! - [`structural_hash`]: a cheap, collision-resistant fingerprint of a
+//!   timed circuit covering the *full* event stream (kinds, gate
+//!   parameters, operands, timestamps). The full stream is deliberate:
+//!   DD pulses can activate a previously idle wire and can break the
+//!   terminal-measurement property, so any "summary" key would wrongly
+//!   share plans between masks.
+//! - [`PlanCache`]: a small LRU keyed by that hash, shared by all clones
+//!   of a [`Machine`](crate::Machine), with hit/miss counters so cache
+//!   effectiveness is observable.
+
+use crate::executor::ExecError;
+use device::Device;
+use qcirc::{Gate, OpKind};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use transpiler::TimedCircuit;
+
+/// Default number of plans a [`PlanCache`] retains.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
+
+/// The seed/shot-independent part of an execution, computed once per
+/// circuit structure: qubit compaction, crosstalk episodes and the
+/// terminal-measurement classification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledPlan {
+    /// Physical qubit → compact simulator index (None when inactive).
+    pub compact_of: Vec<Option<usize>>,
+    /// Compact simulator index → physical qubit.
+    pub phys_of: Vec<u32>,
+    /// Per compact qubit: `(start_ns, end_ns, chi rad/µs)` crosstalk
+    /// episodes from concurrently firing two-qubit gates.
+    pub xtalk: Vec<Vec<(f64, f64, f64)>>,
+    /// Whether the fast measurement-terminated sampling path applies
+    /// (no gate/reset follows a measurement on the same qubit).
+    pub terminal_measurements: bool,
+}
+
+impl CompiledPlan {
+    /// Compiles a timed circuit against a device: active-set compaction,
+    /// crosstalk-episode extraction and terminal-measurement analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::TooManyActiveQubits`] when the circuit
+    /// touches more qubits than the dense simulator supports.
+    pub fn build(timed: &TimedCircuit, device: &Device) -> Result<CompiledPlan, ExecError> {
+        let n_phys = timed.num_qubits();
+        let mut active = vec![false; n_phys];
+        for e in timed.events() {
+            if !matches!(e.instr.kind, OpKind::Delay(_) | OpKind::Barrier) {
+                for q in &e.instr.qubits {
+                    active[q.index()] = true;
+                }
+            }
+        }
+        let phys_of: Vec<u32> = active
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a)
+            .map(|(i, _)| i as u32)
+            .collect();
+        if phys_of.len() > statevec::MAX_QUBITS {
+            return Err(ExecError::TooManyActiveQubits {
+                active: phys_of.len(),
+                limit: statevec::MAX_QUBITS,
+            });
+        }
+        let mut compact_of = vec![None; n_phys];
+        for (c, &p) in phys_of.iter().enumerate() {
+            compact_of[p as usize] = Some(c);
+        }
+
+        // Crosstalk episodes per active qubit.
+        let topo = device.topology();
+        let cal = device.calibration();
+        let mut xtalk = vec![Vec::new(); phys_of.len()];
+        for (start, end, a, b) in timed.two_qubit_activity() {
+            let Some(link) = topo.link_between(a, b) else {
+                continue; // uncoupled 2q gates carry no spectator crosstalk
+            };
+            for (ci, &p) in phys_of.iter().enumerate() {
+                let chi = cal.crosstalk(p, link);
+                if chi != 0.0 {
+                    xtalk[ci].push((start, end, chi));
+                }
+            }
+        }
+
+        Ok(CompiledPlan {
+            compact_of,
+            phys_of,
+            xtalk,
+            terminal_measurements: is_terminal_measured(timed),
+        })
+    }
+
+    /// Number of active (simulated) qubits.
+    pub fn active_qubits(&self) -> usize {
+        self.phys_of.len()
+    }
+}
+
+/// True when no gate/reset follows a measurement on the same qubit.
+fn is_terminal_measured(timed: &TimedCircuit) -> bool {
+    let mut measured = vec![false; timed.num_qubits()];
+    for e in timed.events() {
+        match e.instr.kind {
+            OpKind::Measure(_) => measured[e.instr.qubits[0].index()] = true,
+            OpKind::Gate(_) | OpKind::Reset => {
+                if e.instr.qubits.iter().any(|q| measured[q.index()]) {
+                    return false;
+                }
+            }
+            OpKind::Delay(_) | OpKind::Barrier => {}
+        }
+    }
+    true
+}
+
+/// SplitMix64-style avalanche combiner for the structural hash.
+struct StructuralHasher {
+    state: u64,
+}
+
+impl StructuralHasher {
+    fn new() -> Self {
+        StructuralHasher {
+            state: 0x5851_F42D_4C95_7F2D,
+        }
+    }
+
+    fn mix(&mut self, v: u64) {
+        let mut z = self.state ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.state = z ^ (z >> 31);
+    }
+
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Fingerprints the complete structure of a timed circuit: register
+/// sizes plus, for every event, its kind, gate (with exact parameter
+/// bits), operands and start/end timestamps (exact `f64` bits).
+///
+/// Two circuits with equal hashes are — up to the negligible 64-bit
+/// collision probability — structurally identical, so they compile to
+/// the same [`CompiledPlan`] on a given device. The hash deliberately
+/// covers events that do *not* affect the plan (e.g. exact rotation
+/// angles): over-keying only costs spurious misses, while under-keying
+/// would silently execute the wrong plan.
+pub fn structural_hash(timed: &TimedCircuit) -> u64 {
+    let mut h = StructuralHasher::new();
+    h.mix(timed.num_qubits() as u64);
+    h.mix(timed.num_clbits() as u64);
+    for e in timed.events() {
+        match &e.instr.kind {
+            OpKind::Gate(g) => {
+                h.mix(1);
+                mix_gate(&mut h, g);
+            }
+            OpKind::Measure(c) => {
+                h.mix(2);
+                h.mix(c.index() as u64);
+            }
+            OpKind::Reset => h.mix(3),
+            OpKind::Delay(ns) => {
+                h.mix(4);
+                h.mix(ns.to_bits());
+            }
+            OpKind::Barrier => h.mix(5),
+        }
+        h.mix(e.instr.qubits.len() as u64);
+        for q in &e.instr.qubits {
+            h.mix(q.index() as u64);
+        }
+        h.mix(e.start_ns.to_bits());
+        h.mix(e.end_ns.to_bits());
+    }
+    h.finish()
+}
+
+fn mix_gate(h: &mut StructuralHasher, g: &Gate) {
+    // The mnemonic is unique per variant; parameterized variants also
+    // mix their exact angle bits.
+    let mut word = 0u64;
+    for b in g.name().bytes() {
+        word = word << 8 | b as u64;
+    }
+    h.mix(word);
+    match g {
+        Gate::RX(a) | Gate::RY(a) | Gate::RZ(a) | Gate::P(a) => h.mix(a.to_bits()),
+        Gate::U(a, b, c) => {
+            h.mix(a.to_bits());
+            h.mix(b.to_bits());
+            h.mix(c.to_bits());
+        }
+        _ => {}
+    }
+}
+
+/// Cache effectiveness counters, observable via
+/// [`PlanCache::stats`] / [`Machine::plan_cache_stats`](crate::Machine::plan_cache_stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Plans evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Plans currently resident.
+    pub len: usize,
+    /// Maximum resident plans.
+    pub capacity: usize,
+}
+
+impl PlanCacheStats {
+    /// Hit fraction of all lookups (1.0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CacheInner {
+    /// hash → (plan, last-use stamp).
+    map: HashMap<u64, (Arc<CompiledPlan>, u64)>,
+    /// Monotonic use counter backing the LRU policy.
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A thread-safe LRU cache of [`CompiledPlan`]s keyed by
+/// [`structural_hash`].
+///
+/// Capacity is small (default [`DEFAULT_PLAN_CACHE_CAPACITY`]) because
+/// the working set is small: a search touches one decoy circuit times a
+/// handful of DD masks per neighborhood. Eviction scans for the least
+/// recently used entry — O(capacity), trivial at this size.
+///
+/// Compilation *failures* are never cached: an oversized circuit errors
+/// on every lookup, exactly as it did without the cache.
+#[derive(Debug)]
+pub struct PlanCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+impl PlanCache {
+    /// Creates a cache retaining at most `capacity` plans (min 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Returns the plan for `timed`, compiling (and caching) on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompiledPlan::build`] failures; errors are not
+    /// cached.
+    pub fn get_or_build(
+        &self,
+        timed: &TimedCircuit,
+        device: &Device,
+    ) -> Result<Arc<CompiledPlan>, ExecError> {
+        let key = structural_hash(timed);
+        {
+            let mut inner = self.inner.lock().expect("plan cache lock");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some((plan, stamp)) = inner.map.get_mut(&key) {
+                *stamp = tick;
+                let plan = Arc::clone(plan);
+                inner.hits += 1;
+                return Ok(plan);
+            }
+            inner.misses += 1;
+        }
+        // Compile outside the lock: concurrent batch workers missing on
+        // different circuits must not serialize on each other's compiles.
+        let plan = Arc::new(CompiledPlan::build(timed, device)?);
+        let mut inner = self.inner.lock().expect("plan cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            if let Some(&lru) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k)
+            {
+                inner.map.remove(&lru);
+                inner.evictions += 1;
+            }
+        }
+        inner.map.insert(key, (Arc::clone(&plan), tick));
+        Ok(plan)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        let inner = self.inner.lock().expect("plan cache lock");
+        PlanCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            len: inner.map.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drops every cached plan and resets the counters.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("plan cache lock");
+        inner.map.clear();
+        inner.tick = 0;
+        inner.hits = 0;
+        inner.misses = 0;
+        inner.evictions = 0;
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcirc::Circuit;
+    use transpiler::{try_schedule, SchedulePolicy};
+
+    fn timed_of(c: &Circuit, dev: &Device) -> TimedCircuit {
+        try_schedule(c, dev, SchedulePolicy::Alap).unwrap()
+    }
+
+    #[test]
+    fn structural_hash_is_stable_and_sensitive() {
+        let dev = Device::ibmq_rome(3);
+        let mut a = Circuit::new(2);
+        a.h(0).cx(0, 1).measure_all();
+        let ta = timed_of(&a, &dev);
+        assert_eq!(structural_hash(&ta), structural_hash(&ta.clone()));
+
+        // A different gate on the same wires at the same times hashes
+        // differently.
+        let mut b = Circuit::new(2);
+        b.x(0).cx(0, 1).measure_all();
+        let tb = timed_of(&b, &dev);
+        assert_ne!(structural_hash(&ta), structural_hash(&tb));
+
+        // Rotation parameter changes are structural too.
+        let mut r1 = Circuit::new(1);
+        r1.rx(0.5, 0).measure(0, 0);
+        let mut r2 = Circuit::new(1);
+        r2.rx(0.25, 0).measure(0, 0);
+        assert_ne!(
+            structural_hash(&timed_of(&r1, &dev)),
+            structural_hash(&timed_of(&r2, &dev))
+        );
+    }
+
+    #[test]
+    fn hash_covers_register_sizes() {
+        let t1 = TimedCircuit::from_events(3, 1, Vec::new());
+        let t2 = TimedCircuit::from_events(4, 1, Vec::new());
+        let t3 = TimedCircuit::from_events(3, 2, Vec::new());
+        assert_ne!(structural_hash(&t1), structural_hash(&t2));
+        assert_ne!(structural_hash(&t1), structural_hash(&t3));
+    }
+
+    #[test]
+    fn plan_matches_legacy_compile_semantics() {
+        let dev = Device::ibmq_toronto(4);
+        let mut c = Circuit::new(27);
+        c.h(12).cx(12, 13).measure(12, 0).measure(13, 1);
+        let timed = timed_of(&c, &dev);
+        let plan = CompiledPlan::build(&timed, &dev).unwrap();
+        assert_eq!(plan.active_qubits(), 2);
+        assert_eq!(plan.phys_of, vec![12, 13]);
+        assert_eq!(plan.compact_of[12], Some(0));
+        assert_eq!(plan.compact_of[13], Some(1));
+        assert_eq!(plan.compact_of[0], None);
+        assert!(plan.terminal_measurements);
+    }
+
+    #[test]
+    fn oversized_circuit_is_rejected_and_not_cached() {
+        let dev = Device::all_to_all(27, 1);
+        let mut c = Circuit::new(27);
+        for q in 0..27 {
+            c.h(q as u32);
+        }
+        c.measure_all();
+        let timed = timed_of(&c, &dev);
+        let cache = PlanCache::new(4);
+        for _ in 0..2 {
+            let err = cache.get_or_build(&timed, &dev).unwrap_err();
+            assert!(matches!(err, ExecError::TooManyActiveQubits { .. }));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2, "failures must not be cached");
+        assert_eq!(stats.len, 0);
+    }
+
+    #[test]
+    fn cache_hits_on_identical_structure() {
+        let dev = Device::ibmq_rome(3);
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        let timed = timed_of(&c, &dev);
+        let cache = PlanCache::default();
+        let a = cache.get_or_build(&timed, &dev).unwrap();
+        let b = cache.get_or_build(&timed.clone(), &dev).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let dev = Device::ibmq_rome(3);
+        let circuits: Vec<TimedCircuit> = (1..=3)
+            .map(|k| {
+                let mut c = Circuit::new(2);
+                for _ in 0..k {
+                    c.x(0);
+                }
+                c.measure_all();
+                timed_of(&c, &dev)
+            })
+            .collect();
+        let cache = PlanCache::new(2);
+        cache.get_or_build(&circuits[0], &dev).unwrap(); // {0}
+        cache.get_or_build(&circuits[1], &dev).unwrap(); // {0,1}
+        cache.get_or_build(&circuits[0], &dev).unwrap(); // touch 0
+        cache.get_or_build(&circuits[2], &dev).unwrap(); // evicts 1
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.len, 2);
+        // 0 survived (hit), 1 was evicted (miss again).
+        cache.get_or_build(&circuits[0], &dev).unwrap();
+        cache.get_or_build(&circuits[1], &dev).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 4);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let dev = Device::ibmq_rome(3);
+        let mut c = Circuit::new(1);
+        c.h(0).measure(0, 0);
+        let timed = timed_of(&c, &dev);
+        let cache = PlanCache::default();
+        cache.get_or_build(&timed, &dev).unwrap();
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!(
+            stats,
+            PlanCacheStats {
+                capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+                ..Default::default()
+            }
+        );
+    }
+}
