@@ -1,0 +1,7 @@
+//! Mask-service load generation (see the experiments module docs).
+//! Exits nonzero when a worker panics, the cache hit rate is ≤ 50%, or
+//! cache-hit and fresh-search responses diverge for any key.
+fn main() {
+    let cfg = bench_harness::runner::ExperimentCfg::from_args();
+    bench_harness::experiments::service_loadgen::run(&cfg);
+}

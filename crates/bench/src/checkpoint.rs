@@ -44,6 +44,47 @@ pub fn config_hash(parts: &[&str]) -> u64 {
     h
 }
 
+/// Why an existing checkpoint was ignored on a `--resume` request.
+///
+/// A mismatch is not an error — the experiment simply restarts from
+/// scratch — but it must be *loud*: silently recomputing hours of work
+/// looks identical to a successful resume until the wall-clock bill
+/// arrives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResumeSkip {
+    /// The manifest was written under a different experiment seed.
+    SeedChanged {
+        /// `seed=` value found in the manifest.
+        old: String,
+        /// Seed of the current run.
+        new: u64,
+    },
+    /// The manifest was written under a different configuration hash.
+    ConfigChanged {
+        /// `config=` value found in the manifest.
+        old: String,
+        /// Configuration hash of the current run (hex, as in the manifest).
+        new: u64,
+    },
+}
+
+impl std::fmt::Display for ResumeSkip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeSkip::SeedChanged { old, new } => {
+                write!(
+                    f,
+                    "seed changed, ignoring checkpoint (old={old}, new={new})"
+                )
+            }
+            ResumeSkip::ConfigChanged { old, new } => write!(
+                f,
+                "config changed, ignoring checkpoint (old={old}, new={new:016x})"
+            ),
+        }
+    }
+}
+
 /// A resumable, per-datapoint-durable CSV being written for one
 /// experiment.
 #[derive(Debug)]
@@ -56,6 +97,7 @@ pub struct Checkpoint {
     /// Completed datapoints in completion order: `(key, csv cells)`.
     rows: Vec<(String, Vec<String>)>,
     resumed: usize,
+    ignored: Option<ResumeSkip>,
 }
 
 impl Checkpoint {
@@ -88,10 +130,14 @@ impl Checkpoint {
         resume: bool,
     ) -> io::Result<Self> {
         fs::create_dir_all(out_dir)?;
-        let rows = if resume {
-            load_completed(out_dir, stem, seed, config)
+        let (rows, ignored) = if resume {
+            let (rows, ignored) = load_completed(out_dir, stem, seed, config);
+            if let Some(skip) = &ignored {
+                println!("  checkpoint {stem}: {skip}");
+            }
+            (rows, ignored)
         } else {
-            Vec::new()
+            (Vec::new(), None)
         };
         let resumed = rows.len();
 
@@ -124,6 +170,7 @@ impl Checkpoint {
             manifest,
             rows,
             resumed,
+            ignored,
         })
     }
 
@@ -135,6 +182,13 @@ impl Checkpoint {
     /// Number of datapoints inherited from a previous run.
     pub fn resumed_rows(&self) -> usize {
         self.resumed
+    }
+
+    /// Why a requested resume ignored an existing checkpoint, if it did.
+    /// `None` when resume succeeded, was not requested, or there was no
+    /// prior checkpoint to ignore.
+    pub fn ignored_checkpoint(&self) -> Option<&ResumeSkip> {
+        self.ignored.as_ref()
     }
 
     /// All completed rows in completion order.
@@ -187,35 +241,51 @@ impl Checkpoint {
     }
 }
 
-/// Loads the completed rows of a prior run, or nothing when the
-/// checkpoint is absent, unparsable, or was produced under a different
-/// seed/configuration.
+/// Loads the completed rows of a prior run. Returns no rows when the
+/// checkpoint is absent or unparsable; when the checkpoint exists but was
+/// produced under a different seed/configuration, also reports *why* it
+/// was ignored so the caller can warn instead of silently recomputing.
 fn load_completed(
     out_dir: &Path,
     stem: &str,
     seed: u64,
     config: u64,
-) -> Vec<(String, Vec<String>)> {
+) -> (Vec<(String, Vec<String>)>, Option<ResumeSkip>) {
     let Ok(manifest) = fs::read_to_string(Checkpoint::manifest_path(out_dir, stem)) else {
-        return Vec::new();
+        return (Vec::new(), None);
     };
     let Ok(partial) = fs::read_to_string(Checkpoint::partial_path(out_dir, stem)) else {
-        return Vec::new();
+        return (Vec::new(), None);
     };
-    let mut seed_ok = false;
-    let mut config_ok = false;
+    let mut old_seed = String::new();
+    let mut old_config = String::new();
     let mut done: Vec<String> = Vec::new();
     for line in manifest.lines() {
         if let Some(v) = line.strip_prefix("seed=") {
-            seed_ok = v.trim() == seed.to_string();
+            old_seed = v.trim().to_string();
         } else if let Some(v) = line.strip_prefix("config=") {
-            config_ok = v.trim() == format!("{config:016x}");
+            old_config = v.trim().to_string();
         } else if let Some(v) = line.strip_prefix("done=") {
             done.push(v.to_string());
         }
     }
-    if !seed_ok || !config_ok {
-        return Vec::new();
+    if old_seed != seed.to_string() {
+        return (
+            Vec::new(),
+            Some(ResumeSkip::SeedChanged {
+                old: old_seed,
+                new: seed,
+            }),
+        );
+    }
+    if old_config != format!("{config:016x}") {
+        return (
+            Vec::new(),
+            Some(ResumeSkip::ConfigChanged {
+                old: old_config,
+                new: config,
+            }),
+        );
     }
     // Data rows follow the header; the i-th row belongs to the i-th
     // `done=` key. A row without a matching key (killed mid-write) is
@@ -225,7 +295,7 @@ fn load_completed(
         .skip(1)
         .map(|l| l.split(',').map(|c| c.to_string()).collect())
         .collect();
-    done.into_iter().zip(rows).collect()
+    (done.into_iter().zip(rows).collect(), None)
 }
 
 #[cfg(test)]
@@ -267,10 +337,56 @@ mod tests {
         drop(ck);
         let other_seed = Checkpoint::open(&dir, "exp", HDR, 8, 0xABCD, true).unwrap();
         assert_eq!(other_seed.resumed_rows(), 0);
+        assert_eq!(
+            other_seed.ignored_checkpoint(),
+            Some(&ResumeSkip::SeedChanged {
+                old: "7".into(),
+                new: 8,
+            })
+        );
         drop(other_seed);
         // (the failed resume rewrote the checkpoint under seed 8)
         let other_cfg = Checkpoint::open(&dir, "exp", HDR, 8, 0xEEEE, true).unwrap();
         assert_eq!(other_cfg.resumed_rows(), 0);
+        assert_eq!(
+            other_cfg.ignored_checkpoint(),
+            Some(&ResumeSkip::ConfigChanged {
+                old: format!("{:016x}", 0xABCDu64),
+                new: 0xEEEE,
+            })
+        );
+    }
+
+    #[test]
+    fn config_mismatch_reports_one_line_warning_not_silence() {
+        let dir = tmp("warn");
+        let mut ck = Checkpoint::open(&dir, "exp", HDR, 7, 0x1111, false).unwrap();
+        ck.record("BV-7", vec!["BV-7".into(), "0.9".into()])
+            .unwrap();
+        drop(ck);
+
+        // Same seed, different config hash: everything recomputes, and the
+        // reason is surfaced (the `open` path prints its Display form).
+        let ck = Checkpoint::open(&dir, "exp", HDR, 7, 0x2222, true).unwrap();
+        assert_eq!(ck.resumed_rows(), 0);
+        let skip = ck.ignored_checkpoint().expect("mismatch must be reported");
+        let msg = skip.to_string();
+        assert!(
+            msg.contains("config changed, ignoring checkpoint"),
+            "unexpected warning: {msg}"
+        );
+        assert!(msg.contains(&format!("old={:016x}", 0x1111u64)), "{msg}");
+        assert!(msg.contains(&format!("new={:016x}", 0x2222u64)), "{msg}");
+
+        // A matching re-open resumes cleanly with no warning.
+        drop(ck);
+        let mut ck = Checkpoint::open(&dir, "exp", HDR, 7, 0x2222, false).unwrap();
+        ck.record("BV-7", vec!["BV-7".into(), "0.9".into()])
+            .unwrap();
+        drop(ck);
+        let ck = Checkpoint::open(&dir, "exp", HDR, 7, 0x2222, true).unwrap();
+        assert_eq!(ck.resumed_rows(), 1);
+        assert_eq!(ck.ignored_checkpoint(), None);
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig16;
 pub mod search_perf;
+pub mod service_loadgen;
 pub mod table1;
 pub mod table2;
 pub mod table5;

@@ -1,0 +1,323 @@
+//! **Service load generation** — drives the `adapt-service` worker pool
+//! with a seeded open-loop workload and records serving metrics.
+//!
+//! The workload mixes small paper benchmarks over a skewed device
+//! population (Guadalupe-heavy, like a popular production backend),
+//! interleaves a minority of `Execute` requests among the
+//! `RecommendMask` traffic, and fires one calibration-drift tick
+//! mid-run so epoch invalidation is exercised under load. Requests are
+//! submitted in bursts against a deliberately small queue, so admission
+//! control (typed `Rejected` backpressure) triggers too.
+//!
+//! After the run, every distinct cache key is replayed against a *fresh*
+//! service built from the same seed: responses must be bit-identical to
+//! the originals whether they were served from cache or fresh search
+//! (the service's determinism contract). The binary fails loudly when
+//! any worker panicked, the cache hit rate lands at or below 50%, or a
+//! replayed key diverges. Metrics land in `results/BENCH_service.json`.
+
+use crate::runner::ExperimentCfg;
+use adapt::DdProtocol;
+use adapt_service::{
+    DeviceId, MaskKey, MaskService, Request, Response, SearchBudget, ServiceConfig, ServiceError,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// One observed answer for a cache key, for bit-identity auditing.
+#[derive(Clone, Copy, PartialEq)]
+struct Observed {
+    mask: adapt::DdMask,
+    fidelity_bits: u64,
+    bench: usize,
+    device: DeviceId,
+}
+
+fn service_config(cfg: &ExperimentCfg, budget: SearchBudget) -> ServiceConfig {
+    ServiceConfig {
+        devices: vec![DeviceId::Guadalupe, DeviceId::Toronto, DeviceId::Rome],
+        workers: 4,
+        // Smaller than a submission burst: workers that fall behind make
+        // admission control visible in the rejection metrics.
+        queue_capacity: 6,
+        cache_capacity: 64,
+        seed: cfg.seed,
+        fault_profile: cfg.fault_profile,
+        default_budget: budget,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Runs the load generation and writes `results/BENCH_service.json`.
+///
+/// # Panics
+///
+/// Panics (failing the CI job) when a worker panics, the cache hit rate
+/// is ≤ 50%, a response for one key diverges within the run, or the
+/// fresh-service replay is not bit-identical to the original responses.
+pub fn run(cfg: &ExperimentCfg) {
+    println!("\n== Service loadgen: skewed open-loop workload on the mask service ==");
+    let budget = if cfg.quick {
+        SearchBudget {
+            shots: 64,
+            trajectories: 2,
+            neighborhood: 4,
+        }
+    } else {
+        SearchBudget {
+            shots: 128,
+            trajectories: 4,
+            neighborhood: 4,
+        }
+    };
+    let total_requests: usize = if cfg.quick { 72 } else { 200 };
+    let burst = 8;
+    let benches = benchmarks::suite::table1_suite();
+    let svc = MaskService::start(service_config(cfg, budget));
+
+    // Skewed device popularity: one hot device dominates, so the cache
+    // concentrates where the traffic is.
+    let pick_device = |r: f64| {
+        if r < 0.70 {
+            DeviceId::Guadalupe
+        } else if r < 0.90 {
+            DeviceId::Toronto
+        } else {
+            DeviceId::Rome
+        }
+    };
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x10AD_6E4E);
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(total_requests);
+    let mut observed: HashMap<MaskKey, Observed> = HashMap::new();
+    let mut rejected = 0usize;
+    let mut failed = 0usize;
+    let mut executions = 0usize;
+    let drift_at = total_requests * 3 / 5;
+    let mut drifted = false;
+    let t0 = Instant::now();
+
+    let mut submitted = 0usize;
+    while submitted < total_requests {
+        if !drifted && submitted >= drift_at {
+            // Mid-run calibration drift on the hot device: every cached
+            // Guadalupe mask of epoch 0 must be invalidated under load.
+            let epoch = svc
+                .advance_epoch(DeviceId::Guadalupe)
+                .expect("guadalupe is registered");
+            println!("  drift tick: guadalupe -> epoch {epoch}");
+            drifted = true;
+        }
+        let n = burst.min(total_requests - submitted);
+        let mut pending = Vec::with_capacity(n);
+        for _ in 0..n {
+            let device = pick_device(rng.gen::<f64>());
+            let bench = rng.gen_range(0..benches.len());
+            let circuit = benches[bench].circuit.clone();
+            let request = if rng.gen_bool(0.15) {
+                let policy = if rng.gen_bool(0.5) {
+                    adapt::Policy::Adapt
+                } else {
+                    adapt::Policy::AllDd
+                };
+                Request::Execute {
+                    circuit,
+                    device,
+                    policy,
+                }
+            } else {
+                Request::RecommendMask {
+                    circuit,
+                    device,
+                    protocol: DdProtocol::Xy4,
+                    budget,
+                }
+            };
+            submitted += 1;
+            match svc.submit(request) {
+                Ok(p) => pending.push((p, bench, device)),
+                Err(ServiceError::Rejected { .. }) => rejected += 1,
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+        for (p, bench, device) in pending {
+            match p.wait() {
+                Ok(resp) => {
+                    latencies_us.push(resp.timing().total_us());
+                    match resp {
+                        Response::Mask(rec) => {
+                            audit(
+                                &mut observed,
+                                rec.key,
+                                rec.mask,
+                                rec.decoy_fidelity,
+                                bench,
+                                device,
+                            );
+                        }
+                        Response::Execution(_) => executions += 1,
+                    }
+                }
+                Err(ServiceError::Failed(_)) => failed += 1,
+                Err(e) => panic!("unexpected response error: {e}"),
+            }
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let stats = svc.stats();
+    let cache = svc.cache_stats();
+    let served = latencies_us.len();
+    latencies_us.sort_unstable();
+    let pct = |q: f64| -> f64 {
+        if latencies_us.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies_us.len() - 1) as f64 * q).round() as usize;
+        latencies_us[idx] as f64 / 1000.0
+    };
+    let throughput = served as f64 / elapsed.max(1e-9);
+    println!(
+        "  {served} served / {rejected} rejected / {failed} failed in {elapsed:.1} s \
+         ({throughput:.1} req/s), p50 {:.1} ms, p99 {:.1} ms",
+        pct(0.50),
+        pct(0.99)
+    );
+    println!(
+        "  cache: {} hits + {} coalesced / {} misses ({:.0}% hit rate), \
+         {} invalidated, {} evicted; {} searches, {} worker panics",
+        cache.hits,
+        cache.coalesced,
+        cache.misses,
+        cache.hit_rate() * 100.0,
+        cache.invalidated,
+        cache.evictions,
+        stats.searches,
+        stats.worker_panics
+    );
+    assert_eq!(stats.worker_panics, 0, "worker pool must survive the run");
+    assert!(
+        cache.hit_rate() > 0.5,
+        "skewed workload must be cache-dominated: {cache:?}"
+    );
+
+    // Replay every distinct key against a fresh same-seed service: the
+    // bit-identity contract says cache hits and fresh searches agree.
+    let replayed = replay_bit_identity(cfg, budget, &benches, &observed);
+    println!("  bit-identity: {replayed} keys replayed on a fresh service, all identical");
+
+    let out_dir = cfg.out_dir();
+    std::fs::create_dir_all(&out_dir).expect("create results dir");
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"faults\": \"{}\",\n  \"quick\": {},\n  \"workers\": 4,\n  \
+         \"devices\": [\"guadalupe\", \"toronto\", \"rome\"],\n  \
+         \"requests\": {{ \"submitted\": {total_requests}, \"served\": {served}, \
+         \"rejected\": {rejected}, \"failed\": {failed}, \"executions\": {executions} }},\n  \
+         \"throughput_rps\": {throughput:.2},\n  \
+         \"latency_ms\": {{ \"p50\": {:.2}, \"p99\": {:.2} }},\n  \
+         \"rejection_rate\": {:.4},\n  \
+         \"cache\": {{ \"hits\": {}, \"misses\": {}, \"coalesced\": {}, \"evictions\": {}, \
+         \"invalidated\": {}, \"hit_rate\": {:.4} }},\n  \
+         \"searches\": {},\n  \"worker_panics\": {},\n  \
+         \"bit_identical_keys\": {replayed}\n}}\n",
+        cfg.fault_name,
+        cfg.quick,
+        pct(0.50),
+        pct(0.99),
+        rejected as f64 / total_requests as f64,
+        cache.hits,
+        cache.misses,
+        cache.coalesced,
+        cache.evictions,
+        cache.invalidated,
+        cache.hit_rate(),
+        stats.searches,
+        stats.worker_panics,
+    );
+    let path = out_dir.join("BENCH_service.json");
+    std::fs::write(&path, json).expect("write BENCH_service.json");
+    println!("  wrote {}", path.display());
+}
+
+/// Records one recommendation, asserting in-run consistency per key.
+fn audit(
+    observed: &mut HashMap<MaskKey, Observed>,
+    key: MaskKey,
+    mask: adapt::DdMask,
+    fidelity: f64,
+    bench: usize,
+    device: DeviceId,
+) {
+    let entry = Observed {
+        mask,
+        fidelity_bits: fidelity.to_bits(),
+        bench,
+        device,
+    };
+    if let Some(prev) = observed.insert(key, entry) {
+        assert!(
+            prev == entry,
+            "responses diverged within the run for key {key:?}"
+        );
+    }
+}
+
+/// Replays every observed key on a cold same-seed service and checks
+/// bit-identity. Returns the number of keys replayed.
+fn replay_bit_identity(
+    cfg: &ExperimentCfg,
+    budget: SearchBudget,
+    benches: &[benchmarks::BenchmarkSpec],
+    observed: &HashMap<MaskKey, Observed>,
+) -> usize {
+    let fresh = MaskService::start(service_config(cfg, budget));
+    // Epochs only move forward, so replay epoch 0 keys first, then tick
+    // each drifted device and replay its epoch 1 keys, and so on.
+    let max_epoch = observed.keys().map(|k| k.epoch).max().unwrap_or(0);
+    let mut replayed = 0usize;
+    for epoch in 0..=max_epoch {
+        if epoch > 0 {
+            for device in [DeviceId::Guadalupe, DeviceId::Toronto, DeviceId::Rome] {
+                if observed
+                    .keys()
+                    .any(|k| k.device == device && k.epoch >= epoch)
+                {
+                    fresh.advance_epoch(device).expect("device registered");
+                }
+            }
+        }
+        for (key, prev) in observed.iter().filter(|(k, _)| k.epoch == epoch) {
+            let resp = fresh
+                .call(Request::RecommendMask {
+                    circuit: benches[prev.bench].circuit.clone(),
+                    device: prev.device,
+                    protocol: key.protocol,
+                    budget,
+                })
+                .expect("replay recommendation");
+            let Response::Mask(rec) = resp else {
+                panic!("replay returned a non-mask response");
+            };
+            assert_eq!(rec.key, *key, "replayed key mismatch (registry drifted?)");
+            assert_eq!(rec.mask, prev.mask, "mask not bit-identical on replay");
+            assert_eq!(
+                rec.decoy_fidelity.to_bits(),
+                prev.fidelity_bits,
+                "fidelity not bit-identical on replay"
+            );
+            replayed += 1;
+        }
+    }
+    let stats = fresh.stats();
+    assert_eq!(stats.worker_panics, 0, "replay service must not panic");
+    // A cold service answers each distinct key with one fresh search, so
+    // comparing against the original run covers cache-hit vs
+    // fresh-search equality in both directions.
+    assert_eq!(
+        stats.searches as usize, replayed,
+        "replay must search every key once"
+    );
+    replayed
+}

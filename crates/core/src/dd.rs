@@ -27,7 +27,7 @@ use transpiler::{Layout, TimedCircuit, TimedInstruction};
 ///
 /// XY4 and IBMQ-DD are the paper's two protocols; CPMG, XY8 and UDD are
 /// extensions in the direction of its "other DD sequences" future work.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DdProtocol {
     /// Continuous X–Y–X–Y repetition.
     #[default]

@@ -26,7 +26,7 @@ use std::f64::consts::FRAC_PI_2;
 use transpiler::{TimedCircuit, TimedInstruction};
 
 /// Decoy construction strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DecoyKind {
     /// Clifford Decoy Circuit: every gate rounded to Clifford.
     Clifford,

@@ -46,7 +46,7 @@ pub mod search;
 pub use dd::{DdConfig, DdMask, DdProtocol, IdleAnalysis};
 pub use decoy::{Decoy, DecoyKind};
 pub use gst::GateSequenceTable;
-pub use search::{DegradedGroup, MaskScore, SearchResult};
+pub use search::{DegradedGroup, MaskScore, SearchError, SearchResult, EXHAUSTIVE_MAX_QUBITS};
 
 use device::Device;
 use machine::{Backend, ExecError, ExecutionConfig, Machine};
@@ -55,6 +55,11 @@ use statevec::SimError;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use transpiler::{transpile, TranspileOptions, TranspiledCircuit};
+
+/// Largest program (in qubits) [`Policy::RuntimeBest`] will sweep. The
+/// oracle runs all `2^N` masks on the *real* program, so it is held to a
+/// tighter bound than the decoy-only [`EXHAUSTIVE_MAX_QUBITS`].
+pub const RUNTIME_BEST_MAX_QUBITS: usize = 16;
 
 /// The competing DD policies of §5.6.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +96,8 @@ pub enum AdaptError {
     Decoy(decoy::DecoyError),
     /// Ideal-output simulation failed.
     Sim(SimError),
+    /// A mask sweep was rejected (oversized request).
+    Search(SearchError),
 }
 
 impl std::fmt::Display for AdaptError {
@@ -99,6 +106,7 @@ impl std::fmt::Display for AdaptError {
             AdaptError::Exec(e) => write!(f, "execution failed: {e}"),
             AdaptError::Decoy(e) => write!(f, "decoy construction failed: {e}"),
             AdaptError::Sim(e) => write!(f, "ideal simulation failed: {e}"),
+            AdaptError::Search(e) => write!(f, "mask search failed: {e}"),
         }
     }
 }
@@ -120,6 +128,18 @@ impl From<decoy::DecoyError> for AdaptError {
 impl From<SimError> for AdaptError {
     fn from(e: SimError) -> Self {
         AdaptError::Sim(e)
+    }
+}
+
+impl From<SearchError> for AdaptError {
+    fn from(e: SearchError) -> Self {
+        // Plain execution failures keep their established variant so
+        // existing `AdaptError::Exec` matchers (retry loops, availability
+        // checks) continue to work unchanged.
+        match e {
+            SearchError::Exec(e) => AdaptError::Exec(e),
+            other => AdaptError::Search(other),
+        }
     }
 }
 
@@ -271,10 +291,30 @@ impl Adapt {
         cfg: &AdaptConfig,
     ) -> Result<SearchResult, AdaptError> {
         let decoy = decoy::make_decoy(&compiled.timed, cfg.decoy_kind)?;
+        self.choose_mask_with_decoy(compiled, &decoy, num_program_qubits, cfg)
+    }
+
+    /// [`Self::choose_mask`] with a caller-supplied decoy.
+    ///
+    /// Decoy construction is deterministic per compiled program, so a
+    /// caching layer that already holds the decoy (a warm service path
+    /// re-searching after an epoch invalidation, say) can skip rebuilding
+    /// it and still get bit-identical results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution failures.
+    pub fn choose_mask_with_decoy(
+        &self,
+        compiled: &TranspiledCircuit,
+        decoy: &decoy::Decoy,
+        num_program_qubits: usize,
+        cfg: &AdaptConfig,
+    ) -> Result<SearchResult, AdaptError> {
         let ctx = search::SearchContext::new(
             self.backend.as_ref(),
             self.device.clone(),
-            &decoy,
+            decoy,
             &compiled.initial_layout,
             cfg.dd,
             cfg.search_exec,
@@ -346,12 +386,11 @@ impl Adapt {
     ///
     /// # Errors
     ///
-    /// Propagates compilation/decoy/execution failures.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `Policy::RuntimeBest` is requested for programs larger
-    /// than 16 qubits (the oracle sweep is exponential).
+    /// Propagates compilation/decoy/execution failures. Returns
+    /// [`SearchError::TooLarge`] (wrapped in [`AdaptError::Search`]) when
+    /// `Policy::RuntimeBest` is requested for programs larger than
+    /// [`RUNTIME_BEST_MAX_QUBITS`] qubits (the oracle sweep is
+    /// exponential).
     pub fn run_policy(
         &self,
         program: &Circuit,
@@ -370,7 +409,13 @@ impl Adapt {
                 (result.best, runs, result.degraded)
             }
             Policy::RuntimeBest => {
-                assert!(n <= 16, "Runtime-Best sweep infeasible for {n} qubits");
+                if n > RUNTIME_BEST_MAX_QUBITS {
+                    return Err(SearchError::TooLarge {
+                        qubits: n,
+                        limit: RUNTIME_BEST_MAX_QUBITS,
+                    }
+                    .into());
+                }
                 let mut best: Option<(DdMask, f64)> = None;
                 let mut runs = 0;
                 let mut last_unavailable = None;

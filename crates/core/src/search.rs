@@ -112,6 +112,48 @@ impl SearchResult {
     }
 }
 
+/// Largest program (in qubits) [`exhaustive_search`] will sweep: the
+/// `2^N` enumeration would not terminate in reasonable time beyond this.
+pub const EXHAUSTIVE_MAX_QUBITS: usize = 20;
+
+/// Errors from a mask search.
+///
+/// Splits request-shaped failures (the sweep is infeasible for this many
+/// qubits) from backend failures, so long-running callers — worker pools,
+/// services — can reject an oversized request instead of crashing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchError {
+    /// The requested sweep is infeasible for this many program qubits.
+    TooLarge {
+        /// Program qubits in the request.
+        qubits: usize,
+        /// Largest supported program for this sweep.
+        limit: usize,
+    },
+    /// Backend execution failed.
+    Exec(ExecError),
+}
+
+impl std::fmt::Display for SearchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchError::TooLarge { qubits, limit } => write!(
+                f,
+                "mask sweep over {qubits} program qubits exceeds the {limit}-qubit limit"
+            ),
+            SearchError::Exec(e) => write!(f, "search execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+impl From<ExecError> for SearchError {
+    fn from(e: ExecError) -> Self {
+        SearchError::Exec(e)
+    }
+}
+
 /// Whether an execution error means "the backend is (currently)
 /// unavailable" as opposed to "this request can never work". Transient
 /// errors and exhausted retry budgets degrade the search; permanent
@@ -279,15 +321,19 @@ const EXHAUSTIVE_BATCH: usize = 64;
 ///
 /// # Errors
 ///
-/// Propagates machine execution failures.
-///
-/// # Panics
-///
-/// Panics for more than 20 program qubits (the sweep would not terminate
-/// in reasonable time).
-pub fn exhaustive_search(ctx: &SearchContext<'_>) -> Result<SearchResult, ExecError> {
+/// Returns [`SearchError::TooLarge`] for more than
+/// [`EXHAUSTIVE_MAX_QUBITS`] program qubits (the sweep would not
+/// terminate in reasonable time), and propagates machine execution
+/// failures — a typed rejection either way, so a worker pool serving
+/// search requests never crashes on an oversized program.
+pub fn exhaustive_search(ctx: &SearchContext<'_>) -> Result<SearchResult, SearchError> {
     let n = ctx.num_program_qubits;
-    assert!(n <= 20, "exhaustive_search over {n} program qubits");
+    if n > EXHAUSTIVE_MAX_QUBITS {
+        return Err(SearchError::TooLarge {
+            qubits: n,
+            limit: EXHAUSTIVE_MAX_QUBITS,
+        });
+    }
     let mut evaluations = Vec::new();
     let mut unavailable_runs = 0;
     let mut last_unavailable = None;
@@ -301,15 +347,17 @@ pub fn exhaustive_search(ctx: &SearchContext<'_>) -> Result<SearchResult, ExecEr
                     unavailable_runs += 1;
                     last_unavailable = Some(e);
                 }
-                Err(e) => return Err(e),
+                Err(e) => return Err(e.into()),
             }
         }
     }
     if evaluations.is_empty() {
-        return Err(last_unavailable.unwrap_or(ExecError::JobFailed {
-            job: 0,
-            reason: "no masks to evaluate".to_string(),
-        }));
+        return Err(SearchError::Exec(last_unavailable.unwrap_or(
+            ExecError::JobFailed {
+                job: 0,
+                reason: "no masks to evaluate".to_string(),
+            },
+        )));
     }
     // First-evaluated wins ties, matching the stable ranking used by the
     // localized search.
@@ -505,11 +553,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exhaustive_search over 21 program qubits")]
-    fn exhaustive_panics_above_twenty_qubits() {
+    fn exhaustive_rejects_oversized_programs_with_typed_error() {
         let (machine, decoy, layout, _) = context_fixture();
         let ctx = ctx_over(&machine, machine.device().clone(), &decoy, &layout, 21);
-        let _ = exhaustive_search(&ctx);
+        let err = exhaustive_search(&ctx).unwrap_err();
+        assert_eq!(
+            err,
+            SearchError::TooLarge {
+                qubits: 21,
+                limit: EXHAUSTIVE_MAX_QUBITS
+            }
+        );
+        // The guard fires before any decoy execution is attempted.
+        assert!(err.to_string().contains("21 program qubits"));
     }
 
     #[test]

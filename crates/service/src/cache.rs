@@ -1,0 +1,455 @@
+//! Epoch-keyed mask cache with LRU bounds and single-flight
+//! deduplication.
+//!
+//! ADAPT's value proposition is amortization: a mask search costs ≤ 4·N
+//! decoy executions (PAPER §4.3), but the resulting mask stays valid for
+//! a whole calibration epoch, so a serving layer should pay the search
+//! once per `(device, epoch, circuit, protocol, decoy)` and answer every
+//! later request from memory. The [`MaskCache`] implements exactly that
+//! contract:
+//!
+//! - **Key**: [`MaskKey`] — device id, calibration epoch, *compiled*
+//!   circuit structural hash, DD protocol and decoy mode. The structural
+//!   hash covers the full timed event stream, so two programs share a
+//!   mask only when their scheduled circuits are identical on this
+//!   device+epoch.
+//! - **LRU bounds**: a fixed capacity with least-recently-*used* eviction
+//!   (mirroring the [`PlanCache`](machine::PlanCache) idiom one layer
+//!   down).
+//! - **Epoch invalidation**: when a device drifts to a new calibration
+//!   epoch, [`MaskCache::invalidate_before`] drops every entry of older
+//!   epochs — stale masks must never be served (§6.4 shows they decay).
+//! - **Single-flight**: [`MaskCache::lookup`] returns a [`SearchTicket`]
+//!   to exactly one caller per missing key; concurrent requests for the
+//!   same key block until that searcher completes (or abandons) instead
+//!   of launching duplicate searches. An abandoned ticket (worker error
+//!   or panic) wakes the waiters and the next one becomes the searcher.
+
+use crate::registry::DeviceId;
+use adapt::{DdMask, DdProtocol, DecoyKind};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Default number of masks a [`MaskCache`] retains.
+pub const DEFAULT_MASK_CACHE_CAPACITY: usize = 256;
+
+/// Cache key: everything the chosen mask depends on.
+///
+/// The request's search *budget* is deliberately absent: the first
+/// searcher's budget decides the cached entry, and later requests with a
+/// different budget still share it (a mask is a mask — re-searching the
+/// same circuit at a different budget would defeat amortization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MaskKey {
+    /// Target device.
+    pub device: DeviceId,
+    /// Calibration epoch of the device at request time.
+    pub epoch: u64,
+    /// [`machine::structural_hash`] of the compiled (timed) circuit.
+    pub circuit_hash: u64,
+    /// DD protocol the mask will be realized with.
+    pub protocol: DdProtocol,
+    /// Decoy construction mode used by the search.
+    pub decoy: DecoyKind,
+}
+
+impl MaskKey {
+    /// Stable 64-bit fingerprint, identical across processes and runs.
+    ///
+    /// Seeds the per-request backend stack: deriving the search seed from
+    /// this fingerprint makes a fresh search a pure function of the key,
+    /// which is what lets the service promise bit-identical responses
+    /// whether a key is served from cache or recomputed.
+    pub fn fingerprint(&self) -> u64 {
+        let decoy_tag = match self.decoy {
+            DecoyKind::Clifford => 1,
+            DecoyKind::CnotOnly => 2,
+            DecoyKind::Seeded { max_seed_qubits } => 0x100 | max_seed_qubits as u64,
+        };
+        let protocol_tag = format!("{:?}", self.protocol)
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+            });
+        let mut h = 0x9e37_79b9_7f4a_7c15u64;
+        for word in [
+            self.device.name().len() as u64 ^ protocol_tag,
+            self.epoch,
+            self.circuit_hash,
+            decoy_tag,
+        ] {
+            h ^= word;
+            h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+            h ^= h >> 33;
+        }
+        h
+    }
+}
+
+/// A cached search outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachedMask {
+    /// The selected mask.
+    pub mask: DdMask,
+    /// Decoy fidelity the selected mask scored during the search.
+    pub decoy_fidelity: f64,
+    /// Decoy executions the search attempted (≤ 4·N budget accounting).
+    pub decoy_runs: usize,
+    /// Whether any neighborhood degraded to its all-DD fallback.
+    pub degraded: bool,
+}
+
+/// Effectiveness counters of a [`MaskCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaskCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that became a search (one per single-flight group).
+    pub misses: u64,
+    /// Lookups that blocked behind an in-flight identical search instead
+    /// of duplicating it.
+    pub coalesced: u64,
+    /// Entries evicted by the LRU bound.
+    pub evictions: u64,
+    /// Entries dropped by epoch invalidation.
+    pub invalidated: u64,
+    /// Entries currently resident.
+    pub len: usize,
+    /// Maximum resident entries.
+    pub capacity: usize,
+}
+
+impl MaskCacheStats {
+    /// Fraction of resolved lookups served without a fresh search.
+    /// Coalesced waiters count as served-from-cache: they did not pay for
+    /// a search.
+    pub fn hit_rate(&self) -> f64 {
+        let served = self.hits + self.coalesced;
+        let total = served + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            served as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: CachedMask,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<MaskKey, Entry>,
+    inflight: HashSet<MaskKey>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+    evictions: u64,
+    invalidated: u64,
+}
+
+/// The shared mask cache (see module docs).
+#[derive(Debug)]
+pub struct MaskCache {
+    inner: Mutex<Inner>,
+    /// Signalled when an in-flight search completes or abandons.
+    resolved: Condvar,
+    capacity: usize,
+}
+
+/// Outcome of [`MaskCache::lookup`].
+#[derive(Debug)]
+pub enum Lookup {
+    /// The key is cached (possibly after waiting out an in-flight search
+    /// for it).
+    Hit(CachedMask),
+    /// This caller owns the search for the key. Every concurrent lookup
+    /// of the same key now blocks until the ticket is completed or
+    /// dropped.
+    Miss(SearchTicket),
+}
+
+/// Exclusive right (and obligation) to resolve one missing [`MaskKey`].
+///
+/// Call [`SearchTicket::complete`] with the search outcome; dropping the
+/// ticket instead (error paths, panics) releases the key so a blocked
+/// waiter can retry as the new searcher. Either way the waiters wake.
+#[derive(Debug)]
+pub struct SearchTicket {
+    cache: Arc<MaskCache>,
+    key: MaskKey,
+    done: bool,
+}
+
+impl SearchTicket {
+    /// The key this ticket resolves.
+    pub fn key(&self) -> MaskKey {
+        self.key
+    }
+
+    /// Publishes the search outcome and wakes every waiter.
+    pub fn complete(mut self, value: CachedMask) {
+        self.done = true;
+        let mut inner = self.cache.lock();
+        inner.inflight.remove(&self.key);
+        self.cache.insert_locked(&mut inner, self.key, value);
+        self.cache.resolved.notify_all();
+    }
+}
+
+impl Drop for SearchTicket {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        // Abandoned (error or panic mid-search): release the key so a
+        // waiter can take over, instead of deadlocking the flight group.
+        let mut inner = self.cache.lock();
+        inner.inflight.remove(&self.key);
+        self.cache.resolved.notify_all();
+    }
+}
+
+impl MaskCache {
+    /// Creates a cache retaining at most `capacity` masks (min 1).
+    pub fn new(capacity: usize) -> Self {
+        MaskCache {
+            inner: Mutex::new(Inner::default()),
+            resolved: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Resolves `key`: a hit, possibly after waiting for a concurrent
+    /// searcher, or a [`SearchTicket`] making the caller the searcher.
+    pub fn lookup(cache: &Arc<MaskCache>, key: MaskKey) -> Lookup {
+        let mut inner = cache.lock();
+        let mut waited = false;
+        loop {
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.map.get_mut(&key) {
+                entry.last_used = tick;
+                let value = entry.value;
+                inner.hits += 1;
+                return Lookup::Hit(value);
+            }
+            if inner.inflight.insert(key) {
+                inner.misses += 1;
+                return Lookup::Miss(SearchTicket {
+                    cache: Arc::clone(cache),
+                    key,
+                    done: false,
+                });
+            }
+            // `insert` returned false: someone else is searching this key.
+            if !waited {
+                waited = true;
+                inner.coalesced += 1;
+            }
+            inner = cache
+                .resolved
+                .wait(inner)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Inserts or refreshes `key` outside the single-flight protocol
+    /// (tests, warm-up). Production paths go through [`Self::lookup`].
+    pub fn insert(&self, key: MaskKey, value: CachedMask) {
+        let mut inner = self.lock();
+        self.insert_locked(&mut inner, key, value);
+    }
+
+    /// Peeks at `key` without touching LRU order or counters.
+    pub fn peek(&self, key: &MaskKey) -> Option<CachedMask> {
+        self.lock().map.get(key).map(|e| e.value)
+    }
+
+    /// Drops every entry of `device` with an epoch below `min_epoch`
+    /// (drift-triggered invalidation). Returns how many were dropped.
+    pub fn invalidate_before(&self, device: DeviceId, min_epoch: u64) -> usize {
+        let mut inner = self.lock();
+        let before = inner.map.len();
+        inner
+            .map
+            .retain(|k, _| k.device != device || k.epoch >= min_epoch);
+        let dropped = before - inner.map.len();
+        inner.invalidated += dropped as u64;
+        dropped
+    }
+
+    /// Current effectiveness counters.
+    pub fn stats(&self) -> MaskCacheStats {
+        let inner = self.lock();
+        MaskCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            coalesced: inner.coalesced,
+            evictions: inner.evictions,
+            invalidated: inner.invalidated,
+            len: inner.map.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    fn insert_locked(&self, inner: &mut Inner, key: MaskKey, value: CachedMask) {
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            if let Some(&lru) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                inner.map.remove(&lru);
+                inner.evictions += 1;
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // Recover from poisoning: the cache's invariants hold under any
+        // interleaving of the (short, panic-free) critical sections, and
+        // a worker panic elsewhere must not take the whole service down.
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn key(epoch: u64, hash: u64) -> MaskKey {
+        MaskKey {
+            device: DeviceId::Rome,
+            epoch,
+            circuit_hash: hash,
+            protocol: DdProtocol::Xy4,
+            decoy: DecoyKind::Seeded { max_seed_qubits: 4 },
+        }
+    }
+
+    fn mask(bits: u64) -> CachedMask {
+        CachedMask {
+            mask: DdMask::from_bits(bits, 5),
+            decoy_fidelity: 0.9,
+            decoy_runs: 20,
+            degraded: false,
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_key_sensitive() {
+        let a = key(0, 42).fingerprint();
+        assert_eq!(a, key(0, 42).fingerprint());
+        assert_ne!(a, key(1, 42).fingerprint());
+        assert_ne!(a, key(0, 43).fingerprint());
+        let mut other = key(0, 42);
+        other.protocol = DdProtocol::Cpmg;
+        assert_ne!(a, other.fingerprint());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = Arc::new(MaskCache::new(2));
+        cache.insert(key(0, 1), mask(1));
+        cache.insert(key(0, 2), mask(2));
+        // Touch key 1 so key 2 is the LRU victim.
+        assert!(matches!(
+            MaskCache::lookup(&cache, key(0, 1)),
+            Lookup::Hit(_)
+        ));
+        cache.insert(key(0, 3), mask(3));
+        assert!(cache.peek(&key(0, 1)).is_some());
+        assert!(cache.peek(&key(0, 2)).is_none());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn epoch_invalidation_drops_only_stale_entries() {
+        let cache = Arc::new(MaskCache::new(8));
+        cache.insert(key(0, 1), mask(1));
+        cache.insert(key(0, 2), mask(2));
+        cache.insert(key(1, 1), mask(3));
+        let mut other_dev = key(0, 9);
+        other_dev.device = DeviceId::London;
+        cache.insert(other_dev, mask(4));
+
+        assert_eq!(cache.invalidate_before(DeviceId::Rome, 1), 2);
+        assert!(cache.peek(&key(1, 1)).is_some());
+        assert!(cache.peek(&other_dev).is_some(), "other devices untouched");
+        assert_eq!(cache.stats().invalidated, 2);
+    }
+
+    #[test]
+    fn single_flight_hands_out_one_ticket_and_wakes_waiters() {
+        let cache = Arc::new(MaskCache::new(8));
+        let k = key(0, 7);
+        let Lookup::Miss(ticket) = MaskCache::lookup(&cache, k) else {
+            panic!("first lookup must miss");
+        };
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                thread::spawn(move || match MaskCache::lookup(&cache, k) {
+                    Lookup::Hit(v) => v,
+                    Lookup::Miss(_) => panic!("waiter must not become a searcher"),
+                })
+            })
+            .collect();
+        // Give the waiters time to block behind the in-flight key.
+        thread::sleep(std::time::Duration::from_millis(30));
+        ticket.complete(mask(5));
+        for w in waiters {
+            assert_eq!(w.join().expect("waiter").mask, mask(5).mask);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "exactly one search for the flight group");
+        assert_eq!(stats.hits, 4);
+    }
+
+    #[test]
+    fn abandoned_ticket_promotes_a_waiter_to_searcher() {
+        let cache = Arc::new(MaskCache::new(8));
+        let k = key(0, 8);
+        let Lookup::Miss(ticket) = MaskCache::lookup(&cache, k) else {
+            panic!("first lookup must miss");
+        };
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || match MaskCache::lookup(&cache, k) {
+                Lookup::Miss(t) => {
+                    t.complete(mask(9));
+                    true
+                }
+                Lookup::Hit(_) => false,
+            })
+        };
+        thread::sleep(std::time::Duration::from_millis(30));
+        drop(ticket); // searcher fails without a result
+        assert!(waiter.join().expect("waiter"), "waiter takes over the key");
+        assert_eq!(
+            cache.peek(&k).expect("resolved by waiter").mask,
+            mask(9).mask
+        );
+        assert_eq!(cache.stats().misses, 2);
+    }
+}

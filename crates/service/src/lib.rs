@@ -1,0 +1,65 @@
+//! # adapt-service — the mask-recommendation serving layer
+//!
+//! ADAPT (MICRO 2021) finds a per-program DD mask with ≤ 4·N decoy
+//! executions, and that mask stays valid for a whole calibration epoch
+//! (§6.4). A deployment therefore wants a *service*: search once per
+//! `(device, epoch, circuit, protocol, decoy)` and answer every later
+//! request from cache until drift invalidates it. This crate is that
+//! service, built on the fault/resilience substrate (`machine::fault`,
+//! `machine::resilient`) and the compiled-plan cache (`machine::plan`):
+//!
+//! - [`DeviceRegistry`]: named hardware presets ([`DeviceId`]), each
+//!   advancing through seeded calibration epochs via the existing drift
+//!   model, handing out [`Machine`](machine::Machine) clones that share
+//!   one plan cache per device+epoch.
+//! - [`MaskCache`]: LRU-bounded, epoch-keyed, with single-flight
+//!   deduplication — K concurrent identical requests trigger exactly one
+//!   search.
+//! - [`MaskService`]: a bounded request queue served by a worker pool,
+//!   with admission control (typed [`ServiceError::Rejected`]
+//!   backpressure), per-request panic containment, and responses
+//!   carrying mask [`Provenance`] and [`Timing`].
+//!
+//! Responses are deterministic: for one service seed, the answer for a
+//! given [`MaskKey`] is bit-identical whether it comes from a fresh
+//! search or the cache, regardless of concurrency (see the determinism
+//! contract in [`service`]).
+//!
+//! # Example
+//!
+//! ```
+//! use adapt_service::{DeviceId, MaskService, Request, SearchBudget, ServiceConfig};
+//! use adapt::DdProtocol;
+//!
+//! let service = MaskService::start(ServiceConfig {
+//!     devices: vec![DeviceId::Rome],
+//!     workers: 2,
+//!     ..ServiceConfig::default()
+//! });
+//! let mut c = qcirc::Circuit::new(3);
+//! c.h(0).cx(0, 1).cx(1, 2).measure_all();
+//! let budget = SearchBudget { shots: 64, trajectories: 2, neighborhood: 4 };
+//! let first = service
+//!     .call(Request::RecommendMask {
+//!         circuit: c.clone(),
+//!         device: DeviceId::Rome,
+//!         protocol: DdProtocol::Xy4,
+//!         budget,
+//!     })
+//!     .expect("recommend");
+//! # let _ = first;
+//! ```
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod cache;
+pub mod registry;
+pub mod service;
+
+pub use cache::{CachedMask, Lookup, MaskCache, MaskCacheStats, MaskKey, SearchTicket};
+pub use registry::{DeviceId, DeviceRegistry};
+pub use service::{
+    Execution, MaskService, Pending, Provenance, Recommendation, Request, Response, SearchBudget,
+    ServiceConfig, ServiceError, ServiceStats, Timing,
+};

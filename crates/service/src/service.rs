@@ -1,0 +1,796 @@
+//! The mask-recommendation service: bounded queue, worker pool,
+//! admission control and provenance-carrying responses.
+//!
+//! # Determinism contract
+//!
+//! Every fresh search runs on a backend stack built *per request* and
+//! seeded purely from the request's [`MaskKey`] fingerprint and the
+//! service seed: a fresh [`FaultyBackend`] over a clone of the device's
+//! epoch machine, wrapped in a [`ResilientExecutor`]. The search outcome
+//! is therefore a pure function of `(service seed, key, budget)` — two
+//! services built from the same seed return bit-identical masks and
+//! fidelities for the same key, whether the answer comes from cache or a
+//! fresh search, and regardless of worker count, queue order or which
+//! worker picks the job up.
+//!
+//! # Failure containment
+//!
+//! Worker panics are caught per request: the client gets a typed
+//! [`ServiceError::Internal`], the panic counter increments, and the
+//! worker thread keeps serving. A panicking searcher's
+//! [`SearchTicket`](crate::cache::SearchTicket) is released by its Drop
+//! impl, so blocked waiters never deadlock — one of them becomes the new
+//! searcher.
+
+use crate::cache::{CachedMask, Lookup, MaskCache, MaskCacheStats, MaskKey};
+use crate::registry::{DeviceId, DeviceRegistry};
+use adapt::decoy::make_decoy;
+use adapt::{Adapt, AdaptConfig, AdaptError, DdConfig, DdMask, DdProtocol, DecoyKind, Policy};
+use machine::{
+    ExecutionConfig, FaultProfile, FaultyBackend, Machine, ResilientExecutor, RetryPolicy,
+};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+use transpiler::{transpile, TranspileOptions};
+
+/// Decoy-execution budget of one mask search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchBudget {
+    /// Shots per decoy evaluation.
+    pub shots: u64,
+    /// Noise trajectories per decoy evaluation.
+    pub trajectories: u32,
+    /// Localized-search neighborhood size (4 in the paper).
+    pub neighborhood: usize,
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        SearchBudget {
+            shots: 256,
+            trajectories: 8,
+            neighborhood: 4,
+        }
+    }
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Devices to register (each starts at calibration epoch 0).
+    pub devices: Vec<DeviceId>,
+    /// Worker threads (min 1).
+    pub workers: usize,
+    /// Admission bound: requests beyond this queue depth are rejected.
+    pub queue_capacity: usize,
+    /// Mask-cache capacity (LRU entries).
+    pub cache_capacity: usize,
+    /// Root seed: devices, searches and fault injection all derive from
+    /// it deterministically.
+    pub seed: u64,
+    /// Fault profile every per-request backend is built with.
+    pub fault_profile: FaultProfile,
+    /// Retry/backoff policy of the per-request resilient executor.
+    pub retry: RetryPolicy,
+    /// Decoy construction mode (part of the cache key).
+    pub decoy: DecoyKind,
+    /// Default budget for [`Request::Execute`]-triggered searches.
+    pub default_budget: SearchBudget,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            devices: vec![DeviceId::Guadalupe],
+            workers: 2,
+            queue_capacity: 32,
+            cache_capacity: crate::cache::DEFAULT_MASK_CACHE_CAPACITY,
+            seed: 2021,
+            fault_profile: FaultProfile::none(),
+            retry: RetryPolicy::default(),
+            decoy: DecoyKind::default(),
+            default_budget: SearchBudget::default(),
+        }
+    }
+}
+
+/// A unit of work submitted to the service.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Find (or fetch) the best DD mask for `circuit` on `device`.
+    RecommendMask {
+        /// Logical program.
+        circuit: qcirc::Circuit,
+        /// Target device.
+        device: DeviceId,
+        /// DD protocol the mask will be realized with.
+        protocol: DdProtocol,
+        /// Search budget (only consulted on a cache miss).
+        budget: SearchBudget,
+    },
+    /// Execute `circuit` on `device` under `policy` (ADAPT consults the
+    /// mask cache like a recommendation would).
+    Execute {
+        /// Logical program.
+        circuit: qcirc::Circuit,
+        /// Target device.
+        device: DeviceId,
+        /// DD policy to apply.
+        policy: Policy,
+    },
+}
+
+/// How a recommendation was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Served from the mask cache (possibly after coalescing behind a
+    /// concurrent identical search).
+    CacheHit,
+    /// A fresh search ran to completion for this request.
+    FreshSearch,
+    /// A fresh search ran, but at least one neighborhood degraded to the
+    /// conservative all-DD fallback (backend unavailability).
+    DegradedAllDd,
+}
+
+impl std::fmt::Display for Provenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Provenance::CacheHit => write!(f, "cache-hit"),
+            Provenance::FreshSearch => write!(f, "fresh-search"),
+            Provenance::DegradedAllDd => write!(f, "degraded-all-dd"),
+        }
+    }
+}
+
+/// Per-request wall-clock accounting (microseconds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Timing {
+    /// Time spent queued before a worker picked the request up.
+    pub queued_us: u64,
+    /// Time the worker spent serving it.
+    pub service_us: u64,
+}
+
+impl Timing {
+    /// Queue + service time.
+    pub fn total_us(&self) -> u64 {
+        self.queued_us + self.service_us
+    }
+}
+
+/// A mask recommendation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Recommendation {
+    /// The cache key the request resolved to.
+    pub key: MaskKey,
+    /// The recommended mask.
+    pub mask: DdMask,
+    /// Decoy fidelity the mask scored when it was searched.
+    pub decoy_fidelity: f64,
+    /// Decoy executions the (original) search attempted.
+    pub decoy_runs: usize,
+    /// How this response was produced.
+    pub provenance: Provenance,
+    /// Whether the underlying search had degraded neighborhoods (carried
+    /// by cache hits too, unlike [`Provenance::DegradedAllDd`] which
+    /// marks the searching request itself).
+    pub degraded: bool,
+    /// Request timing.
+    pub timing: Timing,
+}
+
+/// A completed execution.
+#[derive(Debug, Clone)]
+pub struct Execution {
+    /// Target device.
+    pub device: DeviceId,
+    /// Calibration epoch the program ran under.
+    pub epoch: u64,
+    /// Policy that was applied.
+    pub policy: Policy,
+    /// Mask the policy settled on.
+    pub mask: DdMask,
+    /// Program fidelity against the ideal output.
+    pub fidelity: f64,
+    /// DD pulses inserted into the final program.
+    pub pulse_count: usize,
+    /// Mask provenance when the policy consulted the cache (ADAPT only).
+    pub provenance: Option<Provenance>,
+    /// Request timing.
+    pub timing: Timing,
+}
+
+/// A service response.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// Answer to [`Request::RecommendMask`].
+    Mask(Recommendation),
+    /// Answer to [`Request::Execute`].
+    Execution(Execution),
+}
+
+impl Response {
+    /// Request timing, whichever variant.
+    pub fn timing(&self) -> Timing {
+        match self {
+            Response::Mask(r) => r.timing,
+            Response::Execution(e) => e.timing,
+        }
+    }
+}
+
+/// Typed service failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// Admission control: the queue is full. Back off for about
+    /// `retry_after_ms` and resubmit.
+    Rejected {
+        /// Queue depth observed at rejection.
+        queue_depth: usize,
+        /// Suggested client backoff before resubmitting.
+        retry_after_ms: u64,
+    },
+    /// The requested device is not in this service's registry.
+    DeviceNotServed(DeviceId),
+    /// The search or execution failed (typed, including
+    /// [`adapt::SearchError::TooLarge`] for oversized sweeps).
+    Failed(AdaptError),
+    /// The service is shutting down and accepts no new work.
+    ShuttingDown,
+    /// The worker serving this request panicked; the pool survived and
+    /// the panic was counted.
+    Internal {
+        /// Best-effort panic payload.
+        reason: String,
+    },
+    /// The response channel was dropped without an answer (should not
+    /// happen while the service is running).
+    Lost,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Rejected {
+                queue_depth,
+                retry_after_ms,
+            } => write!(
+                f,
+                "rejected: queue full at depth {queue_depth}, retry after ~{retry_after_ms} ms"
+            ),
+            ServiceError::DeviceNotServed(id) => write!(f, "device {id} is not served"),
+            ServiceError::Failed(e) => write!(f, "request failed: {e}"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Internal { reason } => write!(f, "internal worker failure: {reason}"),
+            ServiceError::Lost => write!(f, "response channel lost"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<AdaptError> for ServiceError {
+    fn from(e: AdaptError) -> Self {
+        ServiceError::Failed(e)
+    }
+}
+
+/// Service-wide counters (all monotonic since start).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    /// Requests accepted into the queue.
+    pub accepted: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Requests completed (ok or typed error).
+    pub completed: u64,
+    /// Requests answered with a typed error.
+    pub failed: u64,
+    /// Fresh searches executed (cache misses that ran to completion).
+    pub searches: u64,
+    /// Worker panics caught (pool kept serving).
+    pub worker_panics: u64,
+    /// Deepest queue observed at submission.
+    pub peak_queue_depth: usize,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    searches: AtomicU64,
+    worker_panics: AtomicU64,
+    peak_queue_depth: AtomicUsize,
+    /// Total service time of completed requests, for the backpressure
+    /// retry-after estimate.
+    service_us_total: AtomicU64,
+}
+
+struct Job {
+    request: Request,
+    reply: Sender<Result<Response, ServiceError>>,
+    enqueued: Instant,
+}
+
+#[derive(Default)]
+struct Queue {
+    jobs: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+/// Everything the worker threads share.
+struct Shared {
+    config: ServiceConfig,
+    registry: DeviceRegistry,
+    cache: Arc<MaskCache>,
+    queue: Queue,
+    counters: Counters,
+    shutdown: AtomicBool,
+}
+
+/// In-flight response handle returned by [`MaskService::submit`].
+#[derive(Debug)]
+pub struct Pending {
+    rx: Receiver<Result<Response, ServiceError>>,
+}
+
+impl Pending {
+    /// Blocks until the worker answers.
+    pub fn wait(self) -> Result<Response, ServiceError> {
+        self.rx.recv().unwrap_or(Err(ServiceError::Lost))
+    }
+}
+
+/// The long-running mask-recommendation service (see crate docs).
+pub struct MaskService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MaskService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MaskService")
+            .field("workers", &self.workers.len())
+            .field("devices", &self.shared.registry.devices())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MaskService {
+    /// Builds the registry and starts the worker pool.
+    pub fn start(config: ServiceConfig) -> Self {
+        let registry = DeviceRegistry::new(&config.devices, config.seed);
+        let cache = Arc::new(MaskCache::new(config.cache_capacity));
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            registry,
+            cache,
+            queue: Queue::default(),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+        let workers = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("adapt-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        MaskService { shared, workers }
+    }
+
+    /// Submits a request, subject to admission control.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Rejected`] when the queue is at capacity (the
+    /// request was *not* enqueued — back off and resubmit), and
+    /// [`ServiceError::ShuttingDown`] after [`Self::shutdown`] began.
+    pub fn submit(&self, request: Request) -> Result<Pending, ServiceError> {
+        let shared = &self.shared;
+        let (tx, rx) = channel();
+        {
+            let mut jobs = lock(&shared.queue.jobs);
+            // Checked under the queue lock: shutdown drains the queue
+            // while holding it, so a submit can never slip a job in
+            // after the drain.
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return Err(ServiceError::ShuttingDown);
+            }
+            let depth = jobs.len();
+            if depth >= shared.config.queue_capacity {
+                shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::Rejected {
+                    queue_depth: depth,
+                    retry_after_ms: self.retry_after_ms(depth),
+                });
+            }
+            jobs.push_back(Job {
+                request,
+                reply: tx,
+                enqueued: Instant::now(),
+            });
+            shared
+                .counters
+                .peak_queue_depth
+                .fetch_max(depth + 1, Ordering::Relaxed);
+        }
+        shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        shared.queue.available.notify_one();
+        Ok(Pending { rx })
+    }
+
+    /// Submits and waits (convenience for sequential clients).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::submit`] and [`Pending::wait`].
+    pub fn call(&self, request: Request) -> Result<Response, ServiceError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Drifts `device` to its next calibration epoch and invalidates all
+    /// cached masks of older epochs. Returns the new epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::DeviceNotServed`] for unregistered devices.
+    pub fn advance_epoch(&self, device: DeviceId) -> Result<u64, ServiceError> {
+        let epoch = self
+            .shared
+            .registry
+            .advance_epoch(device)
+            .ok_or(ServiceError::DeviceNotServed(device))?;
+        self.shared.cache.invalidate_before(device, epoch);
+        Ok(epoch)
+    }
+
+    /// Current calibration epoch of `device`.
+    pub fn epoch(&self, device: DeviceId) -> Option<u64> {
+        self.shared.registry.epoch(device)
+    }
+
+    /// Service-wide counters.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.shared.counters;
+        ServiceStats {
+            accepted: c.accepted.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            searches: c.searches.load(Ordering::Relaxed),
+            worker_panics: c.worker_panics.load(Ordering::Relaxed),
+            peak_queue_depth: c.peak_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Mask-cache counters.
+    pub fn cache_stats(&self) -> MaskCacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Stops accepting work, drains the queue with
+    /// [`ServiceError::ShuttingDown`] replies, and joins the workers.
+    /// Returns the final counters.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.shutdown_inner();
+        self.stats()
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Answer queued-but-unserved requests so no client blocks forever.
+        {
+            let mut jobs = lock(&self.shared.queue.jobs);
+            for job in jobs.drain(..) {
+                let _ = job.reply.send(Err(ServiceError::ShuttingDown));
+            }
+        }
+        self.shared.queue.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// Depth-proportional backoff hint: the observed mean service time
+    /// tells a rejected client roughly when a queue slot frees up.
+    fn retry_after_ms(&self, depth: usize) -> u64 {
+        let c = &self.shared.counters;
+        let completed = c.completed.load(Ordering::Relaxed);
+        let mean_us = c
+            .service_us_total
+            .load(Ordering::Relaxed)
+            .checked_div(completed)
+            .unwrap_or(50_000); // no data yet: assume 50 ms per request
+        let workers = self.shared.config.workers.max(1) as u64;
+        ((depth as u64 * mean_us) / workers / 1000).max(1)
+    }
+}
+
+impl Drop for MaskService {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut jobs = lock(&shared.queue.jobs);
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                jobs = shared
+                    .queue
+                    .available
+                    .wait(jobs)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        };
+        let queued_us = job.enqueued.elapsed().as_micros() as u64;
+        let served = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            handle_request(shared, job.request, queued_us)
+        }));
+        let service_us = served.elapsed().as_micros() as u64;
+        let c = &shared.counters;
+        c.completed.fetch_add(1, Ordering::Relaxed);
+        c.service_us_total.fetch_add(service_us, Ordering::Relaxed);
+        let reply = match outcome {
+            Ok(result) => {
+                if result.is_err() {
+                    c.failed.fetch_add(1, Ordering::Relaxed);
+                }
+                result
+            }
+            Err(payload) => {
+                c.worker_panics.fetch_add(1, Ordering::Relaxed);
+                c.failed.fetch_add(1, Ordering::Relaxed);
+                let reason = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "panic with non-string payload".to_string());
+                Err(ServiceError::Internal { reason })
+            }
+        };
+        // A client that dropped its Pending just doesn't read the answer.
+        let _ = job.reply.send(reply);
+    }
+}
+
+fn handle_request(
+    shared: &Arc<Shared>,
+    request: Request,
+    queued_us: u64,
+) -> Result<Response, ServiceError> {
+    match request {
+        Request::RecommendMask {
+            circuit,
+            device,
+            protocol,
+            budget,
+        } => {
+            let served = Instant::now();
+            let (rec, _) = recommend(shared, &circuit, device, protocol, budget)?;
+            let timing = Timing {
+                queued_us,
+                service_us: served.elapsed().as_micros() as u64,
+            };
+            Ok(Response::Mask(Recommendation { timing, ..rec }))
+        }
+        Request::Execute {
+            circuit,
+            device,
+            policy,
+        } => {
+            let served = Instant::now();
+            let exec = execute(shared, &circuit, device, policy)?;
+            let timing = Timing {
+                queued_us,
+                service_us: served.elapsed().as_micros() as u64,
+            };
+            Ok(Response::Execution(Execution { timing, ..exec }))
+        }
+    }
+}
+
+/// Builds the deterministic per-request backend stack for `key` (see the
+/// module-level determinism contract).
+fn backend_for(shared: &Shared, machine: Machine, fingerprint: u64) -> Adapt {
+    let seed = shared.config.seed ^ fingerprint.rotate_left(17);
+    let faulty = FaultyBackend::new(machine, shared.config.fault_profile, seed);
+    let resilient = ResilientExecutor::with_policy(Arc::new(faulty), shared.config.retry);
+    Adapt::with_backend(Arc::new(resilient))
+}
+
+fn adapt_config(
+    shared: &Shared,
+    protocol: DdProtocol,
+    budget: SearchBudget,
+    fingerprint: u64,
+) -> AdaptConfig {
+    let exec = ExecutionConfig {
+        shots: budget.shots,
+        trajectories: budget.trajectories,
+        // Workers provide the parallelism; single-threaded trajectories
+        // keep each request cheap and trivially deterministic.
+        threads: 1,
+        seed: shared.config.seed ^ fingerprint,
+    };
+    AdaptConfig {
+        dd: DdConfig::for_protocol(protocol),
+        decoy_kind: shared.config.decoy,
+        neighborhood: budget.neighborhood.max(1),
+        search_exec: exec,
+        final_exec: exec,
+        ..AdaptConfig::default()
+    }
+}
+
+/// Resolves a recommendation through the cache (single-flight on miss).
+/// Returns the recommendation (timing zeroed — the caller stamps it) and
+/// the epoch machine, so `execute` can reuse both.
+fn recommend(
+    shared: &Arc<Shared>,
+    circuit: &qcirc::Circuit,
+    device: DeviceId,
+    protocol: DdProtocol,
+    budget: SearchBudget,
+) -> Result<(Recommendation, Machine), ServiceError> {
+    let (epoch, machine) = shared
+        .registry
+        .snapshot(device)
+        .ok_or(ServiceError::DeviceNotServed(device))?;
+    let compiled = transpile(circuit, machine.device(), &TranspileOptions::default());
+    let key = MaskKey {
+        device,
+        epoch,
+        circuit_hash: machine::structural_hash(&compiled.timed),
+        protocol,
+        decoy: shared.config.decoy,
+    };
+    let (cached, provenance) = match MaskCache::lookup(&shared.cache, key) {
+        Lookup::Hit(cached) => (cached, Provenance::CacheHit),
+        Lookup::Miss(ticket) => {
+            // This request owns the search. Any failure drops the ticket,
+            // releasing the key to coalesced waiters.
+            let adapt = backend_for(shared, machine.clone(), key.fingerprint());
+            let cfg = adapt_config(shared, protocol, budget, key.fingerprint());
+            let decoy = make_decoy(&compiled.timed, cfg.decoy_kind)
+                .map_err(|e| ServiceError::Failed(e.into()))?;
+            let result =
+                adapt.choose_mask_with_decoy(&compiled, &decoy, circuit.num_qubits(), &cfg)?;
+            shared.counters.searches.fetch_add(1, Ordering::Relaxed);
+            let decoy_fidelity = result
+                .evaluations
+                .iter()
+                .filter(|s| s.mask == result.best)
+                .map(|s| s.fidelity)
+                .next_back()
+                .unwrap_or(0.0);
+            let cached = CachedMask {
+                mask: result.best,
+                decoy_fidelity,
+                decoy_runs: result.decoy_runs(),
+                degraded: result.is_degraded(),
+            };
+            ticket.complete(cached);
+            let provenance = if cached.degraded {
+                Provenance::DegradedAllDd
+            } else {
+                Provenance::FreshSearch
+            };
+            (cached, provenance)
+        }
+    };
+    Ok((
+        Recommendation {
+            key,
+            mask: cached.mask,
+            decoy_fidelity: cached.decoy_fidelity,
+            decoy_runs: cached.decoy_runs,
+            provenance,
+            degraded: cached.degraded,
+            timing: Timing::default(),
+        },
+        machine,
+    ))
+}
+
+fn execute(
+    shared: &Arc<Shared>,
+    circuit: &qcirc::Circuit,
+    device: DeviceId,
+    policy: Policy,
+) -> Result<Execution, ServiceError> {
+    let n = circuit.num_qubits();
+    let budget = shared.config.default_budget;
+    let protocol = DdProtocol::default();
+    // ADAPT goes through the cache; the fixed policies skip straight to
+    // the final run. Runtime-Best delegates to the framework sweep (its
+    // oversized-program rejection surfaces as a typed error here).
+    let (mask, provenance, epoch, machine) = match policy {
+        Policy::Adapt => {
+            let (rec, machine) = recommend(shared, circuit, device, protocol, budget)?;
+            (rec.mask, Some(rec.provenance), rec.key.epoch, machine)
+        }
+        Policy::NoDd | Policy::AllDd => {
+            let (epoch, machine) = shared
+                .registry
+                .snapshot(device)
+                .ok_or(ServiceError::DeviceNotServed(device))?;
+            let mask = if policy == Policy::NoDd {
+                DdMask::none(n)
+            } else {
+                DdMask::all(n)
+            };
+            (mask, None, epoch, machine)
+        }
+        Policy::RuntimeBest => {
+            let (epoch, machine) = shared
+                .registry
+                .snapshot(device)
+                .ok_or(ServiceError::DeviceNotServed(device))?;
+            let fingerprint = 0x5EED_0DD5u64 ^ (epoch << 32);
+            let adapt = backend_for(shared, machine, fingerprint);
+            let cfg = adapt_config(shared, protocol, budget, fingerprint);
+            let run = adapt.run_policy(circuit, policy, &cfg)?;
+            return Ok(Execution {
+                device,
+                epoch,
+                policy,
+                mask: run.mask,
+                fidelity: run.fidelity,
+                pulse_count: run.pulse_count,
+                provenance: None,
+                timing: Timing::default(),
+            });
+        }
+    };
+    // The final run is seeded from the same key material as the search,
+    // so executions are deterministic per (device, epoch, circuit) too.
+    let compiled = transpile(circuit, machine.device(), &TranspileOptions::default());
+    let key = MaskKey {
+        device,
+        epoch,
+        circuit_hash: machine::structural_hash(&compiled.timed),
+        protocol,
+        decoy: shared.config.decoy,
+    };
+    let adapt = backend_for(shared, machine, key.fingerprint() ^ 0xEC5E_C0DE);
+    let cfg = adapt_config(shared, protocol, budget, key.fingerprint());
+    let ideal = adapt.ideal_output(circuit)?;
+    let (_counts, fidelity, pulse_count) = adapt.run_with_mask(&compiled, &ideal, mask, &cfg)?;
+    Ok(Execution {
+        device,
+        epoch,
+        policy,
+        mask,
+        fidelity,
+        pulse_count,
+        provenance,
+        timing: Timing::default(),
+    })
+}

@@ -1,0 +1,98 @@
+//! The mask-recommendation service end to end: two devices
+//! (Guadalupe-16 and Toronto-27), a small program mix, and the cache
+//! provenance of every response.
+//!
+//! The first request for each `(device, circuit)` pays a fresh localized
+//! search; repeats are cache hits with identical masks. A calibration
+//! drift tick on Guadalupe then invalidates its epoch-0 masks, so the
+//! same program searches again at epoch 1 — often settling on a
+//! different mask, because the drifted calibration moved the idle-error
+//! hotspots.
+//!
+//! ```sh
+//! cargo run --release --example mask_service
+//! ```
+
+use adapt_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let service = MaskService::start(ServiceConfig {
+        devices: vec![DeviceId::Guadalupe, DeviceId::Toronto],
+        workers: 4,
+        seed: 2021,
+        // A realistic serving floor: transient faults with retry.
+        fault_profile: FaultProfile::flaky(),
+        ..ServiceConfig::default()
+    });
+    println!("serving guadalupe + toronto with 4 workers (flaky faults)\n");
+
+    let programs = [
+        ("QFT-5", benchmarks::qft_bench(5, 11)),
+        ("QFT-6A", benchmarks::qft_bench(6, 5)),
+        ("BV-7", benchmarks::bernstein_vazirani(7, 0b101101)),
+    ];
+    let budget = SearchBudget {
+        shots: 256,
+        trajectories: 8,
+        neighborhood: 4,
+    };
+
+    let show = |label: &str, name: &str, circuit: &Circuit, device: DeviceId| {
+        let response = service.call(Request::RecommendMask {
+            circuit: circuit.clone(),
+            device,
+            protocol: DdProtocol::Xy4,
+            budget,
+        });
+        match response {
+            Ok(Response::Mask(rec)) => println!(
+                "{label:10} {name:8} on {:10} epoch {}  mask {}  decoy fid {:.3}  [{}] {:.1} ms",
+                device.name(),
+                rec.key.epoch,
+                rec.mask,
+                rec.decoy_fidelity,
+                rec.provenance,
+                rec.timing.total_us() as f64 / 1000.0,
+            ),
+            Ok(Response::Execution(_)) => unreachable!("recommendations return masks"),
+            Err(e) => println!("{label:10} {name:8} on {:10} failed: {e}", device.name()),
+        }
+    };
+
+    // First pass: every key is a fresh search.
+    for (name, circuit) in &programs {
+        show("search", name, circuit, DeviceId::Guadalupe);
+    }
+    show("search", programs[0].0, &programs[0].1, DeviceId::Toronto);
+
+    // Second pass: everything is served from cache, bit-identically.
+    println!();
+    for (name, circuit) in &programs {
+        show("repeat", name, circuit, DeviceId::Guadalupe);
+    }
+    show("repeat", programs[0].0, &programs[0].1, DeviceId::Toronto);
+
+    // Calibration drift: Guadalupe's epoch-0 masks are now stale.
+    let epoch = service.advance_epoch(DeviceId::Guadalupe)?;
+    println!("\ndrift tick: guadalupe recalibrated to epoch {epoch}\n");
+    for (name, circuit) in &programs {
+        show("re-search", name, circuit, DeviceId::Guadalupe);
+    }
+    // Toronto did not drift — still a cache hit.
+    show("repeat", programs[0].0, &programs[0].1, DeviceId::Toronto);
+
+    let cache = service.cache_stats();
+    let stats = service.shutdown();
+    println!(
+        "\n{} requests, {} searches, cache {} hits / {} misses ({:.0}% hit rate), \
+         {} invalidated by drift, {} worker panics",
+        stats.completed,
+        stats.searches,
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0,
+        cache.invalidated,
+        stats.worker_panics,
+    );
+    Ok(())
+}

@@ -11,6 +11,8 @@
 //! - [`machine`]: noisy Monte-Carlo trajectory executor;
 //! - [`adapt`]: the paper's contribution — GST, DD protocols, decoy
 //!   circuits, localized search, policies;
+//! - [`adapt_service`]: the serving layer — device registry with
+//!   calibration epochs, epoch-keyed mask cache, bounded worker pool;
 //! - [`benchmarks`]: BV/QFT/QAOA/Adder/QPE generators and probes.
 //!
 //! # Quick start
@@ -32,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub use adapt;
+pub use adapt_service;
 pub use benchmarks;
 pub use device;
 pub use machine;
@@ -44,6 +47,10 @@ pub use transpiler;
 pub mod prelude {
     pub use adapt::{
         Adapt, AdaptConfig, DdConfig, DdMask, DdProtocol, DecoyKind, Policy, PolicyRun,
+    };
+    pub use adapt_service::{
+        DeviceId, MaskService, Provenance, Request, Response, SearchBudget, ServiceConfig,
+        ServiceError,
     };
     pub use benchmarks::{self, BenchmarkSpec};
     pub use device::{Device, SeedSpawner, Topology};
