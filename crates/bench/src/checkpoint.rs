@@ -131,7 +131,7 @@ impl Checkpoint {
     ) -> io::Result<Self> {
         fs::create_dir_all(out_dir)?;
         let (rows, ignored) = if resume {
-            let (rows, ignored) = load_completed(out_dir, stem, seed, config);
+            let (rows, ignored) = load_completed(out_dir, stem, header.len(), seed, config);
             if let Some(skip) = &ignored {
                 println!("  checkpoint {stem}: {skip}");
             }
@@ -248,6 +248,7 @@ impl Checkpoint {
 fn load_completed(
     out_dir: &Path,
     stem: &str,
+    header_len: usize,
     seed: u64,
     config: u64,
 ) -> (Vec<(String, Vec<String>)>, Option<ResumeSkip>) {
@@ -290,11 +291,28 @@ fn load_completed(
     // Data rows follow the header; the i-th row belongs to the i-th
     // `done=` key. A row without a matching key (killed mid-write) is
     // dropped and recomputed.
-    let rows: Vec<Vec<String>> = partial
+    let mut rows: Vec<Vec<String>> = partial
         .lines()
         .skip(1)
         .map(|l| l.split(',').map(|c| c.to_string()).collect())
         .collect();
+    // A crash can truncate the file mid-row even after the row's
+    // `done=` entry hit the manifest (the bytes, not the write order,
+    // are what the disk kept). Such a row has fewer cells than the
+    // header; resuming it would hand consumers a short row they index
+    // out of bounds. Drop it — and anything after it — loudly and let
+    // those datapoints recompute.
+    if let Some(bad) = rows.iter().position(|r| r.len() != header_len) {
+        println!(
+            "  checkpoint {stem}: dropping {} malformed trailing row(s) \
+             (row {} has {} of {} cells, truncated write?); recomputing them",
+            rows.len() - bad,
+            bad + 1,
+            rows[bad].len(),
+            header_len
+        );
+        rows.truncate(bad);
+    }
     (done.into_iter().zip(rows).collect(), None)
 }
 
@@ -417,6 +435,38 @@ mod tests {
         let ck = Checkpoint::open(&dir, "exp", HDR, 7, 1, true).unwrap();
         assert_eq!(ck.resumed_rows(), 1);
         assert!(!ck.is_done("QFT-6A"));
+    }
+
+    #[test]
+    fn byte_truncated_trailing_row_is_dropped_and_recomputed() {
+        let dir = tmp("truncated");
+        const WIDE: &[&str] = &["bench", "policy", "fidelity"];
+        let mut ck = Checkpoint::open(&dir, "exp", WIDE, 7, 1, false).unwrap();
+        ck.record("BV-7", vec!["BV-7".into(), "adapt".into(), "0.9".into()])
+            .unwrap();
+        ck.record(
+            "QFT-6A",
+            vec!["QFT-6A".into(), "adapt".into(), "0.8".into()],
+        )
+        .unwrap();
+        drop(ck);
+        // Chop bytes off the end of the partial CSV so the trailing row
+        // loses a whole column, even though its done= entry survived —
+        // what a crash that lost the last page leaves behind.
+        let path = Checkpoint::partial_path(&dir, "exp");
+        let content = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &content[..content.len() - 10]).unwrap();
+
+        // Before the cell-count validation this resume handed back a
+        // 2-cell row for QFT-6A, and any consumer indexing past it
+        // aborted the whole resumed run.
+        let ck = Checkpoint::open(&dir, "exp", WIDE, 7, 1, true).unwrap();
+        assert_eq!(ck.resumed_rows(), 1);
+        assert!(ck.is_done("BV-7"));
+        assert!(!ck.is_done("QFT-6A"), "truncated row must be recomputed");
+        for (_, cells) in ck.rows() {
+            assert_eq!(cells.len(), WIDE.len(), "resumed rows are whole");
+        }
     }
 
     #[test]

@@ -14,7 +14,14 @@
 //! the originals whether they were served from cache or fresh search
 //! (the service's determinism contract). The binary fails loudly when
 //! any worker panicked, the cache hit rate lands at or below 50%, or a
-//! replayed key diverges. Metrics land in `results/BENCH_service.json`.
+//! replayed key diverges. Metrics land in `results/BENCH_service.json`,
+//! and the process-wide observability registry (service, mask-cache,
+//! plan-cache, search and resilient-executor metrics in one document) is
+//! rendered to `results/BENCH_service_metrics.prom` / `.json`.
+//!
+//! The main service publishes into [`adapt_obs::global()`]; the
+//! bit-identity replay service keeps the default private registry so its
+//! traffic does not pollute the exported counters.
 
 use crate::runner::ExperimentCfg;
 use adapt::DdProtocol;
@@ -75,7 +82,16 @@ pub fn run(cfg: &ExperimentCfg) {
     let total_requests: usize = if cfg.quick { 72 } else { 200 };
     let burst = 8;
     let benches = benchmarks::suite::table1_suite();
-    let svc = MaskService::start(service_config(cfg, budget));
+    // The main service exports into the process-wide registry, alongside
+    // the machine/search metrics its backends record there.
+    let svc = MaskService::start(ServiceConfig {
+        registry: adapt_obs::global(),
+        ..service_config(cfg, budget)
+    });
+    // Client-observed end-to-end latency, mirrored into the registry so
+    // the JSON percentiles below and the exposition describe the same
+    // samples.
+    let client_hist = adapt_obs::global().histogram("adapt_loadgen_client_request_us");
 
     // Skewed device popularity: one hot device dominates, so the cache
     // concentrates where the traffic is.
@@ -146,6 +162,7 @@ pub fn run(cfg: &ExperimentCfg) {
             match p.wait() {
                 Ok(resp) => {
                     latencies_us.push(resp.timing().total_us());
+                    client_hist.record(resp.timing().total_us());
                     match resp {
                         Response::Mask(rec) => {
                             audit(
@@ -171,13 +188,10 @@ pub fn run(cfg: &ExperimentCfg) {
     let cache = svc.cache_stats();
     let served = latencies_us.len();
     latencies_us.sort_unstable();
-    let pct = |q: f64| -> f64 {
-        if latencies_us.is_empty() {
-            return 0.0;
-        }
-        let idx = ((latencies_us.len() - 1) as f64 * q).round() as usize;
-        latencies_us[idx] as f64 / 1000.0
-    };
+    // Nearest-rank percentiles. The old `((len-1)*q).round()` indexing
+    // was off by one sample: at n=2 it reported the maximum as the
+    // median, and at n=100 it read p50 from the 51st sample.
+    let pct = |q: f64| -> f64 { adapt_obs::percentile(&latencies_us, q) / 1000.0 };
     let throughput = served as f64 / elapsed.max(1e-9);
     println!(
         "  {served} served / {rejected} rejected / {failed} failed in {elapsed:.1} s \
@@ -239,6 +253,65 @@ pub fn run(cfg: &ExperimentCfg) {
     let path = out_dir.join("BENCH_service.json");
     std::fs::write(&path, json).expect("write BENCH_service.json");
     println!("  wrote {}", path.display());
+
+    render_registry(&out_dir, &latencies_us, &client_hist);
+}
+
+/// Renders the process-wide registry — service, mask-cache, plan-cache,
+/// search and resilient-executor metrics in one document — and
+/// sanity-checks the exposition before writing it next to the benchmark
+/// JSON.
+///
+/// # Panics
+///
+/// Panics when the exposition does not parse, a core counter that the
+/// run must have driven is zero, or the registry histogram disagrees
+/// with the exact sample percentiles (the bucket upper bound may
+/// over-estimate but never under-report).
+fn render_registry(
+    out_dir: &std::path::Path,
+    latencies_us: &[u64],
+    client_hist: &adapt_obs::Histogram,
+) {
+    let registry = adapt_obs::global();
+    let prom = registry.render_prometheus();
+    let samples = adapt_obs::parse_prometheus(&prom).expect("exposition must parse");
+    let get = |name: &str| adapt_obs::sample_value(&samples, name).unwrap_or(0.0);
+    for name in [
+        "adapt_service_requests_total",
+        "adapt_service_searches_total",
+        "adapt_service_cache_lookups_total",
+        "adapt_search_searches_total",
+        "adapt_search_decoy_runs_scored_total",
+        "adapt_machine_executions_total",
+        "adapt_machine_plan_cache_misses_total",
+        "adapt_machine_retry_requests_total",
+    ] {
+        assert!(
+            get(name) > 0.0,
+            "the loadgen run must have driven {name}, exposition:\n{prom}"
+        );
+    }
+    for q in [0.50, 0.99] {
+        let exact = adapt_obs::percentile(latencies_us, q);
+        let bucket = client_hist.percentile_us(q);
+        assert!(
+            exact <= bucket,
+            "registry histogram p{} ({bucket} µs) under-reports the exact \
+             sample percentile ({exact} µs)",
+            q * 100.0
+        );
+    }
+    let prom_path = out_dir.join("BENCH_service_metrics.prom");
+    std::fs::write(&prom_path, &prom).expect("write metrics exposition");
+    let json_path = out_dir.join("BENCH_service_metrics.json");
+    std::fs::write(&json_path, registry.render_json()).expect("write metrics json");
+    println!(
+        "  wrote {} and {} ({} series)",
+        prom_path.display(),
+        json_path.display(),
+        samples.len()
+    );
 }
 
 /// Records one recommendation, asserting in-run consistency per key.

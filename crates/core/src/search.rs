@@ -38,6 +38,31 @@ use machine::{Backend, ExecError, ExecutionConfig, JobSpec};
 use std::sync::OnceLock;
 use transpiler::Layout;
 
+/// Pre-resolved handles into the global metrics registry
+/// (`adapt_search_<name>`). Observational only: the seeded search path
+/// never reads these back.
+struct SearchMetrics {
+    searches: adapt_obs::Counter,
+    decoy_runs_scored: adapt_obs::Counter,
+    decoy_runs_unavailable: adapt_obs::Counter,
+    degraded_groups: adapt_obs::Counter,
+    neighborhood_us: adapt_obs::Histogram,
+}
+
+fn search_metrics() -> &'static SearchMetrics {
+    static M: OnceLock<SearchMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = adapt_obs::global();
+        SearchMetrics {
+            searches: r.counter("adapt_search_searches_total"),
+            decoy_runs_scored: r.counter("adapt_search_decoy_runs_scored_total"),
+            decoy_runs_unavailable: r.counter("adapt_search_decoy_runs_unavailable_total"),
+            degraded_groups: r.counter("adapt_search_degraded_groups_total"),
+            neighborhood_us: r.histogram("adapt_search_neighborhood_us"),
+        }
+    })
+}
+
 /// One scored mask.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MaskScore {
@@ -334,17 +359,23 @@ pub fn exhaustive_search(ctx: &SearchContext<'_>) -> Result<SearchResult, Search
             limit: EXHAUSTIVE_MAX_QUBITS,
         });
     }
+    let mtr = search_metrics();
+    mtr.searches.inc();
     let mut evaluations = Vec::new();
     let mut unavailable_runs = 0;
     let mut last_unavailable = None;
     for chunk in DdMask::enumerate_all(n).chunks(EXHAUSTIVE_BATCH) {
         for outcome in ctx.score_batch(chunk) {
             match outcome {
-                Ok(score) => evaluations.push(score),
+                Ok(score) => {
+                    mtr.decoy_runs_scored.inc();
+                    evaluations.push(score);
+                }
                 // A mask whose runs outlasted the retry budget drops out
                 // of the sweep; the remaining candidates still compete.
                 Err(e) if is_availability(&e) => {
                     unavailable_runs += 1;
+                    mtr.decoy_runs_unavailable.inc();
                     last_unavailable = Some(e);
                 }
                 Err(e) => return Err(e.into()),
@@ -415,6 +446,8 @@ pub fn localized_search(
     top2_merge: bool,
 ) -> Result<SearchResult, ExecError> {
     assert!(neighborhood > 0 && neighborhood <= 16, "neighborhood size");
+    let mtr = search_metrics();
+    mtr.searches.inc();
     let n = ctx.num_program_qubits;
     let mut committed = DdMask::none(n);
     let mut evaluations = Vec::new();
@@ -422,6 +455,7 @@ pub fn localized_search(
     let mut unavailable_runs = 0;
 
     for group in qubit_order.chunks(neighborhood) {
+        let _neighborhood_span = mtr.neighborhood_us.time();
         // All 2^|group| settings of this neighborhood's bits, with
         // already-committed bits fixed and future bits at 0, scored as
         // one batch.
@@ -439,11 +473,13 @@ pub fn localized_search(
         for outcome in ctx.score_batch(&masks) {
             match outcome {
                 Ok(score) => {
+                    mtr.decoy_runs_scored.inc();
                     local.push(score);
                     evaluations.push(score);
                 }
                 Err(e) if is_availability(&e) => {
                     unavailable_runs += 1;
+                    mtr.decoy_runs_unavailable.inc();
                     if group_outage.is_none() {
                         group_outage = Some(e.to_string());
                     }
@@ -453,6 +489,7 @@ pub fn localized_search(
         }
         if let Some(reason) = group_outage {
             // Degrade this neighborhood: all-DD fallback.
+            mtr.degraded_groups.inc();
             for &q in group {
                 committed = committed.with(q as usize, true);
             }

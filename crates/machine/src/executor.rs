@@ -85,6 +85,19 @@ impl ExecError {
             ExecError::JobFailed { .. } | ExecError::Timeout { .. }
         )
     }
+
+    /// Stable snake_case tag per variant, used as the metric suffix for
+    /// per-kind error accounting.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ExecError::TooManyActiveQubits { .. } => "too_many_active_qubits",
+            ExecError::Sim(_) => "sim",
+            ExecError::Schedule(_) => "schedule",
+            ExecError::JobFailed { .. } => "job_failed",
+            ExecError::Timeout { .. } => "timeout",
+            ExecError::RetriesExhausted { .. } => "retries_exhausted",
+        }
+    }
 }
 
 impl std::fmt::Display for ExecError {
@@ -305,6 +318,9 @@ impl Machine {
         timed: &TimedCircuit,
         config: &ExecutionConfig,
     ) -> Result<Counts, ExecError> {
+        let m = crate::metrics::metrics();
+        m.executions.inc();
+        let _span = m.execute_us.time();
         let compiled = self.plans.get_or_build(timed, &self.device)?;
         let trajectories = config.trajectories.max(1);
         let shots_per_traj = config.shots.div_ceil(trajectories as u64).max(1);
@@ -383,6 +399,10 @@ impl Machine {
         &self,
         jobs: &[JobSpec<'_>],
     ) -> Vec<Result<ShotBatch, ExecError>> {
+        let m = crate::metrics::metrics();
+        m.batches.inc();
+        m.batch_jobs.add(jobs.len() as u64);
+        m.batch_fanout.record(jobs.len() as u64);
         // Worker-count hint: the largest per-job request (0 = all cores),
         // never more workers than jobs.
         let avail = std::thread::available_parallelism()

@@ -32,6 +32,7 @@
 pub mod backend;
 pub mod executor;
 pub mod fault;
+mod metrics;
 pub mod noise;
 pub mod plan;
 pub mod resilient;

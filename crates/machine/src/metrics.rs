@@ -1,0 +1,74 @@
+//! Pre-resolved handles into the process-wide [`adapt_obs`] registry.
+//!
+//! Handles are resolved once (first use) so the executor's hot path
+//! pays only relaxed atomic adds. Names follow the workspace
+//! convention `adapt_machine_<name>`. Metrics are observational only:
+//! nothing in the seeded execution path reads them back.
+
+use adapt_obs::{Counter, Histogram};
+use std::sync::OnceLock;
+
+/// Bucket bounds for batch fan-out (jobs per batch) — counts, not µs.
+const FANOUT_BUCKETS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128];
+
+pub(crate) struct Metrics {
+    /// Executions started (`Machine::execute_timed`).
+    pub executions: Counter,
+    /// Wall time per execution, µs.
+    pub execute_us: Histogram,
+    pub plan_hits: Counter,
+    pub plan_misses: Counter,
+    pub plan_evictions: Counter,
+    /// Batch submissions and total jobs fanned out.
+    pub batches: Counter,
+    pub batch_jobs: Counter,
+    /// Jobs per batch (distribution of fan-out width).
+    pub batch_fanout: Histogram,
+    /// Resilient-executor accounting.
+    pub retry_requests: Counter,
+    pub retry_attempts: Counter,
+    pub retry_job_failed: Counter,
+    pub retry_timeout: Counter,
+    pub retry_exhausted: Counter,
+    pub retry_backoff_us: Counter,
+    pub dropout_discards: Counter,
+    pub partial_batches: Counter,
+    pub stale_batches: Counter,
+}
+
+pub(crate) fn metrics() -> &'static Metrics {
+    static M: OnceLock<Metrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = adapt_obs::global();
+        Metrics {
+            executions: r.counter("adapt_machine_executions_total"),
+            execute_us: r.histogram("adapt_machine_execute_us"),
+            plan_hits: r.counter("adapt_machine_plan_cache_hits_total"),
+            plan_misses: r.counter("adapt_machine_plan_cache_misses_total"),
+            plan_evictions: r.counter("adapt_machine_plan_cache_evictions_total"),
+            batches: r.counter("adapt_machine_batches_total"),
+            batch_jobs: r.counter("adapt_machine_batch_jobs_total"),
+            batch_fanout: r.histogram_with_buckets("adapt_machine_batch_fanout", FANOUT_BUCKETS),
+            retry_requests: r.counter("adapt_machine_retry_requests_total"),
+            retry_attempts: r.counter("adapt_machine_retry_attempts_total"),
+            retry_job_failed: r.counter("adapt_machine_retry_errors_job_failed_total"),
+            retry_timeout: r.counter("adapt_machine_retry_errors_timeout_total"),
+            retry_exhausted: r.counter("adapt_machine_retry_exhausted_total"),
+            retry_backoff_us: r.counter("adapt_machine_retry_backoff_us_total"),
+            dropout_discards: r.counter("adapt_machine_dropout_discards_total"),
+            partial_batches: r.counter("adapt_machine_partial_batches_total"),
+            stale_batches: r.counter("adapt_machine_stale_batches_total"),
+        }
+    })
+}
+
+impl Metrics {
+    /// The per-kind retry counter for a transient error
+    /// (see `ExecError::kind`).
+    pub fn retry_error(&self, kind: &str) -> &Counter {
+        match kind {
+            "timeout" => &self.retry_timeout,
+            _ => &self.retry_job_failed,
+        }
+    }
+}

@@ -30,7 +30,7 @@ use crate::executor::ExecError;
 use device::Device;
 use qcirc::{Gate, OpKind};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use transpiler::TimedCircuit;
 
 /// Default number of plans a [`PlanCache`] retains.
@@ -300,23 +300,26 @@ impl PlanCache {
         timed: &TimedCircuit,
         device: &Device,
     ) -> Result<Arc<CompiledPlan>, ExecError> {
+        let m = crate::metrics::metrics();
         let key = structural_hash(timed);
         {
-            let mut inner = self.inner.lock().expect("plan cache lock");
+            let mut inner = self.lock();
             inner.tick += 1;
             let tick = inner.tick;
             if let Some((plan, stamp)) = inner.map.get_mut(&key) {
                 *stamp = tick;
                 let plan = Arc::clone(plan);
                 inner.hits += 1;
+                m.plan_hits.inc();
                 return Ok(plan);
             }
             inner.misses += 1;
+            m.plan_misses.inc();
         }
         // Compile outside the lock: concurrent batch workers missing on
         // different circuits must not serialize on each other's compiles.
         let plan = Arc::new(CompiledPlan::build(timed, device)?);
-        let mut inner = self.inner.lock().expect("plan cache lock");
+        let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
         if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
@@ -328,15 +331,23 @@ impl PlanCache {
             {
                 inner.map.remove(&lru);
                 inner.evictions += 1;
+                m.plan_evictions.inc();
             }
         }
         inner.map.insert(key, (Arc::clone(&plan), tick));
         Ok(plan)
     }
 
+    /// The cache map and counters are always internally consistent (no
+    /// invariants span a panic point), so recover from poisoning instead
+    /// of cascading a worker panic into every later execution.
+    fn lock(&self) -> MutexGuard<'_, CacheInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Current counters.
     pub fn stats(&self) -> PlanCacheStats {
-        let inner = self.inner.lock().expect("plan cache lock");
+        let inner = self.lock();
         PlanCacheStats {
             hits: inner.hits,
             misses: inner.misses,
@@ -348,7 +359,7 @@ impl PlanCache {
 
     /// Drops every cached plan and resets the counters.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("plan cache lock");
+        let mut inner = self.lock();
         inner.map.clear();
         inner.tick = 0;
         inner.hits = 0;

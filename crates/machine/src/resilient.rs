@@ -24,7 +24,7 @@ use device::{Device, SeedSpawner};
 use qcirc::Circuit;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use transpiler::TimedCircuit;
 
 /// Salt folded into the execution seed so backoff jitter draws never
@@ -199,14 +199,26 @@ impl ResilientExecutor {
         &self.policy
     }
 
+    /// Locks the stats counters, recovering from a poisoned mutex.
+    ///
+    /// Poisoning can happen for real: the service worker pool wraps
+    /// request handling in `catch_unwind`, so a panic raised while an
+    /// increment holds this lock (e.g. under `FaultyBackend`) used to
+    /// poison it and turn *every* later request into a panic cascade.
+    /// The stats are plain counters with no invariants spanning a panic
+    /// point, so the stored value is always valid — take it.
+    fn stats_lock(&self) -> MutexGuard<'_, FaultStats> {
+        self.stats.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Snapshot of the absorbed-fault counters.
     pub fn stats(&self) -> FaultStats {
-        *self.stats.lock().expect("stats lock")
+        *self.stats_lock()
     }
 
     /// Resets the counters (e.g. between experiment phases).
     pub fn reset_stats(&self) {
-        *self.stats.lock().expect("stats lock") = FaultStats::default();
+        *self.stats_lock() = FaultStats::default();
     }
 
     /// The retry loop shared by both execute paths. `dispatch` runs one
@@ -216,7 +228,9 @@ impl ResilientExecutor {
         config: &ExecutionConfig,
         dispatch: &dyn Fn(&ExecutionConfig) -> Result<ShotBatch, ExecError>,
     ) -> Result<ShotBatch, ExecError> {
-        self.stats.lock().expect("stats lock").requests += 1;
+        let mtr = crate::metrics::metrics();
+        self.stats_lock().requests += 1;
+        mtr.retry_requests.inc();
         let topup_seeds = SeedSpawner::new(config.seed ^ BACKOFF_SALT);
         let mut merged: Option<ShotBatch> = None;
         let mut last_err: Option<ExecError> = None;
@@ -241,14 +255,16 @@ impl ResilientExecutor {
                 ..*config
             };
             attempts += 1;
-            self.stats.lock().expect("stats lock").attempts += 1;
+            self.stats_lock().attempts += 1;
+            mtr.retry_attempts.inc();
 
             match dispatch(&attempt_cfg) {
                 Ok(batch) if batch.has_dropout() => {
                     // A zeroed register bit corrupts the distribution;
                     // discard the batch and treat the attempt as failed.
                     drop(batch);
-                    self.stats.lock().expect("stats lock").dropout_discards += 1;
+                    self.stats_lock().dropout_discards += 1;
+                    mtr.dropout_discards.inc();
                     last_err = Some(ExecError::JobFailed {
                         job: attempt as u64,
                         reason: "readout register dropout (batch discarded)".to_string(),
@@ -257,9 +273,10 @@ impl ResilientExecutor {
                 }
                 Ok(batch) => {
                     {
-                        let mut s = self.stats.lock().expect("stats lock");
+                        let mut s = self.stats_lock();
                         if !batch.is_complete() {
                             s.partial_batches += 1;
+                            mtr.partial_batches.inc();
                         }
                         if batch
                             .anomalies
@@ -267,6 +284,7 @@ impl ResilientExecutor {
                             .any(|a| matches!(a, crate::backend::Anomaly::StaleCalibration { .. }))
                         {
                             s.stale_batches += 1;
+                            mtr.stale_batches.inc();
                         }
                     }
                     match merged.as_mut() {
@@ -281,7 +299,8 @@ impl ResilientExecutor {
                     self.charge_backoff(config.seed, attempt);
                 }
                 Err(e) if e.is_transient() => {
-                    self.stats.lock().expect("stats lock").transient_errors += 1;
+                    self.stats_lock().transient_errors += 1;
+                    mtr.retry_error(e.kind()).inc();
                     last_err = Some(e);
                     self.charge_backoff(config.seed, attempt);
                 }
@@ -296,11 +315,12 @@ impl ResilientExecutor {
                 return Ok(m);
             }
             if m.delivered_fraction() >= self.policy.min_shot_fraction {
-                self.stats.lock().expect("stats lock").partial_accepted += 1;
+                self.stats_lock().partial_accepted += 1;
                 return Ok(m);
             }
         }
-        self.stats.lock().expect("stats lock").exhausted += 1;
+        self.stats_lock().exhausted += 1;
+        mtr.retry_exhausted.inc();
         Err(ExecError::RetriesExhausted {
             attempts,
             last: Box::new(last_err.unwrap_or(ExecError::JobFailed {
@@ -317,7 +337,10 @@ impl ResilientExecutor {
             return;
         }
         let delay = self.policy.delay_ms(seed, attempt);
-        self.stats.lock().expect("stats lock").total_backoff_ms += delay;
+        self.stats_lock().total_backoff_ms += delay;
+        crate::metrics::metrics()
+            .retry_backoff_us
+            .add((delay * 1000.0) as u64);
         if self.policy.sleep {
             std::thread::sleep(std::time::Duration::from_micros((delay * 1000.0) as u64));
         }
@@ -537,6 +560,35 @@ mod tests {
             assert!(*d >= nominal * 0.75 - 1e-9 && *d <= nominal * 1.25 + 1e-9);
         }
         assert!(a[5] > a[0], "later delays must be longer");
+    }
+
+    #[test]
+    fn poisoned_stats_lock_recovers_instead_of_cascading() {
+        // Regression: a panic while holding the stats mutex (a worker
+        // thread dying mid-increment under catch_unwind) poisoned the
+        // lock, and every later `stats()`/`execute()` call panicked on
+        // `.expect("stats lock")`. Counters have no cross-field
+        // invariants, so recovery must take the stored value.
+        let exec = Arc::new(ResilientExecutor::new(Arc::new(Machine::new(
+            Device::ibmq_rome(3),
+        ))));
+        exec.execute(&bell(), &cfg(5)).unwrap();
+
+        // Poison the mutex: panic while holding the guard.
+        let poisoner = Arc::clone(&exec);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _guard = poisoner.stats.lock().unwrap();
+            panic!("worker dies holding the stats lock");
+        }));
+        assert!(exec.stats.is_poisoned(), "the panic must have poisoned it");
+
+        // The executor keeps serving and keeps counting.
+        let before = exec.stats();
+        assert_eq!(before.requests, 1);
+        exec.execute(&bell(), &cfg(6)).unwrap();
+        assert_eq!(exec.stats().requests, 2);
+        exec.reset_stats();
+        assert_eq!(exec.stats(), FaultStats::default());
     }
 
     #[test]

@@ -102,8 +102,18 @@ pub struct CachedMask {
 }
 
 /// Effectiveness counters of a [`MaskCache`].
+///
+/// Accounting invariant: every [`MaskCache::lookup`] call resolves as
+/// exactly one hit or one miss (coalesced waiters eventually resolve
+/// too — as a hit when the searcher published, or as the promoted
+/// searcher's miss when it abandoned), so at quiescence
+/// `hits + misses == lookups`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MaskCacheStats {
+    /// Lookup calls received (counted at entry; a lookup currently
+    /// blocked behind an in-flight search is counted here but not yet
+    /// in `hits`/`misses`).
+    pub lookups: u64,
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that became a search (one per single-flight group).
@@ -147,6 +157,7 @@ struct Inner {
     map: HashMap<MaskKey, Entry>,
     inflight: HashSet<MaskKey>,
     tick: u64,
+    lookups: u64,
     hits: u64,
     misses: u64,
     coalesced: u64,
@@ -154,13 +165,48 @@ struct Inner {
     invalidated: u64,
 }
 
+/// Observability mirrors of the cache counters (noop unless the cache
+/// was built with [`MaskCache::with_registry`]).
+#[derive(Default)]
+struct CacheMetrics {
+    lookups: adapt_obs::Counter,
+    hits: adapt_obs::Counter,
+    misses: adapt_obs::Counter,
+    singleflight_waits: adapt_obs::Counter,
+    evictions: adapt_obs::Counter,
+    invalidated: adapt_obs::Counter,
+    len: adapt_obs::Gauge,
+}
+
+impl CacheMetrics {
+    fn for_registry(r: &adapt_obs::Registry) -> Self {
+        CacheMetrics {
+            lookups: r.counter("adapt_service_cache_lookups_total"),
+            hits: r.counter("adapt_service_cache_hits_total"),
+            misses: r.counter("adapt_service_cache_misses_total"),
+            singleflight_waits: r.counter("adapt_service_cache_singleflight_waits_total"),
+            evictions: r.counter("adapt_service_cache_evictions_total"),
+            invalidated: r.counter("adapt_service_cache_invalidated_total"),
+            len: r.gauge("adapt_service_cache_len"),
+        }
+    }
+}
+
 /// The shared mask cache (see module docs).
-#[derive(Debug)]
 pub struct MaskCache {
     inner: Mutex<Inner>,
     /// Signalled when an in-flight search completes or abandons.
     resolved: Condvar,
     capacity: usize,
+    metrics: CacheMetrics,
+}
+
+impl std::fmt::Debug for MaskCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MaskCache")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Outcome of [`MaskCache::lookup`].
@@ -223,6 +269,17 @@ impl MaskCache {
             inner: Mutex::new(Inner::default()),
             resolved: Condvar::new(),
             capacity: capacity.max(1),
+            metrics: CacheMetrics::default(),
+        }
+    }
+
+    /// Like [`Self::new`], but mirrors the counters into `registry` as
+    /// `adapt_service_cache_*` metrics. The [`MaskCacheStats`] struct
+    /// stays the source of truth; the registry is a read-only mirror.
+    pub fn with_registry(capacity: usize, registry: &adapt_obs::Registry) -> Self {
+        MaskCache {
+            metrics: CacheMetrics::for_registry(registry),
+            ..Self::new(capacity)
         }
     }
 
@@ -230,6 +287,8 @@ impl MaskCache {
     /// searcher, or a [`SearchTicket`] making the caller the searcher.
     pub fn lookup(cache: &Arc<MaskCache>, key: MaskKey) -> Lookup {
         let mut inner = cache.lock();
+        inner.lookups += 1;
+        cache.metrics.lookups.inc();
         let mut waited = false;
         loop {
             inner.tick += 1;
@@ -238,10 +297,12 @@ impl MaskCache {
                 entry.last_used = tick;
                 let value = entry.value;
                 inner.hits += 1;
+                cache.metrics.hits.inc();
                 return Lookup::Hit(value);
             }
             if inner.inflight.insert(key) {
                 inner.misses += 1;
+                cache.metrics.misses.inc();
                 return Lookup::Miss(SearchTicket {
                     cache: Arc::clone(cache),
                     key,
@@ -252,6 +313,7 @@ impl MaskCache {
             if !waited {
                 waited = true;
                 inner.coalesced += 1;
+                cache.metrics.singleflight_waits.inc();
             }
             inner = cache
                 .resolved
@@ -282,6 +344,8 @@ impl MaskCache {
             .retain(|k, _| k.device != device || k.epoch >= min_epoch);
         let dropped = before - inner.map.len();
         inner.invalidated += dropped as u64;
+        self.metrics.invalidated.add(dropped as u64);
+        self.metrics.len.set(inner.map.len() as i64);
         dropped
     }
 
@@ -289,6 +353,7 @@ impl MaskCache {
     pub fn stats(&self) -> MaskCacheStats {
         let inner = self.lock();
         MaskCacheStats {
+            lookups: inner.lookups,
             hits: inner.hits,
             misses: inner.misses,
             coalesced: inner.coalesced,
@@ -311,6 +376,7 @@ impl MaskCache {
             {
                 inner.map.remove(&lru);
                 inner.evictions += 1;
+                self.metrics.evictions.inc();
             }
         }
         inner.map.insert(
@@ -320,6 +386,7 @@ impl MaskCache {
                 last_used: tick,
             },
         );
+        self.metrics.len.set(inner.map.len() as i64);
     }
 
     fn lock(&self) -> MutexGuard<'_, Inner> {
@@ -451,5 +518,65 @@ mod tests {
             mask(9).mask
         );
         assert_eq!(cache.stats().misses, 2);
+    }
+
+    /// Satellite regression: under a storm of concurrent lookups across
+    /// overlapping keys — where searchers randomly *abandon* their
+    /// tickets (simulating worker errors/panics mid-search) — the
+    /// accounting must still balance: every lookup resolves as exactly
+    /// one hit or one miss, and the LRU bound holds.
+    #[test]
+    fn stats_stay_consistent_under_abandoned_ticket_storm() {
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 60;
+        const KEYS: u64 = 12;
+        const CAPACITY: usize = 6;
+
+        let registry = adapt_obs::Registry::new();
+        let cache = Arc::new(MaskCache::with_registry(CAPACITY, &registry));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                thread::spawn(move || {
+                    for r in 0..ROUNDS {
+                        let k = key(0, ((t * ROUNDS + r) as u64 * 7) % KEYS);
+                        match MaskCache::lookup(&cache, k) {
+                            Lookup::Hit(_) => {}
+                            Lookup::Miss(ticket) => {
+                                // Roughly every third searcher abandons its
+                                // ticket, forcing waiter promotion.
+                                if (t + r) % 3 == 0 {
+                                    drop(ticket);
+                                } else {
+                                    ticket.complete(mask(k.circuit_hash));
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("storm thread");
+        }
+
+        let stats = cache.stats();
+        assert_eq!(stats.lookups, (THREADS * ROUNDS) as u64);
+        assert_eq!(
+            stats.hits + stats.misses,
+            stats.lookups,
+            "every lookup resolves as exactly one hit or miss: {stats:?}"
+        );
+        assert!(
+            stats.len <= CAPACITY,
+            "LRU bound violated: {} > {CAPACITY}",
+            stats.len
+        );
+        // The obs mirror must agree with the source-of-truth counters.
+        let samples = adapt_obs::parse_prometheus(&registry.render_prometheus()).expect("parse");
+        let get = |n: &str| adapt_obs::sample_value(&samples, n).unwrap_or(0.0) as u64;
+        assert_eq!(get("adapt_service_cache_lookups_total"), stats.lookups);
+        assert_eq!(get("adapt_service_cache_hits_total"), stats.hits);
+        assert_eq!(get("adapt_service_cache_misses_total"), stats.misses);
     }
 }

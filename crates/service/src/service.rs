@@ -31,7 +31,7 @@ use machine::{
 };
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -81,6 +81,14 @@ pub struct ServiceConfig {
     pub decoy: DecoyKind,
     /// Default budget for [`Request::Execute`]-triggered searches.
     pub default_budget: SearchBudget,
+    /// Metrics registry the service publishes `adapt_service_*` metrics
+    /// into. Defaults to a fresh private registry, so every service
+    /// instance keeps isolated counters (and [`MaskService::stats`] is
+    /// exact per instance even with many services in one process); pass
+    /// [`adapt_obs::global()`] to export into the process-wide registry
+    /// instead. A disabled (noop) registry is replaced with a fresh
+    /// private one at start — the service's own accounting must work.
+    pub registry: Arc<adapt_obs::Registry>,
 }
 
 impl Default for ServiceConfig {
@@ -95,6 +103,7 @@ impl Default for ServiceConfig {
             retry: RetryPolicy::default(),
             decoy: DecoyKind::default(),
             default_budget: SearchBudget::default(),
+            registry: Arc::new(adapt_obs::Registry::new()),
         }
     }
 }
@@ -300,18 +309,46 @@ pub struct ServiceStats {
     pub peak_queue_depth: usize,
 }
 
-#[derive(Debug, Default)]
-struct Counters {
-    accepted: AtomicU64,
-    rejected: AtomicU64,
-    completed: AtomicU64,
-    failed: AtomicU64,
-    searches: AtomicU64,
-    worker_panics: AtomicU64,
-    peak_queue_depth: AtomicUsize,
+/// The service's `adapt_service_*` metric handles, resolved once at
+/// start. These *are* the service counters — [`MaskService::stats`]
+/// reads them back — so the registry they live in is always enabled.
+struct Metrics {
+    /// Submissions received (accepted + rejected).
+    requests: adapt_obs::Counter,
+    accepted: adapt_obs::Counter,
+    rejected: adapt_obs::Counter,
+    completed: adapt_obs::Counter,
+    failed: adapt_obs::Counter,
+    searches: adapt_obs::Counter,
+    worker_panics: adapt_obs::Counter,
+    queue_depth: adapt_obs::Gauge,
+    peak_queue_depth: adapt_obs::Gauge,
+    queued_us: adapt_obs::Histogram,
+    service_us: adapt_obs::Histogram,
+    request_us: adapt_obs::Histogram,
     /// Total service time of completed requests, for the backpressure
     /// retry-after estimate.
-    service_us_total: AtomicU64,
+    service_us_total: adapt_obs::Counter,
+}
+
+impl Metrics {
+    fn for_registry(r: &adapt_obs::Registry) -> Self {
+        Metrics {
+            requests: r.counter("adapt_service_requests_total"),
+            accepted: r.counter("adapt_service_accepted_total"),
+            rejected: r.counter("adapt_service_rejected_total"),
+            completed: r.counter("adapt_service_completed_total"),
+            failed: r.counter("adapt_service_failed_total"),
+            searches: r.counter("adapt_service_searches_total"),
+            worker_panics: r.counter("adapt_service_worker_panics_total"),
+            queue_depth: r.gauge("adapt_service_queue_depth"),
+            peak_queue_depth: r.gauge("adapt_service_peak_queue_depth"),
+            queued_us: r.histogram("adapt_service_queued_us"),
+            service_us: r.histogram("adapt_service_service_us"),
+            request_us: r.histogram("adapt_service_request_us"),
+            service_us_total: r.counter("adapt_service_service_us_total"),
+        }
+    }
 }
 
 struct Job {
@@ -332,7 +369,9 @@ struct Shared {
     registry: DeviceRegistry,
     cache: Arc<MaskCache>,
     queue: Queue,
-    counters: Counters,
+    metrics: Metrics,
+    /// The (always enabled) registry backing [`Shared::metrics`].
+    obs: Arc<adapt_obs::Registry>,
     shutdown: AtomicBool,
 }
 
@@ -368,13 +407,21 @@ impl MaskService {
     /// Builds the registry and starts the worker pool.
     pub fn start(config: ServiceConfig) -> Self {
         let registry = DeviceRegistry::new(&config.devices, config.seed);
-        let cache = Arc::new(MaskCache::new(config.cache_capacity));
+        // The obs registry doubles as the service's own accounting, so a
+        // disabled one is swapped for a private enabled registry.
+        let obs = if config.registry.is_enabled() {
+            Arc::clone(&config.registry)
+        } else {
+            Arc::new(adapt_obs::Registry::new())
+        };
+        let cache = Arc::new(MaskCache::with_registry(config.cache_capacity, &obs));
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             registry,
             cache,
             queue: Queue::default(),
-            counters: Counters::default(),
+            metrics: Metrics::for_registry(&obs),
+            obs,
             shutdown: AtomicBool::new(false),
             config,
         });
@@ -409,8 +456,9 @@ impl MaskService {
                 return Err(ServiceError::ShuttingDown);
             }
             let depth = jobs.len();
+            shared.metrics.requests.inc();
             if depth >= shared.config.queue_capacity {
-                shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.rejected.inc();
                 return Err(ServiceError::Rejected {
                     queue_depth: depth,
                     retry_after_ms: self.retry_after_ms(depth),
@@ -421,12 +469,10 @@ impl MaskService {
                 reply: tx,
                 enqueued: Instant::now(),
             });
-            shared
-                .counters
-                .peak_queue_depth
-                .fetch_max(depth + 1, Ordering::Relaxed);
+            shared.metrics.queue_depth.set(depth as i64 + 1);
+            shared.metrics.peak_queue_depth.set_max(depth as i64 + 1);
         }
-        shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.accepted.inc();
         shared.queue.available.notify_one();
         Ok(Pending { rx })
     }
@@ -463,16 +509,24 @@ impl MaskService {
 
     /// Service-wide counters.
     pub fn stats(&self) -> ServiceStats {
-        let c = &self.shared.counters;
+        let m = &self.shared.metrics;
         ServiceStats {
-            accepted: c.accepted.load(Ordering::Relaxed),
-            rejected: c.rejected.load(Ordering::Relaxed),
-            completed: c.completed.load(Ordering::Relaxed),
-            failed: c.failed.load(Ordering::Relaxed),
-            searches: c.searches.load(Ordering::Relaxed),
-            worker_panics: c.worker_panics.load(Ordering::Relaxed),
-            peak_queue_depth: c.peak_queue_depth.load(Ordering::Relaxed),
+            accepted: m.accepted.get(),
+            rejected: m.rejected.get(),
+            completed: m.completed.get(),
+            failed: m.failed.get(),
+            searches: m.searches.get(),
+            worker_panics: m.worker_panics.get(),
+            peak_queue_depth: m.peak_queue_depth.get().max(0) as usize,
         }
+    }
+
+    /// The (always enabled) metrics registry this service publishes
+    /// `adapt_service_*` metrics into. Render it with
+    /// [`adapt_obs::Registry::render_prometheus`] /
+    /// [`adapt_obs::Registry::render_json`].
+    pub fn metrics_registry(&self) -> Arc<adapt_obs::Registry> {
+        Arc::clone(&self.shared.obs)
     }
 
     /// Mask-cache counters.
@@ -496,6 +550,7 @@ impl MaskService {
             for job in jobs.drain(..) {
                 let _ = job.reply.send(Err(ServiceError::ShuttingDown));
             }
+            self.shared.metrics.queue_depth.set(0);
         }
         self.shared.queue.available.notify_all();
         for w in self.workers.drain(..) {
@@ -506,11 +561,11 @@ impl MaskService {
     /// Depth-proportional backoff hint: the observed mean service time
     /// tells a rejected client roughly when a queue slot frees up.
     fn retry_after_ms(&self, depth: usize) -> u64 {
-        let c = &self.shared.counters;
-        let completed = c.completed.load(Ordering::Relaxed);
-        let mean_us = c
+        let m = &self.shared.metrics;
+        let completed = m.completed.get();
+        let mean_us = m
             .service_us_total
-            .load(Ordering::Relaxed)
+            .get()
             .checked_div(completed)
             .unwrap_or(50_000); // no data yet: assume 50 ms per request
         let workers = self.shared.config.workers.max(1) as u64;
@@ -536,6 +591,7 @@ fn worker_loop(shared: &Arc<Shared>) {
             let mut jobs = lock(&shared.queue.jobs);
             loop {
                 if let Some(job) = jobs.pop_front() {
+                    shared.metrics.queue_depth.set(jobs.len() as i64);
                     break job;
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -554,19 +610,22 @@ fn worker_loop(shared: &Arc<Shared>) {
             handle_request(shared, job.request, queued_us)
         }));
         let service_us = served.elapsed().as_micros() as u64;
-        let c = &shared.counters;
-        c.completed.fetch_add(1, Ordering::Relaxed);
-        c.service_us_total.fetch_add(service_us, Ordering::Relaxed);
+        let m = &shared.metrics;
+        m.completed.inc();
+        m.service_us_total.add(service_us);
+        m.queued_us.record(queued_us);
+        m.service_us.record(service_us);
+        m.request_us.record(queued_us + service_us);
         let reply = match outcome {
             Ok(result) => {
                 if result.is_err() {
-                    c.failed.fetch_add(1, Ordering::Relaxed);
+                    m.failed.inc();
                 }
                 result
             }
             Err(payload) => {
-                c.worker_panics.fetch_add(1, Ordering::Relaxed);
-                c.failed.fetch_add(1, Ordering::Relaxed);
+                m.worker_panics.inc();
+                m.failed.inc();
                 let reason = payload
                     .downcast_ref::<&str>()
                     .map(|s| (*s).to_string())
@@ -682,7 +741,7 @@ fn recommend(
                 .map_err(|e| ServiceError::Failed(e.into()))?;
             let result =
                 adapt.choose_mask_with_decoy(&compiled, &decoy, circuit.num_qubits(), &cfg)?;
-            shared.counters.searches.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.searches.inc();
             let decoy_fidelity = result
                 .evaluations
                 .iter()

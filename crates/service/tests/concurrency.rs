@@ -206,3 +206,61 @@ fn queue_overflow_rejects_with_typed_backpressure() {
     }
     assert_eq!(svc.stats().worker_panics, 0);
 }
+
+#[test]
+fn worker_panic_is_contained_and_the_pool_keeps_serving() {
+    // One worker: if the panic killed the thread — or poisoned a shared
+    // lock into a panic cascade — the follow-up request could never
+    // complete.
+    let svc = service(vec![DeviceId::Rome], 1, FaultProfile::none());
+
+    // A 9-qubit program cannot be laid out on 5-qubit Rome; the
+    // transpiler asserts, which panics the worker mid-request.
+    let err = svc
+        .call(recommend(&ghz(9), DeviceId::Rome))
+        .expect_err("oversized program must fail");
+    assert!(
+        matches!(err, adapt_service::ServiceError::Internal { .. }),
+        "panic must surface as a typed Internal error, got {err:?}"
+    );
+
+    let stats = svc.stats();
+    assert_eq!(stats.worker_panics, 1);
+    assert_eq!(stats.failed, 1);
+
+    // The same worker thread must still serve the next request.
+    let rec = unwrap_mask(
+        svc.call(recommend(&ghz(4), DeviceId::Rome))
+            .expect("pool must survive the panic"),
+    );
+    assert_eq!(rec.provenance, Provenance::FreshSearch);
+    let stats = svc.stats();
+    assert_eq!(stats.worker_panics, 1, "no further panics");
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.failed, 1);
+}
+
+#[test]
+fn per_service_registries_keep_stats_isolated_and_exportable() {
+    // Two services in one process: counters must not bleed between them
+    // (each config defaults to a fresh private registry), and each
+    // service's registry must render its own numbers.
+    let a = service(vec![DeviceId::Rome], 2, FaultProfile::none());
+    let b = service(vec![DeviceId::Rome], 2, FaultProfile::none());
+
+    let circuit = ghz(4);
+    unwrap_mask(a.call(recommend(&circuit, DeviceId::Rome)).expect("a"));
+    unwrap_mask(a.call(recommend(&circuit, DeviceId::Rome)).expect("a hit"));
+    assert_eq!(a.stats().accepted, 2);
+    assert_eq!(b.stats().accepted, 0, "b's counters must stay untouched");
+
+    let samples = adapt_obs::parse_prometheus(&a.metrics_registry().render_prometheus())
+        .expect("exposition parses");
+    let get = |n: &str| adapt_obs::sample_value(&samples, n).unwrap_or(0.0) as u64;
+    assert_eq!(get("adapt_service_requests_total"), 2);
+    assert_eq!(get("adapt_service_searches_total"), 1);
+    assert_eq!(get("adapt_service_cache_hits_total"), 1);
+    assert_eq!(get("adapt_service_cache_lookups_total"), 2);
+    let stats = a.cache_stats();
+    assert_eq!(stats.hits + stats.misses, stats.lookups);
+}

@@ -9,10 +9,16 @@
 //! different mask, because the drifted calibration moved the idle-error
 //! hotspots.
 //!
+//! The service publishes `adapt_service_*` metrics into the process-wide
+//! [`adapt_obs`] registry (alongside the `adapt_machine_*` and
+//! `adapt_search_*` metrics its backends record there), and the example
+//! prints the Prometheus exposition at the end.
+//!
 //! ```sh
 //! cargo run --release --example mask_service
 //! ```
 
+use adapt_suite::adapt_obs;
 use adapt_suite::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -22,6 +28,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 2021,
         // A realistic serving floor: transient faults with retry.
         fault_profile: FaultProfile::flaky(),
+        // Export into the global registry (the default is a private
+        // per-service registry).
+        registry: adapt_obs::global(),
         ..ServiceConfig::default()
     });
     println!("serving guadalupe + toronto with 4 workers (flaky faults)\n");
@@ -94,5 +103,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cache.invalidated,
         stats.worker_panics,
     );
+
+    // Everything above is also in the metrics registry — one scrape
+    // covers the service, its mask cache, and the machine/search layers
+    // underneath. (Filtered to counters here; the full exposition also
+    // carries gauges and latency histograms.)
+    println!("\n# Prometheus exposition (counters):");
+    for line in adapt_obs::global().render_prometheus().lines() {
+        if line.ends_with("_total 0") || line.starts_with('#') {
+            continue;
+        }
+        if line.contains("_total ") {
+            println!("{line}");
+        }
+    }
     Ok(())
 }

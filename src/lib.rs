@@ -13,6 +13,9 @@
 //!   circuits, localized search, policies;
 //! - [`adapt_service`]: the serving layer — device registry with
 //!   calibration epochs, epoch-keyed mask cache, bounded worker pool;
+//! - [`adapt_obs`]: dependency-free metrics facade — counters, gauges,
+//!   latency histograms and span timers behind a [`adapt_obs::Registry`]
+//!   with Prometheus/JSON exposition;
 //! - [`benchmarks`]: BV/QFT/QAOA/Adder/QPE generators and probes.
 //!
 //! # Quick start
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub use adapt;
+pub use adapt_obs;
 pub use adapt_service;
 pub use benchmarks;
 pub use device;
