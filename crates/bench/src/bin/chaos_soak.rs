@@ -1,0 +1,9 @@
+//! Chaos-soak harness (see the experiments module docs). Exits nonzero
+//! when a worker panics, a response escapes its deadline untagged, the
+//! flapping device's breaker fails to trip and recover, the dead
+//! device's breaker is not open at the end, healthy-device p99 exceeds
+//! 2× the no-chaos baseline, or two identical runs diverge.
+fn main() {
+    let cfg = bench_harness::runner::ExperimentCfg::from_args();
+    bench_harness::experiments::chaos_soak::run(&cfg);
+}

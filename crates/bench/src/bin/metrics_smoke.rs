@@ -76,6 +76,7 @@ fn workload() {
             trajectories: 2,
             neighborhood: 4,
         },
+        deadline_ms: None,
     })
     .expect("recommendation");
 

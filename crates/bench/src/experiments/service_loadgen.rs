@@ -142,6 +142,7 @@ pub fn run(cfg: &ExperimentCfg) {
                     circuit,
                     device,
                     policy,
+                    deadline_ms: None,
                 }
             } else {
                 Request::RecommendMask {
@@ -149,6 +150,7 @@ pub fn run(cfg: &ExperimentCfg) {
                     device,
                     protocol: DdProtocol::Xy4,
                     budget,
+                    deadline_ms: None,
                 }
             };
             submitted += 1;
@@ -368,6 +370,7 @@ fn replay_bit_identity(
                     device: prev.device,
                     protocol: key.protocol,
                     budget,
+                    deadline_ms: None,
                 })
                 .expect("replay recommendation");
             let Response::Mask(rec) = resp else {

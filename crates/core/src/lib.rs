@@ -49,7 +49,7 @@ pub use gst::GateSequenceTable;
 pub use search::{DegradedGroup, MaskScore, SearchError, SearchResult, EXHAUSTIVE_MAX_QUBITS};
 
 use device::Device;
-use machine::{Backend, ExecError, ExecutionConfig, Machine};
+use machine::{Backend, Deadline, ExecError, ExecutionConfig, Machine};
 use qcirc::{Circuit, Counts};
 use statevec::SimError;
 use std::collections::BTreeMap;
@@ -311,6 +311,39 @@ impl Adapt {
         num_program_qubits: usize,
         cfg: &AdaptConfig,
     ) -> Result<SearchResult, AdaptError> {
+        self.choose_mask_with_decoy_deadline(
+            compiled,
+            decoy,
+            num_program_qubits,
+            cfg,
+            Deadline::none(),
+        )
+    }
+
+    /// [`Self::choose_mask_with_decoy`] under a request [`Deadline`].
+    ///
+    /// The deadline is checked between neighborhoods, between decoy
+    /// batches and before the referee step. When it expires (or the
+    /// request is cancelled) the search stops early and returns its
+    /// conservative partial result — completed neighborhoods keep their
+    /// OR-merged bits, unvisited qubits fall back to all-DD — with
+    /// [`SearchResult::partial`] set. A partial result never has the
+    /// referee's mask substitution applied: the conservative committed
+    /// mask stands.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution failures; an interruption before *any*
+    /// evaluation completes surfaces as the typed
+    /// [`ExecError::DeadlineExceeded`]/[`ExecError::Cancelled`].
+    pub fn choose_mask_with_decoy_deadline(
+        &self,
+        compiled: &TranspiledCircuit,
+        decoy: &decoy::Decoy,
+        num_program_qubits: usize,
+        cfg: &AdaptConfig,
+        deadline: Deadline,
+    ) -> Result<SearchResult, AdaptError> {
         let ctx = search::SearchContext::new(
             self.backend.as_ref(),
             self.device.clone(),
@@ -319,7 +352,8 @@ impl Adapt {
             cfg.dd,
             cfg.search_exec,
             num_program_qubits,
-        );
+        )
+        .with_deadline(deadline.clone());
         // Order program qubits most-idle-first (on their physical wires).
         let gst = GateSequenceTable::build(&compiled.timed);
         let mut order: Vec<u32> = (0..num_program_qubits as u32).collect();
@@ -336,6 +370,13 @@ impl Adapt {
         // ≤ 4·N search budget — and keep the best. An extreme whose run
         // is unavailable simply drops out of the contest; if even the
         // committed mask cannot be re-scored, it stands as selected.
+        // Skipped entirely on an interrupted search (or a deadline that
+        // expired right after it): the referee is an optimization, and
+        // the conservative committed mask must stand.
+        if result.partial || deadline.check().is_err() {
+            result.partial = true;
+            return Ok(result);
+        }
         let mut best: Option<MaskScore> = None;
         for outcome in ctx.score_batch(&[
             result.best,
@@ -348,6 +389,12 @@ impl Adapt {
                     if best.is_none_or(|b| score.fidelity > b.fidelity) {
                         best = Some(score);
                     }
+                }
+                // Interrupted mid-referee: keep the search's mask.
+                Err(e) if e.is_interruption() => {
+                    result.partial = true;
+                    best = None;
+                    break;
                 }
                 Err(e) if search::is_availability(&e) => result.unavailable_runs += 1,
                 Err(e) => return Err(e.into()),

@@ -34,7 +34,7 @@ use crate::dd::{
 };
 use crate::decoy::Decoy;
 use device::Device;
-use machine::{Backend, ExecError, ExecutionConfig, JobSpec};
+use machine::{Backend, Deadline, ExecError, ExecutionConfig, JobSpec};
 use std::sync::OnceLock;
 use transpiler::Layout;
 
@@ -46,6 +46,8 @@ struct SearchMetrics {
     decoy_runs_scored: adapt_obs::Counter,
     decoy_runs_unavailable: adapt_obs::Counter,
     degraded_groups: adapt_obs::Counter,
+    /// Searches stopped early by deadline expiry or cancellation.
+    searches_interrupted: adapt_obs::Counter,
     neighborhood_us: adapt_obs::Histogram,
 }
 
@@ -58,6 +60,7 @@ fn search_metrics() -> &'static SearchMetrics {
             decoy_runs_scored: r.counter("adapt_search_decoy_runs_scored_total"),
             decoy_runs_unavailable: r.counter("adapt_search_decoy_runs_unavailable_total"),
             degraded_groups: r.counter("adapt_search_degraded_groups_total"),
+            searches_interrupted: r.counter("adapt_search_interrupted_total"),
             neighborhood_us: r.histogram("adapt_search_neighborhood_us"),
         }
     })
@@ -108,6 +111,13 @@ pub struct SearchResult {
     /// Decoy evaluations abandoned for backend availability (each one
     /// consumed retry budget but produced no score).
     pub unavailable_runs: usize,
+    /// The search was interrupted (deadline expired or cancelled) before
+    /// every neighborhood was evaluated. The mask is still valid and
+    /// conservative: bits committed by completed neighborhoods are kept
+    /// (their bitwise-OR merge), every unvisited qubit falls back to
+    /// all-DD, and the unvisited groups are listed in
+    /// [`SearchResult::degraded`].
+    pub partial: bool,
 }
 
 impl SearchResult {
@@ -200,6 +210,9 @@ pub struct SearchContext<'a> {
     dd: DdConfig,
     exec: ExecutionConfig,
     num_program_qubits: usize,
+    /// The request deadline searches through this context check at their
+    /// cancellation points. Defaults to [`Deadline::none`].
+    deadline: Deadline,
     /// Lazily-built idle-window analysis of the decoy schedule, shared
     /// by every mask scored through this context.
     idle: OnceLock<IdleAnalysis>,
@@ -239,8 +252,23 @@ impl<'a> SearchContext<'a> {
             dd,
             exec,
             num_program_qubits,
+            deadline: Deadline::none(),
             idle: OnceLock::new(),
         }
+    }
+
+    /// Binds a request deadline: [`localized_search`] checks it between
+    /// neighborhoods, [`exhaustive_search`] between batches, and both
+    /// stop early (returning a conservative partial result) when it
+    /// expires or is cancelled.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// The bound deadline ([`Deadline::none`] unless set).
+    pub fn deadline(&self) -> &Deadline {
+        &self.deadline
     }
 
     /// The backend decoy runs execute on.
@@ -364,12 +392,24 @@ pub fn exhaustive_search(ctx: &SearchContext<'_>) -> Result<SearchResult, Search
     let mut evaluations = Vec::new();
     let mut unavailable_runs = 0;
     let mut last_unavailable = None;
-    for chunk in DdMask::enumerate_all(n).chunks(EXHAUSTIVE_BATCH) {
+    let mut interruption: Option<ExecError> = None;
+    'sweep: for chunk in DdMask::enumerate_all(n).chunks(EXHAUSTIVE_BATCH) {
+        // Cooperative cancellation point between batch submissions.
+        if let Err(e) = ctx.deadline.check() {
+            interruption = Some(e);
+            break;
+        }
         for outcome in ctx.score_batch(chunk) {
             match outcome {
                 Ok(score) => {
                     mtr.decoy_runs_scored.inc();
                     evaluations.push(score);
+                }
+                // The deadline tripped mid-batch: keep what scored,
+                // stop sweeping.
+                Err(e) if e.is_interruption() => {
+                    interruption = Some(e);
+                    break 'sweep;
                 }
                 // A mask whose runs outlasted the retry budget drops out
                 // of the sweep; the remaining candidates still compete.
@@ -380,6 +420,14 @@ pub fn exhaustive_search(ctx: &SearchContext<'_>) -> Result<SearchResult, Search
                 }
                 Err(e) => return Err(e.into()),
             }
+        }
+    }
+    if let Some(ref e) = interruption {
+        mtr.searches_interrupted.inc();
+        // Nothing scored before the interruption: there is no mask to
+        // stand behind, so the interruption propagates as an error.
+        if evaluations.is_empty() {
+            return Err(SearchError::Exec(e.clone()));
         }
     }
     if evaluations.is_empty() {
@@ -403,6 +451,7 @@ pub fn exhaustive_search(ctx: &SearchContext<'_>) -> Result<SearchResult, Search
         evaluations,
         degraded: Vec::new(),
         unavailable_runs,
+        partial: interruption.is_some(),
     })
 }
 
@@ -453,8 +502,18 @@ pub fn localized_search(
     let mut evaluations = Vec::new();
     let mut degraded = Vec::new();
     let mut unavailable_runs = 0;
+    let mut interruption: Option<ExecError> = None;
 
-    for group in qubit_order.chunks(neighborhood) {
+    let groups: Vec<&[u32]> = qubit_order.chunks(neighborhood).collect();
+    let mut visited = 0;
+    while visited < groups.len() {
+        let group = groups[visited];
+        // Cooperative cancellation point: checked before each
+        // neighborhood's batch is submitted.
+        if let Err(e) = ctx.deadline.check() {
+            interruption = Some(e);
+            break;
+        }
         let _neighborhood_span = mtr.neighborhood_us.time();
         // All 2^|group| settings of this neighborhood's bits, with
         // already-committed bits fixed and future bits at 0, scored as
@@ -477,6 +536,12 @@ pub fn localized_search(
                     local.push(score);
                     evaluations.push(score);
                 }
+                // The deadline tripped mid-batch: this neighborhood is
+                // incomplete and falls into the all-DD sweep below.
+                Err(e) if e.is_interruption() => {
+                    interruption = Some(e);
+                    break;
+                }
                 Err(e) if is_availability(&e) => {
                     unavailable_runs += 1;
                     mtr.decoy_runs_unavailable.inc();
@@ -487,6 +552,10 @@ pub fn localized_search(
                 Err(e) => return Err(e),
             }
         }
+        if interruption.is_some() {
+            break;
+        }
+        visited += 1;
         if let Some(reason) = group_outage {
             // Degrade this neighborhood: all-DD fallback.
             mtr.degraded_groups.inc();
@@ -514,11 +583,30 @@ pub fn localized_search(
         }
     }
 
+    // Interrupted: the committed mask (the OR-merge of every completed
+    // neighborhood) stands, and every unvisited qubit falls back to the
+    // conservative all-DD assignment — a cancelled search never silently
+    // drops protection.
+    if let Some(ref e) = interruption {
+        mtr.searches_interrupted.inc();
+        for group in &groups[visited..] {
+            mtr.degraded_groups.inc();
+            for &q in *group {
+                committed = committed.with(q as usize, true);
+            }
+            degraded.push(DegradedGroup {
+                qubits: group.to_vec(),
+                reason: format!("search interrupted: {e}"),
+            });
+        }
+    }
+
     Ok(SearchResult {
         best: committed,
         evaluations,
         degraded,
         unavailable_runs,
+        partial: interruption.is_some(),
     })
 }
 
@@ -813,6 +901,177 @@ mod tests {
         assert_eq!(r.unavailable_runs, 2);
         // Attempted = scored + unavailable: the full 2^3 sweep.
         assert_eq!(r.decoy_runs(), 8);
+    }
+
+    /// A backend that charges a fixed virtual cost per decoy run against
+    /// a shared deadline and refuses to run once it has expired — the
+    /// shape a `ResilientExecutor` bound to the same deadline presents.
+    struct DeadlineCharging {
+        inner: Machine,
+        deadline: Deadline,
+        charge_ms: f64,
+    }
+
+    impl machine::Backend for DeadlineCharging {
+        fn execute(
+            &self,
+            circuit: &qcirc::Circuit,
+            config: &ExecutionConfig,
+        ) -> Result<machine::ShotBatch, ExecError> {
+            let timed = transpiler::schedule(
+                circuit,
+                self.inner.device(),
+                transpiler::SchedulePolicy::Alap,
+            );
+            self.execute_timed(&timed, config)
+        }
+
+        fn execute_timed(
+            &self,
+            timed: &transpiler::TimedCircuit,
+            config: &ExecutionConfig,
+        ) -> Result<machine::ShotBatch, ExecError> {
+            self.deadline.check()?;
+            self.deadline.charge_ms(self.charge_ms);
+            machine::Backend::execute_timed(&self.inner, timed, config)
+        }
+
+        fn device_snapshot(&self) -> Device {
+            self.inner.device().clone()
+        }
+    }
+
+    fn deadline_ctx<'a>(
+        machine: &Machine,
+        backend: &'a dyn Backend,
+        decoy: &'a Decoy,
+        layout: &'a Layout,
+        n: usize,
+        deadline: &Deadline,
+    ) -> SearchContext<'a> {
+        ctx_over(backend, machine.device().clone(), decoy, layout, n)
+            .with_deadline(deadline.clone())
+    }
+
+    #[test]
+    fn deadline_between_neighborhoods_keeps_completed_merge() {
+        // 10 ms per decoy run against a 35 ms budget: the first group's
+        // 4 runs complete (charges hit 40 ms), the second group is never
+        // visited and falls back to all-DD.
+        let (machine, decoy, layout, n) = context_fixture();
+        let deadline = Deadline::virtual_only(35);
+        let backend = DeadlineCharging {
+            inner: machine.clone(),
+            deadline: deadline.clone(),
+            charge_ms: 10.0,
+        };
+        let ctx = deadline_ctx(&machine, &backend, &decoy, &layout, n, &deadline);
+        let order: Vec<u32> = (0..n as u32).collect();
+        let r = localized_search(&ctx, &order, 2, true).unwrap();
+        assert!(r.partial);
+        assert_eq!(r.evaluations.len(), 4, "first neighborhood completed");
+        assert_eq!(r.degraded.len(), 1);
+        assert_eq!(r.degraded[0].qubits, vec![2]);
+        assert!(r.degraded[0].reason.contains("interrupted"));
+        assert!(r.best.is_set(2), "unvisited qubit keeps DD protection");
+
+        // The completed neighborhood's commitment matches an
+        // uninterrupted run of the same group (same seed).
+        let clean = ctx_over(&machine, machine.device().clone(), &decoy, &layout, n);
+        let full = localized_search(&clean, &order, 2, true).unwrap();
+        for q in 0..2 {
+            assert_eq!(r.best.is_set(q), full.best.is_set(q));
+        }
+    }
+
+    #[test]
+    fn deadline_mid_batch_degrades_the_open_neighborhood() {
+        // 25 ms budget: the check before the first group's 4th run trips
+        // at 30 ms charged. Both the open group and the unvisited one
+        // fall back to all-DD.
+        let (machine, decoy, layout, n) = context_fixture();
+        let deadline = Deadline::virtual_only(25);
+        let backend = DeadlineCharging {
+            inner: machine.clone(),
+            deadline: deadline.clone(),
+            charge_ms: 10.0,
+        };
+        let ctx = deadline_ctx(&machine, &backend, &decoy, &layout, n, &deadline);
+        let order: Vec<u32> = (0..n as u32).collect();
+        let r = localized_search(&ctx, &order, 2, true).unwrap();
+        assert!(r.partial);
+        assert_eq!(r.evaluations.len(), 3, "three runs scored before expiry");
+        assert_eq!(r.degraded.len(), 2);
+        for q in 0..n {
+            assert!(r.best.is_set(q), "qubit {q} must keep DD protection");
+        }
+    }
+
+    #[test]
+    fn cancelled_search_returns_all_dd_without_executing() {
+        let (machine, decoy, layout, n) = context_fixture();
+        let deadline = Deadline::none();
+        deadline.cancel();
+        let ctx = ctx_over(&machine, machine.device().clone(), &decoy, &layout, n)
+            .with_deadline(deadline);
+        let order: Vec<u32> = (0..n as u32).collect();
+        let r = localized_search(&ctx, &order, 2, true).unwrap();
+        assert!(r.partial);
+        assert!(r.evaluations.is_empty());
+        for q in 0..n {
+            assert!(r.best.is_set(q));
+        }
+    }
+
+    #[test]
+    fn interrupted_searches_are_deterministic_in_virtual_time() {
+        let (machine, decoy, layout, n) = context_fixture();
+        let run = || {
+            let deadline = Deadline::virtual_only(25);
+            let backend = DeadlineCharging {
+                inner: machine.clone(),
+                deadline: deadline.clone(),
+                charge_ms: 10.0,
+            };
+            let ctx = deadline_ctx(&machine, &backend, &decoy, &layout, n, &deadline);
+            let order: Vec<u32> = (0..n as u32).collect();
+            localized_search(&ctx, &order, 2, true).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.degraded, b.degraded);
+        assert_eq!(a.partial, b.partial);
+    }
+
+    #[test]
+    fn exhaustive_keeps_scored_masks_on_interruption() {
+        let (machine, decoy, layout, n) = context_fixture();
+        let deadline = Deadline::virtual_only(45);
+        let backend = DeadlineCharging {
+            inner: machine.clone(),
+            deadline: deadline.clone(),
+            charge_ms: 10.0,
+        };
+        let ctx = deadline_ctx(&machine, &backend, &decoy, &layout, n, &deadline);
+        let r = exhaustive_search(&ctx).unwrap();
+        assert!(r.partial);
+        assert_eq!(r.evaluations.len(), 5, "five of eight masks scored");
+
+        // Born-expired: nothing scored, so the interruption propagates.
+        let dead = Deadline::virtual_only(0);
+        let backend = DeadlineCharging {
+            inner: machine.clone(),
+            deadline: dead.clone(),
+            charge_ms: 10.0,
+        };
+        let ctx = deadline_ctx(&machine, &backend, &decoy, &layout, n, &dead);
+        let err = exhaustive_search(&ctx).unwrap_err();
+        assert!(matches!(
+            err,
+            SearchError::Exec(ExecError::DeadlineExceeded { .. })
+        ));
     }
 
     #[test]

@@ -71,6 +71,18 @@ pub enum ExecError {
         /// The error from the final attempt.
         last: Box<ExecError>,
     },
+    /// The request's [`crate::Deadline`] expired before it could finish.
+    /// Not transient: retrying would only burn more of a budget that is
+    /// already gone — the caller must re-submit with a fresh deadline.
+    DeadlineExceeded {
+        /// Time counted against the budget when the check tripped, ms.
+        elapsed_ms: u64,
+        /// The budget that was exceeded, in milliseconds.
+        budget_ms: u64,
+    },
+    /// The request was cooperatively cancelled via its
+    /// [`crate::CancelToken`]. Not transient by design.
+    Cancelled,
 }
 
 impl ExecError {
@@ -96,7 +108,20 @@ impl ExecError {
             ExecError::JobFailed { .. } => "job_failed",
             ExecError::Timeout { .. } => "timeout",
             ExecError::RetriesExhausted { .. } => "retries_exhausted",
+            ExecError::DeadlineExceeded { .. } => "deadline_exceeded",
+            ExecError::Cancelled => "cancelled",
         }
+    }
+
+    /// Whether the error is an interruption of the request — the caller's
+    /// deadline expired or it was cancelled — rather than a failure of
+    /// the backend. Interruptions are neither retried nor treated as
+    /// device unavailability: the work is simply abandoned.
+    pub fn is_interruption(&self) -> bool {
+        matches!(
+            self,
+            ExecError::DeadlineExceeded { .. } | ExecError::Cancelled
+        )
     }
 }
 
@@ -120,6 +145,16 @@ impl std::fmt::Display for ExecError {
             ExecError::RetriesExhausted { attempts, last } => {
                 write!(f, "gave up after {attempts} attempts; last error: {last}")
             }
+            ExecError::DeadlineExceeded {
+                elapsed_ms,
+                budget_ms,
+            } => {
+                write!(
+                    f,
+                    "deadline exceeded: {elapsed_ms} ms elapsed against a {budget_ms} ms budget"
+                )
+            }
+            ExecError::Cancelled => write!(f, "request cancelled"),
         }
     }
 }

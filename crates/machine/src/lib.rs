@@ -30,6 +30,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod backend;
+pub mod deadline;
 pub mod executor;
 pub mod fault;
 mod metrics;
@@ -38,7 +39,8 @@ pub mod plan;
 pub mod resilient;
 
 pub use backend::{Anomaly, Backend, JobSpec, ShotBatch};
+pub use deadline::{CancelToken, Deadline};
 pub use executor::{ExecError, ExecutionConfig, Machine, NoiseToggles};
 pub use fault::{FaultCounts, FaultPlan, FaultProfile, FaultyBackend, JobFaults};
 pub use plan::{structural_hash, CompiledPlan, PlanCache, PlanCacheStats};
-pub use resilient::{FaultStats, ResilientExecutor, RetryPolicy};
+pub use resilient::{FaultStats, ResilientExecutor, RetryPolicy, RetryPolicyError};

@@ -31,6 +31,8 @@ pub(crate) struct Metrics {
     pub retry_timeout: Counter,
     pub retry_exhausted: Counter,
     pub retry_backoff_us: Counter,
+    /// Requests abandoned mid-retry-loop for deadline/cancellation.
+    pub deadline_aborts: Counter,
     pub dropout_discards: Counter,
     pub partial_batches: Counter,
     pub stale_batches: Counter,
@@ -55,6 +57,7 @@ pub(crate) fn metrics() -> &'static Metrics {
             retry_timeout: r.counter("adapt_machine_retry_errors_timeout_total"),
             retry_exhausted: r.counter("adapt_machine_retry_exhausted_total"),
             retry_backoff_us: r.counter("adapt_machine_retry_backoff_us_total"),
+            deadline_aborts: r.counter("adapt_machine_deadline_aborts_total"),
             dropout_discards: r.counter("adapt_machine_dropout_discards_total"),
             partial_batches: r.counter("adapt_machine_partial_batches_total"),
             stale_batches: r.counter("adapt_machine_stale_batches_total"),

@@ -19,6 +19,7 @@
 //! deployments.
 
 use crate::backend::{Backend, ShotBatch};
+use crate::deadline::Deadline;
 use crate::executor::{ExecError, ExecutionConfig};
 use device::{Device, SeedSpawner};
 use qcirc::Circuit;
@@ -68,6 +69,42 @@ impl Default for RetryPolicy {
     }
 }
 
+/// A [`RetryPolicy`] field combination that cannot express a sane retry
+/// schedule. Produced by [`RetryPolicy::validate`]; before PR 5 such
+/// configs were accepted silently and produced nonsense (zero attempts
+/// never execute anything, NaN backoff poisons every delay).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetryPolicyError {
+    /// `max_attempts == 0`: the executor would never dispatch anything.
+    ZeroAttempts,
+    /// A numeric field is NaN, infinite, or outside its valid range.
+    InvalidField {
+        /// The offending `RetryPolicy` field name.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint the value violates.
+        constraint: &'static str,
+    },
+}
+
+impl std::fmt::Display for RetryPolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RetryPolicyError::ZeroAttempts => {
+                write!(f, "max_attempts must be at least 1 (got 0)")
+            }
+            RetryPolicyError::InvalidField {
+                field,
+                value,
+                constraint,
+            } => write!(f, "{field} = {value} is invalid: must be {constraint}"),
+        }
+    }
+}
+
+impl std::error::Error for RetryPolicyError {}
+
 impl RetryPolicy {
     /// A policy that never retries (attempt 0 only, no partial top-up).
     pub fn no_retries() -> Self {
@@ -75,6 +112,47 @@ impl RetryPolicy {
             max_attempts: 1,
             ..Default::default()
         }
+    }
+
+    /// Checks the policy for field combinations that silently produce
+    /// nonsense: zero attempts, negative/NaN/infinite backoff fields,
+    /// fractions outside `[0, 1]`. Returns the first violation found.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`RetryPolicyError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), RetryPolicyError> {
+        if self.max_attempts == 0 {
+            return Err(RetryPolicyError::ZeroAttempts);
+        }
+        let finite_nonneg: [(&'static str, f64); 3] = [
+            ("base_backoff_ms", self.base_backoff_ms),
+            ("backoff_factor", self.backoff_factor),
+            ("max_backoff_ms", self.max_backoff_ms),
+        ];
+        for (field, value) in finite_nonneg {
+            if !value.is_finite() || value < 0.0 {
+                return Err(RetryPolicyError::InvalidField {
+                    field,
+                    value,
+                    constraint: "finite and non-negative",
+                });
+            }
+        }
+        let unit_fracs: [(&'static str, f64); 2] = [
+            ("jitter_frac", self.jitter_frac),
+            ("min_shot_fraction", self.min_shot_fraction),
+        ];
+        for (field, value) in unit_fracs {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(RetryPolicyError::InvalidField {
+                    field,
+                    value,
+                    constraint: "within [0, 1]",
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The backoff delay (ms) charged after failed attempt `attempt`
@@ -115,6 +193,9 @@ pub struct FaultStats {
     pub exhausted: u64,
     /// Requests whose batch ran under stale calibration.
     pub stale_batches: u64,
+    /// Requests abandoned because their deadline expired or they were
+    /// cancelled mid-retry-loop.
+    pub deadline_aborts: u64,
     /// Total (virtual or real) backoff charged, in milliseconds.
     pub total_backoff_ms: f64,
 }
@@ -125,7 +206,8 @@ impl std::fmt::Display for FaultStats {
             f,
             "{} requests / {} attempts: {} transient errors retried, \
              {} dropout discards, {} partial batches absorbed, \
-             {} accepted partial, {} exhausted, {} stale, {:.1} ms backoff",
+             {} accepted partial, {} exhausted, {} stale, \
+             {} deadline aborts, {:.1} ms backoff",
             self.requests,
             self.attempts,
             self.transient_errors,
@@ -134,6 +216,7 @@ impl std::fmt::Display for FaultStats {
             self.partial_accepted,
             self.exhausted,
             self.stale_batches,
+            self.deadline_aborts,
             self.total_backoff_ms
         )
     }
@@ -167,6 +250,10 @@ impl std::fmt::Display for FaultStats {
 pub struct ResilientExecutor {
     backend: Arc<dyn Backend>,
     policy: RetryPolicy,
+    /// The request deadline every execute call is checked against.
+    /// Defaults to [`Deadline::none`]; bind a real one per request with
+    /// [`ResilientExecutor::with_deadline`].
+    deadline: Deadline,
     stats: Mutex<FaultStats>,
 }
 
@@ -186,12 +273,47 @@ impl ResilientExecutor {
     }
 
     /// Wraps a backend with an explicit policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the policy fails [`RetryPolicy::validate`] — a config
+    /// bug at construction time. Use
+    /// [`ResilientExecutor::try_with_policy`] to handle it as a value.
     pub fn with_policy(backend: Arc<dyn Backend>, policy: RetryPolicy) -> Self {
-        ResilientExecutor {
+        match Self::try_with_policy(backend, policy) {
+            Ok(exec) => exec,
+            Err(e) => panic!("invalid RetryPolicy: {e}"),
+        }
+    }
+
+    /// Wraps a backend with an explicit policy, rejecting invalid ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RetryPolicyError`] from [`RetryPolicy::validate`].
+    pub fn try_with_policy(
+        backend: Arc<dyn Backend>,
+        policy: RetryPolicy,
+    ) -> Result<Self, RetryPolicyError> {
+        policy.validate()?;
+        Ok(ResilientExecutor {
             backend,
             policy,
+            deadline: Deadline::none(),
             stats: Mutex::new(FaultStats::default()),
-        }
+        })
+    }
+
+    /// Binds a request deadline: every attempt checks it first, and
+    /// backoff never sleeps (or charges) past the remaining budget.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// The bound deadline ([`Deadline::none`] unless set).
+    pub fn deadline(&self) -> &Deadline {
+        &self.deadline
     }
 
     /// The active retry policy.
@@ -234,9 +356,16 @@ impl ResilientExecutor {
         let topup_seeds = SeedSpawner::new(config.seed ^ BACKOFF_SALT);
         let mut merged: Option<ShotBatch> = None;
         let mut last_err: Option<ExecError> = None;
+        let mut interruption: Option<ExecError> = None;
         let mut attempts = 0u32;
 
         for attempt in 0..self.policy.max_attempts.max(1) {
+            // Cooperative cancellation point: no attempt starts once the
+            // request's deadline is gone or its token is raised.
+            if let Err(e) = self.deadline.check() {
+                interruption = Some(e);
+                break;
+            }
             let have = merged.as_ref().map_or(0, ShotBatch::delivered_shots);
             let need = config.shots.saturating_sub(have);
             if need == 0 {
@@ -298,6 +427,12 @@ impl ResilientExecutor {
                     // Partial delivery: top up on the next attempt.
                     self.charge_backoff(config.seed, attempt);
                 }
+                // An inner layer noticed the deadline/cancellation mid
+                // attempt: stop the loop, keep whatever already merged.
+                Err(e) if e.is_interruption() => {
+                    interruption = Some(e);
+                    break;
+                }
                 Err(e) if e.is_transient() => {
                     self.stats_lock().transient_errors += 1;
                     mtr.retry_error(e.kind()).inc();
@@ -319,6 +454,14 @@ impl ResilientExecutor {
                 return Ok(m);
             }
         }
+        // An interrupted request reports the interruption, not an
+        // exhausted retry budget: the budget wasn't exhausted, the caller
+        // stopped waiting.
+        if let Some(e) = interruption {
+            self.stats_lock().deadline_aborts += 1;
+            mtr.deadline_aborts.inc();
+            return Err(e);
+        }
         self.stats_lock().exhausted += 1;
         mtr.retry_exhausted.inc();
         Err(ExecError::RetriesExhausted {
@@ -331,18 +474,28 @@ impl ResilientExecutor {
     }
 
     /// Records (and optionally sleeps) the backoff after a failed
-    /// attempt, except after the final one where no retry follows.
+    /// attempt, except after the final one where no retry follows. The
+    /// delay is clamped to the deadline's remaining budget — backoff
+    /// never sleeps past the deadline — and charged to the deadline as
+    /// virtual time, so under [`Deadline::virtual_only`] the expiry
+    /// point is a pure function of the seeded schedule.
     fn charge_backoff(&self, seed: u64, attempt: u32) {
         if attempt + 1 >= self.policy.max_attempts {
             return;
         }
-        let delay = self.policy.delay_ms(seed, attempt);
-        self.stats_lock().total_backoff_ms += delay;
-        crate::metrics::metrics()
-            .retry_backoff_us
-            .add((delay * 1000.0) as u64);
+        let mut delay = self.policy.delay_ms(seed, attempt);
+        if let Some(remaining) = self.deadline.remaining_ms_f64() {
+            delay = delay.min(remaining);
+        }
+        // Quantize once to whole µs so the deadline charge, the stats
+        // and the slept duration are the same number — clamped delays
+        // can then never sum past the budget.
+        let delay_us = (delay * 1000.0) as u64;
+        self.deadline.charge_us(delay_us);
+        self.stats_lock().total_backoff_ms += delay_us as f64 / 1000.0;
+        crate::metrics::metrics().retry_backoff_us.add(delay_us);
         if self.policy.sleep {
-            std::thread::sleep(std::time::Duration::from_micros((delay * 1000.0) as u64));
+            std::thread::sleep(std::time::Duration::from_micros(delay_us));
         }
     }
 }
@@ -612,5 +765,142 @@ mod tests {
         let (c2, s2) = run();
         assert_eq!(c1, c2);
         assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn invalid_policies_are_rejected_with_typed_errors() {
+        let backend = || Arc::new(Machine::new(Device::ibmq_rome(3))) as Arc<dyn Backend>;
+        let zero = RetryPolicy {
+            max_attempts: 0,
+            ..Default::default()
+        };
+        assert_eq!(zero.validate(), Err(RetryPolicyError::ZeroAttempts));
+        assert!(ResilientExecutor::try_with_policy(backend(), zero).is_err());
+
+        let nan = RetryPolicy {
+            base_backoff_ms: f64::NAN,
+            ..Default::default()
+        };
+        let err = nan.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            RetryPolicyError::InvalidField {
+                field: "base_backoff_ms",
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("base_backoff_ms"));
+
+        let negative = RetryPolicy {
+            max_backoff_ms: -1.0,
+            ..Default::default()
+        };
+        assert!(negative.validate().is_err());
+
+        let jitter = RetryPolicy {
+            jitter_frac: 1.5,
+            ..Default::default()
+        };
+        assert!(matches!(
+            jitter.validate(),
+            Err(RetryPolicyError::InvalidField {
+                field: "jitter_frac",
+                ..
+            })
+        ));
+        assert!(RetryPolicy::default().validate().is_ok());
+        assert!(RetryPolicy::no_retries().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RetryPolicy")]
+    fn with_policy_panics_on_invalid_config() {
+        let backend = Arc::new(Machine::new(Device::ibmq_rome(3)));
+        let _ = ResilientExecutor::with_policy(
+            backend,
+            RetryPolicy {
+                max_attempts: 0,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn expired_deadline_fails_fast_without_dispatching() {
+        let exec = ResilientExecutor::new(Arc::new(Machine::new(Device::ibmq_rome(3))))
+            .with_deadline(Deadline::virtual_only(0));
+        let err = exec.execute(&bell(), &cfg(5)).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::DeadlineExceeded { budget_ms: 0, .. }
+        ));
+        let s = exec.stats();
+        assert_eq!(s.attempts, 0, "no backend attempt once expired");
+        assert_eq!(s.deadline_aborts, 1);
+    }
+
+    #[test]
+    fn cancellation_stops_the_retry_loop() {
+        let deadline = Deadline::none();
+        deadline.token().cancel();
+        let exec = ResilientExecutor::new(Arc::new(Machine::new(Device::ibmq_rome(3))))
+            .with_deadline(deadline);
+        assert_eq!(
+            exec.execute(&bell(), &cfg(5)).unwrap_err(),
+            ExecError::Cancelled
+        );
+        assert_eq!(exec.stats().deadline_aborts, 1);
+    }
+
+    #[test]
+    fn backoff_is_clamped_to_the_remaining_budget() {
+        // Always-failing backend, virtual deadline smaller than the full
+        // backoff schedule: the loop must stop with DeadlineExceeded, and
+        // the charged backoff must never exceed the budget.
+        let backend = FailNTimes {
+            inner: Machine::new(Device::ibmq_rome(3)),
+            remaining: Mutex::new(100),
+        };
+        let policy = RetryPolicy {
+            max_attempts: 16,
+            ..Default::default()
+        };
+        let budget_ms = 25;
+        let exec = ResilientExecutor::with_policy(Arc::new(backend), policy)
+            .with_deadline(Deadline::virtual_only(budget_ms));
+        let err = exec.execute(&bell(), &cfg(5)).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::DeadlineExceeded { budget_ms: 25, .. }
+        ));
+        let s = exec.stats();
+        assert!(
+            s.total_backoff_ms <= budget_ms as f64 + 1e-9,
+            "charged {} ms against a {budget_ms} ms budget",
+            s.total_backoff_ms
+        );
+        assert!(s.attempts >= 1, "work proceeded until the budget ran out");
+        assert_eq!(s.deadline_aborts, 1);
+    }
+
+    #[test]
+    fn virtual_deadline_trips_at_the_same_point_across_runs() {
+        // Determinism of the cancellation point: two identical runs must
+        // make the same number of attempts before the deadline trips.
+        let run = || {
+            let backend = FailNTimes {
+                inner: Machine::new(Device::ibmq_rome(3)),
+                remaining: Mutex::new(100),
+            };
+            let policy = RetryPolicy {
+                max_attempts: 16,
+                ..Default::default()
+            };
+            let exec = ResilientExecutor::with_policy(Arc::new(backend), policy)
+                .with_deadline(Deadline::virtual_only(40));
+            let _ = exec.execute(&bell(), &cfg(77));
+            exec.stats()
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -1,0 +1,634 @@
+//! Per-device circuit breakers and health tracking.
+//!
+//! A sick device must not drag healthy ones down: without a breaker,
+//! every request aimed at a flapping device climbs the full retry
+//! ladder, holding a worker for the whole climb. The [`HealthTracker`]
+//! watches a sliding window of backend-touching outcomes per device and
+//! runs the classic three-state machine:
+//!
+//! ```text
+//!             failure fraction ≥ threshold
+//!            (with ≥ min_samples outcomes)
+//!   Closed ────────────────────────────────▶ Open
+//!     ▲                                        │
+//!     │ probe succeeds            cooldown_requests admissions
+//!     │                                        ▼
+//!     └──────────────────────────────────  HalfOpen
+//!                   probe fails ──▶ Open  (one probe at a time)
+//! ```
+//!
+//! # Determinism
+//!
+//! All breaker decisions are functions of the *sequence of admissions
+//! and outcomes* — the open→half-open cooldown is counted in denied
+//! admissions, not wall time. Under a single worker and a seeded fault
+//! schedule, two identical runs therefore produce identical transition
+//! logs (asserted by the chaos harness). The breaker is **off by
+//! default** ([`BreakerConfig::disabled`]): its admission decisions
+//! couple requests to each other, which intentionally trades the
+//! service's pure per-key determinism for failure isolation — opt in
+//! where that trade is wanted.
+
+use crate::registry::DeviceId;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+/// What an open breaker serves instead of real work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerFallback {
+    /// Fail fast with [`crate::ServiceError::DeviceUnhealthy`] so the
+    /// client can retarget or back off.
+    FailFast,
+    /// Serve the cached mask when one exists, otherwise the conservative
+    /// all-DD mask, tagged [`crate::Provenance::BreakerFallback`] — the
+    /// client gets *a* safe answer without the sick backend being
+    /// touched.
+    ConservativeMask,
+}
+
+/// Circuit-breaker tuning. See the module docs for the state machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Master switch; when false the tracker admits everything and
+    /// records nothing.
+    pub enabled: bool,
+    /// Sliding-window length of per-device outcomes.
+    pub window: usize,
+    /// Failure fraction (within the window) at which a closed breaker
+    /// trips open.
+    pub failure_threshold: f64,
+    /// Minimum outcomes in the window before the breaker may trip.
+    pub min_samples: usize,
+    /// Denied admissions an open breaker waits before moving to
+    /// half-open (request-count cooldown keeps transitions
+    /// deterministic; wall time would not be).
+    pub cooldown_requests: u64,
+    /// `retry_after_ms` hint attached to fail-fast rejections while
+    /// open.
+    pub open_retry_hint_ms: u64,
+    /// What to serve while open.
+    pub fallback: BreakerFallback,
+}
+
+impl BreakerConfig {
+    /// Breaker disabled (the default): every request is admitted.
+    pub fn disabled() -> Self {
+        BreakerConfig {
+            enabled: false,
+            ..Self::enabled()
+        }
+    }
+
+    /// An enabled breaker with production-shaped defaults.
+    pub fn enabled() -> Self {
+        BreakerConfig {
+            enabled: true,
+            window: 16,
+            failure_threshold: 0.5,
+            min_samples: 8,
+            cooldown_requests: 8,
+            open_retry_hint_ms: 250,
+            fallback: BreakerFallback::ConservativeMask,
+        }
+    }
+
+    /// Rejects configurations that cannot express a sane breaker.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.enabled {
+            return Ok(());
+        }
+        if self.window == 0 {
+            return Err("breaker.window must be at least 1".to_string());
+        }
+        if self.min_samples == 0 || self.min_samples > self.window {
+            return Err(format!(
+                "breaker.min_samples = {} must be within [1, window = {}]",
+                self.min_samples, self.window
+            ));
+        }
+        if !self.failure_threshold.is_finite() || !(0.0..=1.0).contains(&self.failure_threshold) {
+            return Err(format!(
+                "breaker.failure_threshold = {} must be within [0, 1]",
+                self.failure_threshold
+            ));
+        }
+        if self.cooldown_requests == 0 {
+            return Err("breaker.cooldown_requests must be at least 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// The three breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow, outcomes are recorded.
+    Closed,
+    /// Tripped: requests fail fast or get the conservative fallback.
+    Open,
+    /// Cooling down: exactly one probe request runs for real; its
+    /// outcome decides Closed vs Open.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable gauge encoding: 0 = closed, 1 = open, 2 = half-open.
+    pub fn gauge_value(self) -> i64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BreakerState::Closed => write!(f, "closed"),
+            BreakerState::Open => write!(f, "open"),
+            BreakerState::HalfOpen => write!(f, "half-open"),
+        }
+    }
+}
+
+/// The tracker's verdict for one admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Breaker closed (or disabled): run the request normally.
+    Proceed,
+    /// Breaker half-open and this request won the probe slot: run it for
+    /// real; its outcome closes or re-opens the breaker.
+    Probe,
+    /// Breaker open with [`BreakerFallback::FailFast`]: reject with the
+    /// given hint.
+    FailFast {
+        /// Suggested client backoff.
+        retry_after_ms: u64,
+    },
+    /// Breaker open with [`BreakerFallback::ConservativeMask`] (or
+    /// half-open with the probe slot taken): serve the cached/all-DD
+    /// fallback without touching the backend.
+    Fallback,
+}
+
+/// One recorded state transition, in global sequence order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Global sequence number (0-based) across all devices.
+    pub seq: u64,
+    /// Device whose breaker moved.
+    pub device: DeviceId,
+    /// State before.
+    pub from: BreakerState,
+    /// State after.
+    pub to: BreakerState,
+}
+
+impl std::fmt::Display for Transition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "#{} {}: {} -> {}",
+            self.seq, self.device, self.from, self.to
+        )
+    }
+}
+
+struct DeviceHealth {
+    state: BreakerState,
+    /// Sliding window of outcomes; `true` = failure.
+    window: VecDeque<bool>,
+    /// Admissions denied since the breaker opened (cooldown counter).
+    denied_since_open: u64,
+    /// A half-open probe is currently in flight.
+    probe_in_flight: bool,
+    state_gauge: adapt_obs::Gauge,
+}
+
+/// Aggregate breaker counters, mirrored into `adapt_service_breaker_*`.
+struct BreakerMetrics {
+    trips: adapt_obs::Counter,
+    probes: adapt_obs::Counter,
+    recoveries: adapt_obs::Counter,
+    fallbacks: adapt_obs::Counter,
+    fail_fast: adapt_obs::Counter,
+}
+
+/// Everything guarded by one lock: per-device health plus the
+/// transition log (kept together so the log order matches the decisions
+/// exactly).
+struct TrackerState {
+    devices: HashMap<DeviceId, DeviceHealth>,
+    transitions: Vec<Transition>,
+}
+
+/// Per-device circuit breakers (see module docs).
+pub struct HealthTracker {
+    config: BreakerConfig,
+    state: Mutex<TrackerState>,
+    metrics: BreakerMetrics,
+}
+
+impl std::fmt::Debug for HealthTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HealthTracker")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl HealthTracker {
+    /// Builds a tracker for `devices`, publishing per-device state
+    /// gauges (`adapt_service_breaker_state_<device>`: 0 = closed,
+    /// 1 = open, 2 = half-open) and aggregate counters into `registry`.
+    pub fn new(
+        config: BreakerConfig,
+        devices: &[DeviceId],
+        registry: &adapt_obs::Registry,
+    ) -> Self {
+        let devices = devices
+            .iter()
+            .map(|&id| {
+                let state_gauge =
+                    registry.gauge(&format!("adapt_service_breaker_state_{}", id.name()));
+                state_gauge.set(BreakerState::Closed.gauge_value());
+                (
+                    id,
+                    DeviceHealth {
+                        state: BreakerState::Closed,
+                        window: VecDeque::new(),
+                        denied_since_open: 0,
+                        probe_in_flight: false,
+                        state_gauge,
+                    },
+                )
+            })
+            .collect();
+        HealthTracker {
+            config,
+            state: Mutex::new(TrackerState {
+                devices,
+                transitions: Vec::new(),
+            }),
+            metrics: BreakerMetrics {
+                trips: registry.counter("adapt_service_breaker_trips_total"),
+                probes: registry.counter("adapt_service_breaker_probes_total"),
+                recoveries: registry.counter("adapt_service_breaker_recoveries_total"),
+                fallbacks: registry.counter("adapt_service_breaker_fallbacks_total"),
+                fail_fast: registry.counter("adapt_service_breaker_fail_fast_total"),
+            },
+        }
+    }
+
+    /// The configured behaviour.
+    pub fn config(&self) -> &BreakerConfig {
+        &self.config
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TrackerState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn transition(ts: &mut TrackerState, device: DeviceId, to: BreakerState) {
+        let seq = ts.transitions.len() as u64;
+        let health = ts.devices.get_mut(&device).expect("registered device");
+        let from = health.state;
+        if from == to {
+            return;
+        }
+        health.state = to;
+        health.state_gauge.set(to.gauge_value());
+        ts.transitions.push(Transition {
+            seq,
+            device,
+            from,
+            to,
+        });
+    }
+
+    /// Admission decision for one request aimed at `device`. Unknown
+    /// devices (not in this tracker) always proceed — the service
+    /// rejects them later as not-served.
+    pub fn admit(&self, device: DeviceId) -> Admission {
+        if !self.config.enabled {
+            return Admission::Proceed;
+        }
+        let mut ts = self.lock();
+        let Some(health) = ts.devices.get_mut(&device) else {
+            return Admission::Proceed;
+        };
+        match health.state {
+            BreakerState::Closed => Admission::Proceed,
+            BreakerState::Open => {
+                health.denied_since_open += 1;
+                if health.denied_since_open >= self.config.cooldown_requests {
+                    health.probe_in_flight = true;
+                    Self::transition(&mut ts, device, BreakerState::HalfOpen);
+                    self.metrics.probes.inc();
+                    return Admission::Probe;
+                }
+                self.denied(device)
+            }
+            BreakerState::HalfOpen => {
+                if health.probe_in_flight {
+                    self.denied(device)
+                } else {
+                    health.probe_in_flight = true;
+                    self.metrics.probes.inc();
+                    Admission::Probe
+                }
+            }
+        }
+    }
+
+    /// The open-breaker response per the configured fallback.
+    fn denied(&self, _device: DeviceId) -> Admission {
+        match self.config.fallback {
+            BreakerFallback::FailFast => {
+                self.metrics.fail_fast.inc();
+                Admission::FailFast {
+                    retry_after_ms: self.config.open_retry_hint_ms,
+                }
+            }
+            BreakerFallback::ConservativeMask => {
+                self.metrics.fallbacks.inc();
+                Admission::Fallback
+            }
+        }
+    }
+
+    /// Records the outcome of a normally-admitted ([`Admission::Proceed`])
+    /// backend-touching request. `failure` means a typed error *or* a
+    /// search that degraded to the all-DD fallback — both are symptoms
+    /// of a device that cannot serve its decoy runs.
+    pub fn record(&self, device: DeviceId, failure: bool) {
+        if !self.config.enabled {
+            return;
+        }
+        let mut ts = self.lock();
+        let Some(health) = ts.devices.get_mut(&device) else {
+            return;
+        };
+        if health.state != BreakerState::Closed {
+            // A pre-trip request finishing late must not double-trip.
+            return;
+        }
+        health.window.push_back(failure);
+        while health.window.len() > self.config.window {
+            health.window.pop_front();
+        }
+        let samples = health.window.len();
+        let failures = health.window.iter().filter(|&&f| f).count();
+        if samples >= self.config.min_samples
+            && failures as f64 / samples as f64 >= self.config.failure_threshold
+        {
+            health.denied_since_open = 0;
+            health.window.clear();
+            Self::transition(&mut ts, device, BreakerState::Open);
+            self.metrics.trips.inc();
+        }
+    }
+
+    /// Records the outcome of an [`Admission::Probe`] request: success
+    /// closes the breaker, failure re-opens it (with a fresh cooldown).
+    pub fn record_probe(&self, device: DeviceId, failure: bool) {
+        if !self.config.enabled {
+            return;
+        }
+        let mut ts = self.lock();
+        let Some(health) = ts.devices.get_mut(&device) else {
+            return;
+        };
+        health.probe_in_flight = false;
+        if failure {
+            health.denied_since_open = 0;
+            Self::transition(&mut ts, device, BreakerState::Open);
+        } else {
+            health.window.clear();
+            Self::transition(&mut ts, device, BreakerState::Closed);
+            self.metrics.recoveries.inc();
+        }
+    }
+
+    /// Releases the probe slot without a verdict (the probe was
+    /// interrupted by its deadline, or could not reach a conclusion):
+    /// the breaker stays half-open and the next admission probes again.
+    pub fn probe_inconclusive(&self, device: DeviceId) {
+        if !self.config.enabled {
+            return;
+        }
+        let mut ts = self.lock();
+        if let Some(health) = ts.devices.get_mut(&device) {
+            health.probe_in_flight = false;
+        }
+    }
+
+    /// Current state of `device`'s breaker (None for unknown devices).
+    pub fn state(&self, device: DeviceId) -> Option<BreakerState> {
+        self.lock().devices.get(&device).map(|h| h.state)
+    }
+
+    /// The `retry_after_ms` hint a request for `device` should carry
+    /// while its breaker is not closed (0 when closed/unknown/disabled).
+    pub fn retry_hint_ms(&self, device: DeviceId) -> u64 {
+        if !self.config.enabled {
+            return 0;
+        }
+        match self.state(device) {
+            Some(BreakerState::Open | BreakerState::HalfOpen) => self.config.open_retry_hint_ms,
+            _ => 0,
+        }
+    }
+
+    /// The full transition log, in decision order.
+    pub fn transitions(&self) -> Vec<Transition> {
+        self.lock().transitions.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(config: BreakerConfig) -> HealthTracker {
+        HealthTracker::new(
+            config,
+            &[DeviceId::Guadalupe, DeviceId::Rome],
+            &adapt_obs::Registry::new(),
+        )
+    }
+
+    fn small() -> BreakerConfig {
+        BreakerConfig {
+            window: 4,
+            min_samples: 4,
+            failure_threshold: 0.5,
+            cooldown_requests: 3,
+            ..BreakerConfig::enabled()
+        }
+    }
+
+    #[test]
+    fn disabled_tracker_admits_everything_and_never_trips() {
+        let t = tracker(BreakerConfig::disabled());
+        for _ in 0..100 {
+            assert_eq!(t.admit(DeviceId::Rome), Admission::Proceed);
+            t.record(DeviceId::Rome, true);
+        }
+        assert_eq!(t.state(DeviceId::Rome), Some(BreakerState::Closed));
+        assert!(t.transitions().is_empty());
+    }
+
+    #[test]
+    fn breaker_trips_after_windowed_failures_and_recovers_via_probe() {
+        let t = tracker(small());
+        let dev = DeviceId::Rome;
+        // Four failures fill the window and trip the breaker.
+        for _ in 0..4 {
+            assert_eq!(t.admit(dev), Admission::Proceed);
+            t.record(dev, true);
+        }
+        assert_eq!(t.state(dev), Some(BreakerState::Open));
+        // Denied admissions count down the cooldown; default fallback
+        // serves the conservative mask.
+        assert_eq!(t.admit(dev), Admission::Fallback);
+        assert_eq!(t.admit(dev), Admission::Fallback);
+        // Third denied admission converts to the half-open probe.
+        assert_eq!(t.admit(dev), Admission::Probe);
+        assert_eq!(t.state(dev), Some(BreakerState::HalfOpen));
+        // While the probe is out, others still get the fallback.
+        assert_eq!(t.admit(dev), Admission::Fallback);
+        // Probe succeeds: closed again, window reset.
+        t.record_probe(dev, false);
+        assert_eq!(t.state(dev), Some(BreakerState::Closed));
+        assert_eq!(t.admit(dev), Admission::Proceed);
+        // The other device never moved.
+        assert_eq!(t.state(DeviceId::Guadalupe), Some(BreakerState::Closed));
+        let log = t.transitions();
+        assert_eq!(log.len(), 3);
+        assert_eq!(
+            log.iter().map(|tr| tr.to).collect::<Vec<_>>(),
+            vec![
+                BreakerState::Open,
+                BreakerState::HalfOpen,
+                BreakerState::Closed
+            ]
+        );
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_fresh_cooldown() {
+        let t = tracker(small());
+        let dev = DeviceId::Rome;
+        for _ in 0..4 {
+            t.admit(dev);
+            t.record(dev, true);
+        }
+        for _ in 0..2 {
+            t.admit(dev);
+        }
+        assert_eq!(t.admit(dev), Admission::Probe);
+        t.record_probe(dev, true);
+        assert_eq!(t.state(dev), Some(BreakerState::Open));
+        // Cooldown restarts: two more denials before the next probe.
+        assert_eq!(t.admit(dev), Admission::Fallback);
+        assert_eq!(t.admit(dev), Admission::Fallback);
+        assert_eq!(t.admit(dev), Admission::Probe);
+    }
+
+    #[test]
+    fn inconclusive_probe_keeps_half_open_and_reprobes() {
+        let t = tracker(small());
+        let dev = DeviceId::Rome;
+        for _ in 0..4 {
+            t.admit(dev);
+            t.record(dev, true);
+        }
+        for _ in 0..2 {
+            t.admit(dev);
+        }
+        assert_eq!(t.admit(dev), Admission::Probe);
+        t.probe_inconclusive(dev);
+        assert_eq!(t.state(dev), Some(BreakerState::HalfOpen));
+        assert_eq!(t.admit(dev), Admission::Probe);
+    }
+
+    #[test]
+    fn fail_fast_fallback_carries_the_hint() {
+        let t = tracker(BreakerConfig {
+            fallback: BreakerFallback::FailFast,
+            open_retry_hint_ms: 777,
+            ..small()
+        });
+        let dev = DeviceId::Rome;
+        for _ in 0..4 {
+            t.admit(dev);
+            t.record(dev, true);
+        }
+        assert_eq!(
+            t.admit(dev),
+            Admission::FailFast {
+                retry_after_ms: 777
+            }
+        );
+        assert_eq!(t.retry_hint_ms(dev), 777);
+        assert_eq!(t.retry_hint_ms(DeviceId::Guadalupe), 0);
+    }
+
+    #[test]
+    fn mixed_outcomes_below_threshold_never_trip() {
+        let t = tracker(small());
+        let dev = DeviceId::Guadalupe;
+        // Alternate success/failure: 25-50% failures in a 4-window, but
+        // the fraction only reaches 0.5 when min_samples is met AND two
+        // of the last four failed — alternate 1-in-4 to stay below.
+        for i in 0..64 {
+            assert_eq!(t.admit(dev), Admission::Proceed);
+            t.record(dev, i % 4 == 0);
+        }
+        assert_eq!(t.state(dev), Some(BreakerState::Closed));
+        assert!(t.transitions().is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_nonsense() {
+        assert!(BreakerConfig::disabled().validate().is_ok());
+        assert!(BreakerConfig::enabled().validate().is_ok());
+        assert!(BreakerConfig {
+            window: 0,
+            ..BreakerConfig::enabled()
+        }
+        .validate()
+        .is_err());
+        assert!(BreakerConfig {
+            min_samples: 20,
+            window: 10,
+            ..BreakerConfig::enabled()
+        }
+        .validate()
+        .is_err());
+        assert!(BreakerConfig {
+            failure_threshold: f64::NAN,
+            ..BreakerConfig::enabled()
+        }
+        .validate()
+        .is_err());
+        assert!(BreakerConfig {
+            cooldown_requests: 0,
+            ..BreakerConfig::enabled()
+        }
+        .validate()
+        .is_err());
+    }
+}

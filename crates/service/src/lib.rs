@@ -19,6 +19,18 @@
 //!   with admission control (typed [`ServiceError::Rejected`]
 //!   backpressure), per-request panic containment, and responses
 //!   carrying mask [`Provenance`] and [`Timing`].
+//! - Deadline propagation: a request may carry a `deadline_ms` budget
+//!   that is honoured at every layer — born-expired submissions are
+//!   rejected, queued jobs whose budget lapses are dropped unexecuted,
+//!   and a search overrunning mid-flight stops at its next neighborhood
+//!   boundary and serves a conservative partial mask
+//!   ([`Provenance::PartialSearch`], never cached).
+//! - Per-device circuit breakers ([`HealthTracker`], opt-in via
+//!   [`ServiceConfig::breaker`]): a device failing most of its recent
+//!   searches trips open, and its requests fail fast
+//!   ([`ServiceError::DeviceUnhealthy`]) or get the cached/all-DD
+//!   conservative mask ([`Provenance::BreakerFallback`]) until a
+//!   half-open probe closes the breaker again.
 //!
 //! Responses are deterministic: for one service seed, the answer for a
 //! given [`MaskKey`] is bit-identical whether it comes from a fresh
@@ -45,6 +57,7 @@
 //!         device: DeviceId::Rome,
 //!         protocol: DdProtocol::Xy4,
 //!         budget,
+//!         deadline_ms: None,
 //!     })
 //!     .expect("recommend");
 //! # let _ = first;
@@ -53,10 +66,14 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod breaker;
 pub mod cache;
 pub mod registry;
 pub mod service;
 
+pub use breaker::{
+    Admission, BreakerConfig, BreakerFallback, BreakerState, HealthTracker, Transition,
+};
 pub use cache::{CachedMask, Lookup, MaskCache, MaskCacheStats, MaskKey, SearchTicket};
 pub use registry::{DeviceId, DeviceRegistry};
 pub use service::{

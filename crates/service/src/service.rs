@@ -22,14 +22,15 @@
 //! impl, so blocked waiters never deadlock — one of them becomes the new
 //! searcher.
 
+use crate::breaker::{Admission, BreakerConfig, BreakerState, HealthTracker, Transition};
 use crate::cache::{CachedMask, Lookup, MaskCache, MaskCacheStats, MaskKey};
 use crate::registry::{DeviceId, DeviceRegistry};
 use adapt::decoy::make_decoy;
 use adapt::{Adapt, AdaptConfig, AdaptError, DdConfig, DdMask, DdProtocol, DecoyKind, Policy};
 use machine::{
-    ExecutionConfig, FaultProfile, FaultyBackend, Machine, ResilientExecutor, RetryPolicy,
+    Deadline, ExecutionConfig, FaultProfile, FaultyBackend, Machine, ResilientExecutor, RetryPolicy,
 };
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -81,6 +82,20 @@ pub struct ServiceConfig {
     pub decoy: DecoyKind,
     /// Default budget for [`Request::Execute`]-triggered searches.
     pub default_budget: SearchBudget,
+    /// Per-device circuit breaker. Disabled by default: breaker
+    /// decisions couple requests to each other (an open breaker changes
+    /// what *other* keys' requests get back), which intentionally trades
+    /// the service's pure per-key determinism for failure isolation —
+    /// opt in where that trade is wanted (production, the chaos
+    /// harness).
+    pub breaker: BreakerConfig,
+    /// Build request deadlines from charged virtual time only
+    /// ([`Deadline::virtual_only`]) instead of wall time
+    /// ([`Deadline::within_ms`]). With charged-only deadlines expiry is
+    /// a pure function of the seeded fault schedule, so deadline
+    /// behaviour replays bit-identically — the mode the chaos harness
+    /// and the deterministic tests run in.
+    pub virtual_deadlines: bool,
     /// Metrics registry the service publishes `adapt_service_*` metrics
     /// into. Defaults to a fresh private registry, so every service
     /// instance keeps isolated counters (and [`MaskService::stats`] is
@@ -103,8 +118,30 @@ impl Default for ServiceConfig {
             retry: RetryPolicy::default(),
             decoy: DecoyKind::default(),
             default_budget: SearchBudget::default(),
+            breaker: BreakerConfig::disabled(),
+            virtual_deadlines: false,
             registry: Arc::new(adapt_obs::Registry::new()),
         }
+    }
+}
+
+impl ServiceConfig {
+    /// Rejects configurations the service cannot run with (invalid
+    /// retry policy or breaker tuning).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidConfig`] naming the first violation.
+    pub fn validate(&self) -> Result<(), ServiceError> {
+        self.retry
+            .validate()
+            .map_err(|e| ServiceError::InvalidConfig {
+                reason: e.to_string(),
+            })?;
+        self.breaker
+            .validate()
+            .map_err(|reason| ServiceError::InvalidConfig { reason })?;
+        Ok(())
     }
 }
 
@@ -121,6 +158,13 @@ pub enum Request {
         protocol: DdProtocol,
         /// Search budget (only consulted on a cache miss).
         budget: SearchBudget,
+        /// Time budget for the whole request (queue wait included),
+        /// `None` for unbounded. An expired deadline is honoured at
+        /// every layer: born-expired submissions are rejected without
+        /// enqueueing, queued jobs whose deadline lapses are dropped
+        /// (counted, not executed), and a search overrunning mid-flight
+        /// is cut short into a conservative partial mask.
+        deadline_ms: Option<u64>,
     },
     /// Execute `circuit` on `device` under `policy` (ADAPT consults the
     /// mask cache like a recommendation would).
@@ -131,7 +175,28 @@ pub enum Request {
         device: DeviceId,
         /// DD policy to apply.
         policy: Policy,
+        /// Time budget for the whole request; see
+        /// [`Request::RecommendMask::deadline_ms`].
+        deadline_ms: Option<u64>,
     },
+}
+
+impl Request {
+    /// The device this request targets.
+    pub fn device(&self) -> DeviceId {
+        match self {
+            Request::RecommendMask { device, .. } | Request::Execute { device, .. } => *device,
+        }
+    }
+
+    /// The request's time budget, if any.
+    pub fn deadline_ms(&self) -> Option<u64> {
+        match self {
+            Request::RecommendMask { deadline_ms, .. } | Request::Execute { deadline_ms, .. } => {
+                *deadline_ms
+            }
+        }
+    }
 }
 
 /// How a recommendation was produced.
@@ -145,6 +210,15 @@ pub enum Provenance {
     /// A fresh search ran, but at least one neighborhood degraded to the
     /// conservative all-DD fallback (backend unavailability).
     DegradedAllDd,
+    /// The request's deadline expired mid-search: completed
+    /// neighborhoods keep their merged bits, the rest fall back to
+    /// all-DD. Partial masks are served but never cached — the next
+    /// request for the key searches afresh with its own budget.
+    PartialSearch,
+    /// The device's circuit breaker is open; the backend was not
+    /// touched. The mask is the cached one when available, otherwise
+    /// the conservative all-DD mask. Never cached.
+    BreakerFallback,
 }
 
 impl std::fmt::Display for Provenance {
@@ -153,6 +227,8 @@ impl std::fmt::Display for Provenance {
             Provenance::CacheHit => write!(f, "cache-hit"),
             Provenance::FreshSearch => write!(f, "fresh-search"),
             Provenance::DegradedAllDd => write!(f, "degraded-all-dd"),
+            Provenance::PartialSearch => write!(f, "partial-search"),
+            Provenance::BreakerFallback => write!(f, "breaker-fallback"),
         }
     }
 }
@@ -247,6 +323,30 @@ pub enum ServiceError {
     },
     /// The requested device is not in this service's registry.
     DeviceNotServed(DeviceId),
+    /// The request's deadline expired before a full answer could be
+    /// produced — at submission (born expired), while queued (dropped
+    /// unexecuted), or after service when the answer would have arrived
+    /// late and carried no conservative-fallback tag.
+    DeadlineExceeded {
+        /// Time counted against the budget when the request was given
+        /// up on.
+        elapsed_ms: u64,
+        /// The request's budget.
+        budget_ms: u64,
+    },
+    /// The device's circuit breaker is open and configured to fail
+    /// fast. Back off for about `retry_after_ms`, or retarget.
+    DeviceUnhealthy {
+        /// The device whose breaker is open.
+        device: DeviceId,
+        /// Suggested client backoff before resubmitting.
+        retry_after_ms: u64,
+    },
+    /// The service configuration failed validation at start.
+    InvalidConfig {
+        /// The first violation found.
+        reason: String,
+    },
     /// The search or execution failed (typed, including
     /// [`adapt::SearchError::TooLarge`] for oversized sweeps).
     Failed(AdaptError),
@@ -274,6 +374,23 @@ impl std::fmt::Display for ServiceError {
                 "rejected: queue full at depth {queue_depth}, retry after ~{retry_after_ms} ms"
             ),
             ServiceError::DeviceNotServed(id) => write!(f, "device {id} is not served"),
+            ServiceError::DeadlineExceeded {
+                elapsed_ms,
+                budget_ms,
+            } => write!(
+                f,
+                "deadline exceeded: {elapsed_ms} ms elapsed against a {budget_ms} ms budget"
+            ),
+            ServiceError::DeviceUnhealthy {
+                device,
+                retry_after_ms,
+            } => write!(
+                f,
+                "device {device} is unhealthy (breaker open), retry after ~{retry_after_ms} ms"
+            ),
+            ServiceError::InvalidConfig { reason } => {
+                write!(f, "invalid service configuration: {reason}")
+            }
             ServiceError::Failed(e) => write!(f, "request failed: {e}"),
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
             ServiceError::Internal { reason } => write!(f, "internal worker failure: {reason}"),
@@ -297,6 +414,14 @@ pub struct ServiceStats {
     pub accepted: u64,
     /// Requests rejected by admission control.
     pub rejected: u64,
+    /// Rejections because the queue was full.
+    pub rejected_queue: u64,
+    /// Rejections because the target device's breaker was open in
+    /// fail-fast mode.
+    pub rejected_breaker: u64,
+    /// Rejections because the request's deadline was already expired at
+    /// submission.
+    pub rejected_deadline: u64,
     /// Requests completed (ok or typed error).
     pub completed: u64,
     /// Requests answered with a typed error.
@@ -305,6 +430,22 @@ pub struct ServiceStats {
     pub searches: u64,
     /// Worker panics caught (pool kept serving).
     pub worker_panics: u64,
+    /// Queued jobs whose deadline expired before a worker reached them
+    /// (answered with the typed error, never executed).
+    pub deadline_dropped: u64,
+    /// Requests answered with [`ServiceError::DeadlineExceeded`]
+    /// (dropped-in-queue, interrupted in flight, or finished late with
+    /// no conservative-fallback tag).
+    pub deadline_exceeded: u64,
+    /// Searches cut short by their deadline and served as conservative
+    /// partial masks (not cached).
+    pub partial_searches: u64,
+    /// Requests served the breaker's cached/all-DD fallback mask.
+    pub breaker_fallbacks: u64,
+    /// Circuit-breaker trips (closed → open).
+    pub breaker_trips: u64,
+    /// Circuit-breaker recoveries (half-open probe succeeded).
+    pub breaker_recoveries: u64,
     /// Deepest queue observed at submission.
     pub peak_queue_depth: usize,
 }
@@ -317,10 +458,21 @@ struct Metrics {
     requests: adapt_obs::Counter,
     accepted: adapt_obs::Counter,
     rejected: adapt_obs::Counter,
+    rejected_queue: adapt_obs::Counter,
+    rejected_breaker: adapt_obs::Counter,
+    rejected_deadline: adapt_obs::Counter,
     completed: adapt_obs::Counter,
     failed: adapt_obs::Counter,
     searches: adapt_obs::Counter,
     worker_panics: adapt_obs::Counter,
+    deadline_dropped: adapt_obs::Counter,
+    deadline_exceeded: adapt_obs::Counter,
+    partial_searches: adapt_obs::Counter,
+    /// Resolved by name from the same registry the [`HealthTracker`]
+    /// publishes into, so `stats()` can read the breaker counters back.
+    breaker_fallbacks: adapt_obs::Counter,
+    breaker_trips: adapt_obs::Counter,
+    breaker_recoveries: adapt_obs::Counter,
     queue_depth: adapt_obs::Gauge,
     peak_queue_depth: adapt_obs::Gauge,
     queued_us: adapt_obs::Histogram,
@@ -337,10 +489,19 @@ impl Metrics {
             requests: r.counter("adapt_service_requests_total"),
             accepted: r.counter("adapt_service_accepted_total"),
             rejected: r.counter("adapt_service_rejected_total"),
+            rejected_queue: r.counter("adapt_service_rejected_queue_total"),
+            rejected_breaker: r.counter("adapt_service_rejected_breaker_total"),
+            rejected_deadline: r.counter("adapt_service_rejected_deadline_total"),
             completed: r.counter("adapt_service_completed_total"),
             failed: r.counter("adapt_service_failed_total"),
             searches: r.counter("adapt_service_searches_total"),
             worker_panics: r.counter("adapt_service_worker_panics_total"),
+            deadline_dropped: r.counter("adapt_service_deadline_dropped_total"),
+            deadline_exceeded: r.counter("adapt_service_deadline_exceeded_total"),
+            partial_searches: r.counter("adapt_service_partial_searches_total"),
+            breaker_fallbacks: r.counter("adapt_service_breaker_fallbacks_total"),
+            breaker_trips: r.counter("adapt_service_breaker_trips_total"),
+            breaker_recoveries: r.counter("adapt_service_breaker_recoveries_total"),
             queue_depth: r.gauge("adapt_service_queue_depth"),
             peak_queue_depth: r.gauge("adapt_service_peak_queue_depth"),
             queued_us: r.histogram("adapt_service_queued_us"),
@@ -355,6 +516,10 @@ struct Job {
     request: Request,
     reply: Sender<Result<Response, ServiceError>>,
     enqueued: Instant,
+    deadline: Deadline,
+    /// Breaker verdict taken at submission (admission order equals
+    /// queue order — decided under the queue lock).
+    admission: Admission,
 }
 
 #[derive(Default)]
@@ -372,6 +537,11 @@ struct Shared {
     metrics: Metrics,
     /// The (always enabled) registry backing [`Shared::metrics`].
     obs: Arc<adapt_obs::Registry>,
+    /// Per-device circuit breakers.
+    health: HealthTracker,
+    /// Runtime per-device fault-profile overrides (chaos schedules flip
+    /// these mid-run); devices not in the map use the config profile.
+    fault_overrides: Mutex<HashMap<DeviceId, FaultProfile>>,
     shutdown: AtomicBool,
 }
 
@@ -405,7 +575,27 @@ impl std::fmt::Debug for MaskService {
 
 impl MaskService {
     /// Builds the registry and starts the worker pool.
+    ///
+    /// # Panics
+    ///
+    /// On an invalid configuration; use [`Self::try_start`] to get the
+    /// typed [`ServiceError::InvalidConfig`] instead.
     pub fn start(config: ServiceConfig) -> Self {
+        match Self::try_start(config) {
+            Ok(service) => service,
+            Err(e) => panic!("invalid service config: {e}"),
+        }
+    }
+
+    /// [`Self::start`] with configuration validation surfaced as a
+    /// typed error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidConfig`] when the retry policy or breaker
+    /// tuning fails [`ServiceConfig::validate`].
+    pub fn try_start(config: ServiceConfig) -> Result<Self, ServiceError> {
+        config.validate()?;
         let registry = DeviceRegistry::new(&config.devices, config.seed);
         // The obs registry doubles as the service's own accounting, so a
         // disabled one is swapped for a private enabled registry.
@@ -415,6 +605,7 @@ impl MaskService {
             Arc::new(adapt_obs::Registry::new())
         };
         let cache = Arc::new(MaskCache::with_registry(config.cache_capacity, &obs));
+        let health = HealthTracker::new(config.breaker, &config.devices, &obs);
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             registry,
@@ -422,6 +613,8 @@ impl MaskService {
             queue: Queue::default(),
             metrics: Metrics::for_registry(&obs),
             obs,
+            health,
+            fault_overrides: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
             config,
         });
@@ -434,7 +627,7 @@ impl MaskService {
                     .expect("spawn service worker")
             })
             .collect();
-        MaskService { shared, workers }
+        Ok(MaskService { shared, workers })
     }
 
     /// Submits a request, subject to admission control.
@@ -442,10 +635,21 @@ impl MaskService {
     /// # Errors
     ///
     /// [`ServiceError::Rejected`] when the queue is at capacity (the
-    /// request was *not* enqueued — back off and resubmit), and
+    /// request was *not* enqueued — back off and resubmit; the hint is
+    /// the larger of the queue-drain estimate and the target device's
+    /// breaker-open hint), [`ServiceError::DeadlineExceeded`] when the
+    /// request's deadline is already expired at submission (not
+    /// enqueued), [`ServiceError::DeviceUnhealthy`] when the device's
+    /// breaker is open in fail-fast mode, and
     /// [`ServiceError::ShuttingDown`] after [`Self::shutdown`] began.
     pub fn submit(&self, request: Request) -> Result<Pending, ServiceError> {
         let shared = &self.shared;
+        let device = request.device();
+        let deadline = match request.deadline_ms() {
+            Some(b) if shared.config.virtual_deadlines => Deadline::virtual_only(b),
+            Some(b) => Deadline::within_ms(b),
+            None => Deadline::none(),
+        };
         let (tx, rx) = channel();
         {
             let mut jobs = lock(&shared.queue.jobs);
@@ -459,15 +663,39 @@ impl MaskService {
             shared.metrics.requests.inc();
             if depth >= shared.config.queue_capacity {
                 shared.metrics.rejected.inc();
+                shared.metrics.rejected_queue.inc();
                 return Err(ServiceError::Rejected {
                     queue_depth: depth,
-                    retry_after_ms: self.retry_after_ms(depth),
+                    retry_after_ms: self
+                        .retry_after_ms(depth)
+                        .max(shared.health.retry_hint_ms(device)),
+                });
+            }
+            // A born-expired deadline never earns a queue slot.
+            if deadline.check().is_err() {
+                shared.metrics.rejected.inc();
+                shared.metrics.rejected_deadline.inc();
+                shared.metrics.deadline_exceeded.inc();
+                return Err(deadline_error(&deadline));
+            }
+            // The breaker verdict is taken under the queue lock, so the
+            // admission sequence (which drives cooldown counting and
+            // probe hand-out) is exactly the accepted-submission order.
+            let admission = shared.health.admit(device);
+            if let Admission::FailFast { retry_after_ms } = admission {
+                shared.metrics.rejected.inc();
+                shared.metrics.rejected_breaker.inc();
+                return Err(ServiceError::DeviceUnhealthy {
+                    device,
+                    retry_after_ms,
                 });
             }
             jobs.push_back(Job {
                 request,
                 reply: tx,
                 enqueued: Instant::now(),
+                deadline,
+                admission,
             });
             shared.metrics.queue_depth.set(depth as i64 + 1);
             shared.metrics.peak_queue_depth.set_max(depth as i64 + 1);
@@ -513,12 +741,50 @@ impl MaskService {
         ServiceStats {
             accepted: m.accepted.get(),
             rejected: m.rejected.get(),
+            rejected_queue: m.rejected_queue.get(),
+            rejected_breaker: m.rejected_breaker.get(),
+            rejected_deadline: m.rejected_deadline.get(),
             completed: m.completed.get(),
             failed: m.failed.get(),
             searches: m.searches.get(),
             worker_panics: m.worker_panics.get(),
+            deadline_dropped: m.deadline_dropped.get(),
+            deadline_exceeded: m.deadline_exceeded.get(),
+            partial_searches: m.partial_searches.get(),
+            breaker_fallbacks: m.breaker_fallbacks.get(),
+            breaker_trips: m.breaker_trips.get(),
+            breaker_recoveries: m.breaker_recoveries.get(),
             peak_queue_depth: m.peak_queue_depth.get().max(0) as usize,
         }
+    }
+
+    /// Current breaker state of `device` (`None` for devices this
+    /// service does not serve).
+    pub fn breaker_state(&self, device: DeviceId) -> Option<BreakerState> {
+        self.shared.health.state(device)
+    }
+
+    /// The full breaker transition log, in decision order. With a
+    /// deterministic load (single client, single worker, seeded faults,
+    /// virtual deadlines) two identical runs produce identical logs —
+    /// the chaos harness asserts exactly that.
+    pub fn breaker_transitions(&self) -> Vec<Transition> {
+        self.shared.health.transitions()
+    }
+
+    /// Replaces the fault profile that per-request backends for
+    /// `device` are built with (the config profile applies where no
+    /// override is set). Chaos schedules flip these mid-run to make a
+    /// device storm, die, or recover; only requests *submitted after*
+    /// the call see the new profile.
+    pub fn set_fault_profile(&self, device: DeviceId, profile: FaultProfile) {
+        lock(&self.shared.fault_overrides).insert(device, profile);
+    }
+
+    /// Removes the fault-profile override of `device`, restoring the
+    /// config profile.
+    pub fn clear_fault_profile(&self, device: DeviceId) {
+        lock(&self.shared.fault_overrides).remove(&device);
     }
 
     /// The (always enabled) metrics registry this service publishes
@@ -605,19 +871,42 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
         };
         let queued_us = job.enqueued.elapsed().as_micros() as u64;
+        let device = job.request.device();
+        let m = &shared.metrics;
+        // A deadline that lapsed while the job sat queued: counted and
+        // answered with the typed error, never executed.
+        if job.deadline.check().is_err() {
+            m.completed.inc();
+            m.failed.inc();
+            m.deadline_dropped.inc();
+            m.deadline_exceeded.inc();
+            m.queued_us.record(queued_us);
+            if job.admission == Admission::Probe {
+                shared.health.probe_inconclusive(device);
+            }
+            let _ = job.reply.send(Err(deadline_error(&job.deadline)));
+            continue;
+        }
         let served = Instant::now();
+        let admission = job.admission;
+        let deadline = job.deadline.clone();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            handle_request(shared, job.request, queued_us)
+            handle_request(shared, job.request, queued_us, &deadline, admission)
         }));
         let service_us = served.elapsed().as_micros() as u64;
-        let m = &shared.metrics;
         m.completed.inc();
         m.service_us_total.add(service_us);
         m.queued_us.record(queued_us);
         m.service_us.record(service_us);
         m.request_us.record(queued_us + service_us);
+        // Health is judged on the raw outcome, before any late-response
+        // conversion: breaker transitions then depend only on the seeded
+        // search outcomes and the admission order, not on wall-clock
+        // luck.
+        record_health(shared, device, admission, &outcome);
         let reply = match outcome {
             Ok(result) => {
+                let result = finalize_deadline(result, &job.deadline, m);
                 if result.is_err() {
                     m.failed.inc();
                 }
@@ -639,10 +928,92 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// The typed deadline error, with the numbers read off the deadline
+/// itself.
+fn deadline_error(deadline: &Deadline) -> ServiceError {
+    ServiceError::DeadlineExceeded {
+        elapsed_ms: deadline.elapsed_ms(),
+        budget_ms: deadline.budget_ms().unwrap_or(0),
+    }
+}
+
+/// The provenance a response carries, if any.
+fn provenance_of(response: &Response) -> Option<Provenance> {
+    match response {
+        Response::Mask(r) => Some(r.provenance),
+        Response::Execution(e) => e.provenance,
+    }
+}
+
+/// Feeds one request outcome into the device's breaker. Only
+/// backend-touching verdicts count: a fresh search is a success, a
+/// degraded or failed one a failure; cache hits, fallbacks and
+/// deadline interruptions say nothing about device health. A worker
+/// panic counts as a failure (the device's stack brought a worker
+/// down).
+fn record_health(
+    shared: &Shared,
+    device: DeviceId,
+    admission: Admission,
+    outcome: &Result<Result<Response, ServiceError>, Box<dyn std::any::Any + Send>>,
+) {
+    let verdict: Option<bool> = match outcome {
+        Err(_) => Some(true),
+        Ok(Ok(response)) => match provenance_of(response) {
+            Some(Provenance::FreshSearch) => Some(false),
+            Some(Provenance::DegradedAllDd) => Some(true),
+            _ => None,
+        },
+        Ok(Err(ServiceError::Failed(_))) => Some(true),
+        Ok(Err(_)) => None,
+    };
+    match (admission, verdict) {
+        (Admission::Probe, Some(failure)) => shared.health.record_probe(device, failure),
+        (Admission::Probe, None) => shared.health.probe_inconclusive(device),
+        (Admission::Proceed, Some(failure)) => shared.health.record(device, failure),
+        _ => {}
+    }
+}
+
+/// Boundary enforcement of the deadline contract: a response may cross
+/// the deadline only if it is itself the deadline outcome — a partial
+/// or breaker-fallback mask, or a typed error. Anything else that
+/// finished late is converted to [`ServiceError::DeadlineExceeded`], so
+/// "no full response after its deadline" holds by construction.
+fn finalize_deadline(
+    result: Result<Response, ServiceError>,
+    deadline: &Deadline,
+    metrics: &Metrics,
+) -> Result<Response, ServiceError> {
+    match result {
+        Ok(response) => {
+            let conservative = matches!(
+                provenance_of(&response),
+                Some(Provenance::PartialSearch | Provenance::BreakerFallback)
+            );
+            if !conservative && deadline.check().is_err() {
+                metrics.deadline_exceeded.inc();
+                Err(deadline_error(deadline))
+            } else {
+                Ok(response)
+            }
+        }
+        // In-flight interruptions surface as the executor's typed error
+        // wrapped in Failed; unwrap them to the service-level variant.
+        Err(ServiceError::Failed(AdaptError::Exec(e))) if e.is_interruption() => {
+            metrics.deadline_exceeded.inc();
+            Err(deadline_error(deadline))
+        }
+        Err(e) => Err(e),
+    }
+}
+
 fn handle_request(
     shared: &Arc<Shared>,
     request: Request,
     queued_us: u64,
+    deadline: &Deadline,
+    admission: Admission,
 ) -> Result<Response, ServiceError> {
     match request {
         Request::RecommendMask {
@@ -650,9 +1021,14 @@ fn handle_request(
             device,
             protocol,
             budget,
+            deadline_ms: _,
         } => {
             let served = Instant::now();
-            let (rec, _) = recommend(shared, &circuit, device, protocol, budget)?;
+            let (rec, _) = if admission == Admission::Fallback {
+                breaker_fallback(shared, &circuit, device, protocol)?
+            } else {
+                recommend(shared, &circuit, device, protocol, budget, deadline)?
+            };
             let timing = Timing {
                 queued_us,
                 service_us: served.elapsed().as_micros() as u64,
@@ -663,9 +1039,19 @@ fn handle_request(
             circuit,
             device,
             policy,
+            deadline_ms: _,
         } => {
+            // An execution has to touch the backend; there is no
+            // conservative mask to serve in its place while the breaker
+            // is open.
+            if admission == Admission::Fallback {
+                return Err(ServiceError::DeviceUnhealthy {
+                    device,
+                    retry_after_ms: shared.health.retry_hint_ms(device),
+                });
+            }
             let served = Instant::now();
-            let exec = execute(shared, &circuit, device, policy)?;
+            let exec = execute(shared, &circuit, device, policy, deadline)?;
             let timing = Timing {
                 queued_us,
                 service_us: served.elapsed().as_micros() as u64,
@@ -675,12 +1061,73 @@ fn handle_request(
     }
 }
 
+/// Serves a request whose device breaker is open without touching the
+/// backend: the cached mask when one exists (any epoch match), the
+/// conservative all-DD mask otherwise. Never cached, never counted as a
+/// search.
+fn breaker_fallback(
+    shared: &Arc<Shared>,
+    circuit: &qcirc::Circuit,
+    device: DeviceId,
+    protocol: DdProtocol,
+) -> Result<(Recommendation, Machine), ServiceError> {
+    let (epoch, machine) = shared
+        .registry
+        .snapshot(device)
+        .ok_or(ServiceError::DeviceNotServed(device))?;
+    let compiled = transpile(circuit, machine.device(), &TranspileOptions::default());
+    let key = MaskKey {
+        device,
+        epoch,
+        circuit_hash: machine::structural_hash(&compiled.timed),
+        protocol,
+        decoy: shared.config.decoy,
+    };
+    // `adapt_service_breaker_fallbacks_total` was already incremented by
+    // the tracker when it handed out this Fallback admission.
+    let rec = match shared.cache.peek(&key) {
+        Some(cached) => Recommendation {
+            key,
+            mask: cached.mask,
+            decoy_fidelity: cached.decoy_fidelity,
+            decoy_runs: cached.decoy_runs,
+            provenance: Provenance::BreakerFallback,
+            degraded: cached.degraded,
+            timing: Timing::default(),
+        },
+        None => Recommendation {
+            key,
+            mask: DdMask::all(circuit.num_qubits()),
+            decoy_fidelity: 0.0,
+            decoy_runs: 0,
+            provenance: Provenance::BreakerFallback,
+            degraded: true,
+            timing: Timing::default(),
+        },
+    };
+    Ok((rec, machine))
+}
+
 /// Builds the deterministic per-request backend stack for `key` (see the
-/// module-level determinism contract).
-fn backend_for(shared: &Shared, machine: Machine, fingerprint: u64) -> Adapt {
+/// module-level determinism contract). The request's deadline bounds the
+/// retry ladder: backoff is clamped to the remaining budget and charged
+/// against it, and an expired deadline fails attempts fast with the
+/// typed error instead of climbing further.
+fn backend_for(
+    shared: &Shared,
+    machine: Machine,
+    device: DeviceId,
+    fingerprint: u64,
+    deadline: &Deadline,
+) -> Adapt {
     let seed = shared.config.seed ^ fingerprint.rotate_left(17);
-    let faulty = FaultyBackend::new(machine, shared.config.fault_profile, seed);
-    let resilient = ResilientExecutor::with_policy(Arc::new(faulty), shared.config.retry);
+    let profile = lock(&shared.fault_overrides)
+        .get(&device)
+        .copied()
+        .unwrap_or(shared.config.fault_profile);
+    let faulty = FaultyBackend::new(machine, profile, seed);
+    let resilient = ResilientExecutor::with_policy(Arc::new(faulty), shared.config.retry)
+        .with_deadline(deadline.clone());
     Adapt::with_backend(Arc::new(resilient))
 }
 
@@ -717,6 +1164,7 @@ fn recommend(
     device: DeviceId,
     protocol: DdProtocol,
     budget: SearchBudget,
+    deadline: &Deadline,
 ) -> Result<(Recommendation, Machine), ServiceError> {
     let (epoch, machine) = shared
         .registry
@@ -735,12 +1183,17 @@ fn recommend(
         Lookup::Miss(ticket) => {
             // This request owns the search. Any failure drops the ticket,
             // releasing the key to coalesced waiters.
-            let adapt = backend_for(shared, machine.clone(), key.fingerprint());
+            let adapt = backend_for(shared, machine.clone(), device, key.fingerprint(), deadline);
             let cfg = adapt_config(shared, protocol, budget, key.fingerprint());
             let decoy = make_decoy(&compiled.timed, cfg.decoy_kind)
                 .map_err(|e| ServiceError::Failed(e.into()))?;
-            let result =
-                adapt.choose_mask_with_decoy(&compiled, &decoy, circuit.num_qubits(), &cfg)?;
+            let result = adapt.choose_mask_with_decoy_deadline(
+                &compiled,
+                &decoy,
+                circuit.num_qubits(),
+                &cfg,
+                deadline.clone(),
+            )?;
             shared.metrics.searches.inc();
             let decoy_fidelity = result
                 .evaluations
@@ -755,13 +1208,24 @@ fn recommend(
                 decoy_runs: result.decoy_runs(),
                 degraded: result.is_degraded(),
             };
-            ticket.complete(cached);
-            let provenance = if cached.degraded {
-                Provenance::DegradedAllDd
+            if result.partial {
+                // A deadline-truncated mask is served but never cached:
+                // dropping the ticket releases the key, so the next
+                // request (or a coalesced waiter) searches afresh with
+                // its own budget. Caching it would let one tight
+                // deadline poison every later request for the key.
+                drop(ticket);
+                shared.metrics.partial_searches.inc();
+                (cached, Provenance::PartialSearch)
             } else {
-                Provenance::FreshSearch
-            };
-            (cached, provenance)
+                ticket.complete(cached);
+                let provenance = if cached.degraded {
+                    Provenance::DegradedAllDd
+                } else {
+                    Provenance::FreshSearch
+                };
+                (cached, provenance)
+            }
         }
     };
     Ok((
@@ -783,6 +1247,7 @@ fn execute(
     circuit: &qcirc::Circuit,
     device: DeviceId,
     policy: Policy,
+    deadline: &Deadline,
 ) -> Result<Execution, ServiceError> {
     let n = circuit.num_qubits();
     let budget = shared.config.default_budget;
@@ -792,7 +1257,7 @@ fn execute(
     // oversized-program rejection surfaces as a typed error here).
     let (mask, provenance, epoch, machine) = match policy {
         Policy::Adapt => {
-            let (rec, machine) = recommend(shared, circuit, device, protocol, budget)?;
+            let (rec, machine) = recommend(shared, circuit, device, protocol, budget, deadline)?;
             (rec.mask, Some(rec.provenance), rec.key.epoch, machine)
         }
         Policy::NoDd | Policy::AllDd => {
@@ -813,7 +1278,7 @@ fn execute(
                 .snapshot(device)
                 .ok_or(ServiceError::DeviceNotServed(device))?;
             let fingerprint = 0x5EED_0DD5u64 ^ (epoch << 32);
-            let adapt = backend_for(shared, machine, fingerprint);
+            let adapt = backend_for(shared, machine, device, fingerprint, deadline);
             let cfg = adapt_config(shared, protocol, budget, fingerprint);
             let run = adapt.run_policy(circuit, policy, &cfg)?;
             return Ok(Execution {
@@ -838,7 +1303,13 @@ fn execute(
         protocol,
         decoy: shared.config.decoy,
     };
-    let adapt = backend_for(shared, machine, key.fingerprint() ^ 0xEC5E_C0DE);
+    let adapt = backend_for(
+        shared,
+        machine,
+        device,
+        key.fingerprint() ^ 0xEC5E_C0DE,
+        deadline,
+    );
     let cfg = adapt_config(shared, protocol, budget, key.fingerprint());
     let ideal = adapt.ideal_output(circuit)?;
     let (_counts, fidelity, pulse_count) = adapt.run_with_mask(&compiled, &ideal, mask, &cfg)?;

@@ -1,0 +1,103 @@
+//! Property tests over the circuit-breaker state machine: an
+//! all-success outcome stream can never trip a breaker, and any finite
+//! failure burst is always recovered from within the probe budget once
+//! the device is healthy again. Every scenario is a pure function of
+//! the printed inputs, so a failing case replays exactly.
+
+use adapt_service::{
+    Admission, BreakerConfig, BreakerFallback, BreakerState, DeviceId, HealthTracker,
+};
+use proptest::prelude::*;
+
+fn tracker(config: BreakerConfig) -> HealthTracker {
+    HealthTracker::new(config, &[DeviceId::Rome], &adapt_obs::Registry::new())
+}
+
+/// Valid enabled configs. The failure threshold stays strictly positive:
+/// a zero threshold is the (valid, pathological) "trip on any full
+/// window" tuning, for which no-trip-on-success does not hold.
+fn config_strategy() -> impl Strategy<Value = BreakerConfig> {
+    (1usize..24, 0.05f64..1.0, 1u64..12, 1u64..2_000, 0.0f64..1.0).prop_map(
+        |(window, failure_threshold, cooldown_requests, open_retry_hint_ms, min_frac)| {
+            // min_samples uniform over [1, window] via a fraction, since
+            // this proptest fork has no dependent (flat-mapped) ranges.
+            let min_samples = 1 + ((window - 1) as f64 * min_frac) as usize;
+            BreakerConfig {
+                enabled: true,
+                window,
+                failure_threshold,
+                min_samples,
+                cooldown_requests,
+                open_retry_hint_ms,
+                fallback: BreakerFallback::ConservativeMask,
+            }
+        },
+    )
+}
+
+/// One healthy round-trip: admit, and answer whatever slot was handed
+/// out with a success.
+fn healthy_step(t: &HealthTracker, dev: DeviceId) {
+    match t.admit(dev) {
+        Admission::Proceed => t.record(dev, false),
+        Admission::Probe => t.record_probe(dev, false),
+        Admission::Fallback | Admission::FailFast { .. } => {}
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn all_success_traffic_never_trips(config in config_strategy(), n in 0usize..256) {
+        prop_assert!(config.validate().is_ok());
+        let t = tracker(config);
+        let dev = DeviceId::Rome;
+        for _ in 0..n {
+            prop_assert_eq!(t.admit(dev), Admission::Proceed);
+            t.record(dev, false);
+        }
+        prop_assert_eq!(t.state(dev), Some(BreakerState::Closed));
+        prop_assert!(t.transitions().is_empty());
+    }
+
+    #[test]
+    fn finite_failure_burst_always_returns_to_closed(
+        config in config_strategy(),
+        burst in 1usize..128,
+    ) {
+        let t = tracker(config);
+        let dev = DeviceId::Rome;
+        // The sick phase: every admitted request fails, every probe
+        // fails. Outcomes are always recorded in the same step, so no
+        // probe slot is ever left dangling.
+        for _ in 0..burst {
+            match t.admit(dev) {
+                Admission::Proceed => t.record(dev, true),
+                Admission::Probe => t.record_probe(dev, true),
+                Admission::Fallback | Admission::FailFast { .. } => {}
+            }
+        }
+        // The device heals. From any reachable state the breaker must
+        // close within the probe budget: at most `cooldown_requests`
+        // denials to earn the half-open probe, plus the probe itself.
+        let budget = config.cooldown_requests as usize + 2;
+        let mut steps = 0usize;
+        while t.state(dev) != Some(BreakerState::Closed) {
+            prop_assert!(
+                steps < budget,
+                "breaker still {:?} after {} healthy admissions (budget {})",
+                t.state(dev),
+                steps,
+                budget
+            );
+            healthy_step(&t, dev);
+            steps += 1;
+        }
+        // And it stays closed under further healthy traffic.
+        for _ in 0..config.window {
+            healthy_step(&t, dev);
+        }
+        prop_assert_eq!(t.state(dev), Some(BreakerState::Closed));
+    }
+}

@@ -44,6 +44,7 @@ fn recommend(circuit: &qcirc::Circuit, device: DeviceId) -> Request {
         device,
         protocol: DdProtocol::Xy4,
         budget: small_budget(),
+        deadline_ms: None,
     }
 }
 

@@ -1,0 +1,313 @@
+//! Deadline-propagation and circuit-breaker behaviour of the service:
+//! born-expired submissions, queue-lapsed drops, mid-search partial
+//! masks, breaker trip/fallback/probe/recovery, and config validation.
+
+use adapt::{DdMask, DdProtocol};
+use adapt_service::{
+    BreakerConfig, BreakerFallback, BreakerState, DeviceId, MaskService, Provenance, Request,
+    Response, SearchBudget, ServiceConfig, ServiceError,
+};
+use machine::{FaultProfile, RetryPolicy};
+
+fn ghz(n: u32) -> qcirc::Circuit {
+    let mut c = qcirc::Circuit::new(n as usize);
+    c.h(0);
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
+    c.measure_all();
+    c
+}
+
+/// A distinct circuit per tag (distinct structural hash → distinct
+/// cache key → every request runs a fresh search). The tag is applied
+/// as an X-gate bitmask — single X per qubit, so the transpiler cannot
+/// cancel them into a collision.
+fn tagged(n: u32, tag: usize) -> qcirc::Circuit {
+    let mut c = qcirc::Circuit::new(n as usize);
+    for q in 0..n {
+        if tag & (1 << q) != 0 {
+            c.x(q);
+        }
+    }
+    c.h(0);
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
+    c.measure_all();
+    c
+}
+
+fn small_budget() -> SearchBudget {
+    SearchBudget {
+        shots: 64,
+        trajectories: 2,
+        neighborhood: 4,
+    }
+}
+
+fn recommend(circuit: qcirc::Circuit, device: DeviceId, deadline_ms: Option<u64>) -> Request {
+    Request::RecommendMask {
+        circuit,
+        device,
+        protocol: DdProtocol::Xy4,
+        budget: small_budget(),
+        deadline_ms,
+    }
+}
+
+fn unwrap_mask(r: Response) -> adapt_service::Recommendation {
+    match r {
+        Response::Mask(rec) => rec,
+        other => panic!("expected a mask response, got {other:?}"),
+    }
+}
+
+/// A device whose every job fails: retries exhaust, searches degrade to
+/// the conservative all-DD mask, and the breaker sees failures.
+fn dead_profile() -> FaultProfile {
+    FaultProfile {
+        transient_failure: 1.0,
+        ..FaultProfile::none()
+    }
+}
+
+#[test]
+fn born_expired_submission_is_rejected_without_enqueue() {
+    let svc = MaskService::start(ServiceConfig {
+        devices: vec![DeviceId::Rome],
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let err = svc
+        .submit(recommend(ghz(3), DeviceId::Rome, Some(0)))
+        .expect_err("a zero budget is expired at submission");
+    assert!(
+        matches!(err, ServiceError::DeadlineExceeded { budget_ms: 0, .. }),
+        "expected the typed deadline error, got {err:?}"
+    );
+    let stats = svc.shutdown();
+    assert_eq!(stats.accepted, 0, "the job must never have been enqueued");
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.rejected_deadline, 1);
+    assert_eq!(stats.deadline_dropped, 0);
+    assert_eq!(stats.searches, 0);
+}
+
+#[test]
+fn deadline_lapsing_in_queue_drops_the_job_uncounted_unexecuted() {
+    let svc = MaskService::start(ServiceConfig {
+        devices: vec![DeviceId::Guadalupe],
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    // The slow job occupies the single worker for several milliseconds
+    // (a fresh 8-qubit search on the 16-qubit device); the 1 ms job
+    // behind it expires queued.
+    let slow = svc
+        .submit(recommend(ghz(8), DeviceId::Guadalupe, None))
+        .expect("submit slow");
+    let doomed = svc
+        .submit(recommend(ghz(4), DeviceId::Guadalupe, Some(1)))
+        .expect("accepted at submission — not yet expired");
+    assert!(slow.wait().is_ok(), "the slow job itself succeeds");
+    let err = doomed.wait().expect_err("expired while queued");
+    assert!(
+        matches!(err, ServiceError::DeadlineExceeded { budget_ms: 1, .. }),
+        "expected the typed deadline error, got {err:?}"
+    );
+    let stats = svc.shutdown();
+    assert_eq!(stats.deadline_dropped, 1);
+    assert_eq!(
+        stats.searches, 1,
+        "the dropped job must not have run its search"
+    );
+}
+
+#[test]
+fn deadline_mid_search_serves_a_conservative_partial_mask_and_skips_the_cache() {
+    let svc = MaskService::start(ServiceConfig {
+        devices: vec![DeviceId::Guadalupe],
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    // Generous enough to be dequeued and start searching, far too tight
+    // for the full search (hundreds of decoy simulations).
+    let circuit = ghz(7);
+    let budget = SearchBudget {
+        shots: 256,
+        trajectories: 8,
+        neighborhood: 4,
+    };
+    let rec = unwrap_mask(
+        svc.call(Request::RecommendMask {
+            circuit: circuit.clone(),
+            device: DeviceId::Guadalupe,
+            protocol: DdProtocol::Xy4,
+            budget,
+            deadline_ms: Some(5),
+        })
+        .expect("a mid-search expiry serves the conservative partial mask"),
+    );
+    assert_eq!(rec.provenance, Provenance::PartialSearch);
+    assert!(rec.degraded, "unvisited neighborhoods are all-DD");
+    // Partial masks are never cached: the same key searches afresh.
+    let retry = unwrap_mask(
+        svc.call(Request::RecommendMask {
+            circuit,
+            device: DeviceId::Guadalupe,
+            protocol: DdProtocol::Xy4,
+            budget,
+            deadline_ms: None,
+        })
+        .expect("unbounded retry"),
+    );
+    assert_ne!(
+        retry.provenance,
+        Provenance::CacheHit,
+        "the partial result must not have been cached"
+    );
+    let stats = svc.shutdown();
+    assert_eq!(stats.partial_searches, 1);
+    assert_eq!(stats.searches, 2);
+}
+
+#[test]
+fn breaker_trips_serves_conservative_fallback_and_recovers_via_probe() {
+    let svc = MaskService::start(ServiceConfig {
+        devices: vec![DeviceId::Rome],
+        workers: 1,
+        breaker: BreakerConfig {
+            window: 4,
+            min_samples: 2,
+            failure_threshold: 1.0,
+            cooldown_requests: 2,
+            fallback: BreakerFallback::ConservativeMask,
+            ..BreakerConfig::enabled()
+        },
+        ..ServiceConfig::default()
+    });
+    svc.set_fault_profile(DeviceId::Rome, dead_profile());
+    // Two fully-degraded searches fill min_samples and trip the breaker.
+    for tag in 0..2 {
+        let rec = unwrap_mask(
+            svc.call(recommend(tagged(4, tag), DeviceId::Rome, None))
+                .expect("degraded ok"),
+        );
+        assert_eq!(rec.provenance, Provenance::DegradedAllDd);
+    }
+    assert_eq!(svc.breaker_state(DeviceId::Rome), Some(BreakerState::Open));
+    // First denied admission: the conservative fallback, backend
+    // untouched (searches counter must not move).
+    let rec = unwrap_mask(
+        svc.call(recommend(tagged(4, 2), DeviceId::Rome, None))
+            .expect("fallback ok"),
+    );
+    assert_eq!(rec.provenance, Provenance::BreakerFallback);
+    assert_eq!(
+        rec.mask,
+        DdMask::all(4),
+        "nothing cached for this key, so the fallback is all-DD"
+    );
+    assert_eq!(rec.decoy_runs, 0);
+    // Heal the device; the second denied admission converts into the
+    // half-open probe, which runs for real, succeeds, and closes.
+    svc.clear_fault_profile(DeviceId::Rome);
+    let rec = unwrap_mask(
+        svc.call(recommend(tagged(4, 3), DeviceId::Rome, None))
+            .expect("probe ok"),
+    );
+    assert_eq!(rec.provenance, Provenance::FreshSearch);
+    assert_eq!(
+        svc.breaker_state(DeviceId::Rome),
+        Some(BreakerState::Closed)
+    );
+    let transitions: Vec<_> = svc.breaker_transitions().iter().map(|t| t.to).collect();
+    assert_eq!(
+        transitions,
+        vec![
+            BreakerState::Open,
+            BreakerState::HalfOpen,
+            BreakerState::Closed
+        ]
+    );
+    let stats = svc.shutdown();
+    assert_eq!(stats.breaker_trips, 1);
+    assert_eq!(stats.breaker_recoveries, 1);
+    assert_eq!(stats.breaker_fallbacks, 1);
+    assert_eq!(stats.searches, 3, "the fallback never touched the backend");
+}
+
+#[test]
+fn open_breaker_in_fail_fast_mode_rejects_at_submission() {
+    let svc = MaskService::start(ServiceConfig {
+        devices: vec![DeviceId::Rome],
+        workers: 1,
+        breaker: BreakerConfig {
+            window: 4,
+            min_samples: 1,
+            failure_threshold: 1.0,
+            cooldown_requests: 100,
+            open_retry_hint_ms: 321,
+            fallback: BreakerFallback::FailFast,
+            ..BreakerConfig::enabled()
+        },
+        ..ServiceConfig::default()
+    });
+    svc.set_fault_profile(DeviceId::Rome, dead_profile());
+    let rec = unwrap_mask(
+        svc.call(recommend(tagged(4, 0), DeviceId::Rome, None))
+            .expect("degraded ok"),
+    );
+    assert_eq!(rec.provenance, Provenance::DegradedAllDd);
+    assert_eq!(svc.breaker_state(DeviceId::Rome), Some(BreakerState::Open));
+    let err = svc
+        .submit(recommend(tagged(4, 1), DeviceId::Rome, None))
+        .expect_err("open breaker fails fast at submission");
+    assert_eq!(
+        err,
+        ServiceError::DeviceUnhealthy {
+            device: DeviceId::Rome,
+            retry_after_ms: 321
+        }
+    );
+    let stats = svc.shutdown();
+    assert_eq!(stats.rejected_breaker, 1);
+    assert_eq!(stats.searches, 1);
+}
+
+#[test]
+fn invalid_configs_surface_typed_errors_instead_of_panics() {
+    let bad_retry = ServiceConfig {
+        retry: RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        },
+        ..ServiceConfig::default()
+    };
+    assert!(matches!(
+        MaskService::try_start(bad_retry),
+        Err(ServiceError::InvalidConfig { .. })
+    ));
+    let bad_breaker = ServiceConfig {
+        breaker: BreakerConfig {
+            window: 0,
+            ..BreakerConfig::enabled()
+        },
+        ..ServiceConfig::default()
+    };
+    assert!(matches!(
+        MaskService::try_start(bad_breaker),
+        Err(ServiceError::InvalidConfig { .. })
+    ));
+    // A disabled breaker never validates its tuning: it cannot act.
+    let disabled = ServiceConfig {
+        breaker: BreakerConfig {
+            window: 0,
+            ..BreakerConfig::disabled()
+        },
+        ..ServiceConfig::default()
+    };
+    let svc = MaskService::try_start(disabled).expect("disabled breaker tuning is ignored");
+    svc.shutdown();
+}

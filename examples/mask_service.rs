@@ -52,6 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             device,
             protocol: DdProtocol::Xy4,
             budget,
+            deadline_ms: None,
         });
         match response {
             Ok(Response::Mask(rec)) => println!(
