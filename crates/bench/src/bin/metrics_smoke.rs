@@ -58,7 +58,7 @@ fn overhead() {
 /// Drives one recommendation through the full stack and checks that
 /// every instrumented layer recorded into the global registry.
 fn workload() {
-    use adapt_service::{DeviceId, MaskService, Request, SearchBudget, ServiceConfig};
+    use adapt_service::{DeviceId, MaskService, Request, SearchBudget, ServiceConfig, TierPolicy};
     let svc = MaskService::start(ServiceConfig {
         devices: vec![DeviceId::Rome],
         workers: 2,
@@ -75,6 +75,7 @@ fn workload() {
             shots: 64,
             trajectories: 2,
             neighborhood: 4,
+            tier: TierPolicy::default(),
         },
         deadline_ms: None,
     })

@@ -1,0 +1,9 @@
+//! Tiered-loadgen harness (see the experiments module docs). Exits
+//! nonzero when any provenance variant goes unexercised, the 250 ms
+//! cohort misses its 99% within-deadline SLO, a worker panics, a
+//! heuristic or stale answer is mistaken for a fresh search result, or
+//! two identical seeded runs diverge.
+fn main() {
+    let cfg = bench_harness::runner::ExperimentCfg::from_args();
+    bench_harness::experiments::tiered_loadgen::run(&cfg);
+}

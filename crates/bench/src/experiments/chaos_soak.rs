@@ -39,13 +39,21 @@
 //! 5. two identical chaos runs are bit-identical (transitions, response
 //!    digests, counters).
 //!
+//! A fourth phase soaks the PR-6 degradation ladder: a tiered service
+//! warms four hot keys, drifts an epoch so stale-while-revalidate serves
+//! superseded masks while the refine lane re-searches them, then has its
+//! refiner lane killed mid-run (`set_refiner_enabled(false)`) and drifts
+//! past the staleness bound — requests must degrade stale → heuristic
+//! without a panic or a wedge, and the whole phase must replay
+//! bit-identically.
+//!
 //! Results land in `results/BENCH_chaos.json`.
 
 use crate::runner::ExperimentCfg;
 use adapt::DdProtocol;
 use adapt_service::{
     BreakerConfig, BreakerFallback, BreakerState, DeviceId, MaskService, Provenance, Request,
-    Response, SearchBudget, ServiceConfig, ServiceError, ServiceStats,
+    Response, SearchBudget, ServiceConfig, ServiceError, ServiceStats, TierConfig, TierPolicy,
 };
 use machine::FaultProfile;
 use std::path::Path;
@@ -115,12 +123,14 @@ fn budget(cfg: &ExperimentCfg) -> SearchBudget {
             shots: 64,
             trajectories: 2,
             neighborhood: 4,
+            tier: TierPolicy::default(),
         }
     } else {
         SearchBudget {
             shots: 128,
             trajectories: 4,
             neighborhood: 4,
+            tier: TierPolicy::default(),
         }
     }
 }
@@ -302,6 +312,131 @@ fn run_phase(cfg: &ExperimentCfg, plan: &[Tick], chaos: bool) -> PhaseReport {
     report
 }
 
+/// What one tiered-ladder phase run produces, for invariants and
+/// determinism comparison (wall-clock excluded throughout).
+struct TieredReport {
+    /// One line per response: `step provenance mask fidelity-bits`.
+    digest: Vec<String>,
+    stats: ServiceStats,
+}
+
+/// Phase D: the degradation-ladder soak. Four hot Guadalupe keys are
+/// warmed, an epoch advance turns them stale (served within the bound
+/// while the refine lane upgrades them), the refiner is killed mid-run,
+/// and two further drifts push the stale copies past the bound so
+/// requests fall through to the instant heuristic. Tight deadlines run
+/// in virtual mode, so every tier decision is schedule-pure.
+fn run_tiered_phase(cfg: &ExperimentCfg) -> TieredReport {
+    let svc = MaskService::start(ServiceConfig {
+        tiers: TierConfig {
+            // A deadline below this cannot fit a search; deadline-free
+            // requests search as usual.
+            min_search_ms: 1_000,
+            max_stale_epochs: 2,
+            ..TierConfig::default()
+        },
+        ..service_config(cfg)
+    });
+    let circuits: Vec<qcirc::Circuit> = [1usize, 2, 4, 8].iter().map(|&t| tagged(6, t)).collect();
+    let mut report = TieredReport {
+        digest: Vec::new(),
+        stats: ServiceStats::default(),
+    };
+    let mut ask = |svc: &MaskService, step: &str, c: &qcirc::Circuit, deadline_ms: Option<u64>| {
+        let rec = match svc.call(Request::RecommendMask {
+            circuit: c.clone(),
+            device: DeviceId::Guadalupe,
+            protocol: DdProtocol::Xy4,
+            budget: budget(cfg),
+            deadline_ms,
+        }) {
+            Ok(Response::Mask(rec)) => rec,
+            other => panic!("tiered phase {step}: unexpected response {other:?}"),
+        };
+        report.digest.push(format!(
+            "{step} {} {} {:016x}",
+            rec.provenance,
+            rec.mask,
+            rec.decoy_fidelity.to_bits()
+        ));
+        rec.provenance
+    };
+
+    // D1: warm the hot set — four fresh searches.
+    for c in &circuits {
+        assert_eq!(ask(&svc, "warm", c, None), Provenance::FreshSearch);
+    }
+    // D2: drift lands. Stale copies serve instantly within the bound
+    // while the refine lane re-searches each key in the background.
+    svc.advance_epoch(DeviceId::Guadalupe)
+        .expect("guadalupe is registered");
+    for c in &circuits {
+        assert!(
+            matches!(
+                ask(&svc, "stale", c, None),
+                Provenance::StaleServed { age_epochs: 1 }
+            ),
+            "superseded entries within the bound must serve stale"
+        );
+    }
+    svc.drain_refines();
+    for c in &circuits {
+        assert_eq!(
+            ask(&svc, "refined", c, None),
+            Provenance::CacheHit,
+            "the refine lane must have upgraded every stale key"
+        );
+    }
+    // D3: kill the refiner lane mid-run, then drift again. Stale serving
+    // must keep working; the refresh attempts are dropped, not wedged.
+    svc.set_refiner_enabled(false);
+    svc.advance_epoch(DeviceId::Guadalupe)
+        .expect("guadalupe is registered");
+    for c in &circuits {
+        assert!(
+            matches!(
+                ask(&svc, "unrefreshed", c, None),
+                Provenance::StaleServed { age_epochs: 1 }
+            ),
+            "a dead refiner must not stop stale serving"
+        );
+    }
+    // D4: two more drifts push the stale copies past the bound. A tight
+    // (virtual) deadline cannot fit a search, so the ladder bottoms out
+    // at the instant heuristic.
+    for _ in 0..2 {
+        svc.advance_epoch(DeviceId::Guadalupe)
+            .expect("guadalupe is registered");
+    }
+    for c in &circuits {
+        assert_eq!(
+            ask(&svc, "floor", c, Some(100)),
+            Provenance::Heuristic,
+            "past the staleness bound, a tight deadline must get the heuristic"
+        );
+    }
+    report.stats = svc.shutdown();
+    report
+}
+
+/// Phase D invariants: the ladder degraded in order, nothing panicked,
+/// and the counters account every step.
+fn check_tiered_invariants(report: &TieredReport) {
+    let stats = &report.stats;
+    assert_eq!(stats.worker_panics, 0, "tiered soak must not panic");
+    assert_eq!(report.digest.len(), 20, "4 keys × 5 steps");
+    assert_eq!(stats.stale_served, 8, "D2 + D3 each serve 4 stale answers");
+    assert_eq!(stats.heuristic_served, 4, "D4 serves 4 heuristic answers");
+    assert_eq!(
+        stats.refines_completed, 4,
+        "the live refiner must upgrade all 4 hot keys"
+    );
+    assert!(
+        stats.refines_dropped >= 4,
+        "the killed refiner must drop refresh attempts, not queue them: {stats:?}"
+    );
+}
+
 fn state_of(report: &PhaseReport, device: DeviceId) -> Option<BreakerState> {
     report
         .final_states
@@ -399,7 +534,40 @@ pub fn run(cfg: &ExperimentCfg) {
         chaos.stats.deadline_exceeded,
     );
 
-    write_json(cfg, &cfg.out_dir(), total, &baseline, &chaos);
+    println!("  phase D: refiner-kill tiered soak (stale-while-revalidate under drift)");
+    let tiered = run_tiered_phase(cfg);
+    check_tiered_invariants(&tiered);
+    let tiered_replay = run_tiered_phase(cfg);
+    assert_eq!(
+        tiered.digest, tiered_replay.digest,
+        "tiered responses must be bit-identical across identical runs"
+    );
+    assert_eq!(
+        (
+            tiered.stats.stale_served,
+            tiered.stats.heuristic_served,
+            tiered.stats.refines_completed,
+            tiered.stats.refines_dropped,
+            tiered.stats.searches
+        ),
+        (
+            tiered_replay.stats.stale_served,
+            tiered_replay.stats.heuristic_served,
+            tiered_replay.stats.refines_completed,
+            tiered_replay.stats.refines_dropped,
+            tiered_replay.stats.searches
+        ),
+        "tiered counters must be reproducible across identical runs"
+    );
+    println!(
+        "  ladder: {} stale served, {} refined, {} heuristic, {} refresh drops after the kill",
+        tiered.stats.stale_served,
+        tiered.stats.refines_completed,
+        tiered.stats.heuristic_served,
+        tiered.stats.refines_dropped,
+    );
+
+    write_json(cfg, &cfg.out_dir(), total, &baseline, &chaos, &tiered);
 }
 
 /// The soak invariants (module docs, items 1–4).
@@ -482,6 +650,7 @@ fn write_json(
     total: usize,
     baseline: &PhaseReport,
     chaos: &PhaseReport,
+    tiered: &TieredReport,
 ) {
     std::fs::create_dir_all(out_dir).expect("create results dir");
     let pct = |v: &[u64], q: f64| adapt_obs::percentile(v, q) / 1000.0;
@@ -514,6 +683,8 @@ fn write_json(
          \"toronto_trips\": {}, \"rome_trips\": {} }},\n  \
          \"final_breaker_states\": {{ {} }},\n  \
          \"transitions\": [{}],\n  \
+         \"tiered\": {{ \"stale_served\": {}, \"refines_completed\": {}, \
+         \"refines_dropped\": {}, \"heuristic_served\": {}, \"responses\": {} }},\n  \
          \"worker_panics\": {},\n  \"deterministic_replay\": true\n}}\n",
         cfg.quick,
         cfg.seed,
@@ -538,6 +709,11 @@ fn write_json(
         trips_of(chaos, DeviceId::Rome),
         states.join(", "),
         transitions.join(", "),
+        tiered.stats.stale_served,
+        tiered.stats.refines_completed,
+        tiered.stats.refines_dropped,
+        tiered.stats.heuristic_served,
+        tiered.digest.len(),
         stats.worker_panics,
     );
     let path = out_dir.join("BENCH_chaos.json");

@@ -24,6 +24,7 @@ pub mod service_loadgen;
 pub mod table1;
 pub mod table2;
 pub mod table5;
+pub mod tiered_loadgen;
 
 use crate::checkpoint::{config_hash, Checkpoint};
 use crate::report::Table;

@@ -27,6 +27,7 @@ use crate::runner::ExperimentCfg;
 use adapt::DdProtocol;
 use adapt_service::{
     DeviceId, MaskKey, MaskService, Request, Response, SearchBudget, ServiceConfig, ServiceError,
+    TierPolicy,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -71,12 +72,14 @@ pub fn run(cfg: &ExperimentCfg) {
             shots: 64,
             trajectories: 2,
             neighborhood: 4,
+            tier: TierPolicy::default(),
         }
     } else {
         SearchBudget {
             shots: 128,
             trajectories: 4,
             neighborhood: 4,
+            tier: TierPolicy::default(),
         }
     };
     let total_requests: usize = if cfg.quick { 72 } else { 200 };
@@ -107,6 +110,11 @@ pub fn run(cfg: &ExperimentCfg) {
 
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x10AD_6E4E);
     let mut latencies_us: Vec<u64> = Vec::with_capacity(total_requests);
+    // Time-to-first-usable-response: wall-clock from the first submit to
+    // the first Ok the client sees. On a cold cache this is dominated by
+    // the first search, so it is the number a deployment's cold-start
+    // SLO actually constrains.
+    let mut ttfur_us: Option<u64> = None;
     let mut observed: HashMap<MaskKey, Observed> = HashMap::new();
     let mut rejected = 0usize;
     let mut failed = 0usize;
@@ -163,6 +171,7 @@ pub fn run(cfg: &ExperimentCfg) {
         for (p, bench, device) in pending {
             match p.wait() {
                 Ok(resp) => {
+                    ttfur_us.get_or_insert_with(|| t0.elapsed().as_micros() as u64);
                     latencies_us.push(resp.timing().total_us());
                     client_hist.record(resp.timing().total_us());
                     match resp {
@@ -195,9 +204,15 @@ pub fn run(cfg: &ExperimentCfg) {
     // median, and at n=100 it read p50 from the 51st sample.
     let pct = |q: f64| -> f64 { adapt_obs::percentile(&latencies_us, q) / 1000.0 };
     let throughput = served as f64 / elapsed.max(1e-9);
+    let ttfur_ms = ttfur_us.unwrap_or(0) as f64 / 1000.0;
+    // Cold-miss storm: requests that piled up behind another caller's
+    // in-flight search for the same key (single-flight coalescing). Each
+    // one would have been a redundant ~80 s search without dedup.
+    let cold_miss_storm = cache.coalesced;
     println!(
         "  {served} served / {rejected} rejected / {failed} failed in {elapsed:.1} s \
-         ({throughput:.1} req/s), p50 {:.1} ms, p99 {:.1} ms",
+         ({throughput:.1} req/s), p50 {:.1} ms, p99 {:.1} ms, \
+         first usable answer after {ttfur_ms:.1} ms",
         pct(0.50),
         pct(0.99)
     );
@@ -233,6 +248,8 @@ pub fn run(cfg: &ExperimentCfg) {
          \"rejected\": {rejected}, \"failed\": {failed}, \"executions\": {executions} }},\n  \
          \"throughput_rps\": {throughput:.2},\n  \
          \"latency_ms\": {{ \"p50\": {:.2}, \"p99\": {:.2} }},\n  \
+         \"time_to_first_usable_ms\": {ttfur_ms:.2},\n  \
+         \"cold_miss_storm\": {cold_miss_storm},\n  \
          \"rejection_rate\": {:.4},\n  \
          \"cache\": {{ \"hits\": {}, \"misses\": {}, \"coalesced\": {}, \"evictions\": {}, \
          \"invalidated\": {}, \"hit_rate\": {:.4} }},\n  \

@@ -40,12 +40,14 @@
 pub mod dd;
 pub mod decoy;
 pub mod gst;
+pub mod heuristic;
 pub mod metrics;
 pub mod search;
 
 pub use dd::{DdConfig, DdMask, DdProtocol, IdleAnalysis};
 pub use decoy::{Decoy, DecoyKind};
 pub use gst::GateSequenceTable;
+pub use heuristic::{heuristic_mask, HeuristicConfig, HeuristicMask, QubitAssessment};
 pub use search::{DegradedGroup, MaskScore, SearchError, SearchResult, EXHAUSTIVE_MAX_QUBITS};
 
 use device::Device;

@@ -316,3 +316,65 @@ fn decoy_schedule_preservation_over_kind_grid() {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tier-0 heuristic masks are valid for the device across all five
+    /// hardware presets: the mask covers exactly the program qubits, the
+    /// layout maps every assessed qubit onto a distinct physical wire
+    /// inside the topology, evidence rows agree with the mask bit for
+    /// bit, every set bit clears the configured ratio gate, and the
+    /// whole computation replays bit-identically.
+    #[test]
+    fn heuristic_masks_are_valid_on_every_preset(
+        preset in 0usize..5,
+        seed in 0u64..10_000,
+        n in 2usize..=5,
+        ratio in 0.0..0.01f64,
+    ) {
+        let dev = [
+            Device::ibmq_guadalupe as fn(u64) -> Device,
+            Device::ibmq_paris,
+            Device::ibmq_toronto,
+            Device::ibmq_rome,
+            Device::ibmq_london,
+        ][preset](seed);
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 1..n as u32 {
+            c.cx(q - 1, q);
+        }
+        c.measure_all();
+        let compiled = transpile(&c, &dev, &TranspileOptions::default());
+        let cfg = adapt::heuristic::HeuristicConfig {
+            t2_threshold_ratio: ratio,
+            ..adapt::heuristic::HeuristicConfig::default()
+        };
+        let h = adapt::heuristic::heuristic_mask(&compiled, &dev, n, &cfg);
+
+        prop_assert_eq!(h.mask.num_qubits(), n);
+        prop_assert_eq!(h.assessments.len(), n);
+        let topo_qubits = dev.topology().num_qubits() as u32;
+        let mut wires = std::collections::HashSet::new();
+        for a in &h.assessments {
+            prop_assert!(
+                a.physical_qubit < topo_qubits,
+                "qubit {} mapped outside the {}-wire topology",
+                a.program_qubit, topo_qubits
+            );
+            prop_assert!(wires.insert(a.physical_qubit), "layout must be injective");
+            prop_assert_eq!(h.mask.is_set(a.program_qubit as usize), a.dd);
+            prop_assert!(a.idle_ns >= 0.0 && a.crosstalk_density >= 0.0);
+            if a.dd {
+                prop_assert!(
+                    a.idle_t2_ratio >= cfg.t2_threshold_ratio,
+                    "set bit must clear the ratio gate: {} < {}",
+                    a.idle_t2_ratio, cfg.t2_threshold_ratio
+                );
+            }
+        }
+        let replay = adapt::heuristic::heuristic_mask(&compiled, &dev, n, &cfg);
+        prop_assert_eq!(replay, h);
+    }
+}

@@ -50,16 +50,26 @@ use std::time::Instant;
 /// assert_eq!(percentile(&[10, 20], 0.5), 10.0);
 /// ```
 pub fn percentile(sorted: &[u64], q: f64) -> f64 {
-    let n = sorted.len();
+    let n = sorted.len() as u64;
     if n == 0 {
         return 0.0;
     }
+    sorted[(nearest_rank(q, n) - 1) as usize] as f64
+}
+
+/// 1-based nearest rank `⌈q·n⌉` clamped into `[1, n]`, so `q = 0` and
+/// floating-point spill at `q = 1` both stay in range. The single
+/// definition behind every percentile in the suite ([`percentile`],
+/// [`Histogram::percentile_us`], the bench harness reports): keeping one
+/// copy is what guarantees `percentile(samples, q) <=
+/// hist.percentile_us(q)` can be asserted across layers.
+///
+/// `n` must be nonzero; callers handle the empty-sample case themselves
+/// (their zero-value conventions differ).
+pub fn nearest_rank(q: f64, n: u64) -> u64 {
+    debug_assert!(n > 0, "nearest_rank is undefined for an empty sample");
     let q = q.clamp(0.0, 1.0);
-    // 1-based nearest rank ⌈q·n⌉, clamped into [1, n] so q=0 and
-    // floating-point spill at q=1 both stay in range.
-    let rank = (q * n as f64).ceil() as usize;
-    let rank = rank.clamp(1, n);
-    sorted[rank - 1] as f64
+    ((q * n as f64).ceil() as u64).clamp(1, n.max(1))
 }
 
 // ---------------------------------------------------------------------------
@@ -215,8 +225,7 @@ impl Histogram {
         if total == 0 {
             return 0.0;
         }
-        let q = q.clamp(0.0, 1.0);
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let rank = nearest_rank(q, total);
         let mut seen = 0u64;
         for (i, c) in h.counts.iter().enumerate() {
             seen += c.load(Ordering::Relaxed);
@@ -541,6 +550,22 @@ mod tests {
         assert_eq!(percentile(&v, 1.0), 100.0);
         assert_eq!(percentile(&v, 0.0), 1.0);
         assert_eq!(percentile(&v, 0.01), 1.0);
+    }
+
+    #[test]
+    fn nearest_rank_is_the_single_shared_definition() {
+        // The exact-sample and histogram percentiles both defer to
+        // `nearest_rank`; spot-check the rank math at the edges the
+        // n=0/1/2/100 tests above pin down behaviorally.
+        assert_eq!(nearest_rank(0.0, 1), 1);
+        assert_eq!(nearest_rank(1.0, 1), 1);
+        assert_eq!(nearest_rank(0.5, 2), 1);
+        assert_eq!(nearest_rank(0.51, 2), 2);
+        assert_eq!(nearest_rank(0.99, 100), 99);
+        assert_eq!(nearest_rank(0.999, 100), 100);
+        // Out-of-range q clamps instead of panicking or escaping [1, n].
+        assert_eq!(nearest_rank(-3.0, 10), 1);
+        assert_eq!(nearest_rank(7.0, 10), 10);
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! Epoch-keyed mask cache with LRU bounds and single-flight
-//! deduplication.
+//! Epoch-keyed mask cache with LRU bounds, single-flight deduplication,
+//! a bounded stale store (stale-while-revalidate) and hot-key
+//! accounting.
 //!
 //! ADAPT's value proposition is amortization: a mask search costs ≤ 4·N
 //! decoy executions (PAPER §4.3), but the resulting mask stays valid for
@@ -17,21 +18,38 @@
 //!   (mirroring the [`PlanCache`](machine::PlanCache) idiom one layer
 //!   down).
 //! - **Epoch invalidation**: when a device drifts to a new calibration
-//!   epoch, [`MaskCache::invalidate_before`] drops every entry of older
-//!   epochs — stale masks must never be served (§6.4 shows they decay).
+//!   epoch, [`MaskCache::invalidate_before`] removes every entry of older
+//!   epochs from the serving map — stale masks must never be served *as
+//!   fresh* (§6.4 shows they decay). The removed values move into a
+//!   bounded **stale store** keyed by [`StaleKey`] (the epoch-independent
+//!   identity of the program), where [`MaskCache::lookup_tiered`] may
+//!   serve them explicitly tagged with their age while a background
+//!   refiner runs the real search.
 //! - **Single-flight**: [`MaskCache::lookup`] returns a [`SearchTicket`]
 //!   to exactly one caller per missing key; concurrent requests for the
 //!   same key block until that searcher completes (or abandons) instead
 //!   of launching duplicate searches. An abandoned ticket (worker error
 //!   or panic) wakes the waiters and the next one becomes the searcher.
+//!   Stale-capable lookups reuse the same protocol: the *first* stale
+//!   serve per key takes the ticket (handing it to the refiner), so a
+//!   hot key never stampedes the worker pool with duplicate refines.
+//! - **Hot-key accounting**: a bounded ring of recent lookup identities
+//!   feeds [`MaskCache::hot_keys`], the top-K input of the proactive
+//!   pre-epoch refresh.
 
 use crate::registry::DeviceId;
 use adapt::{DdMask, DdProtocol, DecoyKind};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Default number of masks a [`MaskCache`] retains.
 pub const DEFAULT_MASK_CACHE_CAPACITY: usize = 256;
+
+/// Default bound of the superseded-epoch stale store.
+pub const DEFAULT_STALE_CAPACITY: usize = 64;
+
+/// Default length of the hot-key accounting ring.
+pub const DEFAULT_HOT_RING_CAPACITY: usize = 128;
 
 /// Cache key: everything the chosen mask depends on.
 ///
@@ -86,6 +104,65 @@ impl MaskKey {
         }
         h
     }
+
+    /// The epoch-independent identity of this key, using `logical_hash`
+    /// (see [`logical_hash`]) as the program fingerprint.
+    pub fn stale_key(&self, logical_hash: u64) -> StaleKey {
+        StaleKey {
+            device: self.device,
+            logical_hash,
+            protocol: self.protocol,
+            decoy: self.decoy,
+        }
+    }
+
+    /// A synthetic stale identity derived from the compiled-circuit hash.
+    /// Used by the epoch-agnostic compatibility paths ([`MaskCache::lookup`],
+    /// [`MaskCache::insert`]); such entries land in the stale store under
+    /// an identity no tiered lookup will request, which is harmless.
+    fn synthetic_stale_key(&self) -> StaleKey {
+        self.stale_key(self.circuit_hash)
+    }
+}
+
+/// Epoch-independent identity of a cached program: what a request at a
+/// *newer* epoch shares with the superseded entry.
+///
+/// The compiled-circuit hash in [`MaskKey`] is calibration-dependent
+/// (gate durations drift with the epoch), so cross-epoch matching keys
+/// on the *logical* program instead: [`logical_hash`] of the submitted
+/// circuit, before transpilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StaleKey {
+    /// Target device.
+    pub device: DeviceId,
+    /// [`logical_hash`] of the submitted (pre-transpile) circuit.
+    pub logical_hash: u64,
+    /// DD protocol the mask will be realized with.
+    pub protocol: DdProtocol,
+    /// Decoy construction mode used by the search.
+    pub decoy: DecoyKind,
+}
+
+/// Stable FNV-1a fingerprint of a *logical* (pre-transpile) circuit:
+/// identical across processes, runs and calibration epochs, which is
+/// exactly what cross-epoch stale matching needs. Uses the instruction
+/// Debug rendering as the byte stream — deterministic for the closed
+/// instruction set, and insensitive to scheduling (the logical circuit
+/// has none).
+pub fn logical_hash(circuit: &qcirc::Circuit) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    mix(&(circuit.num_qubits() as u64).to_le_bytes());
+    mix(&(circuit.num_clbits() as u64).to_le_bytes());
+    for instr in circuit.instructions() {
+        mix(format!("{instr:?}").as_bytes());
+    }
+    h
 }
 
 /// A cached search outcome.
@@ -103,11 +180,11 @@ pub struct CachedMask {
 
 /// Effectiveness counters of a [`MaskCache`].
 ///
-/// Accounting invariant: every [`MaskCache::lookup`] call resolves as
-/// exactly one hit or one miss (coalesced waiters eventually resolve
+/// Accounting invariant: every lookup call resolves as exactly one hit,
+/// one miss, or one stale serve (coalesced waiters eventually resolve
 /// too — as a hit when the searcher published, or as the promoted
 /// searcher's miss when it abandoned), so at quiescence
-/// `hits + misses == lookups`.
+/// `hits + misses + stale_served == lookups`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MaskCacheStats {
     /// Lookup calls received (counted at entry; a lookup currently
@@ -116,27 +193,36 @@ pub struct MaskCacheStats {
     pub lookups: u64,
     /// Lookups answered from the cache.
     pub hits: u64,
-    /// Lookups that became a search (one per single-flight group).
+    /// Lookups that became a search (one per single-flight group), or
+    /// resolved cold without blocking on the fast path.
     pub misses: u64,
+    /// Lookups answered from the stale store (superseded epoch, within
+    /// the caller's staleness bound).
+    pub stale_served: u64,
     /// Lookups that blocked behind an in-flight identical search instead
     /// of duplicating it.
     pub coalesced: u64,
     /// Entries evicted by the LRU bound.
     pub evictions: u64,
-    /// Entries dropped by epoch invalidation.
+    /// Entries dropped from the serving map by epoch invalidation (they
+    /// move to the stale store).
     pub invalidated: u64,
-    /// Entries currently resident.
+    /// Entries currently resident in the serving map.
     pub len: usize,
     /// Maximum resident entries.
     pub capacity: usize,
+    /// Entries currently resident in the stale store.
+    pub stale_len: usize,
+    /// Maximum stale entries.
+    pub stale_capacity: usize,
 }
 
 impl MaskCacheStats {
     /// Fraction of resolved lookups served without a fresh search.
-    /// Coalesced waiters count as served-from-cache: they did not pay for
-    /// a search.
+    /// Coalesced waiters and stale serves count as served-from-cache:
+    /// they did not pay for a search.
     pub fn hit_rate(&self) -> f64 {
-        let served = self.hits + self.coalesced;
+        let served = self.hits + self.coalesced + self.stale_served;
         let total = served + self.misses;
         if total == 0 {
             0.0
@@ -150,16 +236,34 @@ impl MaskCacheStats {
 struct Entry {
     value: CachedMask,
     last_used: u64,
+    /// Epoch-independent identity, recorded at insert so invalidation
+    /// can move the value into the stale store.
+    stale_key: StaleKey,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StaleEntry {
+    value: CachedMask,
+    /// Epoch the value was searched at.
+    epoch: u64,
+    /// Insertion tick, for oldest-first eviction.
+    stored: u64,
 }
 
 #[derive(Debug, Default)]
 struct Inner {
     map: HashMap<MaskKey, Entry>,
     inflight: HashSet<MaskKey>,
+    /// Superseded-epoch values, servable within a caller's staleness
+    /// bound while a refine search runs.
+    stale: HashMap<StaleKey, StaleEntry>,
+    /// Recent lookup identities, newest at the back (bounded).
+    hot_ring: VecDeque<StaleKey>,
     tick: u64,
     lookups: u64,
     hits: u64,
     misses: u64,
+    stale_served: u64,
     coalesced: u64,
     evictions: u64,
     invalidated: u64,
@@ -172,10 +276,12 @@ struct CacheMetrics {
     lookups: adapt_obs::Counter,
     hits: adapt_obs::Counter,
     misses: adapt_obs::Counter,
+    stale_served: adapt_obs::Counter,
     singleflight_waits: adapt_obs::Counter,
     evictions: adapt_obs::Counter,
     invalidated: adapt_obs::Counter,
     len: adapt_obs::Gauge,
+    stale_len: adapt_obs::Gauge,
 }
 
 impl CacheMetrics {
@@ -184,10 +290,12 @@ impl CacheMetrics {
             lookups: r.counter("adapt_service_cache_lookups_total"),
             hits: r.counter("adapt_service_cache_hits_total"),
             misses: r.counter("adapt_service_cache_misses_total"),
+            stale_served: r.counter("adapt_service_cache_stale_served_total"),
             singleflight_waits: r.counter("adapt_service_cache_singleflight_waits_total"),
             evictions: r.counter("adapt_service_cache_evictions_total"),
             invalidated: r.counter("adapt_service_cache_invalidated_total"),
             len: r.gauge("adapt_service_cache_len"),
+            stale_len: r.gauge("adapt_service_cache_stale_len"),
         }
     }
 }
@@ -198,6 +306,8 @@ pub struct MaskCache {
     /// Signalled when an in-flight search completes or abandons.
     resolved: Condvar,
     capacity: usize,
+    stale_capacity: usize,
+    hot_ring_capacity: usize,
     metrics: CacheMetrics,
 }
 
@@ -205,6 +315,7 @@ impl std::fmt::Debug for MaskCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MaskCache")
             .field("capacity", &self.capacity)
+            .field("stale_capacity", &self.stale_capacity)
             .finish_non_exhaustive()
     }
 }
@@ -221,6 +332,51 @@ pub enum Lookup {
     Miss(SearchTicket),
 }
 
+/// Outcome of [`MaskCache::lookup_tiered`] — [`Lookup`] plus the
+/// stale-while-revalidate middle rung.
+#[derive(Debug)]
+pub enum TieredLookup {
+    /// The key is cached at the requested epoch (possibly after waiting
+    /// out an in-flight search).
+    Hit(CachedMask),
+    /// A superseded-epoch value within the caller's staleness bound.
+    /// `refresh` is `Some` only for the *first* stale serve while no
+    /// search is in flight for the key — the caller hands it to the
+    /// background refiner; later stale serves of the same key get `None`
+    /// (single-flight: the refine is already running or scheduled).
+    Stale {
+        /// The superseded value.
+        value: CachedMask,
+        /// How many epochs behind the requested key it is (≥ 1).
+        age_epochs: u64,
+        /// The refine ticket, for exactly one caller per flight group.
+        refresh: Option<SearchTicket>,
+    },
+    /// This caller owns the search for the key.
+    Miss(SearchTicket),
+}
+
+/// Outcome of the non-blocking [`MaskCache::lookup_fast`].
+#[derive(Debug)]
+pub enum FastLookup {
+    /// The key is cached at the requested epoch.
+    Hit(CachedMask),
+    /// A superseded-epoch value within the staleness bound (see
+    /// [`TieredLookup::Stale`]).
+    Stale {
+        /// The superseded value.
+        value: CachedMask,
+        /// How many epochs behind the requested key it is (≥ 1).
+        age_epochs: u64,
+        /// The refine ticket, for exactly one caller per flight group.
+        refresh: Option<SearchTicket>,
+    },
+    /// Nothing servable without a search. The ticket is `Some` when this
+    /// caller became the searcher (schedule a refine or drop it to
+    /// release the key); `None` when a search is already in flight.
+    Cold(Option<SearchTicket>),
+}
+
 /// Exclusive right (and obligation) to resolve one missing [`MaskKey`].
 ///
 /// Call [`SearchTicket::complete`] with the search outcome; dropping the
@@ -230,6 +386,7 @@ pub enum Lookup {
 pub struct SearchTicket {
     cache: Arc<MaskCache>,
     key: MaskKey,
+    stale_key: StaleKey,
     done: bool,
 }
 
@@ -239,12 +396,22 @@ impl SearchTicket {
         self.key
     }
 
-    /// Publishes the search outcome and wakes every waiter.
+    /// The epoch-independent identity the resolved entry will carry.
+    pub fn stale_key(&self) -> StaleKey {
+        self.stale_key
+    }
+
+    /// Publishes the search outcome and wakes every waiter. The matching
+    /// stale entry, if any, is dropped — the key is fresh again.
     pub fn complete(mut self, value: CachedMask) {
         self.done = true;
         let mut inner = self.cache.lock();
         inner.inflight.remove(&self.key);
-        self.cache.insert_locked(&mut inner, self.key, value);
+        inner.stale.remove(&self.stale_key);
+        self.cache.metrics.stale_len.set(inner.stale.len() as i64);
+        let stale_key = self.stale_key;
+        self.cache
+            .insert_locked(&mut inner, self.key, value, stale_key);
         self.cache.resolved.notify_all();
     }
 }
@@ -263,12 +430,15 @@ impl Drop for SearchTicket {
 }
 
 impl MaskCache {
-    /// Creates a cache retaining at most `capacity` masks (min 1).
+    /// Creates a cache retaining at most `capacity` masks (min 1), with
+    /// default stale-store and hot-ring bounds.
     pub fn new(capacity: usize) -> Self {
         MaskCache {
             inner: Mutex::new(Inner::default()),
             resolved: Condvar::new(),
             capacity: capacity.max(1),
+            stale_capacity: DEFAULT_STALE_CAPACITY,
+            hot_ring_capacity: DEFAULT_HOT_RING_CAPACITY,
             metrics: CacheMetrics::default(),
         }
     }
@@ -283,12 +453,52 @@ impl MaskCache {
         }
     }
 
+    /// Full-control constructor: serving capacity, stale-store bound and
+    /// hot-ring length, with counters mirrored into `registry`.
+    pub fn with_tiers(
+        capacity: usize,
+        stale_capacity: usize,
+        hot_ring_capacity: usize,
+        registry: &adapt_obs::Registry,
+    ) -> Self {
+        MaskCache {
+            stale_capacity,
+            hot_ring_capacity,
+            ..Self::with_registry(capacity, registry)
+        }
+    }
+
     /// Resolves `key`: a hit, possibly after waiting for a concurrent
     /// searcher, or a [`SearchTicket`] making the caller the searcher.
+    ///
+    /// Epoch-agnostic compatibility path: equivalent to
+    /// [`Self::lookup_tiered`] with a zero staleness bound (it never
+    /// serves stale values).
     pub fn lookup(cache: &Arc<MaskCache>, key: MaskKey) -> Lookup {
+        match Self::lookup_tiered(cache, key, key.synthetic_stale_key(), 0) {
+            TieredLookup::Hit(v) => Lookup::Hit(v),
+            TieredLookup::Miss(t) => Lookup::Miss(t),
+            TieredLookup::Stale { .. } => {
+                unreachable!("zero staleness bound never serves stale")
+            }
+        }
+    }
+
+    /// Resolves `key` through the full ladder: a fresh hit; else a
+    /// superseded-epoch value under `stale_key` at most
+    /// `max_stale_epochs` behind (served immediately, *without* blocking
+    /// behind an in-flight refine); else the single-flight protocol of
+    /// [`Self::lookup`].
+    pub fn lookup_tiered(
+        cache: &Arc<MaskCache>,
+        key: MaskKey,
+        stale_key: StaleKey,
+        max_stale_epochs: u64,
+    ) -> TieredLookup {
         let mut inner = cache.lock();
         inner.lookups += 1;
         cache.metrics.lookups.inc();
+        cache.record_hot(&mut inner, stale_key);
         let mut waited = false;
         loop {
             inner.tick += 1;
@@ -298,14 +508,34 @@ impl MaskCache {
                 let value = entry.value;
                 inner.hits += 1;
                 cache.metrics.hits.inc();
-                return Lookup::Hit(value);
+                return TieredLookup::Hit(value);
+            }
+            if let Some((value, age)) = stale_within(&inner, &key, &stale_key, max_stale_epochs) {
+                inner.stale_served += 1;
+                cache.metrics.stale_served.inc();
+                // First stale serve per flight group takes the refine
+                // ticket; while the refine is in flight, later stale
+                // serves answer immediately with no ticket (that is the
+                // anti-stampede guarantee).
+                let refresh = inner.inflight.insert(key).then(|| SearchTicket {
+                    cache: Arc::clone(cache),
+                    key,
+                    stale_key,
+                    done: false,
+                });
+                return TieredLookup::Stale {
+                    value,
+                    age_epochs: age,
+                    refresh,
+                };
             }
             if inner.inflight.insert(key) {
                 inner.misses += 1;
                 cache.metrics.misses.inc();
-                return Lookup::Miss(SearchTicket {
+                return TieredLookup::Miss(SearchTicket {
                     cache: Arc::clone(cache),
                     key,
+                    stale_key,
                     done: false,
                 });
             }
@@ -322,11 +552,84 @@ impl MaskCache {
         }
     }
 
+    /// The non-blocking ladder for deadline-bound callers: a fresh hit,
+    /// a within-bound stale value, or `Cold` — never waits behind an
+    /// in-flight search. A `Cold(Some(ticket))` caller became the
+    /// searcher (hand the ticket to the refiner, or drop it); a
+    /// `Cold(None)` caller found a search already in flight and should
+    /// answer from tier 0.
+    pub fn lookup_fast(
+        cache: &Arc<MaskCache>,
+        key: MaskKey,
+        stale_key: StaleKey,
+        max_stale_epochs: u64,
+    ) -> FastLookup {
+        let mut inner = cache.lock();
+        inner.lookups += 1;
+        cache.metrics.lookups.inc();
+        cache.record_hot(&mut inner, stale_key);
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.map.get_mut(&key) {
+            entry.last_used = tick;
+            let value = entry.value;
+            inner.hits += 1;
+            cache.metrics.hits.inc();
+            return FastLookup::Hit(value);
+        }
+        if let Some((value, age)) = stale_within(&inner, &key, &stale_key, max_stale_epochs) {
+            inner.stale_served += 1;
+            cache.metrics.stale_served.inc();
+            let refresh = inner.inflight.insert(key).then(|| SearchTicket {
+                cache: Arc::clone(cache),
+                key,
+                stale_key,
+                done: false,
+            });
+            return FastLookup::Stale {
+                value,
+                age_epochs: age,
+                refresh,
+            };
+        }
+        inner.misses += 1;
+        cache.metrics.misses.inc();
+        let ticket = inner.inflight.insert(key).then(|| SearchTicket {
+            cache: Arc::clone(cache),
+            key,
+            stale_key,
+            done: false,
+        });
+        FastLookup::Cold(ticket)
+    }
+
+    /// Tries to become the searcher for `key` without counting a lookup:
+    /// `None` when the key is already cached or in flight. The prewarm
+    /// path uses this to schedule next-epoch refines without disturbing
+    /// the serving counters.
+    pub fn try_ticket(
+        cache: &Arc<MaskCache>,
+        key: MaskKey,
+        stale_key: StaleKey,
+    ) -> Option<SearchTicket> {
+        let mut inner = cache.lock();
+        if inner.map.contains_key(&key) {
+            return None;
+        }
+        inner.inflight.insert(key).then(|| SearchTicket {
+            cache: Arc::clone(cache),
+            key,
+            stale_key,
+            done: false,
+        })
+    }
+
     /// Inserts or refreshes `key` outside the single-flight protocol
-    /// (tests, warm-up). Production paths go through [`Self::lookup`].
+    /// (tests, warm-up). Production paths go through the lookup family.
     pub fn insert(&self, key: MaskKey, value: CachedMask) {
         let mut inner = self.lock();
-        self.insert_locked(&mut inner, key, value);
+        let stale_key = key.synthetic_stale_key();
+        self.insert_locked(&mut inner, key, value, stale_key);
     }
 
     /// Peeks at `key` without touching LRU order or counters.
@@ -334,19 +637,93 @@ impl MaskCache {
         self.lock().map.get(key).map(|e| e.value)
     }
 
-    /// Drops every entry of `device` with an epoch below `min_epoch`
-    /// (drift-triggered invalidation). Returns how many were dropped.
+    /// Peeks at the stale store under `stale_key` without counters;
+    /// returns the value and the epoch it was searched at.
+    pub fn peek_stale(&self, stale_key: &StaleKey) -> Option<(CachedMask, u64)> {
+        self.lock().stale.get(stale_key).map(|s| (s.value, s.epoch))
+    }
+
+    /// Every resident `(key, value)` of the serving map, in unspecified
+    /// order. Test/bench introspection — the tiered harness uses it to
+    /// assert that no heuristic or stale answer (zero `decoy_runs`) was
+    /// ever cached as a fresh search result.
+    pub fn entries(&self) -> Vec<(MaskKey, CachedMask)> {
+        self.lock().map.iter().map(|(k, e)| (*k, e.value)).collect()
+    }
+
+    /// Removes every serving-map entry of `device` with an epoch below
+    /// `min_epoch` (drift-triggered invalidation) and moves the removed
+    /// values into the bounded stale store (newest epoch wins per
+    /// identity; oldest entries evicted at the bound). Returns how many
+    /// map entries were removed.
     pub fn invalidate_before(&self, device: DeviceId, min_epoch: u64) -> usize {
         let mut inner = self.lock();
-        let before = inner.map.len();
-        inner
-            .map
-            .retain(|k, _| k.device != device || k.epoch >= min_epoch);
-        let dropped = before - inner.map.len();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let stale_cap = self.stale_capacity;
+        let mut moved: Vec<(StaleKey, StaleEntry)> = Vec::new();
+        inner.map.retain(|k, e| {
+            let drop = k.device == device && k.epoch < min_epoch;
+            if drop {
+                moved.push((
+                    e.stale_key,
+                    StaleEntry {
+                        value: e.value,
+                        epoch: k.epoch,
+                        stored: tick,
+                    },
+                ));
+            }
+            !drop
+        });
+        let dropped = moved.len();
+        if stale_cap > 0 {
+            for (sk, se) in moved {
+                // Never let an older epoch shadow a newer stale value.
+                match inner.stale.get(&sk) {
+                    Some(prev) if prev.epoch >= se.epoch => {}
+                    _ => {
+                        inner.stale.insert(sk, se);
+                    }
+                }
+            }
+            while inner.stale.len() > stale_cap {
+                if let Some(&oldest) = inner
+                    .stale
+                    .iter()
+                    .min_by_key(|(_, s)| (s.stored, s.epoch))
+                    .map(|(k, _)| k)
+                {
+                    inner.stale.remove(&oldest);
+                } else {
+                    break;
+                }
+            }
+        }
         inner.invalidated += dropped as u64;
         self.metrics.invalidated.add(dropped as u64);
         self.metrics.len.set(inner.map.len() as i64);
+        self.metrics.stale_len.set(inner.stale.len() as i64);
         dropped
+    }
+
+    /// The top-`k` hottest identities of `device`, by occurrence count in
+    /// the bounded lookup ring (ties broken by first appearance, so the
+    /// ordering is deterministic for a deterministic request sequence).
+    pub fn hot_keys(&self, device: DeviceId, k: usize) -> Vec<StaleKey> {
+        let inner = self.lock();
+        let mut counts: Vec<(StaleKey, usize, usize)> = Vec::new();
+        for (idx, sk) in inner.hot_ring.iter().enumerate() {
+            if sk.device != device {
+                continue;
+            }
+            match counts.iter_mut().find(|(key, _, _)| key == sk) {
+                Some((_, n, _)) => *n += 1,
+                None => counts.push((*sk, 1, idx)),
+            }
+        }
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.2.cmp(&b.2)));
+        counts.into_iter().take(k).map(|(sk, _, _)| sk).collect()
     }
 
     /// Current effectiveness counters.
@@ -356,15 +733,34 @@ impl MaskCache {
             lookups: inner.lookups,
             hits: inner.hits,
             misses: inner.misses,
+            stale_served: inner.stale_served,
             coalesced: inner.coalesced,
             evictions: inner.evictions,
             invalidated: inner.invalidated,
             len: inner.map.len(),
             capacity: self.capacity,
+            stale_len: inner.stale.len(),
+            stale_capacity: self.stale_capacity,
         }
     }
 
-    fn insert_locked(&self, inner: &mut Inner, key: MaskKey, value: CachedMask) {
+    fn record_hot(&self, inner: &mut Inner, stale_key: StaleKey) {
+        if self.hot_ring_capacity == 0 {
+            return;
+        }
+        if inner.hot_ring.len() >= self.hot_ring_capacity {
+            inner.hot_ring.pop_front();
+        }
+        inner.hot_ring.push_back(stale_key);
+    }
+
+    fn insert_locked(
+        &self,
+        inner: &mut Inner,
+        key: MaskKey,
+        value: CachedMask,
+        stale_key: StaleKey,
+    ) {
         inner.tick += 1;
         let tick = inner.tick;
         if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
@@ -384,6 +780,7 @@ impl MaskCache {
             Entry {
                 value,
                 last_used: tick,
+                stale_key,
             },
         );
         self.metrics.len.set(inner.map.len() as i64);
@@ -397,6 +794,25 @@ impl MaskCache {
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
+}
+
+/// The stale value servable for `key` under `stale_key`, if one exists
+/// within `max_stale_epochs`, with its age.
+fn stale_within(
+    inner: &Inner,
+    key: &MaskKey,
+    stale_key: &StaleKey,
+    max_stale_epochs: u64,
+) -> Option<(CachedMask, u64)> {
+    if max_stale_epochs == 0 {
+        return None;
+    }
+    let s = inner.stale.get(stale_key)?;
+    if s.epoch >= key.epoch {
+        return None;
+    }
+    let age = key.epoch - s.epoch;
+    (age <= max_stale_epochs).then_some((s.value, age))
 }
 
 #[cfg(test)]
@@ -432,6 +848,21 @@ mod tests {
         let mut other = key(0, 42);
         other.protocol = DdProtocol::Cpmg;
         assert_ne!(a, other.fingerprint());
+    }
+
+    #[test]
+    fn logical_hash_is_stable_and_circuit_sensitive() {
+        let mut a = qcirc::Circuit::new(3);
+        a.h(0).cx(0, 1).cx(1, 2).measure_all();
+        let mut b = qcirc::Circuit::new(3);
+        b.h(0).cx(0, 1).cx(1, 2).measure_all();
+        assert_eq!(logical_hash(&a), logical_hash(&b));
+        let mut c = qcirc::Circuit::new(3);
+        c.h(0).cx(0, 2).cx(1, 2).measure_all();
+        assert_ne!(logical_hash(&a), logical_hash(&c));
+        let empty4 = qcirc::Circuit::new(4);
+        let empty5 = qcirc::Circuit::new(5);
+        assert_ne!(logical_hash(&empty4), logical_hash(&empty5));
     }
 
     #[test]
@@ -578,5 +1009,160 @@ mod tests {
         assert_eq!(get("adapt_service_cache_lookups_total"), stats.lookups);
         assert_eq!(get("adapt_service_cache_hits_total"), stats.hits);
         assert_eq!(get("adapt_service_cache_misses_total"), stats.misses);
+    }
+
+    fn stale_key_of(hash: u64) -> StaleKey {
+        StaleKey {
+            device: DeviceId::Rome,
+            logical_hash: hash,
+            protocol: DdProtocol::Xy4,
+            decoy: DecoyKind::Seeded { max_seed_qubits: 4 },
+        }
+    }
+
+    /// Insert a value at `epoch` under a real stale identity, via the
+    /// tiered single-flight path.
+    fn seed_tiered(cache: &Arc<MaskCache>, epoch: u64, hash: u64, value: CachedMask) {
+        match MaskCache::lookup_tiered(cache, key(epoch, hash), stale_key_of(hash), 2) {
+            TieredLookup::Miss(t) => t.complete(value),
+            _ => panic!("seed must miss"),
+        }
+    }
+
+    #[test]
+    fn invalidation_moves_entries_to_the_stale_store_and_lookup_serves_them() {
+        let registry = adapt_obs::Registry::new();
+        let cache = Arc::new(MaskCache::with_tiers(8, 4, 16, &registry));
+        seed_tiered(&cache, 0, 1, mask(3));
+        assert_eq!(cache.invalidate_before(DeviceId::Rome, 1), 1);
+        assert_eq!(cache.stats().stale_len, 1);
+
+        // Within the bound: a stale serve carrying the refine ticket.
+        let k1 = key(1, 99); // new epoch compiles to a new circuit hash
+        match MaskCache::lookup_tiered(&cache, k1, stale_key_of(1), 2) {
+            TieredLookup::Stale {
+                value,
+                age_epochs,
+                refresh,
+            } => {
+                assert_eq!(value.mask, mask(3).mask);
+                assert_eq!(age_epochs, 1);
+                let ticket = refresh.expect("first stale serve takes the ticket");
+                // Second stale lookup: served, but no duplicate ticket.
+                match MaskCache::lookup_tiered(&cache, k1, stale_key_of(1), 2) {
+                    TieredLookup::Stale { refresh: None, .. } => {}
+                    other => panic!("expected deduped stale serve, got {other:?}"),
+                }
+                // The refine completes: the key is fresh, the stale entry gone.
+                ticket.complete(mask(7));
+            }
+            other => panic!("expected stale serve, got {other:?}"),
+        }
+        assert!(matches!(
+            MaskCache::lookup_tiered(&cache, k1, stale_key_of(1), 2),
+            TieredLookup::Hit(v) if v.mask == mask(7).mask
+        ));
+        assert_eq!(cache.stats().stale_len, 0, "upgrade drops the stale entry");
+        let stats = cache.stats();
+        assert_eq!(
+            stats.hits + stats.misses + stats.stale_served,
+            stats.lookups,
+            "tiered accounting must balance: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn stale_serving_respects_the_age_bound() {
+        let registry = adapt_obs::Registry::new();
+        let cache = Arc::new(MaskCache::with_tiers(8, 4, 16, &registry));
+        seed_tiered(&cache, 0, 1, mask(3));
+        cache.invalidate_before(DeviceId::Rome, 1);
+        // Age 3 exceeds the bound of 2: cold, caller becomes searcher.
+        match MaskCache::lookup_tiered(&cache, key(3, 55), stale_key_of(1), 2) {
+            TieredLookup::Miss(t) => drop(t),
+            other => panic!("an over-age stale value must not serve: {other:?}"),
+        }
+        // A zero bound disables stale serving entirely.
+        match MaskCache::lookup_tiered(&cache, key(1, 56), stale_key_of(1), 0) {
+            TieredLookup::Miss(t) => drop(t),
+            other => panic!("zero bound must never serve stale: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_store_is_bounded_oldest_first() {
+        let registry = adapt_obs::Registry::new();
+        let cache = Arc::new(MaskCache::with_tiers(8, 2, 16, &registry));
+        for hash in 0..4u64 {
+            seed_tiered(&cache, 0, hash, mask(hash));
+        }
+        cache.invalidate_before(DeviceId::Rome, 1);
+        assert_eq!(cache.stats().stale_len, 2, "stale store holds its bound");
+    }
+
+    #[test]
+    fn lookup_fast_never_blocks_and_hands_out_one_cold_ticket() {
+        let registry = adapt_obs::Registry::new();
+        let cache = Arc::new(MaskCache::with_tiers(8, 4, 16, &registry));
+        let k = key(0, 5);
+        let sk = stale_key_of(5);
+        let FastLookup::Cold(Some(ticket)) = MaskCache::lookup_fast(&cache, k, sk, 2) else {
+            panic!("cold fast lookup must take the ticket");
+        };
+        // While the search is in flight, fast lookups stay non-blocking.
+        assert!(matches!(
+            MaskCache::lookup_fast(&cache, k, sk, 2),
+            FastLookup::Cold(None)
+        ));
+        ticket.complete(mask(9));
+        assert!(matches!(
+            MaskCache::lookup_fast(&cache, k, sk, 2),
+            FastLookup::Hit(v) if v.mask == mask(9).mask
+        ));
+        let stats = cache.stats();
+        assert_eq!(
+            stats.hits + stats.misses + stats.stale_served,
+            stats.lookups
+        );
+    }
+
+    #[test]
+    fn try_ticket_skips_cached_and_inflight_keys_without_counting() {
+        let registry = adapt_obs::Registry::new();
+        let cache = Arc::new(MaskCache::with_tiers(8, 4, 16, &registry));
+        let k = key(1, 6);
+        let sk = stale_key_of(6);
+        let t = MaskCache::try_ticket(&cache, k, sk).expect("first taker wins");
+        assert!(MaskCache::try_ticket(&cache, k, sk).is_none(), "in flight");
+        t.complete(mask(2));
+        assert!(MaskCache::try_ticket(&cache, k, sk).is_none(), "cached");
+        assert_eq!(cache.stats().lookups, 0, "prewarm path counts no lookups");
+    }
+
+    #[test]
+    fn hot_keys_ranks_by_frequency_then_first_seen() {
+        let registry = adapt_obs::Registry::new();
+        let cache = Arc::new(MaskCache::with_tiers(8, 4, 8, &registry));
+        let serve =
+            |hash: u64| match MaskCache::lookup_tiered(&cache, key(0, hash), stale_key_of(hash), 0)
+            {
+                TieredLookup::Miss(t) => t.complete(mask(hash)),
+                TieredLookup::Hit(_) => {}
+                other => panic!("unexpected {other:?}"),
+            };
+        for hash in [1u64, 2, 1, 3, 1, 2] {
+            serve(hash);
+        }
+        let hot = cache.hot_keys(DeviceId::Rome, 2);
+        assert_eq!(
+            hot.iter().map(|sk| sk.logical_hash).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert!(cache.hot_keys(DeviceId::London, 4).is_empty());
+        // The ring is bounded: old observations age out.
+        for hash in [4u64, 4, 4, 4, 4, 4, 4, 4] {
+            serve(hash);
+        }
+        assert_eq!(cache.hot_keys(DeviceId::Rome, 1)[0].logical_hash, 4);
     }
 }

@@ -31,6 +31,19 @@
 //!   ([`ServiceError::DeviceUnhealthy`]) or get the cached/all-DD
 //!   conservative mask ([`Provenance::BreakerFallback`]) until a
 //!   half-open probe closes the breaker again.
+//! - A three-tier degradation ladder (opt-in via
+//!   [`ServiceConfig::tiers`]): requests whose deadline cannot fit a
+//!   search are answered instantly from the calibration-only heuristic
+//!   ([`Provenance::Heuristic`], `core::heuristic`), superseded-epoch
+//!   cache values are served within a staleness bound
+//!   ([`Provenance::StaleServed`]) while a bounded low-priority refine
+//!   lane re-searches the key in the background, and
+//!   [`MaskService::prewarm_epoch`] re-characterizes the hottest keys
+//!   against the *next* calibration epoch before drift lands, so an
+//!   epoch advance never causes a cold-miss storm. Heuristic and stale
+//!   answers are never cached as fresh; per-request
+//!   [`SearchBudget::tier`] ([`TierPolicy`]) pins a request to
+//!   heuristic-only or search-only when auto laddering is unwanted.
 //!
 //! Responses are deterministic: for one service seed, the answer for a
 //! given [`MaskKey`] is bit-identical whether it comes from a fresh
@@ -50,7 +63,11 @@
 //! });
 //! let mut c = qcirc::Circuit::new(3);
 //! c.h(0).cx(0, 1).cx(1, 2).measure_all();
-//! let budget = SearchBudget { shots: 64, trajectories: 2, neighborhood: 4 };
+//! let budget = SearchBudget {
+//!     shots: 64,
+//!     trajectories: 2,
+//!     ..SearchBudget::default()
+//! };
 //! let first = service
 //!     .call(Request::RecommendMask {
 //!         circuit: c.clone(),
@@ -74,9 +91,12 @@ pub mod service;
 pub use breaker::{
     Admission, BreakerConfig, BreakerFallback, BreakerState, HealthTracker, Transition,
 };
-pub use cache::{CachedMask, Lookup, MaskCache, MaskCacheStats, MaskKey, SearchTicket};
+pub use cache::{
+    logical_hash, CachedMask, FastLookup, Lookup, MaskCache, MaskCacheStats, MaskKey, SearchTicket,
+    StaleKey, TieredLookup,
+};
 pub use registry::{DeviceId, DeviceRegistry};
 pub use service::{
-    Execution, MaskService, Pending, Provenance, Recommendation, Request, Response, SearchBudget,
-    ServiceConfig, ServiceError, ServiceStats, Timing,
+    BudgetError, Execution, MaskService, Pending, Provenance, Recommendation, Request, Response,
+    SearchBudget, ServiceConfig, ServiceError, ServiceStats, TierConfig, TierPolicy, Timing,
 };

@@ -170,6 +170,20 @@ impl DeviceRegistry {
         Some(state.epoch)
     }
 
+    /// Builds the machine `id` *will* run at its next calibration epoch,
+    /// without advancing anything: epoch `k+1` is a pure function of the
+    /// base preset, so proactive pre-epoch refresh can characterize
+    /// against tomorrow's calibration today. The returned `(epoch,
+    /// machine)` pair matches what [`Self::snapshot`] will report right
+    /// after the next [`Self::advance_epoch`] (modulo the plan cache,
+    /// which advance rebuilds fresh).
+    pub fn peek_next_epoch(&self, id: DeviceId) -> Option<(u64, Machine)> {
+        let entries = self.lock();
+        let state = entries.get(&id)?;
+        let next = state.epoch + 1;
+        Some((next, Machine::new(state.base.at_calibration_cycle(next))))
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<DeviceId, EpochState>> {
         // A poisoned registry only means a worker died mid-lookup; the
         // map itself is always consistent (mutations are single-write).
@@ -209,6 +223,67 @@ mod tests {
         let (e2, m2) = other.snapshot(DeviceId::Rome).expect("registered");
         assert_eq!((e1, e2), (1, 1));
         assert_eq!(m1.device().calibration(), m2.device().calibration());
+    }
+
+    #[test]
+    fn peek_next_epoch_previews_without_advancing() {
+        let reg = DeviceRegistry::new(&[DeviceId::Rome], 11);
+        let (next, peeked) = reg.peek_next_epoch(DeviceId::Rome).expect("registered");
+        assert_eq!(next, 1);
+        assert_eq!(reg.epoch(DeviceId::Rome), Some(0), "peek must not advance");
+        assert_eq!(reg.advance_epoch(DeviceId::Rome), Some(1));
+        let (_, actual) = reg.snapshot(DeviceId::Rome).expect("registered");
+        assert_eq!(
+            peeked.device().calibration(),
+            actual.device().calibration(),
+            "the peeked calibration must be the one advance lands on"
+        );
+        assert_eq!(reg.peek_next_epoch(DeviceId::Guadalupe).map(|p| p.0), None);
+    }
+
+    /// Epoch-advance boundary: snapshots racing `at_calibration_cycle`
+    /// must always observe a *consistent* pair — the machine's
+    /// calibration cycle equals the reported epoch — and epochs must be
+    /// monotone per observer. A torn read (old machine with new epoch or
+    /// vice versa) would let a worker cache a mask under the wrong key.
+    #[test]
+    fn snapshot_racing_advance_is_never_torn() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let reg = Arc::new(DeviceRegistry::new(&[DeviceId::Rome], 5));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut last_epoch = 0u64;
+                    let mut observed = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        let (epoch, machine) = reg.snapshot(DeviceId::Rome).expect("registered");
+                        assert_eq!(
+                            machine.device().calibration().cycle,
+                            epoch,
+                            "snapshot handed out a machine from a different epoch"
+                        );
+                        assert!(epoch >= last_epoch, "epochs ran backwards");
+                        last_epoch = epoch;
+                        observed += 1;
+                    }
+                    observed
+                })
+            })
+            .collect();
+        for _ in 0..25 {
+            reg.advance_epoch(DeviceId::Rome);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().expect("reader") > 0, "reader observed snapshots");
+        }
+        assert_eq!(reg.epoch(DeviceId::Rome), Some(25));
     }
 
     #[test]

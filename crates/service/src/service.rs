@@ -23,10 +23,16 @@
 //! searcher.
 
 use crate::breaker::{Admission, BreakerConfig, BreakerState, HealthTracker, Transition};
-use crate::cache::{CachedMask, Lookup, MaskCache, MaskCacheStats, MaskKey};
+use crate::cache::{
+    logical_hash, CachedMask, FastLookup, MaskCache, MaskCacheStats, MaskKey, SearchTicket,
+    StaleKey, TieredLookup,
+};
 use crate::registry::{DeviceId, DeviceRegistry};
 use adapt::decoy::make_decoy;
-use adapt::{Adapt, AdaptConfig, AdaptError, DdConfig, DdMask, DdProtocol, DecoyKind, Policy};
+use adapt::{
+    heuristic_mask, Adapt, AdaptConfig, AdaptError, DdConfig, DdMask, DdProtocol, DecoyKind,
+    HeuristicConfig, Policy,
+};
 use machine::{
     Deadline, ExecutionConfig, FaultProfile, FaultyBackend, Machine, ResilientExecutor, RetryPolicy,
 };
@@ -39,6 +45,30 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 use transpiler::{transpile, TranspileOptions};
 
+/// Which rungs of the degradation ladder a request may use.
+///
+/// The ladder (DESIGN §13) orders answers by cost and quality: a cached
+/// fresh mask beats a within-bound stale mask beats the calibration-only
+/// heuristic beats all-DD. [`TierPolicy::Auto`] walks it by deadline;
+/// the pinned policies exist for callers with hard requirements
+/// (benchmark baselines want search-only; an interactive explorer may
+/// want heuristic-only).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TierPolicy {
+    /// Serve from whichever tier the deadline affords: inline search
+    /// when the remaining budget is at least the service's
+    /// [`TierConfig::min_search_ms`], otherwise a stale or heuristic
+    /// answer immediately (scheduling a background refine).
+    #[default]
+    Auto,
+    /// Never search inline *or* in the background for this request:
+    /// cache hit, within-bound stale value, or the heuristic answer.
+    HeuristicOnly,
+    /// Never serve stale or heuristic answers: cache hit or inline
+    /// search, exactly the pre-ladder behavior.
+    SearchOnly,
+}
+
 /// Decoy-execution budget of one mask search.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SearchBudget {
@@ -48,6 +78,8 @@ pub struct SearchBudget {
     pub trajectories: u32,
     /// Localized-search neighborhood size (4 in the paper).
     pub neighborhood: usize,
+    /// Which tiers of the degradation ladder this request may use.
+    pub tier: TierPolicy,
 }
 
 impl Default for SearchBudget {
@@ -56,7 +88,153 @@ impl Default for SearchBudget {
             shots: 256,
             trajectories: 8,
             neighborhood: 4,
+            tier: TierPolicy::default(),
         }
+    }
+}
+
+/// A [`SearchBudget`] the service cannot run a search with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetError {
+    /// `shots == 0`: every decoy evaluation would measure nothing.
+    ZeroShots,
+    /// `trajectories == 0`: no noise trajectory would ever run.
+    ZeroTrajectories,
+    /// `neighborhood == 0`: the localized search would sweep no masks.
+    ZeroNeighborhood,
+}
+
+impl std::fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetError::ZeroShots => {
+                write!(
+                    f,
+                    "search budget has shots = 0: decoys would measure nothing"
+                )
+            }
+            BudgetError::ZeroTrajectories => write!(
+                f,
+                "search budget has trajectories = 0: no decoy execution would run"
+            ),
+            BudgetError::ZeroNeighborhood => write!(
+                f,
+                "search budget has neighborhood = 0: the localized search would sweep no masks"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+impl SearchBudget {
+    /// Rejects budgets no search can run with (mirroring
+    /// [`RetryPolicy::validate`]). A [`TierPolicy::HeuristicOnly`]
+    /// budget is exempt from the search-parameter checks — it never
+    /// searches, so zero decoy parameters are not contradictory for it.
+    ///
+    /// # Errors
+    ///
+    /// The first violation found, as a typed [`BudgetError`].
+    pub fn validate(&self) -> Result<(), BudgetError> {
+        if self.tier == TierPolicy::HeuristicOnly {
+            return Ok(());
+        }
+        if self.shots == 0 {
+            return Err(BudgetError::ZeroShots);
+        }
+        if self.trajectories == 0 {
+            return Err(BudgetError::ZeroTrajectories);
+        }
+        if self.neighborhood == 0 {
+            return Err(BudgetError::ZeroNeighborhood);
+        }
+        Ok(())
+    }
+}
+
+/// Tuning of the degradation ladder (tiers 0–2). The defaults disable
+/// every new behavior — `min_search_ms = 0` means [`TierPolicy::Auto`]
+/// always searches inline and `max_stale_epochs = 0` means nothing is
+/// ever served stale — so a config that never mentions tiers behaves
+/// exactly like the pre-ladder service, bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierConfig {
+    /// Minimum remaining deadline (ms) for an [`TierPolicy::Auto`]
+    /// request to attempt an inline search; below it the request is
+    /// answered from cache/stale/heuristic without blocking. `0`
+    /// disables the downgrade entirely.
+    pub min_search_ms: u64,
+    /// How many epochs behind a superseded cache value may be and still
+    /// be served as [`Provenance::StaleServed`]. `0` disables stale
+    /// serving.
+    pub max_stale_epochs: u64,
+    /// Bound of the superseded-epoch stale store.
+    pub stale_capacity: usize,
+    /// Bound of the background-refine lane; refines past it are dropped
+    /// (their single-flight tickets released) rather than queued without
+    /// limit.
+    pub refine_queue_capacity: usize,
+    /// How many workers may run refine searches at once. Refines are
+    /// strictly lower priority than client jobs: a worker only picks one
+    /// up when the client queue is empty.
+    pub refine_concurrency: usize,
+    /// Length of the cache's hot-key accounting ring (top-K input of
+    /// the proactive pre-epoch refresh).
+    pub hot_ring_capacity: usize,
+    /// How many hot keys [`MaskService::prewarm_epoch`] re-characterizes
+    /// against the next epoch's calibration.
+    pub prewarm_top_k: usize,
+    /// Thresholds of the tier-0 calibration-only heuristic.
+    pub heuristic: HeuristicConfig,
+}
+
+impl Default for TierConfig {
+    fn default() -> Self {
+        TierConfig {
+            min_search_ms: 0,
+            max_stale_epochs: 0,
+            stale_capacity: crate::cache::DEFAULT_STALE_CAPACITY,
+            refine_queue_capacity: 8,
+            refine_concurrency: 1,
+            hot_ring_capacity: crate::cache::DEFAULT_HOT_RING_CAPACITY,
+            prewarm_top_k: 4,
+            heuristic: HeuristicConfig::default(),
+        }
+    }
+}
+
+impl TierConfig {
+    /// Rejects ladder tunings that contradict themselves.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_stale_epochs > 0 && self.stale_capacity == 0 {
+            return Err(format!(
+                "contradictory tier config: max_stale_epochs = {} but the stale store \
+                 has capacity 0 — nothing could ever be served stale",
+                self.max_stale_epochs
+            ));
+        }
+        if self.prewarm_top_k > 0 && self.hot_ring_capacity == 0 {
+            return Err(format!(
+                "contradictory tier config: prewarm_top_k = {} but the hot-key ring \
+                 has capacity 0 — there would never be a hot key to prewarm",
+                self.prewarm_top_k
+            ));
+        }
+        if self.refine_queue_capacity > 0 && self.refine_concurrency == 0 {
+            return Err(format!(
+                "contradictory tier config: refine_queue_capacity = {} but \
+                 refine_concurrency = 0 — queued refines could never run",
+                self.refine_queue_capacity
+            ));
+        }
+        self.heuristic
+            .validate()
+            .map_err(|e| format!("invalid heuristic thresholds: {e}"))
     }
 }
 
@@ -82,6 +260,10 @@ pub struct ServiceConfig {
     pub decoy: DecoyKind,
     /// Default budget for [`Request::Execute`]-triggered searches.
     pub default_budget: SearchBudget,
+    /// Degradation-ladder tuning (tier 0 heuristic, tier 1
+    /// stale-while-revalidate, tier 2 proactive refresh). The default
+    /// disables all three — see [`TierConfig`].
+    pub tiers: TierConfig,
     /// Per-device circuit breaker. Disabled by default: breaker
     /// decisions couple requests to each other (an open breaker changes
     /// what *other* keys' requests get back), which intentionally trades
@@ -118,6 +300,7 @@ impl Default for ServiceConfig {
             retry: RetryPolicy::default(),
             decoy: DecoyKind::default(),
             default_budget: SearchBudget::default(),
+            tiers: TierConfig::default(),
             breaker: BreakerConfig::disabled(),
             virtual_deadlines: false,
             registry: Arc::new(adapt_obs::Registry::new()),
@@ -127,7 +310,8 @@ impl Default for ServiceConfig {
 
 impl ServiceConfig {
     /// Rejects configurations the service cannot run with (invalid
-    /// retry policy or breaker tuning).
+    /// retry policy, breaker tuning, default search budget, or
+    /// contradictory tier ladder).
     ///
     /// # Errors
     ///
@@ -139,6 +323,14 @@ impl ServiceConfig {
                 reason: e.to_string(),
             })?;
         self.breaker
+            .validate()
+            .map_err(|reason| ServiceError::InvalidConfig { reason })?;
+        self.default_budget
+            .validate()
+            .map_err(|e| ServiceError::InvalidConfig {
+                reason: e.to_string(),
+            })?;
+        self.tiers
             .validate()
             .map_err(|reason| ServiceError::InvalidConfig { reason })?;
         Ok(())
@@ -219,6 +411,20 @@ pub enum Provenance {
     /// touched. The mask is the cached one when available, otherwise
     /// the conservative all-DD mask. Never cached.
     BreakerFallback,
+    /// The tier-0 calibration-only heuristic answered because the
+    /// deadline could not fit a search (or the budget pinned
+    /// [`TierPolicy::HeuristicOnly`]). Deterministic, zero decoy runs,
+    /// never cached — a background refine upgrades the key when the
+    /// tier policy allows.
+    Heuristic,
+    /// A superseded-epoch cache value within the configured staleness
+    /// bound, served while a background refine re-searches the key at
+    /// the current epoch. Never cached at the requested epoch.
+    StaleServed {
+        /// How many epochs behind the current calibration the served
+        /// mask is (≥ 1).
+        age_epochs: u64,
+    },
 }
 
 impl std::fmt::Display for Provenance {
@@ -229,6 +435,8 @@ impl std::fmt::Display for Provenance {
             Provenance::DegradedAllDd => write!(f, "degraded-all-dd"),
             Provenance::PartialSearch => write!(f, "partial-search"),
             Provenance::BreakerFallback => write!(f, "breaker-fallback"),
+            Provenance::Heuristic => write!(f, "heuristic"),
+            Provenance::StaleServed { age_epochs } => write!(f, "stale-served:{age_epochs}"),
         }
     }
 }
@@ -446,6 +654,20 @@ pub struct ServiceStats {
     pub breaker_trips: u64,
     /// Circuit-breaker recoveries (half-open probe succeeded).
     pub breaker_recoveries: u64,
+    /// Requests answered by the tier-0 calibration-only heuristic.
+    pub heuristic_served: u64,
+    /// Requests answered from the superseded-epoch stale store.
+    pub stale_served: u64,
+    /// Refine jobs accepted into the background lane.
+    pub refines_enqueued: u64,
+    /// Refine searches that completed and upgraded their cache entry.
+    pub refines_completed: u64,
+    /// Refine jobs dropped (lane full or disabled, epoch moved on, or
+    /// the search failed); their single-flight tickets were released.
+    pub refines_dropped: u64,
+    /// Hot keys scheduled for next-epoch characterization by
+    /// [`MaskService::prewarm_epoch`].
+    pub prewarm_scheduled: u64,
     /// Deepest queue observed at submission.
     pub peak_queue_depth: usize,
 }
@@ -473,6 +695,14 @@ struct Metrics {
     breaker_fallbacks: adapt_obs::Counter,
     breaker_trips: adapt_obs::Counter,
     breaker_recoveries: adapt_obs::Counter,
+    heuristic_served: adapt_obs::Counter,
+    stale_served: adapt_obs::Counter,
+    refines_enqueued: adapt_obs::Counter,
+    refines_completed: adapt_obs::Counter,
+    refines_dropped: adapt_obs::Counter,
+    prewarm_scheduled: adapt_obs::Counter,
+    /// Enqueue-to-upgrade latency of completed refines.
+    refine_us: adapt_obs::Histogram,
     queue_depth: adapt_obs::Gauge,
     peak_queue_depth: adapt_obs::Gauge,
     queued_us: adapt_obs::Histogram,
@@ -502,6 +732,13 @@ impl Metrics {
             breaker_fallbacks: r.counter("adapt_service_breaker_fallbacks_total"),
             breaker_trips: r.counter("adapt_service_breaker_trips_total"),
             breaker_recoveries: r.counter("adapt_service_breaker_recoveries_total"),
+            heuristic_served: r.counter("adapt_service_heuristic_served_total"),
+            stale_served: r.counter("adapt_service_stale_served_total"),
+            refines_enqueued: r.counter("adapt_service_refines_enqueued_total"),
+            refines_completed: r.counter("adapt_service_refines_completed_total"),
+            refines_dropped: r.counter("adapt_service_refines_dropped_total"),
+            prewarm_scheduled: r.counter("adapt_service_prewarm_scheduled_total"),
+            refine_us: r.histogram("adapt_service_refine_us"),
             queue_depth: r.gauge("adapt_service_queue_depth"),
             peak_queue_depth: r.gauge("adapt_service_peak_queue_depth"),
             queued_us: r.histogram("adapt_service_queued_us"),
@@ -522,10 +759,47 @@ struct Job {
     admission: Admission,
 }
 
+/// One queued background-refine search: the single-flight ticket for
+/// the target key plus everything the search needs. Dropping the job
+/// drops the ticket, releasing the key.
+struct RefineJob {
+    ticket: SearchTicket,
+    circuit: qcirc::Circuit,
+    budget: SearchBudget,
+    enqueued: Instant,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    /// Low-priority refine lane: a worker only pops from it when `jobs`
+    /// is empty and fewer than `refine_concurrency` refines are running.
+    refine: VecDeque<RefineJob>,
+    /// Refine searches currently executing on workers.
+    refine_active: usize,
+    /// Chaos hook: a disabled refiner drops incoming and queued refine
+    /// jobs (tickets released) instead of running them.
+    refiner_enabled: bool,
+}
+
+impl Default for QueueState {
+    fn default() -> Self {
+        QueueState {
+            jobs: VecDeque::new(),
+            refine: VecDeque::new(),
+            refine_active: 0,
+            refiner_enabled: true,
+        }
+    }
+}
+
 #[derive(Default)]
 struct Queue {
-    jobs: Mutex<VecDeque<Job>>,
+    state: Mutex<QueueState>,
     available: Condvar,
+    /// Signalled whenever the refine lane may have gone idle (empty
+    /// deque and nothing executing) — [`MaskService::drain_refines`]
+    /// waits on it.
+    refine_idle: Condvar,
 }
 
 /// Everything the worker threads share.
@@ -542,7 +816,40 @@ struct Shared {
     /// Runtime per-device fault-profile overrides (chaos schedules flip
     /// these mid-run); devices not in the map use the config profile.
     fault_overrides: Mutex<HashMap<DeviceId, FaultProfile>>,
+    /// Bounded book of recently served logical programs by their
+    /// epoch-independent identity — what [`MaskService::prewarm_epoch`]
+    /// re-transpiles hot keys from (a [`StaleKey`] alone cannot rebuild
+    /// the circuit).
+    programs: Mutex<ProgramBook>,
     shutdown: AtomicBool,
+}
+
+/// Bounded insertion-ordered map of logical programs by [`StaleKey`].
+#[derive(Default)]
+struct ProgramBook {
+    map: HashMap<StaleKey, qcirc::Circuit>,
+    order: VecDeque<StaleKey>,
+}
+
+impl ProgramBook {
+    fn record(&mut self, key: StaleKey, circuit: &qcirc::Circuit, capacity: usize) {
+        if capacity == 0 || self.map.contains_key(&key) {
+            return;
+        }
+        self.map.insert(key, circuit.clone());
+        self.order.push_back(key);
+        while self.map.len() > capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.map.remove(&oldest);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn get(&self, key: &StaleKey) -> Option<qcirc::Circuit> {
+        self.map.get(key).cloned()
+    }
 }
 
 /// In-flight response handle returned by [`MaskService::submit`].
@@ -604,7 +911,12 @@ impl MaskService {
         } else {
             Arc::new(adapt_obs::Registry::new())
         };
-        let cache = Arc::new(MaskCache::with_registry(config.cache_capacity, &obs));
+        let cache = Arc::new(MaskCache::with_tiers(
+            config.cache_capacity,
+            config.tiers.stale_capacity,
+            config.tiers.hot_ring_capacity,
+            &obs,
+        ));
         let health = HealthTracker::new(config.breaker, &config.devices, &obs);
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
@@ -615,6 +927,7 @@ impl MaskService {
             obs,
             health,
             fault_overrides: Mutex::new(HashMap::new()),
+            programs: Mutex::new(ProgramBook::default()),
             shutdown: AtomicBool::new(false),
             config,
         });
@@ -645,6 +958,13 @@ impl MaskService {
     pub fn submit(&self, request: Request) -> Result<Pending, ServiceError> {
         let shared = &self.shared;
         let device = request.device();
+        // A budget no search can run with is a client bug, answered with
+        // the same typed error an invalid config gets at start.
+        if let Request::RecommendMask { budget, .. } = &request {
+            budget.validate().map_err(|e| ServiceError::InvalidConfig {
+                reason: e.to_string(),
+            })?;
+        }
         let deadline = match request.deadline_ms() {
             Some(b) if shared.config.virtual_deadlines => Deadline::virtual_only(b),
             Some(b) => Deadline::within_ms(b),
@@ -652,14 +972,14 @@ impl MaskService {
         };
         let (tx, rx) = channel();
         {
-            let mut jobs = lock(&shared.queue.jobs);
+            let mut state = lock(&shared.queue.state);
             // Checked under the queue lock: shutdown drains the queue
             // while holding it, so a submit can never slip a job in
             // after the drain.
             if shared.shutdown.load(Ordering::SeqCst) {
                 return Err(ServiceError::ShuttingDown);
             }
-            let depth = jobs.len();
+            let depth = state.jobs.len();
             shared.metrics.requests.inc();
             if depth >= shared.config.queue_capacity {
                 shared.metrics.rejected.inc();
@@ -690,7 +1010,7 @@ impl MaskService {
                     retry_after_ms,
                 });
             }
-            jobs.push_back(Job {
+            state.jobs.push_back(Job {
                 request,
                 reply: tx,
                 enqueued: Instant::now(),
@@ -735,6 +1055,93 @@ impl MaskService {
         self.shared.registry.epoch(device)
     }
 
+    /// Schedules background characterization of `device`'s hottest keys
+    /// against its *next* calibration epoch — call right before the
+    /// epoch is advanced, so the hot working set is already cached when
+    /// [`Self::advance_epoch`] invalidates the current one and drift
+    /// never turns into a cold-miss storm. Uses the top
+    /// [`TierConfig::prewarm_top_k`] identities of the cache's hot-key
+    /// ring whose logical program is still in the program book. Returns
+    /// how many refines were scheduled (keys already cached, already in
+    /// flight, or with a full refine lane are skipped).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::DeviceNotServed`] for unregistered devices.
+    pub fn prewarm_epoch(&self, device: DeviceId) -> Result<usize, ServiceError> {
+        let shared = &self.shared;
+        let (next_epoch, machine) = shared
+            .registry
+            .peek_next_epoch(device)
+            .ok_or(ServiceError::DeviceNotServed(device))?;
+        let hot = shared
+            .cache
+            .hot_keys(device, shared.config.tiers.prewarm_top_k);
+        let mut scheduled = 0usize;
+        for stale_key in hot {
+            let Some(circuit) = lock(&shared.programs).get(&stale_key) else {
+                continue;
+            };
+            let compiled = transpile(&circuit, machine.device(), &TranspileOptions::default());
+            let key = MaskKey {
+                device,
+                epoch: next_epoch,
+                circuit_hash: machine::structural_hash(&compiled.timed),
+                protocol: stale_key.protocol,
+                decoy: stale_key.decoy,
+            };
+            if let Some(ticket) = MaskCache::try_ticket(&shared.cache, key, stale_key) {
+                if enqueue_refine(shared, ticket, circuit, shared.config.default_budget) {
+                    scheduled += 1;
+                }
+            }
+        }
+        shared.metrics.prewarm_scheduled.add(scheduled as u64);
+        Ok(scheduled)
+    }
+
+    /// Blocks until the background-refine lane is idle: no queued refine
+    /// jobs and none executing. The deterministic harnesses use it as a
+    /// barrier between scenario phases, so which refines have landed is
+    /// a function of the scenario script rather than of scheduling.
+    pub fn drain_refines(&self) {
+        let mut state = lock(&self.shared.queue.state);
+        while !(state.refine.is_empty() && state.refine_active == 0) {
+            state = self
+                .shared
+                .queue
+                .refine_idle
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Enables or disables the background-refine lane. Disabling drops
+    /// every queued refine job (their single-flight tickets are
+    /// released, so blocked or future lookups can re-own the keys) and
+    /// makes later enqueues no-ops — the chaos harness kills the lane
+    /// mid-run with this and asserts the service degrades to heuristic
+    /// answers instead of wedging.
+    pub fn set_refiner_enabled(&self, enabled: bool) {
+        let dropped = {
+            let mut state = lock(&self.shared.queue.state);
+            state.refiner_enabled = enabled;
+            if enabled {
+                Vec::new()
+            } else {
+                state.refine.drain(..).collect::<Vec<_>>()
+            }
+        };
+        if !dropped.is_empty() {
+            self.shared
+                .metrics
+                .refines_dropped
+                .add(dropped.len() as u64);
+        }
+        drop(dropped); // tickets release outside the queue lock
+        self.shared.queue.refine_idle.notify_all();
+    }
+
     /// Service-wide counters.
     pub fn stats(&self) -> ServiceStats {
         let m = &self.shared.metrics;
@@ -754,6 +1161,12 @@ impl MaskService {
             breaker_fallbacks: m.breaker_fallbacks.get(),
             breaker_trips: m.breaker_trips.get(),
             breaker_recoveries: m.breaker_recoveries.get(),
+            heuristic_served: m.heuristic_served.get(),
+            stale_served: m.stale_served.get(),
+            refines_enqueued: m.refines_enqueued.get(),
+            refines_completed: m.refines_completed.get(),
+            refines_dropped: m.refines_dropped.get(),
+            prewarm_scheduled: m.prewarm_scheduled.get(),
             peak_queue_depth: m.peak_queue_depth.get().max(0) as usize,
         }
     }
@@ -810,15 +1223,23 @@ impl MaskService {
 
     fn shutdown_inner(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Answer queued-but-unserved requests so no client blocks forever.
-        {
-            let mut jobs = lock(&self.shared.queue.jobs);
-            for job in jobs.drain(..) {
+        // Answer queued-but-unserved requests so no client blocks
+        // forever, and drop queued refines (tickets released).
+        let dropped_refines = {
+            let mut state = lock(&self.shared.queue.state);
+            for job in state.jobs.drain(..) {
                 let _ = job.reply.send(Err(ServiceError::ShuttingDown));
             }
             self.shared.metrics.queue_depth.set(0);
-        }
+            state.refine.drain(..).collect::<Vec<_>>()
+        };
+        self.shared
+            .metrics
+            .refines_dropped
+            .add(dropped_refines.len() as u64);
+        drop(dropped_refines);
         self.shared.queue.available.notify_all();
+        self.shared.queue.refine_idle.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -851,23 +1272,59 @@ fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+enum Work {
+    Client(Job),
+    Refine(RefineJob),
+}
+
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
-        let job = {
-            let mut jobs = lock(&shared.queue.jobs);
+        let work = {
+            let mut state = lock(&shared.queue.state);
             loop {
-                if let Some(job) = jobs.pop_front() {
-                    shared.metrics.queue_depth.set(jobs.len() as i64);
-                    break job;
+                if let Some(job) = state.jobs.pop_front() {
+                    shared.metrics.queue_depth.set(state.jobs.len() as i64);
+                    break Work::Client(job);
+                }
+                // Refines are strictly lower priority: only an otherwise
+                // idle worker picks one up, and at most
+                // `refine_concurrency` run at once so a refine burst can
+                // never starve the client lane of the whole pool.
+                if state.refine_active < shared.config.tiers.refine_concurrency {
+                    if let Some(refine) = state.refine.pop_front() {
+                        state.refine_active += 1;
+                        break Work::Refine(refine);
+                    }
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                jobs = shared
+                state = shared
                     .queue
                     .available
-                    .wait(jobs)
+                    .wait(state)
                     .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        };
+        let job = match work {
+            Work::Client(job) => job,
+            Work::Refine(refine) => {
+                // A panicking refine must not kill the worker: the
+                // unwind drops the job (releasing the ticket) and is
+                // counted like any other worker panic.
+                if catch_unwind(AssertUnwindSafe(|| run_refine(shared, refine))).is_err() {
+                    shared.metrics.worker_panics.inc();
+                }
+                let mut state = lock(&shared.queue.state);
+                state.refine_active -= 1;
+                let idle = state.refine.is_empty() && state.refine_active == 0;
+                drop(state);
+                if idle {
+                    shared.queue.refine_idle.notify_all();
+                }
+                // Another queued refine may now be eligible.
+                shared.queue.available.notify_one();
+                continue;
             }
         };
         let queued_us = job.enqueued.elapsed().as_micros() as u64;
@@ -989,7 +1446,12 @@ fn finalize_deadline(
         Ok(response) => {
             let conservative = matches!(
                 provenance_of(&response),
-                Some(Provenance::PartialSearch | Provenance::BreakerFallback)
+                Some(
+                    Provenance::PartialSearch
+                        | Provenance::BreakerFallback
+                        | Provenance::Heuristic
+                        | Provenance::StaleServed { .. }
+                )
             );
             if !conservative && deadline.check().is_err() {
                 metrics.deadline_exceeded.inc();
@@ -1155,6 +1617,121 @@ fn adapt_config(
     }
 }
 
+/// Accepts `ticket`'s key into the background-refine lane. Returns
+/// whether the job was queued; a full or disabled lane (or a shutting-
+/// down service) drops the ticket instead — releasing the key — and
+/// counts the drop. Never blocks.
+fn enqueue_refine(
+    shared: &Arc<Shared>,
+    ticket: SearchTicket,
+    circuit: qcirc::Circuit,
+    budget: SearchBudget,
+) -> bool {
+    let accepted = {
+        let mut state = lock(&shared.queue.state);
+        if shared.shutdown.load(Ordering::SeqCst)
+            || !state.refiner_enabled
+            || state.refine.len() >= shared.config.tiers.refine_queue_capacity
+        {
+            false
+        } else {
+            state.refine.push_back(RefineJob {
+                ticket,
+                circuit,
+                budget,
+                enqueued: Instant::now(),
+            });
+            true
+        }
+    };
+    if accepted {
+        shared.metrics.refines_enqueued.inc();
+        shared.queue.available.notify_one();
+    } else {
+        // The ticket was not moved into a job: it drops when this
+        // function returns (after the queue lock is released), which
+        // releases the key to future lookups.
+        shared.metrics.refines_dropped.inc();
+    }
+    accepted
+}
+
+/// Executes one background refine: a full (deadline-free) search for the
+/// ticket's key, publishing the result through the single-flight
+/// protocol. The search is seeded exactly like an inline one, so the
+/// upgraded cache entry is bit-identical to what a foreground search of
+/// the same key and budget would have produced. Skipped (ticket
+/// released, drop counted) when the device's epoch has moved past the
+/// key — a refine of yesterday's calibration helps nobody.
+fn run_refine(shared: &Arc<Shared>, job: RefineJob) {
+    let key = job.ticket.key();
+    let Some((current_epoch, current_machine)) = shared.registry.snapshot(key.device) else {
+        shared.metrics.refines_dropped.inc();
+        return;
+    };
+    // Current-epoch refines (stale-serve upgrades) use the live machine;
+    // next-epoch refines (prewarm) characterize against the peeked one.
+    let machine = if key.epoch == current_epoch {
+        current_machine
+    } else {
+        match shared.registry.peek_next_epoch(key.device) {
+            Some((next, m)) if key.epoch == next => m,
+            _ => {
+                shared.metrics.refines_dropped.inc();
+                return;
+            }
+        }
+    };
+    let compiled = transpile(&job.circuit, machine.device(), &TranspileOptions::default());
+    let fingerprint = key.fingerprint();
+    let deadline = Deadline::none();
+    let adapt = backend_for(shared, machine, key.device, fingerprint, &deadline);
+    let cfg = adapt_config(shared, key.protocol, job.budget, fingerprint);
+    let Ok(decoy) = make_decoy(&compiled.timed, cfg.decoy_kind) else {
+        shared.metrics.refines_dropped.inc();
+        return;
+    };
+    match adapt.choose_mask_with_decoy_deadline(
+        &compiled,
+        &decoy,
+        job.circuit.num_qubits(),
+        &cfg,
+        deadline,
+    ) {
+        Ok(result) if !result.partial => {
+            job.ticket.complete(cached_from(&result));
+            shared.metrics.refines_completed.inc();
+            shared
+                .metrics
+                .refine_us
+                .record(job.enqueued.elapsed().as_micros() as u64);
+        }
+        // Failed or (impossibly, with no deadline) partial: release the
+        // key by dropping the ticket, count the drop.
+        _ => {
+            shared.metrics.refines_dropped.inc();
+        }
+    }
+}
+
+/// The cache value a completed search result publishes — shared by the
+/// inline and refine paths so both produce identical entries.
+fn cached_from(result: &adapt::SearchResult) -> CachedMask {
+    let decoy_fidelity = result
+        .evaluations
+        .iter()
+        .filter(|s| s.mask == result.best)
+        .map(|s| s.fidelity)
+        .next_back()
+        .unwrap_or(0.0);
+    CachedMask {
+        mask: result.best,
+        decoy_fidelity,
+        decoy_runs: result.decoy_runs(),
+        degraded: result.is_degraded(),
+    }
+}
+
 /// Resolves a recommendation through the cache (single-flight on miss).
 /// Returns the recommendation (timing zeroed — the caller stamps it) and
 /// the epoch machine, so `execute` can reuse both.
@@ -1178,53 +1755,87 @@ fn recommend(
         protocol,
         decoy: shared.config.decoy,
     };
-    let (cached, provenance) = match MaskCache::lookup(&shared.cache, key) {
-        Lookup::Hit(cached) => (cached, Provenance::CacheHit),
-        Lookup::Miss(ticket) => {
-            // This request owns the search. Any failure drops the ticket,
-            // releasing the key to coalesced waiters.
-            let adapt = backend_for(shared, machine.clone(), device, key.fingerprint(), deadline);
-            let cfg = adapt_config(shared, protocol, budget, key.fingerprint());
-            let decoy = make_decoy(&compiled.timed, cfg.decoy_kind)
-                .map_err(|e| ServiceError::Failed(e.into()))?;
-            let result = adapt.choose_mask_with_decoy_deadline(
+    let tiers = shared.config.tiers;
+    let stale_key = key.stale_key(logical_hash(circuit));
+    // Remember the logical program under its epoch-independent identity,
+    // so a later prewarm of this (hot) key can rebuild the circuit.
+    lock(&shared.programs).record(stale_key, circuit, shared.config.cache_capacity);
+
+    // Which rung of the ladder does this request start on? SearchOnly
+    // and a comfortably-remaining deadline take the blocking search
+    // path; HeuristicOnly and a too-tight deadline take the
+    // never-blocking fast path (tier 0 floor).
+    let fits_search = deadline
+        .remaining_ms()
+        .is_none_or(|remaining| remaining >= tiers.min_search_ms);
+    let search_path = match budget.tier {
+        TierPolicy::SearchOnly => true,
+        TierPolicy::HeuristicOnly => false,
+        TierPolicy::Auto => fits_search,
+    };
+
+    let (cached, provenance) = if search_path {
+        // SearchOnly pins pre-ladder semantics: no stale serving at all.
+        let max_stale = if budget.tier == TierPolicy::SearchOnly {
+            0
+        } else {
+            tiers.max_stale_epochs
+        };
+        match MaskCache::lookup_tiered(&shared.cache, key, stale_key, max_stale) {
+            TieredLookup::Hit(cached) => (cached, Provenance::CacheHit),
+            TieredLookup::Stale {
+                value,
+                age_epochs,
+                refresh,
+            } => serve_stale(shared, circuit, budget, value, age_epochs, refresh),
+            TieredLookup::Miss(ticket) => search_inline(
+                shared,
+                circuit,
                 &compiled,
-                &decoy,
-                circuit.num_qubits(),
-                &cfg,
-                deadline.clone(),
-            )?;
-            shared.metrics.searches.inc();
-            let decoy_fidelity = result
-                .evaluations
-                .iter()
-                .filter(|s| s.mask == result.best)
-                .map(|s| s.fidelity)
-                .next_back()
-                .unwrap_or(0.0);
-            let cached = CachedMask {
-                mask: result.best,
-                decoy_fidelity,
-                decoy_runs: result.decoy_runs(),
-                degraded: result.is_degraded(),
-            };
-            if result.partial {
-                // A deadline-truncated mask is served but never cached:
-                // dropping the ticket releases the key, so the next
-                // request (or a coalesced waiter) searches afresh with
-                // its own budget. Caching it would let one tight
-                // deadline poison every later request for the key.
-                drop(ticket);
-                shared.metrics.partial_searches.inc();
-                (cached, Provenance::PartialSearch)
-            } else {
-                ticket.complete(cached);
-                let provenance = if cached.degraded {
-                    Provenance::DegradedAllDd
-                } else {
-                    Provenance::FreshSearch
-                };
-                (cached, provenance)
+                &key,
+                machine.clone(),
+                budget,
+                deadline,
+                ticket,
+            )?,
+        }
+    } else {
+        match MaskCache::lookup_fast(&shared.cache, key, stale_key, tiers.max_stale_epochs) {
+            FastLookup::Hit(cached) => (cached, Provenance::CacheHit),
+            FastLookup::Stale {
+                value,
+                age_epochs,
+                refresh,
+            } => serve_stale(shared, circuit, budget, value, age_epochs, refresh),
+            FastLookup::Cold(ticket) => {
+                // Tier 0: answer from calibration alone, instantly. The
+                // heuristic mask is served but never cached — only a
+                // real search may publish under the key. An Auto caller
+                // holding the cold ticket hands it to the refiner so the
+                // key upgrades to FreshSearch in the background;
+                // HeuristicOnly pinned "no search work", so its ticket
+                // drops here, releasing the key.
+                if let Some(ticket) = ticket {
+                    if budget.tier == TierPolicy::Auto {
+                        enqueue_refine(shared, ticket, circuit.clone(), budget);
+                    }
+                }
+                let h = heuristic_mask(
+                    &compiled,
+                    machine.device(),
+                    circuit.num_qubits(),
+                    &tiers.heuristic,
+                );
+                shared.metrics.heuristic_served.inc();
+                (
+                    CachedMask {
+                        mask: h.mask,
+                        decoy_fidelity: 0.0,
+                        decoy_runs: 0,
+                        degraded: false,
+                    },
+                    Provenance::Heuristic,
+                )
             }
         }
     };
@@ -1240,6 +1851,78 @@ fn recommend(
         },
         machine,
     ))
+}
+
+/// Serves a superseded-epoch value (tier 1). The first serve per flight
+/// group carries the refine ticket — hand it to the background lane so
+/// the key upgrades to a fresh search; a HeuristicOnly caller pinned "no
+/// search work", so its ticket drops, releasing the key.
+fn serve_stale(
+    shared: &Arc<Shared>,
+    circuit: &qcirc::Circuit,
+    budget: SearchBudget,
+    value: CachedMask,
+    age_epochs: u64,
+    refresh: Option<SearchTicket>,
+) -> (CachedMask, Provenance) {
+    if let Some(ticket) = refresh {
+        if budget.tier == TierPolicy::HeuristicOnly {
+            drop(ticket);
+        } else {
+            enqueue_refine(shared, ticket, circuit.clone(), budget);
+        }
+    }
+    shared.metrics.stale_served.inc();
+    (value, Provenance::StaleServed { age_epochs })
+}
+
+/// The inline (blocking) search a request runs when it owns the key's
+/// single-flight ticket and its deadline affords one. `machine` must be
+/// the epoch snapshot the key was built from.
+#[allow(clippy::too_many_arguments)]
+fn search_inline(
+    shared: &Arc<Shared>,
+    circuit: &qcirc::Circuit,
+    compiled: &transpiler::TranspiledCircuit,
+    key: &MaskKey,
+    machine: Machine,
+    budget: SearchBudget,
+    deadline: &Deadline,
+    ticket: SearchTicket,
+) -> Result<(CachedMask, Provenance), ServiceError> {
+    // This request owns the search. Any failure drops the ticket,
+    // releasing the key to coalesced waiters.
+    let adapt = backend_for(shared, machine, key.device, key.fingerprint(), deadline);
+    let cfg = adapt_config(shared, key.protocol, budget, key.fingerprint());
+    let decoy =
+        make_decoy(&compiled.timed, cfg.decoy_kind).map_err(|e| ServiceError::Failed(e.into()))?;
+    let result = adapt.choose_mask_with_decoy_deadline(
+        compiled,
+        &decoy,
+        circuit.num_qubits(),
+        &cfg,
+        deadline.clone(),
+    )?;
+    shared.metrics.searches.inc();
+    let cached = cached_from(&result);
+    if result.partial {
+        // A deadline-truncated mask is served but never cached: dropping
+        // the ticket releases the key, so the next request (or a
+        // coalesced waiter) searches afresh with its own budget. Caching
+        // it would let one tight deadline poison every later request for
+        // the key.
+        drop(ticket);
+        shared.metrics.partial_searches.inc();
+        Ok((cached, Provenance::PartialSearch))
+    } else {
+        ticket.complete(cached);
+        let provenance = if cached.degraded {
+            Provenance::DegradedAllDd
+        } else {
+            Provenance::FreshSearch
+        };
+        Ok((cached, provenance))
+    }
 }
 
 fn execute(

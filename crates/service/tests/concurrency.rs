@@ -4,7 +4,7 @@
 
 use adapt::DdProtocol;
 use adapt_service::{
-    DeviceId, MaskService, Provenance, Request, Response, SearchBudget, ServiceConfig,
+    DeviceId, MaskService, Provenance, Request, Response, SearchBudget, ServiceConfig, TierPolicy,
 };
 use machine::FaultProfile;
 
@@ -13,6 +13,7 @@ fn small_budget() -> SearchBudget {
         shots: 64,
         trajectories: 2,
         neighborhood: 4,
+        tier: TierPolicy::default(),
     }
 }
 

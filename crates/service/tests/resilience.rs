@@ -5,7 +5,7 @@
 use adapt::{DdMask, DdProtocol};
 use adapt_service::{
     BreakerConfig, BreakerFallback, BreakerState, DeviceId, MaskService, Provenance, Request,
-    Response, SearchBudget, ServiceConfig, ServiceError,
+    Response, SearchBudget, ServiceConfig, ServiceError, TierPolicy,
 };
 use machine::{FaultProfile, RetryPolicy};
 
@@ -43,6 +43,7 @@ fn small_budget() -> SearchBudget {
         shots: 64,
         trajectories: 2,
         neighborhood: 4,
+        tier: TierPolicy::default(),
     }
 }
 
@@ -138,6 +139,7 @@ fn deadline_mid_search_serves_a_conservative_partial_mask_and_skips_the_cache() 
         shots: 256,
         trajectories: 8,
         neighborhood: 4,
+        tier: TierPolicy::default(),
     };
     let rec = unwrap_mask(
         svc.call(Request::RecommendMask {

@@ -44,6 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         shots: 256,
         trajectories: 8,
         neighborhood: 4,
+        tier: TierPolicy::default(),
     };
 
     let show = |label: &str, name: &str, circuit: &Circuit, device: DeviceId| {

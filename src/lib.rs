@@ -54,7 +54,7 @@ pub mod prelude {
     };
     pub use adapt_service::{
         DeviceId, MaskService, Provenance, Request, Response, SearchBudget, ServiceConfig,
-        ServiceError,
+        ServiceError, TierConfig, TierPolicy,
     };
     pub use benchmarks::{self, BenchmarkSpec};
     pub use device::{Device, SeedSpawner, Topology};
