@@ -91,6 +91,20 @@ pub struct Decoy {
     pub non_clifford_count: usize,
 }
 
+impl Decoy {
+    /// True when every gate in the decoy is Clifford.
+    ///
+    /// Fully Clifford decoys are eligible for the machine's CHP routing
+    /// fast path: after DD-mask insertion (X/Y pulses are Clifford) the
+    /// noisy execution runs on the stabilizer tableau instead of the dense
+    /// state vector, which is what makes high-throughput mask search
+    /// possible. Seeded decoys with surviving non-Clifford phases always
+    /// fall back to the state-vector engine.
+    pub fn is_clifford(&self) -> bool {
+        self.non_clifford_count == 0
+    }
+}
+
 /// True when the angle is a multiple of π/2 within `tol`.
 fn is_clifford_angle(theta: f64, tol: f64) -> bool {
     let r = theta.rem_euclid(FRAC_PI_2);
@@ -350,6 +364,17 @@ mod tests {
         assert!(decoy.non_clifford_count >= 1, "QFT has seedable phases");
         // Schedule still identical.
         assert_eq!(decoy.timed.events().len(), timed.events().len());
+    }
+
+    #[test]
+    fn clifford_flag_tracks_surviving_seeds() {
+        let (_, timed) = transpiled(5);
+        let cdc = make_decoy(&timed, DecoyKind::Clifford).unwrap();
+        assert!(cdc.is_clifford(), "CDC must be CHP-eligible");
+        let cnot = make_decoy(&timed, DecoyKind::CnotOnly).unwrap();
+        assert!(cnot.is_clifford());
+        let sdc = make_decoy(&timed, DecoyKind::Seeded { max_seed_qubits: 3 }).unwrap();
+        assert!(!sdc.is_clifford(), "surviving seeds force the dense engine");
     }
 
     #[test]

@@ -28,6 +28,15 @@
 //!
 //! Batching is bit-identical to serial scoring by the
 //! [`Backend::execute_batch`] determinism contract.
+//!
+//! On top of the batching, the machine's simulator-routing layer gives
+//! the search its biggest constant factor: a fully Clifford decoy
+//! ([`Decoy::is_clifford`]) stays Clifford after DD-mask insertion (the
+//! inserted pulses are X/Y), so every candidate-mask execution routes to
+//! the CHP stabilizer engine — polynomial per trajectory instead of
+//! `O(2^n)`. Seeded decoys keep their surviving non-Clifford phases and
+//! score on the dense state-vector engine instead; the search logic is
+//! identical either way, only throughput differs.
 
 use crate::dd::{
     analyze_idle_windows, insert_dd_prepared, mask_to_wires, DdConfig, DdMask, IdleAnalysis,

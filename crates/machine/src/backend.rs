@@ -193,6 +193,12 @@ pub trait Backend: Send + Sync {
     /// contract because its executions are stateless and thread-count
     /// invariant.
     ///
+    /// The contract holds *across simulator routing* too: a batch may mix
+    /// CHP-routed Clifford jobs with state-vector jobs, and each job's
+    /// result is still a pure function of `(timed, config)` — engine
+    /// selection is deterministic per plan and each engine's trajectory
+    /// RNG stream depends only on the job seed.
+    ///
     /// Per-job errors are returned in the corresponding slot rather than
     /// aborting the batch, so callers keep their per-job degradation
     /// semantics.

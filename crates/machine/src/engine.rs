@@ -1,0 +1,601 @@
+//! The simulator-routing engine: one trajectory, two substrates.
+//!
+//! Every execution compiles to a [`CompiledPlan`](crate::plan::CompiledPlan)
+//! whose lowered op stream runs on one of two engines:
+//!
+//! - [`SimEngine::Chp`] — the `stabilizer` crate's Aaronson–Gottesman
+//!   tableau. Selected when every gate of the scheduled circuit is
+//!   Clifford-lowerable *and* the machine's noise channels are
+//!   Pauli-expressible (see [`pauli_expressible`]). Decoy circuits are
+//!   classically cheap by construction (PAPER.md §1); this engine makes
+//!   the executor exploit that instead of paying dense Monte-Carlo price.
+//! - [`SimEngine::StateVector`] — the dense fallback, rebuilt on
+//!   [`statevec::SoaStateVector`] with fused/classified kernels from the
+//!   plan lowering.
+//!
+//! # Coherent phases on the stabilizer engine: the toggling-frame twirl
+//!
+//! The idle-noise model is *coherent* (arbitrary-angle Z rotations from
+//! detuning and spectator crosstalk), which a tableau cannot represent
+//! directly. Instead of giving up Clifford routing whenever those
+//! channels are on, the CHP runner tracks each qubit's accumulated idle
+//! phase `θ_q` in software as a *pending* `RZ(θ_q)` and commutes it
+//! through the circuit exactly where algebra allows:
+//!
+//! - diagonal gates (Z, S, S†, CZ, Clifford RZ) commute: keep `θ`;
+//! - X and Y (DD pulses!) conjugate `RZ(θ)` to `RZ(−θ)`: negate `θ` —
+//!   this is precisely the echo cancellation DD relies on, preserved
+//!   *exactly*;
+//! - SWAP exchanges pending phases; a CX control keeps its phase;
+//! - frame-mixing gates (H, √X, √X†, CX target) force a *flush*: the
+//!   pending `RZ(θ)` is Pauli-twirled into a stochastic Z with
+//!   probability `sin²(θ/2)` (see [`crate::noise::z_twirl_probability`]),
+//!   then `θ := 0`;
+//! - measurement/reset clear `θ` exactly (a Z rotation commutes with
+//!   Z-basis collapse up to global phase);
+//! - stochastic X/Y Pauli events (gate errors, the T1/T2 floor) negate
+//!   `θ` like their coherent counterparts.
+//!
+//! The only approximation is the loss of coherent interference *at flush
+//! points*; between flushes the signed phase arithmetic is exact, so DD
+//! sequences echo out detuning on this engine for the same reason they
+//! do on hardware. With coherent channels disabled the twirl never fires
+//! and the engine is exact. Machines can opt out of the approximation via
+//! [`NoiseToggles::coherent_twirl`] or pin the dense engine with
+//! [`EnginePolicy::ForceStateVector`].
+//!
+//! # Determinism contract
+//!
+//! Each engine's results are a pure function of `(plan, seed)`. The two
+//! engines agree in distribution but not bit-for-bit, so the plan cache
+//! keys routing eligibility into its hash
+//! ([`crate::plan::routing_key`]): a given key always takes one engine,
+//! and a noise-model edit that flips eligibility changes the key instead
+//! of silently reusing a stale plan across engines.
+
+use crate::executor::{ExecError, Machine, NoiseToggles, CROSSTALK_JITTER};
+use crate::noise::{standard_normal, z_twirl_probability, QubitDetuning};
+use crate::plan::{CliffOp, CompiledPlan, DenseOp, IdleOp, Kernel1, Kernel2};
+use qcirc::math::C64;
+use qcirc::{Counts, Gate};
+use rand::rngs::StdRng;
+use rand::Rng;
+use stab::Tableau;
+use statevec::SoaStateVector;
+use std::f64::consts::FRAC_PI_2;
+use std::sync::atomic::{AtomicU64, Ordering};
+use transpiler::TimedCircuit;
+
+/// Which simulation substrate a compiled plan runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimEngine {
+    /// Dense state-vector Monte-Carlo (SoA kernels).
+    StateVector,
+    /// Aaronson–Gottesman stabilizer tableau with the toggling-frame
+    /// phase twirl for coherent idle channels.
+    Chp,
+}
+
+impl SimEngine {
+    /// Stable snake_case tag, used in metrics and benchmark reports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            SimEngine::StateVector => "statevector",
+            SimEngine::Chp => "chp",
+        }
+    }
+}
+
+/// Routing policy of a [`Machine`]: how plans pick their engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EnginePolicy {
+    /// Route eligible circuits to the CHP engine, fall back to dense.
+    #[default]
+    Auto,
+    /// Always use the dense state-vector engine (validation/debugging,
+    /// and the reference side of cross-engine equivalence tests).
+    ForceStateVector,
+}
+
+/// Whether the machine's enabled noise channels can be expressed as
+/// Pauli channels on the stabilizer engine.
+///
+/// Gate errors, readout flips and the T1/T2 floor are Pauli channels
+/// already. The coherent idle channels (detuning, crosstalk) are not,
+/// but the toggling-frame twirl makes them admissible when
+/// [`NoiseToggles::coherent_twirl`] permits the approximation.
+pub fn pauli_expressible(toggles: &NoiseToggles) -> bool {
+    (!toggles.idle_coherent && !toggles.idle_crosstalk) || toggles.coherent_twirl
+}
+
+/// One-qubit Clifford tableau op a gate lowers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CliffGate1 {
+    I,
+    X,
+    Y,
+    Z,
+    H,
+    S,
+    Sdg,
+    Sx,
+    Sxdg,
+}
+
+/// Two-qubit Clifford tableau op a gate lowers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CliffGate2 {
+    Cx,
+    Cz,
+    Swap,
+}
+
+/// Lowers a one-qubit gate to a tableau op, `None` when non-Clifford.
+/// `RZ`/`P` at quarter-turn angles (tolerance 1e-9 rad, matching the
+/// decoy layer's Clifford rounding) lower to I/S/Z/S†.
+pub(crate) fn lower_clifford1(g: Gate) -> Option<CliffGate1> {
+    match g {
+        Gate::I => Some(CliffGate1::I),
+        Gate::X => Some(CliffGate1::X),
+        Gate::Y => Some(CliffGate1::Y),
+        Gate::Z => Some(CliffGate1::Z),
+        Gate::H => Some(CliffGate1::H),
+        Gate::S => Some(CliffGate1::S),
+        Gate::Sdg => Some(CliffGate1::Sdg),
+        Gate::SX => Some(CliffGate1::Sx),
+        Gate::SXdg => Some(CliffGate1::Sxdg),
+        Gate::RZ(t) | Gate::P(t) => {
+            let k = (t / FRAC_PI_2).round();
+            if (t - k * FRAC_PI_2).abs() > 1e-9 {
+                return None;
+            }
+            Some(match k.rem_euclid(4.0) as u64 {
+                0 => CliffGate1::I,
+                1 => CliffGate1::S,
+                2 => CliffGate1::Z,
+                _ => CliffGate1::Sdg,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Lowers a two-qubit gate to a tableau op, `None` when non-Clifford.
+pub(crate) fn lower_clifford2(g: Gate) -> Option<CliffGate2> {
+    match g {
+        Gate::CX => Some(CliffGate2::Cx),
+        Gate::CZ => Some(CliffGate2::Cz),
+        Gate::Swap => Some(CliffGate2::Swap),
+        _ => None,
+    }
+}
+
+/// Whether every gate of the scheduled circuit lowers to a tableau op.
+pub fn clifford_lowerable(timed: &TimedCircuit) -> bool {
+    timed.events().iter().all(|e| match &e.instr.kind {
+        qcirc::OpKind::Gate(g) => match e.instr.qubits.len() {
+            1 => lower_clifford1(*g).is_some(),
+            2 => lower_clifford2(*g).is_some(),
+            _ => false,
+        },
+        _ => true,
+    })
+}
+
+/// Decides the engine for a scheduled circuit under a machine's noise
+/// toggles and routing policy. The active-qubit cap applies uniformly to
+/// both engines (checked during plan compilation, not here).
+pub fn select_engine(
+    timed: &TimedCircuit,
+    toggles: &NoiseToggles,
+    policy: EnginePolicy,
+) -> SimEngine {
+    if policy == EnginePolicy::ForceStateVector {
+        return SimEngine::StateVector;
+    }
+    if pauli_expressible(toggles) && clifford_lowerable(timed) {
+        SimEngine::Chp
+    } else {
+        SimEngine::StateVector
+    }
+}
+
+/// Per-machine routing counters, shared by all clones (like the plan
+/// cache) so batch workers report into one place.
+#[derive(Debug, Default)]
+pub(crate) struct EngineCounters {
+    pub chp: AtomicU64,
+    pub statevec: AtomicU64,
+    pub batch_workers: AtomicU64,
+    pub batch_job_threads: AtomicU64,
+}
+
+impl EngineCounters {
+    pub fn snapshot(&self) -> EngineStats {
+        EngineStats {
+            chp_executions: self.chp.load(Ordering::Relaxed),
+            statevec_executions: self.statevec.load(Ordering::Relaxed),
+            last_batch_workers: self.batch_workers.load(Ordering::Relaxed),
+            last_batch_job_threads: self.batch_job_threads.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of a machine's engine-routing split and the thread layout of
+/// its most recent batch (see [`Machine::engine_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Executions routed to the CHP stabilizer engine.
+    pub chp_executions: u64,
+    /// Executions routed to the dense state-vector engine.
+    pub statevec_executions: u64,
+    /// Scoped worker threads used by the most recent `execute_batch`.
+    pub last_batch_workers: u64,
+    /// Trajectory threads granted to each job of that batch.
+    pub last_batch_job_threads: u64,
+}
+
+/// Runs one noise realization of a compiled plan on its engine.
+pub(crate) fn run_trajectory(
+    machine: &Machine,
+    plan: &CompiledPlan,
+    shots: u64,
+    rng: &mut StdRng,
+) -> Result<Counts, ExecError> {
+    match plan.engine {
+        SimEngine::StateVector => run_trajectory_dense(machine, plan, shots, rng),
+        SimEngine::Chp => run_trajectory_chp(machine, plan, shots, rng),
+    }
+}
+
+/// Per-trajectory stochastic context shared by both engines: sampled
+/// detunings (when the coherent channel is on) and per-episode crosstalk
+/// jitter (when the crosstalk channel is on).
+struct IdleContext {
+    detuning: Vec<QubitDetuning>,
+    jitter: Vec<Vec<f64>>,
+}
+
+impl IdleContext {
+    fn sample(machine: &Machine, plan: &CompiledPlan, rng: &mut StdRng) -> Self {
+        let cal = machine.device().calibration();
+        let detuning = if plan.needs_detuning {
+            plan.phys_of
+                .iter()
+                .map(|&p| QubitDetuning::sample(cal.qubit(p), rng))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        // Per-trajectory, per-CNOT-episode jitter: the phase kick a
+        // spectator receives depends on the (shot-varying) state of the
+        // gate qubits, so each episode's amplitude fluctuates around the
+        // calibrated coupling. Dense DD can echo this out; sparse DD
+        // cannot (Fig. 16 of the paper).
+        let jitter = if plan.needs_jitter {
+            plan.xtalk
+                .iter()
+                .map(|eps| {
+                    eps.iter()
+                        .map(|_| 1.0 + CROSSTALK_JITTER * standard_normal(rng))
+                        .collect()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        IdleContext { detuning, jitter }
+    }
+
+    /// The coherent phase accumulated over one idle window.
+    fn phase(&mut self, idle: &IdleOp, rng: &mut StdRng) -> f64 {
+        let q = idle.q as usize;
+        let mut phase = if idle.detune {
+            self.detuning[q].advance(idle.dt_ns, rng)
+        } else {
+            0.0
+        };
+        for &(ei, chi_overlap) in &idle.xtalk {
+            phase += chi_overlap * self.jitter[q][ei as usize];
+        }
+        phase
+    }
+}
+
+fn dense_pauli1(sv: &mut SoaStateVector, q: usize, which: u8) -> Result<(), statevec::SimError> {
+    match which {
+        // X = antidiag(1, 1); Y = antidiag(-i, i); Z = diag(1, -1).
+        1 => sv.apply_antidiag1(C64::ONE, C64::ONE, q),
+        2 => sv.apply_antidiag1(C64::new(0.0, -1.0), C64::I, q),
+        3 => sv.apply_diag1(C64::ONE, C64::real(-1.0), q),
+        _ => Ok(()),
+    }
+}
+
+/// Dense-engine trajectory over the plan's lowered kernel stream.
+fn run_trajectory_dense(
+    machine: &Machine,
+    plan: &CompiledPlan,
+    shots: u64,
+    rng: &mut StdRng,
+) -> Result<Counts, ExecError> {
+    let mut sv = SoaStateVector::try_new(plan.active_qubits())?;
+    let mut ctx = IdleContext::sample(machine, plan, rng);
+    let mut clbits = 0u64;
+    for op in &plan.dense {
+        match op {
+            DenseOp::Idle(idle) => {
+                let phase = ctx.phase(idle, rng);
+                if phase != 0.0 {
+                    sv.apply_diag1(
+                        C64::cis(-phase / 2.0),
+                        C64::cis(phase / 2.0),
+                        idle.q as usize,
+                    )?;
+                }
+                if let Some(floor) = &idle.floor {
+                    dense_pauli1(&mut sv, idle.q as usize, floor.sample(rng))?;
+                }
+            }
+            DenseOp::K1 { q, k } => match k {
+                Kernel1::Full(m) => sv.apply1(m, *q as usize)?,
+                Kernel1::Diag(d0, d1) => sv.apply_diag1(*d0, *d1, *q as usize)?,
+                Kernel1::AntiDiag(a01, a10) => sv.apply_antidiag1(*a01, *a10, *q as usize)?,
+            },
+            DenseOp::K2 { a, b, k } => match k {
+                Kernel2::Full(m) => sv.apply2(m, *a as usize, *b as usize)?,
+                Kernel2::Cx => sv.apply_cx(*a as usize, *b as usize)?,
+                Kernel2::Cz => sv.apply_cz(*a as usize, *b as usize)?,
+                Kernel2::Swap => sv.apply_swap(*a as usize, *b as usize)?,
+            },
+            DenseOp::Err1 { q, p } => {
+                if rng.gen::<f64>() < *p {
+                    dense_pauli1(&mut sv, *q as usize, rng.gen_range(1..4))?;
+                }
+            }
+            DenseOp::Err2 { a, b, p, reps } => {
+                for _ in 0..*reps {
+                    if rng.gen::<f64>() < *p {
+                        // One of the 15 non-identity two-qubit Paulis.
+                        let idx = rng.gen_range(1..16);
+                        dense_pauli1(&mut sv, *a as usize, (idx & 3) as u8)?;
+                        dense_pauli1(&mut sv, *b as usize, (idx >> 2) as u8)?;
+                    }
+                }
+            }
+            DenseOp::Floor { q, floor } => {
+                dense_pauli1(&mut sv, *q as usize, floor.sample(rng))?;
+            }
+            DenseOp::Measure { q, c, p_flip } => {
+                let mut bit = sv.measure(*q as usize, rng)?;
+                if rng.gen::<f64>() < *p_flip {
+                    bit = !bit;
+                }
+                if bit {
+                    clbits |= 1 << *c;
+                } else {
+                    clbits &= !(1 << *c);
+                }
+            }
+            DenseOp::Reset { q } => sv.reset(*q as usize, rng)?,
+        }
+    }
+
+    let mut counts = Counts::new(plan.num_clbits);
+    if plan.terminal_measurements {
+        sv.normalize();
+        for _ in 0..shots {
+            let sample = sv.sample(rng);
+            let mut out = 0u64;
+            for &(q, c, p_flip) in &plan.deferred {
+                let mut bit = sample >> q & 1 == 1;
+                if rng.gen::<f64>() < p_flip {
+                    bit = !bit;
+                }
+                if bit {
+                    out |= 1 << c;
+                }
+            }
+            counts.record(out);
+        }
+    } else {
+        // Mid-circuit measurement: the trajectory fixed one outcome
+        // record; honor shot count by replay-free repetition (callers
+        // wanting independent mid-circuit shots raise `trajectories`).
+        counts.record_many(clbits, shots);
+    }
+    Ok(counts)
+}
+
+/// Applies a stochastic Pauli to the tableau, commuting it through the
+/// pending phase: X/Y anticommute with Z, so they negate `θ`.
+fn chp_pauli1(tab: &mut Tableau, theta: &mut [f64], q: usize, which: u8) {
+    match which {
+        1 => {
+            tab.x(q);
+            theta[q] = -theta[q];
+        }
+        2 => {
+            tab.y(q);
+            theta[q] = -theta[q];
+        }
+        3 => tab.z(q),
+        _ => {}
+    }
+}
+
+/// Flushes a pending phase as a stochastic Z (the Pauli twirl of
+/// `RZ(θ)`), consuming one uniform draw unless `θ` is exactly zero.
+fn chp_flush(tab: &mut Tableau, theta: &mut [f64], q: usize, rng: &mut StdRng) {
+    if theta[q] != 0.0 {
+        if rng.gen::<f64>() < z_twirl_probability(theta[q]) {
+            tab.z(q);
+        }
+        theta[q] = 0.0;
+    }
+}
+
+/// CHP-engine trajectory: tableau evolution with the toggling-frame
+/// phase twirl described in the module docs.
+fn run_trajectory_chp(
+    machine: &Machine,
+    plan: &CompiledPlan,
+    shots: u64,
+    rng: &mut StdRng,
+) -> Result<Counts, ExecError> {
+    let k = plan.active_qubits();
+    let mut tab = Tableau::new(k);
+    let mut theta = vec![0.0f64; k];
+    let mut ctx = IdleContext::sample(machine, plan, rng);
+    let mut clbits = 0u64;
+    for op in &plan.cliff {
+        match op {
+            CliffOp::Idle(idle) => {
+                theta[idle.q as usize] += ctx.phase(idle, rng);
+                if let Some(floor) = &idle.floor {
+                    chp_pauli1(&mut tab, &mut theta, idle.q as usize, floor.sample(rng));
+                }
+            }
+            CliffOp::G1 { q, g } => {
+                let q = *q as usize;
+                match g {
+                    CliffGate1::I => {}
+                    // Diagonal: commutes with the pending RZ.
+                    CliffGate1::Z => tab.z(q),
+                    CliffGate1::S => tab.s(q),
+                    CliffGate1::Sdg => tab.sdg(q),
+                    // X-like: conjugates RZ(θ) to RZ(−θ) — the echo.
+                    CliffGate1::X => {
+                        tab.x(q);
+                        theta[q] = -theta[q];
+                    }
+                    CliffGate1::Y => {
+                        tab.y(q);
+                        theta[q] = -theta[q];
+                    }
+                    // Frame-mixing: flush, then apply.
+                    CliffGate1::H => {
+                        chp_flush(&mut tab, &mut theta, q, rng);
+                        tab.h(q);
+                    }
+                    CliffGate1::Sx => {
+                        chp_flush(&mut tab, &mut theta, q, rng);
+                        tab.sx(q);
+                    }
+                    CliffGate1::Sxdg => {
+                        chp_flush(&mut tab, &mut theta, q, rng);
+                        tab.sxdg(q);
+                    }
+                }
+            }
+            CliffOp::G2 { a, b, g } => {
+                let (a, b) = (*a as usize, *b as usize);
+                match g {
+                    CliffGate2::Cx => {
+                        // RZ commutes with the control; the target frame
+                        // mixes under the conditional X.
+                        chp_flush(&mut tab, &mut theta, b, rng);
+                        tab.cx(a, b);
+                    }
+                    CliffGate2::Cz => tab.cz(a, b),
+                    CliffGate2::Swap => {
+                        tab.swap(a, b);
+                        theta.swap(a, b);
+                    }
+                }
+            }
+            CliffOp::Err1 { q, p } => {
+                if rng.gen::<f64>() < *p {
+                    chp_pauli1(&mut tab, &mut theta, *q as usize, rng.gen_range(1..4));
+                }
+            }
+            CliffOp::Err2 { a, b, p, reps } => {
+                for _ in 0..*reps {
+                    if rng.gen::<f64>() < *p {
+                        let idx = rng.gen_range(1..16);
+                        chp_pauli1(&mut tab, &mut theta, *a as usize, (idx & 3) as u8);
+                        chp_pauli1(&mut tab, &mut theta, *b as usize, (idx >> 2) as u8);
+                    }
+                }
+            }
+            CliffOp::Floor { q, floor } => {
+                chp_pauli1(&mut tab, &mut theta, *q as usize, floor.sample(rng));
+            }
+            CliffOp::Measure { q, c, p_flip } => {
+                let q = *q as usize;
+                // The pending Z rotation commutes with Z-basis collapse
+                // (global phase on the surviving branch): clear exactly.
+                theta[q] = 0.0;
+                let mut bit = tab.measure(q, rng).bit();
+                if rng.gen::<f64>() < *p_flip {
+                    bit = !bit;
+                }
+                if bit {
+                    clbits |= 1 << *c;
+                } else {
+                    clbits &= !(1 << *c);
+                }
+            }
+            CliffOp::Reset { q } => {
+                let q = *q as usize;
+                theta[q] = 0.0;
+                if tab.measure(q, rng).bit() {
+                    tab.x(q);
+                }
+            }
+        }
+    }
+
+    let mut counts = Counts::new(plan.num_clbits);
+    if plan.terminal_measurements {
+        // Pending phases are diagonal: they cannot change Z-basis
+        // probabilities, so terminal sampling ignores them exactly.
+        for _ in 0..shots {
+            let mut shot_tab = tab.clone();
+            let mut out = 0u64;
+            for &(q, c, p_flip) in &plan.deferred {
+                let mut bit = shot_tab.measure(q as usize, rng).bit();
+                if rng.gen::<f64>() < p_flip {
+                    bit = !bit;
+                }
+                if bit {
+                    out |= 1 << c;
+                }
+            }
+            counts.record(out);
+        }
+    } else {
+        counts.record_many(clbits, shots);
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clifford_lowering_covers_quarter_angles() {
+        use std::f64::consts::PI;
+        assert_eq!(lower_clifford1(Gate::RZ(0.0)), Some(CliffGate1::I));
+        assert_eq!(lower_clifford1(Gate::RZ(FRAC_PI_2)), Some(CliffGate1::S));
+        assert_eq!(lower_clifford1(Gate::RZ(PI)), Some(CliffGate1::Z));
+        assert_eq!(lower_clifford1(Gate::RZ(-FRAC_PI_2)), Some(CliffGate1::Sdg));
+        assert_eq!(lower_clifford1(Gate::RZ(2.0 * PI)), Some(CliffGate1::I));
+        assert_eq!(lower_clifford1(Gate::RZ(0.3)), None);
+        assert_eq!(lower_clifford1(Gate::P(FRAC_PI_2)), Some(CliffGate1::S));
+        assert_eq!(lower_clifford1(Gate::T), None);
+        assert_eq!(lower_clifford2(Gate::CX), Some(CliffGate2::Cx));
+    }
+
+    #[test]
+    fn pauli_expressibility_follows_toggles() {
+        let mut t = NoiseToggles::default();
+        assert!(pauli_expressible(&t), "twirl permits coherent channels");
+        t.coherent_twirl = false;
+        assert!(!pauli_expressible(&t), "coherent channels without twirl");
+        t.idle_coherent = false;
+        t.idle_crosstalk = false;
+        assert!(pauli_expressible(&t), "pure Pauli noise is always eligible");
+    }
+}

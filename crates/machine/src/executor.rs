@@ -3,23 +3,26 @@
 //! Executes a [`TimedCircuit`] under the device noise model by Monte-Carlo
 //! trajectories. Each trajectory draws one realization of every stochastic
 //! process (static detunings, OU paths, gate/readout error events) and
-//! evolves a dense state vector over the circuit's *active* qubits in time
-//! order, interleaving idle-noise advancement with gate application. Shots
-//! are distributed over trajectories.
+//! replays the circuit's compiled op stream
+//! ([`CompiledPlan`](crate::plan::CompiledPlan)) on the engine the plan
+//! routed to — the CHP stabilizer tableau for Clifford circuits under
+//! Pauli-expressible noise, the dense SoA state vector otherwise (see
+//! [`crate::engine`]). Shots are distributed over trajectories.
 //!
 //! The crucial property: DD pulses inserted by ADAPT are ordinary gates
 //! here. Echo cancellation of the coherent detuning, its degradation at
 //! long pulse spacing, and the extra depolarizing cost of each pulse all
-//! emerge from the simulation rather than being modeled directly.
+//! emerge from the simulation rather than being modeled directly — on
+//! *both* engines (the CHP path tracks idle phases in a toggling frame,
+//! so X/Y pulses echo them out exactly as the dense path does).
 
 use crate::backend::{JobSpec, ShotBatch};
-use crate::noise::{PauliFloor, QubitDetuning};
-use crate::plan::{CompiledPlan, PlanCache, PlanCacheStats};
+use crate::engine::{EngineCounters, EnginePolicy, EngineStats, SimEngine};
+use crate::plan::{PlanCache, PlanCacheStats};
 use device::{Device, SeedSpawner};
-use qcirc::{Circuit, Counts, Gate, OpKind, Qubit};
+use qcirc::{Circuit, Counts};
 use rand::rngs::StdRng;
-use rand::Rng;
-use statevec::{SimError, StateVector};
+use statevec::SimError;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use transpiler::{try_schedule, ScheduleError, SchedulePolicy, TimedCircuit};
@@ -236,6 +239,12 @@ pub struct NoiseToggles {
     pub idle_crosstalk: bool,
     /// Stochastic T1/white-dephasing Pauli floor.
     pub idle_floor: bool,
+    /// Permit the CHP engine to Pauli-twirl the coherent idle channels
+    /// (detuning/crosstalk) at frame-mixing gates. When `false` and a
+    /// coherent channel is on, circuits are never routed to the
+    /// stabilizer engine — the knob that flips routing eligibility (see
+    /// [`crate::engine::pauli_expressible`]).
+    pub coherent_twirl: bool,
 }
 
 impl Default for NoiseToggles {
@@ -246,12 +255,15 @@ impl Default for NoiseToggles {
             idle_coherent: true,
             idle_crosstalk: true,
             idle_floor: true,
+            coherent_twirl: true,
         }
     }
 }
 
 impl NoiseToggles {
     /// Everything off: the executor becomes an (expensive) ideal sampler.
+    /// The twirl stays permitted — with no coherent channel enabled it
+    /// never fires, so eligible circuits still take the CHP fast path.
     pub fn none() -> Self {
         NoiseToggles {
             gate_err: false,
@@ -259,6 +271,7 @@ impl NoiseToggles {
             idle_coherent: false,
             idle_crosstalk: false,
             idle_floor: false,
+            coherent_twirl: true,
         }
     }
 }
@@ -287,9 +300,13 @@ impl NoiseToggles {
 pub struct Machine {
     device: Device,
     toggles: NoiseToggles,
+    /// Engine-routing policy ([`EnginePolicy::Auto`] unless pinned).
+    policy: EnginePolicy,
     /// LRU of compiled plans, shared by every clone of this machine so
     /// batch workers and repeated executions reuse each other's work.
     plans: Arc<PlanCache>,
+    /// Engine-routing counters, shared across clones like the cache.
+    engines: Arc<EngineCounters>,
 }
 
 impl Machine {
@@ -298,7 +315,9 @@ impl Machine {
         Machine {
             device,
             toggles: NoiseToggles::default(),
+            policy: EnginePolicy::Auto,
             plans: Arc::new(PlanCache::default()),
+            engines: Arc::new(EngineCounters::default()),
         }
     }
 
@@ -307,13 +326,28 @@ impl Machine {
         Machine {
             device,
             toggles,
+            policy: EnginePolicy::Auto,
             plans: Arc::new(PlanCache::default()),
+            engines: Arc::new(EngineCounters::default()),
         }
+    }
+
+    /// Pins the engine-routing policy (builder style). Forcing the dense
+    /// engine is how channel-validation tests and cross-engine
+    /// equivalence checks obtain a reference run.
+    pub fn with_engine_policy(mut self, policy: EnginePolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// The active noise toggles.
     pub fn toggles(&self) -> &NoiseToggles {
         &self.toggles
+    }
+
+    /// The active engine-routing policy.
+    pub fn engine_policy(&self) -> EnginePolicy {
+        self.policy
     }
 
     /// The underlying device.
@@ -325,6 +359,12 @@ impl Machine {
     /// clones).
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
         self.plans.stats()
+    }
+
+    /// Engine-routing split and last-batch thread layout (shared across
+    /// clones).
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engines.snapshot()
     }
 
     /// Schedules (ALAP) and executes a plain circuit.
@@ -356,7 +396,19 @@ impl Machine {
         let m = crate::metrics::metrics();
         m.executions.inc();
         let _span = m.execute_us.time();
-        let compiled = self.plans.get_or_build(timed, &self.device)?;
+        let compiled = self
+            .plans
+            .get_or_build(timed, &self.device, &self.toggles, self.policy)?;
+        match compiled.engine {
+            SimEngine::Chp => {
+                self.engines.chp.fetch_add(1, Ordering::Relaxed);
+                m.engine_chp.inc();
+            }
+            SimEngine::StateVector => {
+                self.engines.statevec.fetch_add(1, Ordering::Relaxed);
+                m.engine_statevec.inc();
+            }
+        }
         let trajectories = config.trajectories.max(1);
         let shots_per_traj = config.shots.div_ceil(trajectories as u64).max(1);
         let spawner = SeedSpawner::new(config.seed);
@@ -391,7 +443,7 @@ impl Machine {
                     continue;
                 }
                 let mut rng = StdRng::from_seed_u64(traj_seeds[i]);
-                let c = self.run_trajectory(timed, &compiled, traj_shots[i], &mut rng)?;
+                let c = crate::engine::run_trajectory(self, &compiled, traj_shots[i], &mut rng)?;
                 counts.merge(&c);
             }
             Ok(counts)
@@ -425,11 +477,14 @@ impl Machine {
     }
 
     /// Executes a slice of jobs with scoped worker threads, preserving
-    /// the per-job result order. Each job runs with `threads: 1` — valid
-    /// because [`Machine::execute_timed`] results are thread-count
-    /// invariant — so parallelism comes from running *jobs* concurrently
-    /// instead of oversubscribing cores per job. Results are therefore
-    /// bit-identical to executing the jobs serially.
+    /// the per-job result order. The thread budget (the largest per-job
+    /// request; 0 = all cores) is split two ways: up to `budget` workers
+    /// run jobs concurrently, and each job gets `budget / workers`
+    /// trajectory threads of its own — so a batch smaller than the core
+    /// count still saturates the machine by parallelizing *inside* jobs.
+    /// Valid because [`Machine::execute_timed`] results are thread-count
+    /// invariant: results are bit-identical to executing the jobs
+    /// serially, whatever the split.
     pub(crate) fn execute_batch_jobs(
         &self,
         jobs: &[JobSpec<'_>],
@@ -438,17 +493,25 @@ impl Machine {
         m.batches.inc();
         m.batch_jobs.add(jobs.len() as u64);
         m.batch_fanout.record(jobs.len() as u64);
-        // Worker-count hint: the largest per-job request (0 = all cores),
-        // never more workers than jobs.
         let avail = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
         let hint = jobs.iter().map(|j| j.config.threads).max().unwrap_or(0);
-        let workers = if hint == 0 { avail } else { hint }.min(jobs.len()).max(1);
+        let budget = if hint == 0 { avail } else { hint };
+        let workers = budget.min(jobs.len()).max(1);
+        let per_job_threads = (budget / workers).max(1);
+        self.engines
+            .batch_workers
+            .store(workers as u64, Ordering::Relaxed);
+        self.engines
+            .batch_job_threads
+            .store(per_job_threads as u64, Ordering::Relaxed);
+        m.batch_workers.set(workers as i64);
+        m.batch_job_threads.set(per_job_threads as i64);
 
         let run_one = |job: &JobSpec<'_>| -> Result<ShotBatch, ExecError> {
             let cfg = ExecutionConfig {
-                threads: 1,
+                threads: per_job_threads,
                 ..job.config
             };
             let counts = self.execute_timed(job.timed, &cfg)?;
@@ -482,293 +545,6 @@ impl Machine {
             })
             .collect()
     }
-
-    /// One noise realization; returns `shots` sampled outcomes.
-    fn run_trajectory(
-        &self,
-        timed: &TimedCircuit,
-        compiled: &CompiledPlan,
-        shots: u64,
-        rng: &mut StdRng,
-    ) -> Result<Counts, ExecError> {
-        let k = compiled.phys_of.len();
-        let cal = self.device.calibration();
-        let mut sv = StateVector::try_new(k)?;
-        let mut detuning: Vec<QubitDetuning> = compiled
-            .phys_of
-            .iter()
-            .map(|&p| QubitDetuning::sample(cal.qubit(p), rng))
-            .collect();
-        // Per-trajectory, per-CNOT-event crosstalk jitter: the phase kick a
-        // spectator receives from a given CNOT depends on the (shot-varying)
-        // state of the gate qubits, so each episode's amplitude fluctuates
-        // around the calibrated coupling. This is what dense DD sequences
-        // can echo out and sparse ones cannot (Fig. 16 of the paper).
-        let xtalk_jitter: Vec<Vec<f64>> = compiled
-            .xtalk
-            .iter()
-            .map(|eps| {
-                eps.iter()
-                    .map(|_| 1.0 + CROSSTALK_JITTER * crate::noise::standard_normal(rng))
-                    .collect()
-            })
-            .collect();
-        let mut frame = vec![0.0f64; k];
-        let mut clbits = 0u64;
-        // Deferred measurements for the fast path: (compact qubit, clbit).
-        let mut deferred: Vec<(usize, usize)> = Vec::new();
-
-        for e in timed.events() {
-            match &e.instr.kind {
-                OpKind::Gate(g) => {
-                    let qs: Vec<usize> = e
-                        .instr
-                        .qubits
-                        .iter()
-                        .map(|q| compiled.compact_of[q.index()].expect("active qubit"))
-                        .collect();
-                    for &q in &qs {
-                        self.advance_idle(
-                            &mut sv,
-                            q,
-                            &mut frame[q],
-                            e.start_ns,
-                            &mut detuning[q],
-                            &xtalk_jitter[q],
-                            &compiled.xtalk[q],
-                            compiled.phys_of[q],
-                            rng,
-                        )?;
-                    }
-                    self.apply_gate_noisy(&mut sv, *g, &qs, &e.instr.qubits, rng)?;
-                    // Decoherence does not pause during gates: the T1/white
-                    // floor also applies over the gate duration (otherwise
-                    // dense DD trains would artificially shield qubits from
-                    // relaxation).
-                    let dur = e.end_ns - e.start_ns;
-                    if dur > 0.0 && self.toggles.idle_floor {
-                        for &q in &qs {
-                            self.apply_floor(&mut sv, q, compiled.phys_of[q], dur, rng)?;
-                        }
-                    }
-                    for &q in &qs {
-                        frame[q] = e.end_ns;
-                    }
-                }
-                OpKind::Measure(c) => {
-                    let q = compiled.compact_of[e.instr.qubits[0].index()].expect("active qubit");
-                    self.advance_idle(
-                        &mut sv,
-                        q,
-                        &mut frame[q],
-                        e.start_ns,
-                        &mut detuning[q],
-                        &xtalk_jitter[q],
-                        &compiled.xtalk[q],
-                        compiled.phys_of[q],
-                        rng,
-                    )?;
-                    frame[q] = e.end_ns;
-                    if compiled.terminal_measurements {
-                        deferred.push((q, c.index()));
-                    } else {
-                        let p_flip = if self.toggles.readout_err {
-                            cal.qubit(compiled.phys_of[q]).err_readout
-                        } else {
-                            0.0
-                        };
-                        let mut bit = sv.measure(q, rng)?;
-                        if rng.gen::<f64>() < p_flip {
-                            bit = !bit;
-                        }
-                        if bit {
-                            clbits |= 1 << c.index();
-                        } else {
-                            clbits &= !(1 << c.index());
-                        }
-                    }
-                }
-                OpKind::Reset => {
-                    let q = compiled.compact_of[e.instr.qubits[0].index()].expect("active qubit");
-                    self.advance_idle(
-                        &mut sv,
-                        q,
-                        &mut frame[q],
-                        e.start_ns,
-                        &mut detuning[q],
-                        &xtalk_jitter[q],
-                        &compiled.xtalk[q],
-                        compiled.phys_of[q],
-                        rng,
-                    )?;
-                    sv.reset(q, rng)?;
-                    frame[q] = e.end_ns;
-                }
-                OpKind::Delay(_) | OpKind::Barrier => {}
-            }
-        }
-
-        let mut counts = Counts::new(timed.num_clbits());
-        if compiled.terminal_measurements {
-            sv.normalize();
-            for _ in 0..shots {
-                let sample = sv.sample(rng);
-                let mut out = 0u64;
-                for &(q, c) in &deferred {
-                    let mut bit = sample >> q & 1 == 1;
-                    let p_flip = if self.toggles.readout_err {
-                        cal.qubit(compiled.phys_of[q]).err_readout
-                    } else {
-                        0.0
-                    };
-                    if rng.gen::<f64>() < p_flip {
-                        bit = !bit;
-                    }
-                    if bit {
-                        out |= 1 << c;
-                    }
-                }
-                counts.record(out);
-            }
-        } else {
-            // Mid-circuit measurement: the trajectory fixed one outcome
-            // record; honor shot count by replay-free repetition of the
-            // same record (callers wanting independent mid-circuit shots
-            // should raise `trajectories` instead).
-            counts.record_many(clbits, shots);
-        }
-        Ok(counts)
-    }
-
-    /// Applies accumulated idle noise on compact qubit `q` from
-    /// `*frame` to `until`, updating the frame time.
-    #[allow(clippy::too_many_arguments)]
-    fn advance_idle(
-        &self,
-        sv: &mut StateVector,
-        q: usize,
-        frame: &mut f64,
-        until: f64,
-        detuning: &mut QubitDetuning,
-        xtalk_jitter: &[f64],
-        xtalk: &[(f64, f64, f64)],
-        phys: u32,
-        rng: &mut StdRng,
-    ) -> Result<(), ExecError> {
-        let dt = until - *frame;
-        if dt <= 1e-9 {
-            *frame = frame.max(until);
-            return Ok(());
-        }
-        let t0 = *frame;
-        let mut phase = if self.toggles.idle_coherent {
-            detuning.advance(dt, rng)
-        } else {
-            0.0
-        };
-        if self.toggles.idle_crosstalk {
-            // Crosstalk from CNOTs active during [t0, until], each episode
-            // scaled by its per-trajectory jitter.
-            for (ei, &(s, e, chi)) in xtalk.iter().enumerate() {
-                let overlap = (e.min(until) - s.max(t0)).max(0.0);
-                if overlap > 0.0 {
-                    phase += chi * xtalk_jitter[ei] * overlap / 1000.0;
-                }
-            }
-        }
-        sv.apply1(&Gate::RZ(phase).unitary1().expect("RZ is single-qubit"), q)?;
-        // Stochastic floor (T1 relaxation + white dephasing).
-        if self.toggles.idle_floor {
-            self.apply_floor(sv, q, phys, dt, rng)?;
-        }
-        *frame = until;
-        Ok(())
-    }
-
-    /// Applies the stochastic T1/white-dephasing floor over `dt_ns`.
-    fn apply_floor(
-        &self,
-        sv: &mut StateVector,
-        q: usize,
-        phys: u32,
-        dt_ns: f64,
-        rng: &mut StdRng,
-    ) -> Result<(), ExecError> {
-        let floor = PauliFloor::for_idle(self.device.calibration().qubit(phys), dt_ns);
-        match floor.sample(rng) {
-            1 => sv.apply1(&Gate::X.unitary1().expect("1q"), q)?,
-            2 => sv.apply1(&Gate::Y.unitary1().expect("1q"), q)?,
-            3 => sv.apply1(&Gate::Z.unitary1().expect("1q"), q)?,
-            _ => {}
-        }
-        Ok(())
-    }
-
-    fn apply_gate_noisy(
-        &self,
-        sv: &mut StateVector,
-        g: Gate,
-        compact: &[usize],
-        phys: &[Qubit],
-        rng: &mut StdRng,
-    ) -> Result<(), ExecError> {
-        if let Some(u) = g.unitary1() {
-            sv.apply1(&u, compact[0])?;
-            let phys_q = phys[0].index() as u32;
-            let dur = self.device.gate_duration(g, &[phys_q]);
-            if dur > 0.0 && self.toggles.gate_err {
-                let err = self.device.calibration().qubit(phys_q).err_1q;
-                if rng.gen::<f64>() < err {
-                    apply_random_pauli1(sv, compact[0], rng)?;
-                }
-            }
-        } else if let Some(u) = g.unitary2() {
-            sv.apply2(&u, compact[0], compact[1])?;
-            let (a, b) = (phys[0].index() as u32, phys[1].index() as u32);
-            let err = self
-                .device
-                .cnot_error(a, b)
-                .unwrap_or(self.device.profile().cnot_err_mean);
-            // SWAP = 3 CNOTs worth of error opportunities.
-            let reps = if !self.toggles.gate_err {
-                0
-            } else if matches!(g, Gate::Swap) {
-                3
-            } else {
-                1
-            };
-            for _ in 0..reps {
-                if rng.gen::<f64>() < err {
-                    apply_random_pauli2(sv, compact[0], compact[1], rng)?;
-                }
-            }
-        }
-        Ok(())
-    }
-}
-
-fn apply_random_pauli1(sv: &mut StateVector, q: usize, rng: &mut StdRng) -> Result<(), SimError> {
-    let g = [Gate::X, Gate::Y, Gate::Z][rng.gen_range(0..3)];
-    sv.apply1(&g.unitary1().expect("1q"), q)
-}
-
-fn apply_random_pauli2(
-    sv: &mut StateVector,
-    a: usize,
-    b: usize,
-    rng: &mut StdRng,
-) -> Result<(), SimError> {
-    // One of the 15 non-identity two-qubit Paulis.
-    let idx = rng.gen_range(1..16);
-    let (pa, pb) = (idx & 3, idx >> 2);
-    let table = [None, Some(Gate::X), Some(Gate::Y), Some(Gate::Z)];
-    if let Some(g) = table[pa] {
-        sv.apply1(&g.unitary1().expect("1q"), a)?;
-    }
-    if let Some(g) = table[pb] {
-        sv.apply1(&g.unitary1().expect("1q"), b)?;
-    }
-    Ok(())
 }
 
 /// Extension trait: seed an [`StdRng`] from a `u64` (newtype-free helper).
@@ -786,6 +562,7 @@ impl SeedU64 for StdRng {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qcirc::Gate;
     use std::collections::BTreeMap;
 
     fn cfg(seed: u64) -> ExecutionConfig {

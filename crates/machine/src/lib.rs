@@ -1,14 +1,17 @@
 //! # machine — noisy quantum-machine emulation
 //!
-//! Binds a [`device::Device`] noise model to the dense state-vector
-//! simulator and executes timed circuits by Monte-Carlo trajectories. This
-//! crate plays the role the IBMQ backends play in the ADAPT paper: the
-//! thing programs (and decoy circuits, and DD sequences) actually run on.
+//! Binds a [`device::Device`] noise model to the simulators and executes
+//! timed circuits by Monte-Carlo trajectories. This crate plays the role
+//! the IBMQ backends play in the ADAPT paper: the thing programs (and
+//! decoy circuits, and DD sequences) actually run on.
 //!
-//! See [`noise`] for the idling-noise model — coherent quasi-static + OU
-//! detuning with spectator crosstalk, a Pauli-twirled T1/T2 floor,
-//! depolarizing gate errors and readout flips — and [`executor`] for the
-//! trajectory engine.
+//! Execution routes through a simulator-routing layer ([`engine`]):
+//! Clifford circuits under Pauli-expressible noise take the CHP
+//! stabilizer fast path, everything else runs on the SoA dense
+//! state-vector path. See [`noise`] for the idling-noise model —
+//! coherent quasi-static + OU detuning with spectator crosstalk, a
+//! Pauli-twirled T1/T2 floor, depolarizing gate errors and readout flips
+//! — and [`executor`] for the trajectory executor.
 //!
 //! # Examples
 //!
@@ -31,6 +34,7 @@
 
 pub mod backend;
 pub mod deadline;
+pub mod engine;
 pub mod executor;
 pub mod fault;
 mod metrics;
@@ -40,7 +44,8 @@ pub mod resilient;
 
 pub use backend::{Anomaly, Backend, JobSpec, ShotBatch};
 pub use deadline::{CancelToken, Deadline};
+pub use engine::{EnginePolicy, EngineStats, SimEngine};
 pub use executor::{ExecError, ExecutionConfig, Machine, NoiseToggles};
 pub use fault::{FaultCounts, FaultPlan, FaultProfile, FaultyBackend, JobFaults};
-pub use plan::{structural_hash, CompiledPlan, PlanCache, PlanCacheStats};
+pub use plan::{routing_key, structural_hash, CompiledPlan, PlanCache, PlanCacheStats};
 pub use resilient::{FaultStats, ResilientExecutor, RetryPolicy, RetryPolicyError};

@@ -5,7 +5,7 @@
 //! convention `adapt_machine_<name>`. Metrics are observational only:
 //! nothing in the seeded execution path reads them back.
 
-use adapt_obs::{Counter, Histogram};
+use adapt_obs::{Counter, Gauge, Histogram};
 use std::sync::OnceLock;
 
 /// Bucket bounds for batch fan-out (jobs per batch) — counts, not µs.
@@ -19,11 +19,19 @@ pub(crate) struct Metrics {
     pub plan_hits: Counter,
     pub plan_misses: Counter,
     pub plan_evictions: Counter,
+    /// Executions routed to the CHP stabilizer engine.
+    pub engine_chp: Counter,
+    /// Executions routed to the dense state-vector engine.
+    pub engine_statevec: Counter,
     /// Batch submissions and total jobs fanned out.
     pub batches: Counter,
     pub batch_jobs: Counter,
     /// Jobs per batch (distribution of fan-out width).
     pub batch_fanout: Histogram,
+    /// Thread layout of the most recent batch: concurrent job workers
+    /// and trajectory threads granted to each job.
+    pub batch_workers: Gauge,
+    pub batch_job_threads: Gauge,
     /// Resilient-executor accounting.
     pub retry_requests: Counter,
     pub retry_attempts: Counter,
@@ -48,9 +56,13 @@ pub(crate) fn metrics() -> &'static Metrics {
             plan_hits: r.counter("adapt_machine_plan_cache_hits_total"),
             plan_misses: r.counter("adapt_machine_plan_cache_misses_total"),
             plan_evictions: r.counter("adapt_machine_plan_cache_evictions_total"),
+            engine_chp: r.counter("adapt_machine_engine_chp_total"),
+            engine_statevec: r.counter("adapt_machine_engine_statevec_total"),
             batches: r.counter("adapt_machine_batches_total"),
             batch_jobs: r.counter("adapt_machine_batch_jobs_total"),
             batch_fanout: r.histogram_with_buckets("adapt_machine_batch_fanout", FANOUT_BUCKETS),
+            batch_workers: r.gauge("adapt_machine_batch_workers"),
+            batch_job_threads: r.gauge("adapt_machine_batch_job_threads"),
             retry_requests: r.counter("adapt_machine_retry_requests_total"),
             retry_attempts: r.counter("adapt_machine_retry_attempts_total"),
             retry_job_failed: r.counter("adapt_machine_retry_errors_job_failed_total"),

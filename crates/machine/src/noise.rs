@@ -20,6 +20,18 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
+/// Pauli-twirl probability of a coherent `RZ(theta)`: the twirled
+/// channel applies `Z` with probability `sin²(θ/2)` and identity
+/// otherwise. This is exactly the diagonal of the channel in the Pauli
+/// basis, so the twirl preserves Z-basis populations and (in
+/// expectation) the off-diagonal damping `cos θ` of the original
+/// rotation. Used by the CHP engine when flushing pending idle phases
+/// (see [`crate::engine`]).
+pub fn z_twirl_probability(theta: f64) -> f64 {
+    let s = (theta / 2.0).sin();
+    s * s
+}
+
 /// Per-trajectory detuning of one qubit: a quasi-static offset plus an
 /// Ornstein–Uhlenbeck fluctuation, in rad/µs.
 ///

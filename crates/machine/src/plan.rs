@@ -1,13 +1,16 @@
-//! Compiled execution plans and the plan cache.
+//! Compiled execution plans, engine routing and the plan cache.
 //!
 //! Executing a [`TimedCircuit`](transpiler::TimedCircuit) requires a
 //! *compilation* step before any trajectory runs: find the active qubits,
 //! compact them into dense simulator indices, extract the crosstalk
 //! episodes every spectator sees from the schedule's two-qubit activity,
-//! and decide whether the fast terminal-measurement sampling path
-//! applies. None of that depends on seeds, shots or trajectories — only
-//! on the circuit structure and the device calibration — yet the executor
-//! used to redo it for every execution.
+//! decide whether the fast terminal-measurement sampling path applies —
+//! and, since the simulator-routing refactor, pick the engine
+//! ([`SimEngine`](crate::engine::SimEngine)) and lower the event stream
+//! into that engine's op list. None of that depends on seeds, shots or
+//! trajectories — only on the circuit structure, the device calibration
+//! and the noise toggles — yet the executor used to redo it for every
+//! execution.
 //!
 //! That matters because ADAPT's search hot loop executes *structurally
 //! identical* circuits over and over: every mask evaluation of a
@@ -15,19 +18,37 @@
 //! same decoy+mask circuit recurs across retries, referee runs and
 //! repeated experiments. This module gives that work a first-class home:
 //!
-//! - [`CompiledPlan`]: the immutable output of compilation.
+//! - [`CompiledPlan`]: the immutable output of compilation, including the
+//!   lowered per-engine op stream. Dense lowering fuses consecutive
+//!   one-qubit gates into single matrices (diagonal gates additionally
+//!   fuse *across* Pauli channels, which are invariant under diagonal
+//!   conjugation because the floor has `px == py` and gate errors
+//!   depolarize uniformly) and classifies each kernel as
+//!   diagonal/anti-diagonal/full so the SoA simulator can use its cheap
+//!   specialized paths.
 //! - [`structural_hash`]: a cheap, collision-resistant fingerprint of a
 //!   timed circuit covering the *full* event stream (kinds, gate
 //!   parameters, operands, timestamps). The full stream is deliberate:
 //!   DD pulses can activate a previously idle wire and can break the
 //!   terminal-measurement property, so any "summary" key would wrongly
 //!   share plans between masks.
-//! - [`PlanCache`]: a small LRU keyed by that hash, shared by all clones
-//!   of a [`Machine`](crate::Machine), with hit/miss counters so cache
-//!   effectiveness is observable.
+//! - [`routing_key`]: the cache key — the structural hash mixed with the
+//!   noise-toggle fingerprint and the *selected engine*. Keying the
+//!   engine in means a noise-model edit that flips a circuit's routing
+//!   eligibility changes the key, so a cached plan can never be replayed
+//!   on the wrong engine.
+//! - [`PlanCache`]: a small LRU keyed by [`routing_key`], shared by all
+//!   clones of a [`Machine`](crate::Machine), with hit/miss counters so
+//!   cache effectiveness is observable.
 
-use crate::executor::ExecError;
+use crate::engine::{
+    lower_clifford1, lower_clifford2, select_engine, CliffGate1, CliffGate2, EnginePolicy,
+    SimEngine,
+};
+use crate::executor::{ExecError, NoiseToggles};
+use crate::noise::PauliFloor;
 use device::Device;
+use qcirc::math::{Mat2, Mat4};
 use qcirc::{Gate, OpKind};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -36,9 +57,100 @@ use transpiler::TimedCircuit;
 /// Default number of plans a [`PlanCache`] retains.
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
 
+/// Off-diagonal magnitudes below this classify a matrix as (anti)diagonal.
+const KERNEL_CLASS_TOL: f64 = 1e-12;
+
+/// An accumulated idle window on one compact qubit, with everything the
+/// trajectory runner needs precomputed: which stochastic processes are
+/// enabled, the crosstalk overlap weights, and the Pauli floor.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct IdleOp {
+    /// Compact qubit index.
+    pub q: u16,
+    /// Window length in nanoseconds.
+    pub dt_ns: f64,
+    /// Whether the coherent detuning process advances over this window.
+    pub detune: bool,
+    /// `(episode index into the trajectory's jitter table, chi·overlap/1000)`
+    /// for every crosstalk episode intersecting this window.
+    pub xtalk: Vec<(u32, f64)>,
+    /// Stochastic T1/white-dephasing floor over the window, when enabled.
+    pub floor: Option<PauliFloor>,
+}
+
+/// A one-qubit unitary after fusion, classified for the SoA fast paths.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Kernel1 {
+    /// General 2×2 unitary.
+    Full(Mat2),
+    /// Diagonal: `diag(d0, d1)`.
+    Diag(qcirc::math::C64, qcirc::math::C64),
+    /// Anti-diagonal: `[[0, a01], [a10, 0]]`.
+    AntiDiag(qcirc::math::C64, qcirc::math::C64),
+}
+
+/// A two-qubit unitary classified for the SoA fast paths.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Kernel2 {
+    /// General 4×4 unitary (boxed: the named fast paths dominate, and an
+    /// inline matrix would quadruple the size of every plan op).
+    Full(Box<Mat4>),
+    /// Controlled-X (first operand is the control).
+    Cx,
+    /// Controlled-Z.
+    Cz,
+    /// Swap.
+    Swap,
+}
+
+/// One step of the dense-engine op stream.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum DenseOp {
+    /// Idle-noise window.
+    Idle(IdleOp),
+    /// Fused/classified one-qubit unitary.
+    K1 { q: u16, k: Kernel1 },
+    /// Classified two-qubit unitary.
+    K2 { a: u16, b: u16, k: Kernel2 },
+    /// Depolarizing one-qubit gate-error channel.
+    Err1 { q: u16, p: f64 },
+    /// Depolarizing two-qubit gate-error channel (`reps` = 3 for Swap).
+    Err2 { a: u16, b: u16, p: f64, reps: u8 },
+    /// Stochastic floor over a gate's duration.
+    Floor { q: u16, floor: PauliFloor },
+    /// Mid-circuit measurement into clbit `c` with readout-flip prob.
+    Measure { q: u16, c: u16, p_flip: f64 },
+    /// Qubit reset.
+    Reset { q: u16 },
+}
+
+/// One step of the CHP-engine op stream. Mirrors [`DenseOp`] with gates
+/// lowered to tableau Cliffords; the runner adds the toggling-frame
+/// phase twirl on top (see [`crate::engine`]).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum CliffOp {
+    /// Idle-noise window.
+    Idle(IdleOp),
+    /// One-qubit Clifford.
+    G1 { q: u16, g: CliffGate1 },
+    /// Two-qubit Clifford.
+    G2 { a: u16, b: u16, g: CliffGate2 },
+    /// Depolarizing one-qubit gate-error channel.
+    Err1 { q: u16, p: f64 },
+    /// Depolarizing two-qubit gate-error channel.
+    Err2 { a: u16, b: u16, p: f64, reps: u8 },
+    /// Stochastic floor over a gate's duration.
+    Floor { q: u16, floor: PauliFloor },
+    /// Mid-circuit measurement.
+    Measure { q: u16, c: u16, p_flip: f64 },
+    /// Qubit reset.
+    Reset { q: u16 },
+}
+
 /// The seed/shot-independent part of an execution, computed once per
-/// circuit structure: qubit compaction, crosstalk episodes and the
-/// terminal-measurement classification.
+/// (circuit structure, noise toggles, engine policy): qubit compaction,
+/// crosstalk episodes, terminal-measurement classification, the selected
+/// engine and its lowered op stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompiledPlan {
     /// Physical qubit → compact simulator index (None when inactive).
@@ -51,17 +163,54 @@ pub struct CompiledPlan {
     /// Whether the fast measurement-terminated sampling path applies
     /// (no gate/reset follows a measurement on the same qubit).
     pub terminal_measurements: bool,
+    /// The engine this plan is lowered for. Baked into [`routing_key`],
+    /// so a cached plan can never run on the other engine.
+    pub engine: SimEngine,
+    /// Classical register width (for `Counts`).
+    pub(crate) num_clbits: usize,
+    /// Deferred terminal measurements: `(compact qubit, clbit, p_flip)`.
+    pub(crate) deferred: Vec<(u16, u16, f64)>,
+    /// Whether trajectories sample per-qubit detunings.
+    pub(crate) needs_detuning: bool,
+    /// Whether trajectories sample per-episode crosstalk jitter.
+    pub(crate) needs_jitter: bool,
+    /// Dense-engine op stream (empty when routed to CHP).
+    pub(crate) dense: Vec<DenseOp>,
+    /// CHP-engine op stream (empty when routed dense).
+    pub(crate) cliff: Vec<CliffOp>,
+}
+
+/// Engine-neutral lowering step; specialized into [`DenseOp`] or
+/// [`CliffOp`] after engine selection.
+enum Step {
+    Idle(IdleOp),
+    Gate1 { q: u16, g: Gate },
+    Gate2 { a: u16, b: u16, g: Gate },
+    Err1 { q: u16, p: f64 },
+    Err2 { a: u16, b: u16, p: f64, reps: u8 },
+    Floor { q: u16, floor: PauliFloor },
+    Measure { q: u16, c: u16, p_flip: f64 },
+    Reset { q: u16 },
 }
 
 impl CompiledPlan {
-    /// Compiles a timed circuit against a device: active-set compaction,
-    /// crosstalk-episode extraction and terminal-measurement analysis.
+    /// Compiles a timed circuit against a device under the given noise
+    /// toggles and routing policy: active-set compaction, crosstalk
+    /// episode extraction, terminal-measurement analysis, engine
+    /// selection and op-stream lowering.
     ///
     /// # Errors
     ///
     /// Returns [`ExecError::TooManyActiveQubits`] when the circuit
-    /// touches more qubits than the dense simulator supports.
-    pub fn build(timed: &TimedCircuit, device: &Device) -> Result<CompiledPlan, ExecError> {
+    /// touches more qubits than the simulators support. The cap applies
+    /// uniformly to both engines: routing must never change which
+    /// circuits are accepted.
+    pub fn build(
+        timed: &TimedCircuit,
+        device: &Device,
+        toggles: &NoiseToggles,
+        policy: EnginePolicy,
+    ) -> Result<CompiledPlan, ExecError> {
         let n_phys = timed.num_qubits();
         let mut active = vec![false; n_phys];
         for e in timed.events() {
@@ -104,18 +253,379 @@ impl CompiledPlan {
             }
         }
 
-        Ok(CompiledPlan {
+        let engine = select_engine(timed, toggles, policy);
+        let mut plan = CompiledPlan {
             compact_of,
             phys_of,
             xtalk,
             terminal_measurements: is_terminal_measured(timed),
-        })
+            engine,
+            num_clbits: timed.num_clbits(),
+            deferred: Vec::new(),
+            needs_detuning: toggles.idle_coherent,
+            needs_jitter: toggles.idle_crosstalk,
+            dense: Vec::new(),
+            cliff: Vec::new(),
+        };
+        let steps = plan.lower_steps(timed, device, toggles);
+        match engine {
+            SimEngine::StateVector => plan.dense = lower_dense(steps),
+            SimEngine::Chp => plan.cliff = lower_cliff(steps),
+        }
+        Ok(plan)
+    }
+
+    /// Walks the event stream once, maintaining each qubit's frame time,
+    /// and emits engine-neutral steps. All timing is structural, so the
+    /// entire walk happens at compile time; trajectories just replay the
+    /// step list.
+    fn lower_steps(
+        &mut self,
+        timed: &TimedCircuit,
+        device: &Device,
+        toggles: &NoiseToggles,
+    ) -> Vec<Step> {
+        let cal = device.calibration();
+        let mut frame = vec![0.0f64; self.phys_of.len()];
+        let mut steps = Vec::new();
+
+        let emit_idle = |steps: &mut Vec<Step>,
+                         frame: &mut [f64],
+                         xtalk: &[Vec<(f64, f64, f64)>],
+                         q: usize,
+                         phys: u32,
+                         until: f64| {
+            let dt = until - frame[q];
+            if dt <= 1e-9 {
+                frame[q] = frame[q].max(until);
+                return;
+            }
+            let t0 = frame[q];
+            let mut overlaps = Vec::new();
+            if toggles.idle_crosstalk {
+                // Crosstalk from CNOTs active during [t0, until]; the
+                // per-trajectory jitter factor is applied at run time by
+                // episode index.
+                for (ei, &(s, e, chi)) in xtalk[q].iter().enumerate() {
+                    let overlap = (e.min(until) - s.max(t0)).max(0.0);
+                    if overlap > 0.0 {
+                        overlaps.push((ei as u32, chi * overlap / 1000.0));
+                    }
+                }
+            }
+            let floor = if toggles.idle_floor {
+                Some(PauliFloor::for_idle(cal.qubit(phys), dt))
+            } else {
+                None
+            };
+            if toggles.idle_coherent || floor.is_some() || !overlaps.is_empty() {
+                steps.push(Step::Idle(IdleOp {
+                    q: q as u16,
+                    dt_ns: dt,
+                    detune: toggles.idle_coherent,
+                    xtalk: overlaps,
+                    floor,
+                }));
+            }
+            frame[q] = until;
+        };
+
+        for e in timed.events() {
+            match &e.instr.kind {
+                OpKind::Gate(g) => {
+                    let qs: Vec<usize> = e
+                        .instr
+                        .qubits
+                        .iter()
+                        .map(|q| self.compact_of[q.index()].expect("active qubit"))
+                        .collect();
+                    for &q in &qs {
+                        emit_idle(
+                            &mut steps,
+                            &mut frame,
+                            &self.xtalk,
+                            q,
+                            self.phys_of[q],
+                            e.start_ns,
+                        );
+                    }
+                    match qs.len() {
+                        1 => {
+                            let q = qs[0];
+                            let phys = self.phys_of[q];
+                            steps.push(Step::Gate1 { q: q as u16, g: *g });
+                            let dur = device.gate_duration(*g, &[phys]);
+                            if dur > 0.0 && toggles.gate_err {
+                                steps.push(Step::Err1 {
+                                    q: q as u16,
+                                    p: cal.qubit(phys).err_1q,
+                                });
+                            }
+                        }
+                        2 => {
+                            let (a, b) = (qs[0], qs[1]);
+                            steps.push(Step::Gate2 {
+                                a: a as u16,
+                                b: b as u16,
+                                g: *g,
+                            });
+                            if toggles.gate_err {
+                                let p = device
+                                    .cnot_error(self.phys_of[a], self.phys_of[b])
+                                    .unwrap_or(device.profile().cnot_err_mean);
+                                // SWAP = 3 CNOTs worth of error opportunities.
+                                let reps = if matches!(g, Gate::Swap) { 3 } else { 1 };
+                                steps.push(Step::Err2 {
+                                    a: a as u16,
+                                    b: b as u16,
+                                    p,
+                                    reps,
+                                });
+                            }
+                        }
+                        _ => unreachable!("gates are one- or two-qubit"),
+                    }
+                    // Decoherence does not pause during gates: the T1/white
+                    // floor also applies over the gate duration (otherwise
+                    // dense DD trains would artificially shield qubits from
+                    // relaxation).
+                    let dur = e.end_ns - e.start_ns;
+                    if dur > 0.0 && toggles.idle_floor {
+                        for &q in &qs {
+                            steps.push(Step::Floor {
+                                q: q as u16,
+                                floor: PauliFloor::for_idle(cal.qubit(self.phys_of[q]), dur),
+                            });
+                        }
+                    }
+                    for &q in &qs {
+                        frame[q] = e.end_ns;
+                    }
+                }
+                OpKind::Measure(c) => {
+                    let q = self.compact_of[e.instr.qubits[0].index()].expect("active qubit");
+                    emit_idle(
+                        &mut steps,
+                        &mut frame,
+                        &self.xtalk,
+                        q,
+                        self.phys_of[q],
+                        e.start_ns,
+                    );
+                    frame[q] = e.end_ns;
+                    let p_flip = if toggles.readout_err {
+                        cal.qubit(self.phys_of[q]).err_readout
+                    } else {
+                        0.0
+                    };
+                    if self.terminal_measurements {
+                        self.deferred.push((q as u16, c.index() as u16, p_flip));
+                    } else {
+                        steps.push(Step::Measure {
+                            q: q as u16,
+                            c: c.index() as u16,
+                            p_flip,
+                        });
+                    }
+                }
+                OpKind::Reset => {
+                    let q = self.compact_of[e.instr.qubits[0].index()].expect("active qubit");
+                    emit_idle(
+                        &mut steps,
+                        &mut frame,
+                        &self.xtalk,
+                        q,
+                        self.phys_of[q],
+                        e.start_ns,
+                    );
+                    steps.push(Step::Reset { q: q as u16 });
+                    frame[q] = e.end_ns;
+                }
+                OpKind::Delay(_) | OpKind::Barrier => {}
+            }
+        }
+        steps
     }
 
     /// Number of active (simulated) qubits.
     pub fn active_qubits(&self) -> usize {
         self.phys_of.len()
     }
+}
+
+/// Fusion bookkeeping: what has happened on a qubit since its last
+/// fusible one-qubit unitary.
+#[derive(Clone, Copy, PartialEq)]
+enum FuseState {
+    /// Nothing — any unitary may fuse onto the slot.
+    Clean,
+    /// Only Pauli channels / diagonal idle phases — a *diagonal* unitary
+    /// may still fuse backward across them (diagonal conjugation leaves
+    /// the uniform-XY and depolarizing channels invariant, and commutes
+    /// exactly with the idle `RZ`).
+    PauliOnly,
+}
+
+fn is_diagonal(m: &Mat2) -> bool {
+    m.at(0, 1).norm_sqr() < KERNEL_CLASS_TOL * KERNEL_CLASS_TOL
+        && m.at(1, 0).norm_sqr() < KERNEL_CLASS_TOL * KERNEL_CLASS_TOL
+}
+
+fn is_antidiagonal(m: &Mat2) -> bool {
+    m.at(0, 0).norm_sqr() < KERNEL_CLASS_TOL * KERNEL_CLASS_TOL
+        && m.at(1, 1).norm_sqr() < KERNEL_CLASS_TOL * KERNEL_CLASS_TOL
+}
+
+fn classify1(m: Mat2) -> Kernel1 {
+    if is_diagonal(&m) {
+        Kernel1::Diag(m.at(0, 0), m.at(1, 1))
+    } else if is_antidiagonal(&m) {
+        Kernel1::AntiDiag(m.at(0, 1), m.at(1, 0))
+    } else {
+        Kernel1::Full(m)
+    }
+}
+
+/// Specializes neutral steps into the dense op stream, fusing runs of
+/// one-qubit gates into single matrices and classifying each kernel.
+fn lower_dense(steps: Vec<Step>) -> Vec<DenseOp> {
+    // Working stream holds raw matrices; classification happens last so
+    // fused products (e.g. RZ·SX·RZ → full 2×2) classify on their final
+    // shape, not their parts.
+    enum Work {
+        Mat { q: u16, m: Mat2 },
+        Done(DenseOp),
+    }
+    fn slot_of(q: u16, slots: &mut Vec<Option<(usize, FuseState)>>) -> usize {
+        let q = q as usize;
+        if q >= slots.len() {
+            slots.resize(q + 1, None);
+        }
+        q
+    }
+    let mut work: Vec<Work> = Vec::new();
+    // Per-qubit fusion slot: (index into `work`, state since that op).
+    let mut slot: Vec<Option<(usize, FuseState)>> = Vec::new();
+    for step in steps {
+        match step {
+            Step::Gate1 { q, g } => {
+                let m = g.unitary1().expect("one-qubit gate has a 2x2 unitary");
+                let qi = slot_of(q, &mut slot);
+                let fused = match slot[qi] {
+                    Some((idx, FuseState::Clean)) => {
+                        if let Work::Mat { m: prev, .. } = &mut work[idx] {
+                            *prev = m * *prev;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    Some((idx, FuseState::PauliOnly)) if is_diagonal(&m) => {
+                        if let Work::Mat { m: prev, .. } = &mut work[idx] {
+                            *prev = m * *prev;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    _ => false,
+                };
+                if !fused {
+                    slot[qi] = Some((work.len(), FuseState::Clean));
+                    work.push(Work::Mat { q, m });
+                }
+            }
+            Step::Gate2 { a, b, g } => {
+                let ai = slot_of(a, &mut slot);
+                let bi = slot_of(b, &mut slot);
+                slot[ai] = None;
+                slot[bi] = None;
+                let k = match g {
+                    Gate::CX => Kernel2::Cx,
+                    Gate::CZ => Kernel2::Cz,
+                    Gate::Swap => Kernel2::Swap,
+                    _ => Kernel2::Full(Box::new(
+                        g.unitary2().expect("two-qubit gate has a 4x4 unitary"),
+                    )),
+                };
+                work.push(Work::Done(DenseOp::K2 { a, b, k }));
+            }
+            Step::Idle(idle) => {
+                // An idle window applies a diagonal RZ plus (possibly) a
+                // Pauli floor: diagonal follow-ups may still fuse across.
+                let qi = slot_of(idle.q, &mut slot);
+                if let Some((idx, _)) = slot[qi] {
+                    slot[qi] = Some((idx, FuseState::PauliOnly));
+                }
+                work.push(Work::Done(DenseOp::Idle(idle)));
+            }
+            Step::Err1 { q, p } => {
+                let qi = slot_of(q, &mut slot);
+                if let Some((idx, _)) = slot[qi] {
+                    slot[qi] = Some((idx, FuseState::PauliOnly));
+                }
+                work.push(Work::Done(DenseOp::Err1 { q, p }));
+            }
+            Step::Err2 { a, b, p, reps } => {
+                for q in [a, b] {
+                    let qi = slot_of(q, &mut slot);
+                    if let Some((idx, _)) = slot[qi] {
+                        slot[qi] = Some((idx, FuseState::PauliOnly));
+                    }
+                }
+                work.push(Work::Done(DenseOp::Err2 { a, b, p, reps }));
+            }
+            Step::Floor { q, floor } => {
+                let qi = slot_of(q, &mut slot);
+                if let Some((idx, _)) = slot[qi] {
+                    slot[qi] = Some((idx, FuseState::PauliOnly));
+                }
+                work.push(Work::Done(DenseOp::Floor { q, floor }));
+            }
+            Step::Measure { q, c, p_flip } => {
+                let qi = slot_of(q, &mut slot);
+                slot[qi] = None;
+                work.push(Work::Done(DenseOp::Measure { q, c, p_flip }));
+            }
+            Step::Reset { q } => {
+                let qi = slot_of(q, &mut slot);
+                slot[qi] = None;
+                work.push(Work::Done(DenseOp::Reset { q }));
+            }
+        }
+    }
+    work.into_iter()
+        .map(|w| match w {
+            Work::Mat { q, m } => DenseOp::K1 { q, k: classify1(m) },
+            Work::Done(op) => op,
+        })
+        .collect()
+}
+
+/// Specializes neutral steps into the CHP op stream. Gates are
+/// guaranteed lowerable: engine selection already verified
+/// [`crate::engine::clifford_lowerable`] on the same event stream.
+fn lower_cliff(steps: Vec<Step>) -> Vec<CliffOp> {
+    steps
+        .into_iter()
+        .map(|step| match step {
+            Step::Idle(idle) => CliffOp::Idle(idle),
+            Step::Gate1 { q, g } => CliffOp::G1 {
+                q,
+                g: lower_clifford1(g).expect("checked by clifford_lowerable"),
+            },
+            Step::Gate2 { a, b, g } => CliffOp::G2 {
+                a,
+                b,
+                g: lower_clifford2(g).expect("checked by clifford_lowerable"),
+            },
+            Step::Err1 { q, p } => CliffOp::Err1 { q, p },
+            Step::Err2 { a, b, p, reps } => CliffOp::Err2 { a, b, p, reps },
+            Step::Floor { q, floor } => CliffOp::Floor { q, floor },
+            Step::Measure { q, c, p_flip } => CliffOp::Measure { q, c, p_flip },
+            Step::Reset { q } => CliffOp::Reset { q },
+        })
+        .collect()
 }
 
 /// True when no gate/reset follows a measurement on the same qubit.
@@ -219,6 +729,35 @@ fn mix_gate(h: &mut StructuralHasher, g: &Gate) {
     }
 }
 
+fn toggles_fingerprint(t: &NoiseToggles) -> u64 {
+    (t.gate_err as u64)
+        | (t.readout_err as u64) << 1
+        | (t.idle_coherent as u64) << 2
+        | (t.idle_crosstalk as u64) << 3
+        | (t.idle_floor as u64) << 4
+        | (t.coherent_twirl as u64) << 5
+}
+
+/// The plan-cache key: [`structural_hash`] mixed with the noise-toggle
+/// fingerprint and the engine the circuit routes to under `policy`.
+///
+/// Keying the toggles in is required because lowering now bakes channel
+/// probabilities into the op stream; keying the *engine* in is the
+/// routing-determinism contract — a noise-model edit that flips a
+/// circuit's CHP eligibility (e.g. disabling
+/// [`NoiseToggles::coherent_twirl`] while coherent idling is on) changes
+/// the key, so stale cached plans can never cross engines.
+pub fn routing_key(timed: &TimedCircuit, toggles: &NoiseToggles, policy: EnginePolicy) -> u64 {
+    let mut h = StructuralHasher::new();
+    h.mix(structural_hash(timed));
+    h.mix(toggles_fingerprint(toggles));
+    h.mix(match select_engine(timed, toggles, policy) {
+        SimEngine::StateVector => 1,
+        SimEngine::Chp => 2,
+    });
+    h.finish()
+}
+
 /// Cache effectiveness counters, observable via
 /// [`PlanCache::stats`] / [`Machine::plan_cache_stats`](crate::Machine::plan_cache_stats).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -249,7 +788,7 @@ impl PlanCacheStats {
 
 #[derive(Debug)]
 struct CacheInner {
-    /// hash → (plan, last-use stamp).
+    /// routing key → (plan, last-use stamp).
     map: HashMap<u64, (Arc<CompiledPlan>, u64)>,
     /// Monotonic use counter backing the LRU policy.
     tick: u64,
@@ -259,7 +798,7 @@ struct CacheInner {
 }
 
 /// A thread-safe LRU cache of [`CompiledPlan`]s keyed by
-/// [`structural_hash`].
+/// [`routing_key`].
 ///
 /// Capacity is small (default [`DEFAULT_PLAN_CACHE_CAPACITY`]) because
 /// the working set is small: a search touches one decoy circuit times a
@@ -289,7 +828,8 @@ impl PlanCache {
         }
     }
 
-    /// Returns the plan for `timed`, compiling (and caching) on a miss.
+    /// Returns the plan for `timed` under the given noise toggles and
+    /// routing policy, compiling (and caching) on a miss.
     ///
     /// # Errors
     ///
@@ -299,9 +839,11 @@ impl PlanCache {
         &self,
         timed: &TimedCircuit,
         device: &Device,
+        toggles: &NoiseToggles,
+        policy: EnginePolicy,
     ) -> Result<Arc<CompiledPlan>, ExecError> {
         let m = crate::metrics::metrics();
-        let key = structural_hash(timed);
+        let key = routing_key(timed, toggles, policy);
         {
             let mut inner = self.lock();
             inner.tick += 1;
@@ -318,7 +860,7 @@ impl PlanCache {
         }
         // Compile outside the lock: concurrent batch workers missing on
         // different circuits must not serialize on each other's compiles.
-        let plan = Arc::new(CompiledPlan::build(timed, device)?);
+        let plan = Arc::new(CompiledPlan::build(timed, device, toggles, policy)?);
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
@@ -384,6 +926,10 @@ mod tests {
         try_schedule(c, dev, SchedulePolicy::Alap).unwrap()
     }
 
+    fn build_default(timed: &TimedCircuit, dev: &Device) -> CompiledPlan {
+        CompiledPlan::build(timed, dev, &NoiseToggles::default(), EnginePolicy::Auto).unwrap()
+    }
+
     #[test]
     fn structural_hash_is_stable_and_sensitive() {
         let dev = Device::ibmq_rome(3);
@@ -425,13 +971,202 @@ mod tests {
         let mut c = Circuit::new(27);
         c.h(12).cx(12, 13).measure(12, 0).measure(13, 1);
         let timed = timed_of(&c, &dev);
-        let plan = CompiledPlan::build(&timed, &dev).unwrap();
+        let plan = build_default(&timed, &dev);
         assert_eq!(plan.active_qubits(), 2);
         assert_eq!(plan.phys_of, vec![12, 13]);
         assert_eq!(plan.compact_of[12], Some(0));
         assert_eq!(plan.compact_of[13], Some(1));
         assert_eq!(plan.compact_of[0], None);
         assert!(plan.terminal_measurements);
+    }
+
+    #[test]
+    fn clifford_circuit_routes_to_chp_and_back() {
+        let dev = Device::ibmq_rome(3);
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        let timed = timed_of(&c, &dev);
+        let auto = build_default(&timed, &dev);
+        assert_eq!(auto.engine, SimEngine::Chp);
+        assert!(auto.dense.is_empty());
+        assert!(!auto.cliff.is_empty());
+
+        let forced = CompiledPlan::build(
+            &timed,
+            &dev,
+            &NoiseToggles::default(),
+            EnginePolicy::ForceStateVector,
+        )
+        .unwrap();
+        assert_eq!(forced.engine, SimEngine::StateVector);
+        assert!(!forced.dense.is_empty());
+        assert!(forced.cliff.is_empty());
+
+        // Non-Clifford circuits route dense even under Auto.
+        let mut t = Circuit::new(1);
+        t.h(0).t(0).measure(0, 0);
+        let plan = build_default(&timed_of(&t, &dev), &dev);
+        assert_eq!(plan.engine, SimEngine::StateVector);
+    }
+
+    #[test]
+    fn dense_lowering_fuses_one_qubit_runs() {
+        // RZ·SX·RZ chains at identical timestamps (the transpiler's
+        // canonical 1q decomposition shape) must fuse to one kernel.
+        let dev = Device::ibmq_rome(3);
+        let mut c = Circuit::new(1);
+        c.rz(0.3, 0).sx(0).rz(0.7, 0).measure(0, 0);
+        let timed = timed_of(&c, &dev);
+        let plan = CompiledPlan::build(
+            &timed,
+            &dev,
+            &NoiseToggles::none(),
+            EnginePolicy::ForceStateVector,
+        )
+        .unwrap();
+        let k1s = plan
+            .dense
+            .iter()
+            .filter(|op| matches!(op, DenseOp::K1 { .. }))
+            .count();
+        assert_eq!(
+            k1s, 1,
+            "RZ·SX·RZ must fuse into one kernel: {:?}",
+            plan.dense
+        );
+    }
+
+    #[test]
+    fn diagonal_gates_fuse_across_pauli_channels() {
+        // With gate errors on, SX is followed by an Err1 channel; the
+        // trailing RZ (diagonal) must still fuse backward across it.
+        let dev = Device::ibmq_rome(3);
+        let mut c = Circuit::new(1);
+        c.sx(0).rz(0.7, 0).measure(0, 0);
+        let timed = timed_of(&c, &dev);
+        let toggles = NoiseToggles {
+            gate_err: true,
+            ..NoiseToggles::none()
+        };
+        let plan =
+            CompiledPlan::build(&timed, &dev, &toggles, EnginePolicy::ForceStateVector).unwrap();
+        let k1s = plan
+            .dense
+            .iter()
+            .filter(|op| matches!(op, DenseOp::K1 { .. }))
+            .count();
+        assert_eq!(k1s, 1, "diagonal must fuse across Err1: {:?}", plan.dense);
+        // A non-diagonal follow-up must NOT fuse across the channel.
+        let mut c2 = Circuit::new(1);
+        c2.sx(0).sx(0).measure(0, 0);
+        let plan2 = CompiledPlan::build(
+            &timed_of(&c2, &dev),
+            &dev,
+            &toggles,
+            EnginePolicy::ForceStateVector,
+        )
+        .unwrap();
+        let k1s2 = plan2
+            .dense
+            .iter()
+            .filter(|op| matches!(op, DenseOp::K1 { .. }))
+            .count();
+        assert_eq!(k1s2, 2, "SX must not cross Err1: {:?}", plan2.dense);
+    }
+
+    #[test]
+    fn kernels_classify_into_fast_paths() {
+        let dev = Device::ibmq_rome(3);
+        let mut c = Circuit::new(2);
+        c.rz(0.3, 0); // diagonal
+        c.x(1); // anti-diagonal
+        c.cx(0, 1);
+        c.swap(0, 1);
+        c.measure_all();
+        let timed = timed_of(&c, &dev);
+        let plan = CompiledPlan::build(
+            &timed,
+            &dev,
+            &NoiseToggles::none(),
+            EnginePolicy::ForceStateVector,
+        )
+        .unwrap();
+        let mut saw = (false, false, false, false);
+        for op in &plan.dense {
+            match op {
+                DenseOp::K1 {
+                    k: Kernel1::Diag(..),
+                    ..
+                } => saw.0 = true,
+                DenseOp::K1 {
+                    k: Kernel1::AntiDiag(..),
+                    ..
+                } => saw.1 = true,
+                DenseOp::K2 { k: Kernel2::Cx, .. } => saw.2 = true,
+                DenseOp::K2 {
+                    k: Kernel2::Swap, ..
+                } => saw.3 = true,
+                _ => {}
+            }
+        }
+        assert_eq!(saw, (true, true, true, true), "{:?}", plan.dense);
+    }
+
+    #[test]
+    fn routing_key_covers_engine_eligibility() {
+        // Satellite: a noise-model edit that flips a circuit from CHP to
+        // state-vector must change the cache key.
+        let dev = Device::ibmq_rome(3);
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        let timed = timed_of(&c, &dev);
+        let twirl_on = NoiseToggles::default();
+        let twirl_off = NoiseToggles {
+            coherent_twirl: false,
+            ..NoiseToggles::default()
+        };
+        assert_eq!(
+            select_engine(&timed, &twirl_on, EnginePolicy::Auto),
+            SimEngine::Chp
+        );
+        assert_eq!(
+            select_engine(&timed, &twirl_off, EnginePolicy::Auto),
+            SimEngine::StateVector
+        );
+        assert_ne!(
+            routing_key(&timed, &twirl_on, EnginePolicy::Auto),
+            routing_key(&timed, &twirl_off, EnginePolicy::Auto),
+            "eligibility flip must change the plan-cache key"
+        );
+        // Policy is part of the key too (same toggles, different engine).
+        assert_ne!(
+            routing_key(&timed, &twirl_on, EnginePolicy::Auto),
+            routing_key(&timed, &twirl_on, EnginePolicy::ForceStateVector),
+        );
+    }
+
+    #[test]
+    fn cache_separates_flipped_eligibility() {
+        let dev = Device::ibmq_rome(3);
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        let timed = timed_of(&c, &dev);
+        let cache = PlanCache::default();
+        let twirl_off = NoiseToggles {
+            coherent_twirl: false,
+            ..NoiseToggles::default()
+        };
+        let a = cache
+            .get_or_build(&timed, &dev, &NoiseToggles::default(), EnginePolicy::Auto)
+            .unwrap();
+        let b = cache
+            .get_or_build(&timed, &dev, &twirl_off, EnginePolicy::Auto)
+            .unwrap();
+        assert_eq!(a.engine, SimEngine::Chp);
+        assert_eq!(b.engine, SimEngine::StateVector);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2, "flipped eligibility must not share plans");
+        assert_eq!(stats.len, 2);
     }
 
     #[test]
@@ -445,7 +1180,9 @@ mod tests {
         let timed = timed_of(&c, &dev);
         let cache = PlanCache::new(4);
         for _ in 0..2 {
-            let err = cache.get_or_build(&timed, &dev).unwrap_err();
+            let err = cache
+                .get_or_build(&timed, &dev, &NoiseToggles::default(), EnginePolicy::Auto)
+                .unwrap_err();
             assert!(matches!(err, ExecError::TooManyActiveQubits { .. }));
         }
         let stats = cache.stats();
@@ -460,8 +1197,13 @@ mod tests {
         c.h(0).cx(0, 1).measure_all();
         let timed = timed_of(&c, &dev);
         let cache = PlanCache::default();
-        let a = cache.get_or_build(&timed, &dev).unwrap();
-        let b = cache.get_or_build(&timed.clone(), &dev).unwrap();
+        let t = NoiseToggles::default();
+        let a = cache
+            .get_or_build(&timed, &dev, &t, EnginePolicy::Auto)
+            .unwrap();
+        let b = cache
+            .get_or_build(&timed.clone(), &dev, &t, EnginePolicy::Auto)
+            .unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
@@ -482,16 +1224,18 @@ mod tests {
             })
             .collect();
         let cache = PlanCache::new(2);
-        cache.get_or_build(&circuits[0], &dev).unwrap(); // {0}
-        cache.get_or_build(&circuits[1], &dev).unwrap(); // {0,1}
-        cache.get_or_build(&circuits[0], &dev).unwrap(); // touch 0
-        cache.get_or_build(&circuits[2], &dev).unwrap(); // evicts 1
+        let t = NoiseToggles::default();
+        let p = EnginePolicy::Auto;
+        cache.get_or_build(&circuits[0], &dev, &t, p).unwrap(); // {0}
+        cache.get_or_build(&circuits[1], &dev, &t, p).unwrap(); // {0,1}
+        cache.get_or_build(&circuits[0], &dev, &t, p).unwrap(); // touch 0
+        cache.get_or_build(&circuits[2], &dev, &t, p).unwrap(); // evicts 1
         let stats = cache.stats();
         assert_eq!(stats.evictions, 1);
         assert_eq!(stats.len, 2);
         // 0 survived (hit), 1 was evicted (miss again).
-        cache.get_or_build(&circuits[0], &dev).unwrap();
-        cache.get_or_build(&circuits[1], &dev).unwrap();
+        cache.get_or_build(&circuits[0], &dev, &t, p).unwrap();
+        cache.get_or_build(&circuits[1], &dev, &t, p).unwrap();
         let stats = cache.stats();
         assert_eq!(stats.hits, 2);
         assert_eq!(stats.misses, 4);
@@ -504,7 +1248,9 @@ mod tests {
         c.h(0).measure(0, 0);
         let timed = timed_of(&c, &dev);
         let cache = PlanCache::default();
-        cache.get_or_build(&timed, &dev).unwrap();
+        cache
+            .get_or_build(&timed, &dev, &NoiseToggles::default(), EnginePolicy::Auto)
+            .unwrap();
         cache.clear();
         let stats = cache.stats();
         assert_eq!(

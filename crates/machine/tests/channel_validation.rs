@@ -1,9 +1,17 @@
 //! Validates the Monte-Carlo trajectory executor against exact
 //! density-matrix channel evolution: the stochastic machinery must
 //! reproduce the closed-form channels in expectation.
+//!
+//! The four reference tests pin [`EnginePolicy::ForceStateVector`]: they
+//! validate the *dense* trajectory machinery specifically, independent of
+//! what the router would pick. The `chp_*` tests then run the same
+//! channels under [`EnginePolicy::Auto`] and assert both that the CHP
+//! engine was actually used and that its statistics match the exact
+//! channel — the distribution-preservation contract of the
+//! toggling-frame twirl.
 
 use device::Device;
-use machine::{ExecutionConfig, Machine, NoiseToggles};
+use machine::{EnginePolicy, ExecutionConfig, Machine, NoiseToggles};
 use qcirc::{Circuit, Gate};
 use statevec::DensityMatrix;
 
@@ -35,8 +43,10 @@ fn quasi_static_dephasing_matches_gaussian_channel() {
             idle_crosstalk: false,
             idle_floor: false,
             idle_coherent: true,
+            coherent_twirl: true,
         },
-    );
+    )
+    .with_engine_policy(EnginePolicy::ForceStateVector);
     let mut c = Circuit::new(1);
     c.h(0);
     c.delay(idle_us * 1000.0, 0);
@@ -74,8 +84,10 @@ fn gate_depolarizing_matches_exact_channel() {
             idle_coherent: false,
             idle_crosstalk: false,
             idle_floor: false,
+            coherent_twirl: true,
         },
-    );
+    )
+    .with_engine_policy(EnginePolicy::ForceStateVector);
     let pulses = 15;
     let mut c = Circuit::new(1);
     for _ in 0..pulses {
@@ -112,8 +124,10 @@ fn readout_flips_match_exact_channel() {
             idle_coherent: false,
             idle_crosstalk: false,
             idle_floor: false,
+            coherent_twirl: true,
         },
-    );
+    )
+    .with_engine_policy(EnginePolicy::ForceStateVector);
     let mut c = Circuit::new(1);
     c.x(0);
     c.measure(0, 0);
@@ -149,8 +163,10 @@ fn spin_echo_cancels_gaussian_channel_completely() {
             idle_crosstalk: false,
             idle_floor: false,
             idle_coherent: true,
+            coherent_twirl: true,
         },
-    );
+    )
+    .with_engine_policy(EnginePolicy::ForceStateVector);
     let mut c = Circuit::new(1);
     c.h(0);
     c.delay(idle_us * 500.0, 0);
@@ -167,4 +183,137 @@ fn spin_echo_cancels_gaussian_channel_completely() {
         "perfect echo expected under purely static noise: {p0}"
     );
     assert!(p0 > no_echo, "echo {p0} must beat free decay {no_echo}");
+}
+
+#[test]
+fn chp_twirl_matches_gaussian_channel_in_distribution() {
+    // The same Ramsey experiment routed to the CHP engine: the pending
+    // phase θ flushes at the final H as a Z with p = sin²(θ/2), so the
+    // trajectory average is E[(1+cos θ)/2] — identical to the exact
+    // Gaussian-dephasing channel. Per-shot correlations differ from the
+    // dense engine; the distribution must not.
+    let base = Device::ibmq_london(7);
+    let dev = base.with_adjusted_qubits(|q| {
+        q.ou_sigma = 1e-9;
+    });
+    let sigma_rate = dev.qubit(0).static_sigma;
+    let idle_us = 10.0;
+    let machine = Machine::with_toggles(
+        dev,
+        NoiseToggles {
+            gate_err: false,
+            readout_err: false,
+            idle_crosstalk: false,
+            idle_floor: false,
+            idle_coherent: true,
+            coherent_twirl: true,
+        },
+    );
+    let mut c = Circuit::new(1);
+    c.h(0);
+    c.delay(idle_us * 1000.0, 0);
+    c.h(0);
+    c.measure(0, 0);
+    let counts = machine.execute(&c, &big_budget(29)).expect("run");
+    let stats = machine.engine_stats();
+    assert!(
+        stats.chp_executions > 0 && stats.statevec_executions == 0,
+        "Clifford Ramsey under twirl must route to CHP: {stats:?}"
+    );
+    let p0 = counts.probability(0);
+
+    let sigma = sigma_rate * idle_us;
+    let mut dm = DensityMatrix::new(1).expect("1 qubit");
+    dm.apply1(&Gate::H.unitary1().expect("1q"), 0).expect("H");
+    dm.gaussian_z_phase(0, sigma).expect("channel");
+    dm.apply1(&Gate::H.unitary1().expect("1q"), 0).expect("H");
+    let exact = dm.probabilities()[0];
+    assert!(
+        (p0 - exact).abs() < 0.02,
+        "CHP twirl {p0:.4} vs exact channel {exact:.4}"
+    );
+}
+
+#[test]
+fn chp_echo_cancels_static_detuning_exactly() {
+    // Echo physics on the stabilizer engine: X pulses negate the pending
+    // phase in the toggling frame, so a symmetric echo leaves θ ≈ 0 at
+    // the flush and the twirl (p = sin²(θ/2)) almost never fires.
+    let base = Device::ibmq_london(23);
+    let dev = base.with_adjusted_qubits(|q| {
+        q.ou_sigma = 1e-9;
+    });
+    let idle_us = 10.0;
+    let machine = Machine::with_toggles(
+        dev,
+        NoiseToggles {
+            gate_err: false,
+            readout_err: false,
+            idle_crosstalk: false,
+            idle_floor: false,
+            idle_coherent: true,
+            coherent_twirl: true,
+        },
+    );
+    let mut c = Circuit::new(1);
+    c.h(0);
+    c.delay(idle_us * 500.0, 0);
+    c.x(0);
+    c.delay(idle_us * 500.0, 0);
+    c.x(0);
+    c.h(0);
+    c.measure(0, 0);
+    let counts = machine.execute(&c, &big_budget(31)).expect("run");
+    let stats = machine.engine_stats();
+    assert!(stats.chp_executions > 0, "must route to CHP: {stats:?}");
+    let p0 = counts.probability(0);
+    assert!(
+        p0 > 0.999,
+        "perfect echo expected on the CHP engine under static noise: {p0}"
+    );
+}
+
+#[test]
+fn chp_gate_depolarizing_matches_exact_channel() {
+    // Pure Pauli noise on a Clifford circuit: the CHP path is exact, not
+    // approximate — same tolerance as the dense reference test.
+    let base = Device::ibmq_london(7);
+    let p_err = 0.02;
+    let dev = base.with_adjusted_qubits(|q| q.err_1q = p_err);
+    let machine = Machine::with_toggles(
+        dev,
+        NoiseToggles {
+            gate_err: true,
+            readout_err: false,
+            idle_coherent: false,
+            idle_crosstalk: false,
+            idle_floor: false,
+            coherent_twirl: true,
+        },
+    );
+    let pulses = 15;
+    let mut c = Circuit::new(1);
+    for _ in 0..pulses {
+        c.x(0);
+    }
+    c.measure(0, 0);
+    let counts = machine.execute(&c, &big_budget(37)).expect("run");
+    let stats = machine.engine_stats();
+    assert!(
+        stats.chp_executions > 0 && stats.statevec_executions == 0,
+        "X-train under Pauli noise must route to CHP: {stats:?}"
+    );
+    let p1 = counts.probability(1);
+
+    let mut dm = DensityMatrix::new(1).expect("1 qubit");
+    let x = Gate::X.unitary1().expect("1q");
+    for _ in 0..pulses {
+        dm.apply1(&x, 0).expect("X");
+        dm.depolarize1(0, p_err).expect("channel");
+    }
+    let exact = dm.probabilities()[1];
+    assert!(
+        (p1 - exact).abs() < 0.02,
+        "CHP trajectory {p1:.4} vs exact channel {exact:.4}"
+    );
 }

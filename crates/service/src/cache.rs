@@ -64,6 +64,12 @@ pub struct MaskKey {
     /// Calibration epoch of the device at request time.
     pub epoch: u64,
     /// [`machine::structural_hash`] of the compiled (timed) circuit.
+    ///
+    /// Deliberately the *structural* hash, not the machine's
+    /// [`machine::routing_key`]: simulator routing (CHP vs state-vector)
+    /// is an execution concern keyed inside the machine's own plan cache,
+    /// while a mask is a property of the circuit and device alone — the
+    /// same mask must be served regardless of which engine scored it.
     pub circuit_hash: u64,
     /// DD protocol the mask will be realized with.
     pub protocol: DdProtocol,

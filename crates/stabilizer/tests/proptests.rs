@@ -119,6 +119,54 @@ proptest! {
     }
 
     #[test]
+    fn noisy_engines_agree_on_clifford_circuits(
+        ops in proptest::collection::vec(arb_cliff(3), 1..25),
+        seed in 1u64..1000,
+    ) {
+        // Cross-engine equivalence under noise: a random Clifford circuit
+        // executed through the full machine stack with Pauli-expressible
+        // channels (gate depolarizing + readout flips) must yield the same
+        // outcome distribution whether the router picks the CHP tableau or
+        // the state-vector engine is forced. Both are exact samplers of
+        // the same channel, so the distributions agree up to Monte-Carlo
+        // error; total-variation distance is the comparison metric.
+        use device::Device;
+        use machine::{EnginePolicy, ExecutionConfig, Machine, NoiseToggles};
+
+        let mut c = build(3, &ops, &[]);
+        c.measure_all();
+        let toggles = NoiseToggles {
+            gate_err: true,
+            readout_err: true,
+            idle_coherent: false,
+            idle_crosstalk: false,
+            idle_floor: false,
+            coherent_twirl: true,
+        };
+        let cfg = ExecutionConfig {
+            shots: 4096,
+            trajectories: 512,
+            seed,
+            threads: 1,
+        };
+        let dev = Device::ibmq_rome(5);
+        let chp = Machine::with_toggles(dev.clone(), toggles);
+        let dense = Machine::with_toggles(dev, toggles)
+            .with_engine_policy(EnginePolicy::ForceStateVector);
+        let a = chp.execute(&c, &cfg).expect("chp run");
+        let b = dense.execute(&c, &cfg).expect("dense run");
+        prop_assert!(chp.engine_stats().chp_executions > 0, "router must pick CHP");
+        prop_assert!(dense.engine_stats().statevec_executions > 0);
+
+        let total = a.total() as f64;
+        let tvd: f64 = (0..8u64)
+            .map(|k| (a.get(k) as f64 - b.get(k) as f64).abs() / total)
+            .sum::<f64>()
+            / 2.0;
+        prop_assert!(tvd < 0.2, "TVD between engines too large: {tvd:.4}");
+    }
+
+    #[test]
     fn tableau_measurement_marginals_match_dense(
         ops in proptest::collection::vec(arb_cliff(3), 1..25),
         q in 0u32..3,

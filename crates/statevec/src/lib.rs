@@ -25,8 +25,10 @@
 #![warn(missing_docs)]
 
 pub mod density;
+pub mod soa;
 
 pub use density::DensityMatrix;
+pub use soa::SoaStateVector;
 
 use qcirc::math::{Mat2, Mat4, C64};
 use qcirc::{Circuit, Counts, Instruction, OpKind, Qubit};
