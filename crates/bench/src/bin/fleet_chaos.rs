@@ -1,0 +1,9 @@
+//! Fleet chaos harness (see the experiments module docs). Exits
+//! nonzero when a shard worker panics, a reroute is non-deterministic,
+//! a failover or replay response diverges from the seeded answer, the
+//! healthy shard's p99 exceeds 2× steady state during a kill, or — in
+//! full mode — the 4-shard scaling factor falls below 2.5×.
+fn main() {
+    let cfg = bench_harness::runner::ExperimentCfg::from_args();
+    bench_harness::experiments::fleet_chaos::run(&cfg);
+}

@@ -19,6 +19,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod fleet_chaos;
 pub mod search_perf;
 pub mod service_loadgen;
 pub mod table1;

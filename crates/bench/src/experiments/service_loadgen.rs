@@ -248,6 +248,9 @@ pub fn run(cfg: &ExperimentCfg) {
          \"rejected\": {rejected}, \"failed\": {failed}, \"executions\": {executions} }},\n  \
          \"throughput_rps\": {throughput:.2},\n  \
          \"latency_ms\": {{ \"p50\": {:.2}, \"p99\": {:.2} }},\n  \
+         \"fleet_baseline\": {{ \"shards\": 1, \"requests\": {served}, \
+         \"throughput_rps\": {throughput:.2}, \
+         \"latency_ms\": {{ \"p50\": {:.2}, \"p99\": {:.2} }} }},\n  \
          \"time_to_first_usable_ms\": {ttfur_ms:.2},\n  \
          \"cold_miss_storm\": {cold_miss_storm},\n  \
          \"rejection_rate\": {:.4},\n  \
@@ -257,6 +260,11 @@ pub fn run(cfg: &ExperimentCfg) {
          \"bit_identical_keys\": {replayed}\n}}\n",
         cfg.fault_name,
         cfg.quick,
+        pct(0.50),
+        pct(0.99),
+        // The `fleet_baseline` block repeats the single-instance numbers
+        // in the exact schema of `BENCH_fleet.json`'s scaling entries,
+        // so the two files compose into one 1→N-shard curve.
         pct(0.50),
         pct(0.99),
         rejected as f64 / total_requests as f64,

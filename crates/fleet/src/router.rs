@@ -1,0 +1,393 @@
+//! The fleet router: ring-based request routing with per-shard
+//! transport breakers, deterministic failover, and fleet-wide metrics
+//! aggregation.
+//!
+//! Each request's route key gets a deterministic preference order over
+//! shards from the rendezvous ring ([`crate::ring::Ring::ranked`]).
+//! The router walks that order: shards whose breaker is open are
+//! skipped without a connection attempt (fail-fast), transport failures
+//! count against the shard and open its breaker after a threshold, and
+//! the first live shard answers. Because the order is a pure function
+//! of the key and the set of open breakers changes only on observed
+//! failures, *rerouting is deterministic*: while shard S is down, every
+//! key S owned is served by exactly the shard
+//! `owner_among(key, live \ {S})` — the same shard a ring without S
+//! would name.
+//!
+//! Breaker cooldown is counted in *routed requests*, not wall time, so
+//! failover schedules replay identically run-to-run.
+
+use crate::client::{ClientError, ShardClient};
+use crate::ring::{route_key, Ring, ShardId};
+use adapt_service::{logical_hash, Request, Response, ServiceError};
+use machine::WireDeadline;
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Router tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterConfig {
+    /// Consecutive transport failures that open a shard's breaker.
+    pub failure_threshold: u32,
+    /// Routed requests that must skip an open shard before it is
+    /// probed again (request-count cooldown: deterministic, no clocks).
+    pub cooldown_requests: u32,
+    /// Maximum shards tried per request before giving up.
+    pub max_attempts: u32,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            failure_threshold: 3,
+            cooldown_requests: 64,
+            max_attempts: 3,
+        }
+    }
+}
+
+/// A shard's breaker state as the router sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Failing: skipped without a connection attempt for the remaining
+    /// cooldown requests.
+    Open {
+        /// Routed requests left before the next probe.
+        cooldown_left: u32,
+    },
+    /// Cooldown elapsed: the next request owning this shard probes it.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Health {
+    consecutive_failures: u32,
+    state: ShardState,
+}
+
+struct Slot {
+    addr: RwLock<SocketAddr>,
+    /// Idle connection pool: popped per call, pushed back on success,
+    /// dropped on failure. Callers never block on another call's
+    /// network round-trip.
+    pool: Mutex<Vec<ShardClient>>,
+    health: Mutex<Health>,
+}
+
+impl Slot {
+    fn new(addr: SocketAddr) -> Self {
+        Slot {
+            addr: RwLock::new(addr),
+            pool: Mutex::new(Vec::new()),
+            health: Mutex::new(Health {
+                consecutive_failures: 0,
+                state: ShardState::Closed,
+            }),
+        }
+    }
+}
+
+/// A successful routed call: the answer plus where it came from.
+#[derive(Debug)]
+pub struct RoutedResponse {
+    /// The shard's answer.
+    pub response: Response,
+    /// The shard that served it.
+    pub shard: ShardId,
+    /// Whether the serving shard differs from the key's ring owner
+    /// (failover took effect).
+    pub rerouted: bool,
+}
+
+/// Typed routing failures.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The router has no shards at all.
+    NoShards,
+    /// Every attempted shard failed at the transport/protocol layer;
+    /// the last failure is attached.
+    AllShardsDown {
+        /// Shards attempted (or skipped fail-fast) before giving up.
+        attempts: u32,
+        /// The final transport/protocol failure.
+        last: ClientError,
+    },
+    /// A shard answered with a typed service error (authoritative — not
+    /// retried elsewhere: the answer would be identical by the fleet
+    /// determinism contract, except for shard-local admission errors
+    /// the caller may back off and resubmit on).
+    Service(ServiceError),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::NoShards => write!(f, "fleet router has no shards"),
+            FleetError::AllShardsDown { attempts, last } => {
+                write!(f, "all shards down after {attempts} attempts: {last}")
+            }
+            FleetError::Service(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// The fleet-facing request entry point. Cloneable across client
+/// threads ([`Arc`] inside).
+#[derive(Clone)]
+pub struct FleetRouter {
+    inner: Arc<RouterInner>,
+}
+
+struct RouterInner {
+    ring: Ring,
+    cfg: RouterConfig,
+    slots: BTreeMap<ShardId, Slot>,
+    registry: Arc<adapt_obs::Registry>,
+    routed_total: adapt_obs::Counter,
+    rerouted_total: adapt_obs::Counter,
+    failfast_skips_total: adapt_obs::Counter,
+    breaker_opens_total: adapt_obs::Counter,
+}
+
+impl FleetRouter {
+    /// A router over the given shard endpoints.
+    pub fn new(cfg: RouterConfig, endpoints: &[(ShardId, SocketAddr)]) -> Self {
+        let registry = Arc::new(adapt_obs::Registry::new());
+        let slots: BTreeMap<ShardId, Slot> = endpoints
+            .iter()
+            .map(|&(shard, addr)| (shard, Slot::new(addr)))
+            .collect();
+        let ring = Ring::new(slots.keys().copied());
+        FleetRouter {
+            inner: Arc::new(RouterInner {
+                ring,
+                cfg,
+                routed_total: registry.counter("adapt_fleet_router_routed_total"),
+                rerouted_total: registry.counter("adapt_fleet_router_rerouted_total"),
+                failfast_skips_total: registry.counter("adapt_fleet_router_failfast_skips_total"),
+                breaker_opens_total: registry.counter("adapt_fleet_router_breaker_opens_total"),
+                slots,
+                registry,
+            }),
+        }
+    }
+
+    /// The ring the router hashes over.
+    pub fn ring(&self) -> &Ring {
+        &self.inner.ring
+    }
+
+    /// The router's own metrics registry (routed/rerouted/fail-fast
+    /// counters).
+    pub fn registry(&self) -> Arc<adapt_obs::Registry> {
+        Arc::clone(&self.inner.registry)
+    }
+
+    /// Re-points a shard at a new address (a restart) and resets its
+    /// breaker to closed. Unknown shards are ignored — the ring is
+    /// fixed at construction; restarts keep identities.
+    pub fn set_endpoint(&self, shard: ShardId, addr: SocketAddr) {
+        if let Some(slot) = self.inner.slots.get(&shard) {
+            *slot.addr.write().unwrap_or_else(|e| e.into_inner()) = addr;
+            slot.pool.lock().unwrap_or_else(|e| e.into_inner()).clear();
+            let mut health = slot.health.lock().unwrap_or_else(|e| e.into_inner());
+            health.consecutive_failures = 0;
+            health.state = ShardState::Closed;
+        }
+    }
+
+    /// Current breaker state per shard.
+    pub fn shard_states(&self) -> Vec<(ShardId, ShardState)> {
+        self.inner
+            .slots
+            .iter()
+            .map(|(&shard, slot)| {
+                (
+                    shard,
+                    slot.health.lock().unwrap_or_else(|e| e.into_inner()).state,
+                )
+            })
+            .collect()
+    }
+
+    /// Routes one request: deterministic shard preference order,
+    /// fail-fast over open breakers, at most
+    /// [`RouterConfig::max_attempts`] live attempts.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Service`] relays the serving shard's typed error;
+    /// [`FleetError::AllShardsDown`] means no shard could be reached.
+    pub fn call(&self, request: Request) -> Result<RoutedResponse, FleetError> {
+        let deadline = WireDeadline::fresh(request.deadline_ms());
+        self.call_with_deadline(request, deadline)
+    }
+
+    /// [`Self::call`] with an explicit in-band deadline (carrying
+    /// upstream spend across this hop).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::call`].
+    pub fn call_with_deadline(
+        &self,
+        request: Request,
+        deadline: WireDeadline,
+    ) -> Result<RoutedResponse, FleetError> {
+        let inner = &self.inner;
+        if inner.slots.is_empty() {
+            return Err(FleetError::NoShards);
+        }
+        inner.routed_total.inc();
+        let key = match &request {
+            Request::RecommendMask {
+                circuit, device, ..
+            }
+            | Request::Execute {
+                circuit, device, ..
+            } => route_key(*device, logical_hash(circuit)),
+        };
+        let ranked = inner.ring.ranked(key);
+        let owner = ranked[0];
+        let mut attempts = 0u32;
+        let mut last: Option<ClientError> = None;
+        for shard in ranked {
+            if attempts >= inner.cfg.max_attempts {
+                break;
+            }
+            let slot = inner.slots.get(&shard).expect("ring matches slots");
+            if !self.admit(slot) {
+                inner.failfast_skips_total.inc();
+                continue;
+            }
+            attempts += 1;
+            match self.try_shard(slot, &request, deadline) {
+                Ok(response) => {
+                    self.record_success(slot);
+                    if shard != owner {
+                        inner.rerouted_total.inc();
+                    }
+                    return Ok(RoutedResponse {
+                        response,
+                        shard,
+                        rerouted: shard != owner,
+                    });
+                }
+                Err(ClientError::Service(e)) => {
+                    // The shard answered; its typed error is the
+                    // answer. It also proves the transport works.
+                    self.record_success(slot);
+                    return Err(FleetError::Service(e));
+                }
+                Err(e) => {
+                    self.record_failure(slot);
+                    last = Some(e);
+                }
+            }
+        }
+        Err(FleetError::AllShardsDown {
+            attempts,
+            last: last.unwrap_or_else(|| {
+                ClientError::Transport(std::io::Error::new(
+                    std::io::ErrorKind::NotConnected,
+                    "every shard skipped fail-fast",
+                ))
+            }),
+        })
+    }
+
+    /// Breaker admission for one shard. Open shards burn one unit of
+    /// their request-count cooldown per skip; at zero they go half-open
+    /// and admit a single probe.
+    fn admit(&self, slot: &Slot) -> bool {
+        let mut health = slot.health.lock().unwrap_or_else(|e| e.into_inner());
+        match health.state {
+            ShardState::Closed | ShardState::HalfOpen => true,
+            ShardState::Open { cooldown_left } => {
+                if cooldown_left <= 1 {
+                    health.state = ShardState::HalfOpen;
+                } else {
+                    health.state = ShardState::Open {
+                        cooldown_left: cooldown_left - 1,
+                    };
+                }
+                false
+            }
+        }
+    }
+
+    fn try_shard(
+        &self,
+        slot: &Slot,
+        request: &Request,
+        deadline: WireDeadline,
+    ) -> Result<Response, ClientError> {
+        let addr = *slot.addr.read().unwrap_or_else(|e| e.into_inner());
+        let mut client = slot
+            .pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .filter(|c| c.addr() == addr)
+            .unwrap_or_else(|| ShardClient::new(addr));
+        let result = client.call(request, deadline);
+        match &result {
+            Ok(_) | Err(ClientError::Service(_)) => {
+                slot.pool
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(client);
+            }
+            Err(_) => drop(client),
+        }
+        result
+    }
+
+    fn record_success(&self, slot: &Slot) {
+        let mut health = slot.health.lock().unwrap_or_else(|e| e.into_inner());
+        health.consecutive_failures = 0;
+        health.state = ShardState::Closed;
+    }
+
+    fn record_failure(&self, slot: &Slot) {
+        let mut health = slot.health.lock().unwrap_or_else(|e| e.into_inner());
+        health.consecutive_failures += 1;
+        let reopen = match health.state {
+            // A failed half-open probe re-opens immediately.
+            ShardState::HalfOpen => true,
+            ShardState::Closed => health.consecutive_failures >= self.inner.cfg.failure_threshold,
+            ShardState::Open { .. } => false,
+        };
+        if reopen {
+            health.state = ShardState::Open {
+                cooldown_left: self.inner.cfg.cooldown_requests,
+            };
+            self.inner.breaker_opens_total.inc();
+        }
+    }
+
+    /// Scrapes every reachable shard's exposition and merges them into
+    /// one fleet document with per-shard `shard="N"` labels (see
+    /// [`adapt_obs::merge_expositions`]). The router's own counters are
+    /// appended under `shard="router"`. Unreachable shards are skipped.
+    pub fn metrics(&self) -> String {
+        let mut parts = Vec::new();
+        for (&shard, slot) in &self.inner.slots {
+            let addr = *slot.addr.read().unwrap_or_else(|e| e.into_inner());
+            let mut client = ShardClient::new(addr);
+            if let Ok(text) = client.metrics() {
+                parts.push((shard.0.to_string(), text));
+            }
+        }
+        parts.push((
+            "router".to_string(),
+            self.inner.registry.render_prometheus(),
+        ));
+        adapt_obs::merge_expositions("shard", &parts)
+    }
+}

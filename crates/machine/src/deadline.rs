@@ -208,6 +208,122 @@ impl Deadline {
     }
 }
 
+/// The in-band wire form of a [`Deadline`]: the total budget plus the
+/// time already counted against it on the sending side. Carrying both
+/// (rather than a pre-subtracted remainder) keeps the receiving side's
+/// `DeadlineExceeded { elapsed_ms, budget_ms }` errors meaningful
+/// end-to-end — the numbers a downstream shard reports refer to the
+/// *request's* budget, not to whatever slice of it crossed the hop.
+///
+/// `budget_ms = None` encodes as `u64::MAX` (no real budget gets there:
+/// it would overflow every clamp long before). Encode/decode is exact —
+/// 16 little-endian bytes, no lossy unit conversion.
+///
+/// # Examples
+///
+/// ```
+/// use machine::{Deadline, WireDeadline};
+///
+/// let upstream = Deadline::virtual_only(100);
+/// upstream.charge_ms(30.0);
+/// let wire = WireDeadline::capture(&upstream);
+/// let bytes = wire.encode();
+/// let downstream = WireDeadline::decode(&bytes).unwrap().rebuild(true);
+/// assert_eq!(downstream.budget_ms(), Some(100));
+/// assert_eq!(downstream.remaining_ms(), Some(70));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireDeadline {
+    /// Total budget in milliseconds; `None` means unbounded.
+    pub budget_ms: Option<u64>,
+    /// Time already counted against the budget upstream, in ms.
+    pub elapsed_ms: u64,
+}
+
+/// Sentinel for an unbounded budget on the wire.
+const WIRE_UNBOUNDED: u64 = u64::MAX;
+
+/// Exact size of the encoded form, in bytes.
+pub const WIRE_DEADLINE_BYTES: usize = 16;
+
+impl WireDeadline {
+    /// An unbounded deadline (nothing charged).
+    pub fn unbounded() -> Self {
+        WireDeadline {
+            budget_ms: None,
+            elapsed_ms: 0,
+        }
+    }
+
+    /// A fresh bounded budget with nothing charged yet — what a client
+    /// that never built a local [`Deadline`] sends.
+    pub fn fresh(budget_ms: Option<u64>) -> Self {
+        WireDeadline {
+            budget_ms,
+            elapsed_ms: 0,
+        }
+    }
+
+    /// Snapshot a live deadline for the wire: its budget and whatever
+    /// wall/virtual time it has already consumed.
+    pub fn capture(deadline: &Deadline) -> Self {
+        WireDeadline {
+            budget_ms: deadline.budget_ms(),
+            elapsed_ms: deadline.elapsed_ms(),
+        }
+    }
+
+    /// Budget left after the upstream spend, saturating at 0. `None`
+    /// when unbounded.
+    pub fn remaining_ms(&self) -> Option<u64> {
+        self.budget_ms.map(|b| b.saturating_sub(self.elapsed_ms))
+    }
+
+    /// Whether the budget was already gone when it was captured.
+    pub fn expired(&self) -> bool {
+        self.remaining_ms() == Some(0)
+    }
+
+    /// Rebuild a live deadline on the receiving side: same total budget,
+    /// with the sender's elapsed time pre-charged, so every upstream hop
+    /// shrinks the downstream budget. `virtual_only` selects the
+    /// receiving clock ([`Deadline::virtual_only`] vs
+    /// [`Deadline::within_ms`]).
+    pub fn rebuild(&self, virtual_only: bool) -> Deadline {
+        let d = match (self.budget_ms, virtual_only) {
+            (None, _) => Deadline::none(),
+            (Some(b), true) => Deadline::virtual_only(b),
+            (Some(b), false) => Deadline::within_ms(b),
+        };
+        if self.budget_ms.is_some() && self.elapsed_ms > 0 {
+            d.charge_us(self.elapsed_ms * 1000);
+        }
+        d
+    }
+
+    /// Encode as 16 little-endian bytes: budget (`u64::MAX` =
+    /// unbounded) then elapsed.
+    pub fn encode(&self) -> [u8; WIRE_DEADLINE_BYTES] {
+        let mut out = [0u8; WIRE_DEADLINE_BYTES];
+        out[..8].copy_from_slice(&self.budget_ms.unwrap_or(WIRE_UNBOUNDED).to_le_bytes());
+        out[8..].copy_from_slice(&self.elapsed_ms.to_le_bytes());
+        out
+    }
+
+    /// Decode the 16-byte form; `None` if `bytes` is the wrong length.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != WIRE_DEADLINE_BYTES {
+            return None;
+        }
+        let budget = u64::from_le_bytes(bytes[..8].try_into().ok()?);
+        let elapsed = u64::from_le_bytes(bytes[8..].try_into().ok()?);
+        Some(WireDeadline {
+            budget_ms: (budget != WIRE_UNBOUNDED).then_some(budget),
+            elapsed_ms: elapsed,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,5 +401,60 @@ mod tests {
         let d = Deadline::within_ms(1);
         std::thread::sleep(std::time::Duration::from_millis(3));
         assert!(d.expired());
+    }
+
+    #[test]
+    fn wire_deadline_round_trips_exactly() {
+        for wd in [
+            WireDeadline::unbounded(),
+            WireDeadline::fresh(Some(250)),
+            WireDeadline {
+                budget_ms: Some(100),
+                elapsed_ms: 37,
+            },
+            WireDeadline {
+                budget_ms: Some(5),
+                elapsed_ms: 5_000,
+            },
+            WireDeadline {
+                budget_ms: None,
+                elapsed_ms: 123,
+            },
+        ] {
+            let back = WireDeadline::decode(&wd.encode()).unwrap();
+            assert_eq!(back, wd);
+        }
+        assert!(WireDeadline::decode(&[0u8; 15]).is_none());
+        assert!(WireDeadline::decode(&[0u8; 17]).is_none());
+    }
+
+    #[test]
+    fn wire_deadline_propagates_upstream_spend() {
+        let upstream = Deadline::virtual_only(100);
+        upstream.charge_ms(40.0);
+        let wire = WireDeadline::capture(&upstream);
+        assert_eq!(wire.remaining_ms(), Some(60));
+        let downstream = wire.rebuild(true);
+        assert_eq!(downstream.budget_ms(), Some(100));
+        assert_eq!(downstream.remaining_ms(), Some(60));
+        // Spending the rest downstream reports against the original budget.
+        downstream.charge_ms(60.0);
+        assert!(matches!(
+            downstream.check(),
+            Err(ExecError::DeadlineExceeded {
+                elapsed_ms: 100,
+                budget_ms: 100
+            })
+        ));
+    }
+
+    #[test]
+    fn wire_deadline_born_expired_stays_expired() {
+        let wire = WireDeadline {
+            budget_ms: Some(10),
+            elapsed_ms: 10,
+        };
+        assert!(wire.expired());
+        assert!(wire.rebuild(true).expired());
     }
 }

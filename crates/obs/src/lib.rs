@@ -496,6 +496,101 @@ pub fn sample_value(samples: &[(String, f64)], name: &str) -> Option<f64> {
 }
 
 // ---------------------------------------------------------------------------
+// Exposition merging (fleet aggregation)
+// ---------------------------------------------------------------------------
+
+/// Re-render a Prometheus exposition with `key="value"` added as the
+/// first label of every sample line. Comment lines (`# TYPE`, `# HELP`)
+/// pass through untouched; existing labels (histogram `le`) are kept
+/// after the injected one.
+///
+/// This is the per-instance half of fleet aggregation: each shard's
+/// samples gain a `shard="N"` label, so identical metric names from
+/// many registries stop colliding when the documents are merged.
+pub fn inject_label(exposition: &str, key: &str, value: &str) -> String {
+    let mut out = String::with_capacity(exposition.len() + 64);
+    for line in exposition.lines() {
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            out.push_str(trimmed);
+            out.push('\n');
+            continue;
+        }
+        let Some((name_part, value_part)) = trimmed.rsplit_once(' ') else {
+            // Not a sample line; preserve rather than drop.
+            out.push_str(trimmed);
+            out.push('\n');
+            continue;
+        };
+        if let Some((name, rest)) = name_part.split_once('{') {
+            // `name{existing...} value` → `name{key="v",existing...} value`
+            out.push_str(&format!("{name}{{{key}=\"{value}\",{rest} {value_part}\n"));
+        } else {
+            out.push_str(&format!("{name_part}{{{key}=\"{value}\"}} {value_part}\n"));
+        }
+    }
+    out
+}
+
+/// Merge several Prometheus expositions into one document. Each part is
+/// `(label_value, exposition)`: its samples gain `label_key="label_value"`
+/// (see [`inject_label`]) and metric families are grouped so every
+/// `# TYPE` line appears exactly once, with the member samples from all
+/// parts underneath it in part order. Families are emitted in sorted
+/// name order, matching [`Registry::render_prometheus`]'s deterministic
+/// per-registry ordering.
+///
+/// Label values should be distinct per part (shard ids); a repeated
+/// value is not an error but yields indistinguishable duplicate samples.
+pub fn merge_expositions(label_key: &str, parts: &[(String, String)]) -> String {
+    // family name → (TYPE comment line, sample lines from all parts)
+    let mut families: BTreeMap<String, (String, Vec<String>)> = BTreeMap::new();
+    for (label_value, exposition) in parts {
+        let labeled = inject_label(exposition, label_key, label_value);
+        let mut current: Option<String> = None;
+        for line in labeled.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let family = rest.split(' ').next().unwrap_or(rest).to_string();
+                families
+                    .entry(family.clone())
+                    .or_insert_with(|| (line.to_string(), Vec::new()));
+                current = Some(family);
+                continue;
+            }
+            if line.starts_with('#') {
+                continue; // HELP and friends: dropped in the merged view.
+            }
+            // A sample line. Attribute it to the family the enclosing
+            // TYPE block declared; a stray untyped sample gets its own
+            // family keyed (and sorted) by its metric name.
+            let family = current
+                .clone()
+                .unwrap_or_else(|| line.split(['{', ' ']).next().unwrap_or(line).to_string());
+            families
+                .entry(family)
+                .or_insert_with(|| (String::new(), Vec::new()))
+                .1
+                .push(line.to_string());
+        }
+    }
+    let mut out = String::new();
+    for (_, (type_line, samples)) in families {
+        if !type_line.is_empty() {
+            out.push_str(&type_line);
+            out.push('\n');
+        }
+        for s in samples {
+            out.push_str(&s);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Global registry
 // ---------------------------------------------------------------------------
 
@@ -515,6 +610,84 @@ pub fn global() -> Arc<Registry> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn render_prometheus_ordering_is_pinned() {
+        // The exposition is a deterministic function of registry
+        // contents: counters first, then gauges, then histograms, each
+        // section in BTreeMap (lexicographic) name order. Fleet merging
+        // relies on this — pin the exact bytes.
+        let r = Registry::new();
+        r.counter("b_requests_total").add(3);
+        r.counter("a_errors_total").inc();
+        r.gauge("z_depth").set(7);
+        let h = r.histogram_with_buckets("m_latency_us", &[10, 100]);
+        h.record(5);
+        h.record(50);
+        h.record(5000);
+        let expected = "\
+# TYPE a_errors_total counter\n\
+a_errors_total 1\n\
+# TYPE b_requests_total counter\n\
+b_requests_total 3\n\
+# TYPE z_depth gauge\n\
+z_depth 7\n\
+# TYPE m_latency_us histogram\n\
+m_latency_us_bucket{le=\"10\"} 1\n\
+m_latency_us_bucket{le=\"100\"} 2\n\
+m_latency_us_bucket{le=\"+Inf\"} 3\n\
+m_latency_us_sum 5055\n\
+m_latency_us_count 3\n";
+        assert_eq!(r.render_prometheus(), expected);
+    }
+
+    #[test]
+    fn inject_label_rewrites_bare_and_labeled_samples() {
+        let text = "# TYPE a counter\na 1\n# TYPE h histogram\nh_bucket{le=\"10\"} 2\nh_sum 9\nh_count 2\n";
+        let labeled = inject_label(text, "shard", "3");
+        assert_eq!(
+            labeled,
+            "# TYPE a counter\n\
+             a{shard=\"3\"} 1\n\
+             # TYPE h histogram\n\
+             h_bucket{shard=\"3\",le=\"10\"} 2\n\
+             h_sum{shard=\"3\"} 9\n\
+             h_count{shard=\"3\"} 2\n"
+        );
+        // The labeled document still parses.
+        let samples = parse_prometheus(&labeled).unwrap();
+        assert_eq!(sample_value(&samples, "a{shard=\"3\"}"), Some(1.0));
+    }
+
+    #[test]
+    fn merge_expositions_dedups_type_lines_and_keeps_part_order() {
+        let r0 = Registry::new();
+        r0.counter("adapt_requests_total").add(5);
+        r0.gauge("adapt_queue_depth").set(2);
+        let r1 = Registry::new();
+        r1.counter("adapt_requests_total").add(7);
+        r1.counter("adapt_forwards_total").inc();
+        let merged = merge_expositions(
+            "shard",
+            &[
+                ("0".to_string(), r0.render_prometheus()),
+                ("1".to_string(), r1.render_prometheus()),
+            ],
+        );
+        // One TYPE line per family, families sorted, same-name samples
+        // from both shards disambiguated by label, shard order stable.
+        assert_eq!(
+            merged,
+            "# TYPE adapt_forwards_total counter\n\
+             adapt_forwards_total{shard=\"1\"} 1\n\
+             # TYPE adapt_queue_depth gauge\n\
+             adapt_queue_depth{shard=\"0\"} 2\n\
+             # TYPE adapt_requests_total counter\n\
+             adapt_requests_total{shard=\"0\"} 5\n\
+             adapt_requests_total{shard=\"1\"} 7\n"
+        );
+        assert!(parse_prometheus(&merged).is_ok());
+    }
 
     #[test]
     fn percentile_empty_is_zero_not_panic() {

@@ -13,6 +13,10 @@
 //!   circuits, localized search, policies;
 //! - [`adapt_service`]: the serving layer — device registry with
 //!   calibration epochs, epoch-keyed mask cache, bounded worker pool;
+//! - [`adapt_fleet`]: horizontal scale-out — length-prefixed wire
+//!   protocol over TCP, rendezvous-hash shard router with cross-shard
+//!   cache-fill forwarding, per-shard breakers, fleet-wide metrics
+//!   aggregation;
 //! - [`adapt_obs`]: dependency-free metrics facade — counters, gauges,
 //!   latency histograms and span timers behind a [`adapt_obs::Registry`]
 //!   with Prometheus/JSON exposition;
@@ -37,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub use adapt;
+pub use adapt_fleet;
 pub use adapt_obs;
 pub use adapt_service;
 pub use benchmarks;
