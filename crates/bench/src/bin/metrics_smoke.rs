@@ -78,6 +78,7 @@ fn workload() {
             tier: TierPolicy::default(),
         },
         deadline_ms: None,
+        tenancy: Default::default(),
     })
     .expect("recommendation");
 

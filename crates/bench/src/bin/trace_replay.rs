@@ -1,0 +1,10 @@
+//! Trace-replay harness (see the experiments module docs). Exits
+//! nonzero when the interactive class misses its 99% SLO, quota
+//! rejections fail to fire (or hit a quota-free tenant), the minority
+//! tenant's p99 degrades more than 2x under a 10:1 flood, equal-weight
+//! tenants diverge more than 1.5x in throughput, a worker panics, or
+//! two identical seeded runs diverge.
+fn main() {
+    let cfg = bench_harness::runner::ExperimentCfg::from_args();
+    bench_harness::experiments::trace_replay::run(&cfg);
+}

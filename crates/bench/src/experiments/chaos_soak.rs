@@ -274,6 +274,7 @@ fn run_phase(cfg: &ExperimentCfg, plan: &[Tick], chaos: bool) -> PhaseReport {
             protocol: DdProtocol::Xy4,
             budget: budget(cfg),
             deadline_ms: tick.deadline_ms,
+            tenancy: Default::default(),
         });
         match result {
             Ok(Response::Mask(rec)) => {
@@ -349,6 +350,7 @@ fn run_tiered_phase(cfg: &ExperimentCfg) -> TieredReport {
             protocol: DdProtocol::Xy4,
             budget: budget(cfg),
             deadline_ms,
+            tenancy: Default::default(),
         }) {
             Ok(Response::Mask(rec)) => rec,
             other => panic!("tiered phase {step}: unexpected response {other:?}"),

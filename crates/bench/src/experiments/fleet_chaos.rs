@@ -99,6 +99,7 @@ fn request(tag: usize) -> Request {
         protocol: DdProtocol::Cpmg,
         budget: budget(),
         deadline_ms: None,
+        tenancy: Default::default(),
     }
 }
 

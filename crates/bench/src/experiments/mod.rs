@@ -26,6 +26,7 @@ pub mod table1;
 pub mod table2;
 pub mod table5;
 pub mod tiered_loadgen;
+pub mod trace_replay;
 
 use crate::checkpoint::{config_hash, Checkpoint};
 use crate::report::Table;

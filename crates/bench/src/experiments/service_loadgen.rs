@@ -151,6 +151,7 @@ pub fn run(cfg: &ExperimentCfg) {
                     device,
                     policy,
                     deadline_ms: None,
+                    tenancy: Default::default(),
                 }
             } else {
                 Request::RecommendMask {
@@ -159,6 +160,7 @@ pub fn run(cfg: &ExperimentCfg) {
                     protocol: DdProtocol::Xy4,
                     budget,
                     deadline_ms: None,
+                    tenancy: Default::default(),
                 }
             };
             submitted += 1;
@@ -396,6 +398,7 @@ fn replay_bit_identity(
                     protocol: key.protocol,
                     budget,
                     deadline_ms: None,
+                    tenancy: Default::default(),
                 })
                 .expect("replay recommendation");
             let Response::Mask(rec) = resp else {

@@ -186,6 +186,7 @@ fn run_schedule(cfg: &ExperimentCfg) -> RunReport {
             protocol: DdProtocol::Xy4,
             budget: budget(cfg, tier),
             deadline_ms,
+            tenancy: Default::default(),
         }) {
             Ok(Response::Mask(rec)) => rec,
             other => panic!("tiered loadgen {step}: unexpected response {other:?}"),

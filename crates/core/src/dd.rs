@@ -93,6 +93,103 @@ impl DdConfig {
             ..Default::default()
         }
     }
+
+    /// Rejects insertion parameters no protocol can compose an identity
+    /// window from: a UDD pulse count that is odd or zero, or non-finite
+    /// / non-positive timing parameters.
+    ///
+    /// # Errors
+    ///
+    /// The first violation found, as a typed [`DdConfigError`].
+    pub fn validate(&self) -> Result<(), DdConfigError> {
+        self.protocol.validate()?;
+        if !self.buffer_ns.is_finite() || self.buffer_ns < 0.0 {
+            return Err(DdConfigError::BadBuffer {
+                buffer_ns: self.buffer_ns,
+            });
+        }
+        if !self.segment_ns.is_finite() || self.segment_ns <= 0.0 {
+            return Err(DdConfigError::BadSegment {
+                segment_ns: self.segment_ns,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A [`DdConfig`] (or bare [`DdProtocol`]) that cannot produce a valid
+/// identity-composing pulse sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DdConfigError {
+    /// `Udd { pulses }` with an odd count: an odd number of X pulses
+    /// leaves a net X on the idle qubit instead of composing to
+    /// identity.
+    OddUddPulses {
+        /// The rejected pulse count.
+        pulses: u32,
+    },
+    /// `Udd { pulses: 0 }`: the protocol would insert nothing while
+    /// claiming to protect the window.
+    ZeroUddPulses,
+    /// Non-finite or negative free-evolution buffer.
+    BadBuffer {
+        /// The rejected buffer length.
+        buffer_ns: f64,
+    },
+    /// Non-finite or non-positive segment bound.
+    BadSegment {
+        /// The rejected segment length.
+        segment_ns: f64,
+    },
+}
+
+impl fmt::Display for DdConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DdConfigError::OddUddPulses { pulses } => write!(
+                f,
+                "UDD pulse count {pulses} is odd: the idle window would compose \
+                 to a net X instead of identity"
+            ),
+            DdConfigError::ZeroUddPulses => {
+                write!(f, "UDD pulse count 0 would insert no pulses at all")
+            }
+            DdConfigError::BadBuffer { buffer_ns } => {
+                write!(
+                    f,
+                    "pulse buffer of {buffer_ns} ns is not a finite non-negative length"
+                )
+            }
+            DdConfigError::BadSegment { segment_ns } => {
+                write!(
+                    f,
+                    "segment bound of {segment_ns} ns is not a finite positive length"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DdConfigError {}
+
+impl DdProtocol {
+    /// Rejects protocol parameters that cannot compose an idle window to
+    /// identity. Only [`DdProtocol::Udd`] carries parameters today: its
+    /// pulse count must be even (documented on the variant) and
+    /// non-zero; everything else is parameter-free and always valid.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`DdConfigError`] naming the violation.
+    pub fn validate(&self) -> Result<(), DdConfigError> {
+        match *self {
+            DdProtocol::Udd { pulses: 0 } => Err(DdConfigError::ZeroUddPulses),
+            DdProtocol::Udd { pulses } if pulses % 2 == 1 => {
+                Err(DdConfigError::OddUddPulses { pulses })
+            }
+            _ => Ok(()),
+        }
+    }
 }
 
 /// Which program qubits receive DD — the paper's bit-vector notation
@@ -608,6 +705,59 @@ mod tests {
         );
         // 7000ns / 2000ns → 4 segments → 8 pulses.
         assert_eq!(out.pulse_count, 8);
+    }
+
+    #[test]
+    fn validate_rejects_odd_udd_pulses() {
+        let err = DdProtocol::Udd { pulses: 5 }.validate().unwrap_err();
+        assert_eq!(err, DdConfigError::OddUddPulses { pulses: 5 });
+        let err = DdConfig::for_protocol(DdProtocol::Udd { pulses: 3 })
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, DdConfigError::OddUddPulses { pulses: 3 });
+    }
+
+    #[test]
+    fn validate_rejects_zero_udd_pulses() {
+        assert_eq!(
+            DdProtocol::Udd { pulses: 0 }.validate(),
+            Err(DdConfigError::ZeroUddPulses)
+        );
+    }
+
+    #[test]
+    fn validate_accepts_even_udd_and_parameter_free_protocols() {
+        for protocol in [
+            DdProtocol::Xy4,
+            DdProtocol::IbmqDd,
+            DdProtocol::Cpmg,
+            DdProtocol::Xy8,
+            DdProtocol::Udd { pulses: 2 },
+            DdProtocol::Udd { pulses: 8 },
+        ] {
+            assert_eq!(protocol.validate(), Ok(()));
+            assert_eq!(DdConfig::for_protocol(protocol).validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_timing_parameters() {
+        let cfg = DdConfig {
+            buffer_ns: -1.0,
+            ..DdConfig::default()
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(DdConfigError::BadBuffer { .. })
+        ));
+        let cfg = DdConfig {
+            segment_ns: 0.0,
+            ..DdConfig::default()
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(DdConfigError::BadSegment { .. })
+        ));
     }
 
     #[test]

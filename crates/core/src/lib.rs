@@ -44,7 +44,7 @@ pub mod heuristic;
 pub mod metrics;
 pub mod search;
 
-pub use dd::{DdConfig, DdMask, DdProtocol, IdleAnalysis};
+pub use dd::{DdConfig, DdConfigError, DdMask, DdProtocol, IdleAnalysis};
 pub use decoy::{Decoy, DecoyKind};
 pub use gst::GateSequenceTable;
 pub use heuristic::{heuristic_mask, HeuristicConfig, HeuristicMask, QubitAssessment};

@@ -6,13 +6,25 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic       0x4144464C ("ADFL"), little-endian u32
-//! 4       1     version     protocol version (1)
+//! 4       1     version     protocol version (2; peers ≥ MIN_VERSION accepted)
 //! 5       1     kind        frame type (FrameKind)
 //! 6       1     flags       bit 0: FORWARDED (cross-shard cache fill)
 //! 7       1     reserved    must be 0
 //! 8       4     length      payload length in bytes, little-endian
 //! 12      len   payload     kind-specific body
 //! ```
+//!
+//! # Versioning and extensions
+//!
+//! Version 2 appends an *extension block* to the request payload after
+//! the fixed fields: a `u8` extension count, then per extension a `u8`
+//! tag, a `u32` byte length, and that many bytes. Decoders skip
+//! extensions with unknown tags by their length — new in-band fields
+//! (tenancy today) ride through old-but-v2-aware peers untouched — and
+//! a payload that ends before any extension block (a v1 sender) decodes
+//! with default values for every extension. This is the one place the
+//! protocol is deliberately tolerant; unknown *enum tags* inside known
+//! fields are still typed errors (below).
 //!
 //! All integers are little-endian; `f64` payloads travel as their exact
 //! IEEE-754 bit pattern (`to_bits`/`from_bits` — loss-free, including
@@ -36,8 +48,8 @@
 use adapt::decoy::DecoyError;
 use adapt::{AdaptError, DdMask, DdProtocol, DecoyKind, Policy, SearchError};
 use adapt_service::{
-    DeviceId, Execution, MaskKey, Provenance, Recommendation, Request, Response, SearchBudget,
-    ServiceError, TierPolicy, Timing,
+    DeviceId, Execution, MaskKey, PriorityClass, Provenance, Recommendation, Request, Response,
+    SearchBudget, ServiceError, Tenancy, TenantId, TierPolicy, Timing,
 };
 use machine::{ExecError, WireDeadline, WIRE_DEADLINE_BYTES};
 use qcirc::Gate;
@@ -47,8 +59,12 @@ use transpiler::ScheduleError;
 
 /// Frame magic: "ADFL" as a little-endian u32.
 pub const MAGIC: u32 = 0x4144_464c;
-/// Current protocol version.
-pub const VERSION: u8 = 1;
+/// Current protocol version. Version 2 added the request extension
+/// block (tenancy in-band); v1 frames are still accepted and decode
+/// with default tenancy.
+pub const VERSION: u8 = 2;
+/// Oldest protocol version this build still accepts.
+pub const MIN_VERSION: u8 = 1;
 /// Fixed frame-header size in bytes.
 pub const HEADER_BYTES: usize = 12;
 /// Default cap on payload size; larger frames are rejected before
@@ -246,6 +262,17 @@ impl<'a> R<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
     }
 
+    /// Whether any bytes remain — how decoders detect an optional
+    /// trailing extension block.
+    fn has_remaining(&self) -> bool {
+        self.pos < self.buf.len()
+    }
+
+    /// Consume and discard `n` bytes (an unknown extension's payload).
+    fn skip(&mut self, n: usize) -> Result<(), WireError> {
+        self.take(n).map(|_| ())
+    }
+
     /// Rejects payloads with unconsumed bytes — a framing bug upstream.
     fn finish(self) -> Result<(), WireError> {
         let extra = self.buf.len() - self.pos;
@@ -296,6 +323,35 @@ fn get_protocol(r: &mut R) -> Result<DdProtocol, WireError> {
             })
         }
     })
+}
+
+/// Request-extension tag: tenancy (u32 tenant id + u8 priority class).
+const EXT_TENANCY: u8 = 1;
+
+/// The tenancy extension body (not the tag/length envelope).
+fn put_tenancy_body(w: &mut W, t: Tenancy) {
+    w.u32(t.tenant.0);
+    w.u8(match t.class {
+        PriorityClass::Interactive => 0,
+        PriorityClass::Standard => 1,
+        PriorityClass::Batch => 2,
+    });
+}
+
+fn get_tenancy_body(r: &mut R) -> Result<Tenancy, WireError> {
+    let tenant = TenantId(r.u32()?);
+    let class = match r.u8()? {
+        0 => PriorityClass::Interactive,
+        1 => PriorityClass::Standard,
+        2 => PriorityClass::Batch,
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "PriorityClass",
+                tag,
+            })
+        }
+    };
+    Ok(Tenancy { tenant, class })
 }
 
 fn put_decoy_kind(w: &mut W, d: DecoyKind) {
@@ -834,6 +890,14 @@ fn put_service_error(w: &mut W, e: &ServiceError) {
             w.str(reason);
         }
         ServiceError::Lost => w.u8(8),
+        ServiceError::QuotaExhausted {
+            tenant,
+            retry_after_ms,
+        } => {
+            w.u8(9);
+            w.u32(tenant.0);
+            w.u64(*retry_after_ms);
+        }
     }
 }
 
@@ -857,6 +921,10 @@ fn get_service_error(r: &mut R) -> Result<ServiceError, WireError> {
         6 => ServiceError::ShuttingDown,
         7 => ServiceError::Internal { reason: r.str()? },
         8 => ServiceError::Lost,
+        9 => ServiceError::QuotaExhausted {
+            tenant: TenantId(r.u32()?),
+            retry_after_ms: r.u64()?,
+        },
         tag => {
             return Err(WireError::UnknownTag {
                 what: "ServiceError",
@@ -904,6 +972,14 @@ pub fn encode_request(req: &Request, deadline: WireDeadline) -> Vec<u8> {
             w.str(&qcirc::qasm::to_qasm(circuit));
         }
     }
+    // Version-2 extension block (see module docs): count, then
+    // tag/length-prefixed bodies. Tenancy is the only extension today.
+    w.u8(1);
+    w.u8(EXT_TENANCY);
+    let mut body = W::default();
+    put_tenancy_body(&mut body, req.tenancy());
+    w.u32(body.buf.len() as u32);
+    w.buf.extend_from_slice(&body.buf);
     w.buf
 }
 
@@ -921,7 +997,8 @@ pub fn decode_request(payload: &[u8]) -> Result<(Request, WireDeadline), WireErr
     let mut r = R::new(payload);
     let deadline = get_deadline(&mut r)?;
     let remaining = deadline.remaining_ms();
-    let req = match r.u8()? {
+    let tag = r.u8()?;
+    let mut body = match tag {
         0 => {
             let device = get_device(&mut r)?;
             let protocol = get_protocol(&mut r)?;
@@ -935,6 +1012,7 @@ pub fn decode_request(payload: &[u8]) -> Result<(Request, WireDeadline), WireErr
                 protocol,
                 budget,
                 deadline_ms: remaining,
+                tenancy: Tenancy::default(),
             }
         }
         1 => {
@@ -948,6 +1026,7 @@ pub fn decode_request(payload: &[u8]) -> Result<(Request, WireDeadline), WireErr
                 device,
                 policy,
                 deadline_ms: remaining,
+                tenancy: Tenancy::default(),
             }
         }
         tag => {
@@ -957,8 +1036,32 @@ pub fn decode_request(payload: &[u8]) -> Result<(Request, WireDeadline), WireErr
             })
         }
     };
+    // Optional extension block: absent on a v1 payload (defaults
+    // already in place), present on v2. Unknown extension tags are
+    // skipped by their declared length; a known extension with a bad
+    // body is still a typed error.
+    if r.has_remaining() {
+        let count = r.u8()?;
+        for _ in 0..count {
+            let ext = r.u8()?;
+            let len = r.u32()? as usize;
+            match ext {
+                EXT_TENANCY => {
+                    let bytes = r.take(len)?;
+                    let mut er = R::new(bytes);
+                    let tenancy = get_tenancy_body(&mut er)?;
+                    er.finish()?;
+                    match &mut body {
+                        Request::RecommendMask { tenancy: t, .. }
+                        | Request::Execute { tenancy: t, .. } => *t = tenancy,
+                    }
+                }
+                _ => r.skip(len)?,
+            }
+        }
+    }
     r.finish()?;
-    Ok((req, deadline))
+    Ok((body, deadline))
 }
 
 /// Encode a successful response payload.
@@ -1133,7 +1236,7 @@ pub fn read_frame(
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic).into());
     }
-    if head[4] != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&head[4]) {
         return Err(WireError::BadVersion(head[4]).into());
     }
     let kind = FrameKind::from_u8(head[5])?;
@@ -1228,6 +1331,7 @@ mod tests {
             protocol: DdProtocol::Xy4,
             budget: SearchBudget::default(),
             deadline_ms: None,
+            tenancy: Default::default(),
         };
         let wire = WireDeadline {
             budget_ms: Some(200),
@@ -1237,5 +1341,83 @@ mod tests {
         let (decoded, deadline) = decode_request(&payload).unwrap();
         assert_eq!(deadline, wire);
         assert_eq!(decoded.deadline_ms(), Some(140));
+    }
+
+    fn tenancy_request(tenancy: Tenancy) -> Request {
+        let mut c = qcirc::Circuit::new(2);
+        c.h(0).cx(0, 1);
+        Request::RecommendMask {
+            circuit: c,
+            device: DeviceId::Rome,
+            protocol: DdProtocol::Xy4,
+            budget: SearchBudget::default(),
+            deadline_ms: None,
+            tenancy,
+        }
+    }
+
+    #[test]
+    fn tenancy_rides_the_extension_block() {
+        for tenancy in [
+            Tenancy::default(),
+            Tenancy::with_class(7, PriorityClass::Interactive),
+            Tenancy::with_class(u32::MAX, PriorityClass::Batch),
+        ] {
+            let payload = encode_request(&tenancy_request(tenancy), WireDeadline::unbounded());
+            let (decoded, _) = decode_request(&payload).unwrap();
+            assert_eq!(decoded.tenancy(), tenancy);
+        }
+    }
+
+    #[test]
+    fn v1_payload_without_extensions_decodes_with_default_tenancy() {
+        // A v1 sender's payload ends right after the qasm string. Build
+        // one by truncating a v2 payload at its extension block: the
+        // block is the last 1 + 1 + 4 + 5 bytes (count, tag, len, body).
+        let tenancy = Tenancy::with_class(3, PriorityClass::Interactive);
+        let payload = encode_request(&tenancy_request(tenancy), WireDeadline::unbounded());
+        let v1 = &payload[..payload.len() - 11];
+        let (decoded, _) = decode_request(v1).unwrap();
+        assert_eq!(decoded.tenancy(), Tenancy::default());
+    }
+
+    #[test]
+    fn unknown_extension_tags_are_skipped_not_fatal() {
+        let tenancy = Tenancy::with_class(5, PriorityClass::Batch);
+        let mut payload = encode_request(&tenancy_request(tenancy), WireDeadline::unbounded());
+        // Rewrite the count to 2 and append an unknown extension
+        // (tag 200, 3 opaque bytes) a future version might send.
+        let count_at = payload.len() - 11;
+        payload[count_at] = 2;
+        payload.push(200);
+        payload.extend_from_slice(&3u32.to_le_bytes());
+        payload.extend_from_slice(&[0xde, 0xad, 0xbe]);
+        let (decoded, _) = decode_request(&payload).unwrap();
+        assert_eq!(decoded.tenancy(), tenancy, "known ext still decoded");
+    }
+
+    #[test]
+    fn quota_exhausted_round_trips() {
+        let e = ServiceError::QuotaExhausted {
+            tenant: TenantId(42),
+            retry_after_ms: 250,
+        };
+        let payload = encode_error(&e);
+        assert_eq!(decode_error(&payload).unwrap(), e);
+    }
+
+    #[test]
+    fn v1_frames_are_still_accepted() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, 0, b"abc").unwrap();
+        buf[4] = 1; // a v1 peer's header
+        let (head, payload) = read_frame(&mut buf.as_slice(), 1024).unwrap();
+        assert_eq!(head.kind, FrameKind::Request);
+        assert_eq!(payload, b"abc");
+        buf[4] = 0; // below MIN_VERSION: rejected
+        assert!(matches!(
+            read_frame(&mut buf.as_slice(), 1024),
+            Err(FrameError::Wire(WireError::BadVersion(0)))
+        ));
     }
 }

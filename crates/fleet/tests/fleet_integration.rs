@@ -49,6 +49,7 @@ fn request(tag: usize) -> Request {
             tier: TierPolicy::default(),
         },
         deadline_ms: None,
+        tenancy: Default::default(),
     }
 }
 

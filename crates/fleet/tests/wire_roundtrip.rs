@@ -17,7 +17,7 @@ use adapt_fleet::wire::{
 };
 use adapt_service::{
     DeviceId, Execution, MaskKey, Provenance, Recommendation, Request, Response, SearchBudget,
-    ServiceError, TierPolicy, Timing,
+    ServiceError, TenantId, TierPolicy, Timing,
 };
 use machine::{ExecError, WireDeadline};
 use statevec::SimError;
@@ -25,7 +25,7 @@ use transpiler::ScheduleError;
 
 // --- exhaustiveness pins (no wildcard arms!) -------------------------------
 
-const SERVICE_ERROR_VARIANTS: usize = 9;
+const SERVICE_ERROR_VARIANTS: usize = 10;
 fn service_error_index(e: &ServiceError) -> usize {
     match e {
         ServiceError::Rejected { .. } => 0,
@@ -37,6 +37,7 @@ fn service_error_index(e: &ServiceError) -> usize {
         ServiceError::ShuttingDown => 6,
         ServiceError::Internal { .. } => 7,
         ServiceError::Lost => 8,
+        ServiceError::QuotaExhausted { .. } => 9,
     }
 }
 
@@ -233,6 +234,10 @@ fn service_error_samples() -> Vec<ServiceError> {
             reason: "worker panicked: index out of bounds".to_string(),
         },
         ServiceError::Lost,
+        ServiceError::QuotaExhausted {
+            tenant: TenantId(17),
+            retry_after_ms: 125,
+        },
     ];
     samples.extend(adapt_error_samples().into_iter().map(ServiceError::Failed));
     samples
@@ -427,6 +432,7 @@ fn requests_round_trip_including_circuit_and_deadline() {
                     tier: TierPolicy::SearchOnly,
                 },
                 deadline_ms: None,
+                tenancy: Default::default(),
             },
             WireDeadline {
                 budget_ms: Some(400),
@@ -439,6 +445,7 @@ fn requests_round_trip_including_circuit_and_deadline() {
                 device: DeviceId::Guadalupe,
                 policy: Policy::RuntimeBest,
                 deadline_ms: None,
+                tenancy: Default::default(),
             },
             WireDeadline::unbounded(),
         ),

@@ -21,8 +21,16 @@
 
 use crate::executor::ExecError;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// Process-wide anchor so wall-clock deadlines created at different
+/// moments still compare on one absolute axis (see
+/// [`Deadline::edf_key_us`]).
+fn process_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
 
 /// A shared cancellation flag. Cloning hands out another handle to the
 /// *same* flag: cancelling any clone cancels them all.
@@ -166,6 +174,37 @@ impl Deadline {
             };
             (b as f64 - charged - wall).max(0.0)
         })
+    }
+
+    /// An earliest-deadline-first sort key in microseconds: smaller
+    /// means more urgent. Unbounded deadlines sort last (`u64::MAX`).
+    ///
+    /// Wall deadlines map to their absolute expiry instant on a
+    /// process-wide axis (creation time + budget − already-charged
+    /// virtual time), so two requests admitted at different moments
+    /// compare by *when they will actually expire*, not by raw budget
+    /// size. Virtual-only deadlines have no meaningful wall anchor;
+    /// their key is the remaining virtual budget, which is a pure
+    /// function of the schedule and keeps replay-mode EDF
+    /// deterministic.
+    pub fn edf_key_us(&self) -> u64 {
+        let Some(budget_ms) = self.0.budget_ms else {
+            return u64::MAX;
+        };
+        let budget_us = budget_ms.saturating_mul(1000);
+        let charged_us = self.0.charged_us.load(Ordering::Relaxed);
+        if self.0.wall {
+            let created_us = self
+                .0
+                .start
+                .saturating_duration_since(process_epoch())
+                .as_micros() as u64;
+            created_us
+                .saturating_add(budget_us)
+                .saturating_sub(charged_us)
+        } else {
+            budget_us.saturating_sub(charged_us)
+        }
     }
 
     /// Whether the budget has been used up (never true when unbounded).
@@ -401,6 +440,31 @@ mod tests {
         let d = Deadline::within_ms(1);
         std::thread::sleep(std::time::Duration::from_millis(3));
         assert!(d.expired());
+    }
+
+    #[test]
+    fn edf_key_orders_tighter_budgets_first() {
+        let tight = Deadline::virtual_only(50);
+        let loose = Deadline::virtual_only(5_000);
+        let unbounded = Deadline::none();
+        assert!(tight.edf_key_us() < loose.edf_key_us());
+        assert!(loose.edf_key_us() < unbounded.edf_key_us());
+        assert_eq!(unbounded.edf_key_us(), u64::MAX);
+        // Wall deadlines land on the same absolute axis: one created now
+        // with a tight budget beats one created now with a loose budget.
+        let wall_tight = Deadline::within_ms(50);
+        let wall_loose = Deadline::within_ms(5_000);
+        assert!(wall_tight.edf_key_us() < wall_loose.edf_key_us());
+    }
+
+    #[test]
+    fn edf_key_is_schedule_pure_for_virtual_deadlines() {
+        let d = Deadline::virtual_only(100);
+        assert_eq!(d.edf_key_us(), 100_000);
+        d.charge_ms(40.0);
+        assert_eq!(d.edf_key_us(), 60_000);
+        d.charge_ms(100.0);
+        assert_eq!(d.edf_key_us(), 0);
     }
 
     #[test]

@@ -44,6 +44,17 @@
 //!   answers are never cached as fresh; per-request
 //!   [`SearchBudget::tier`] ([`TierPolicy`]) pins a request to
 //!   heuristic-only or search-only when auto laddering is unwanted.
+//! - Multi-tenant scheduling (opt-in via [`ServiceConfig::tenancy`]):
+//!   every request carries a [`Tenancy`] (tenant id + strictly-ordered
+//!   [`PriorityClass`]), admission draws per-tenant token buckets
+//!   (typed [`ServiceError::QuotaExhausted`] with a refill hint), and
+//!   the worker pool serves a deadline-aware ready queue
+//!   ([`sched::TenantScheduler`]) — strict class priority, weighted-
+//!   fair round-robin across tenants within a class, EDF within a
+//!   tenant's lane, with the refine lane strictly below all classes.
+//!   Per-tenant `adapt_service_tenant_*` metrics merge into one
+//!   `tenant`-labelled exposition via
+//!   [`MaskService::render_tenant_metrics`].
 //!
 //! Responses are deterministic: for one service seed, the answer for a
 //! given [`MaskKey`] is bit-identical whether it comes from a fresh
@@ -75,6 +86,7 @@
 //!         protocol: DdProtocol::Xy4,
 //!         budget,
 //!         deadline_ms: None,
+//!         tenancy: Default::default(),
 //!     })
 //!     .expect("recommend");
 //! # let _ = first;
@@ -86,7 +98,9 @@
 pub mod breaker;
 pub mod cache;
 pub mod registry;
+pub mod sched;
 pub mod service;
+pub mod tenancy;
 
 pub use breaker::{
     Admission, BreakerConfig, BreakerFallback, BreakerState, HealthTracker, Transition,
@@ -96,7 +110,11 @@ pub use cache::{
     StaleKey, TieredLookup,
 };
 pub use registry::{DeviceId, DeviceRegistry};
+pub use sched::TenantScheduler;
 pub use service::{
     BudgetError, Execution, MaskService, Pending, Provenance, Recommendation, Request, Response,
     SearchBudget, ServiceConfig, ServiceError, ServiceStats, TierConfig, TierPolicy, Timing,
+};
+pub use tenancy::{
+    PriorityClass, QuotaBook, Tenancy, TenancyConfig, TenantId, TenantQuota, TenantSpec,
 };

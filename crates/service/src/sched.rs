@@ -1,0 +1,306 @@
+//! Deadline-aware multi-tenant scheduling for the worker pool.
+//!
+//! [`TenantScheduler`] replaces the old FIFO `VecDeque`:
+//!
+//! - **Strict class priority.** Work in a higher [`PriorityClass`] is
+//!   always served before any lower class; the refine lane (owned by
+//!   the service, not this type) sits below all three.
+//! - **Weighted-fair round-robin across tenants.** Within a class,
+//!   tenants take turns in a deterministic ring; a tenant with weight
+//!   `w` may take up to `w` consecutive dequeues per turn before the
+//!   ring rotates. A tenant whose lane empties leaves the ring and
+//!   re-enters at the back on its next push, so an idle tenant costs
+//!   nothing and a backlogged one cannot be starved: with total active
+//!   weight `W`, any queued item is served within `W` dequeues of its
+//!   tenant reaching the ring front.
+//! - **EDF within a tenant's lane.** Each lane is a min-heap on
+//!   (`edf_key_us`, submit sequence): earliest absolute deadline first,
+//!   ties broken by admission order, so equal-deadline ordering is
+//!   deterministic and unbounded requests queue FIFO behind bounded
+//!   ones.
+//!
+//! All state transitions are pure functions of the push/pop sequence —
+//! no clocks, no randomness — which is what lets the trace-replay
+//! harness assert bit-identical schedules across runs.
+
+use crate::tenancy::{PriorityClass, TenancyConfig, TenantId};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+/// A queued item: EDF key + admission sequence + payload.
+#[derive(Debug)]
+struct Entry<T> {
+    /// Microsecond EDF key (smaller = more urgent; `u64::MAX` =
+    /// unbounded).
+    key_us: u64,
+    /// Global admission sequence number — the deterministic tie-break.
+    seq: u64,
+    payload: T,
+}
+
+// BinaryHeap is a max-heap; reverse the ordering to pop the smallest
+// (key, seq) first. Payloads never participate in ordering.
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key_us == other.key_us && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.key_us, other.seq).cmp(&(self.key_us, self.seq))
+    }
+}
+
+/// One class's tenant lanes plus the round-robin ring over them.
+#[derive(Debug)]
+struct ClassQueue<T> {
+    lanes: BTreeMap<TenantId, BinaryHeap<Entry<T>>>,
+    /// Tenants with queued work, in service order. The front tenant is
+    /// currently "holding the token".
+    ring: VecDeque<TenantId>,
+    /// Dequeues the front tenant has left in its current turn.
+    credits: u32,
+    len: usize,
+}
+
+impl<T> ClassQueue<T> {
+    fn new() -> Self {
+        ClassQueue {
+            lanes: BTreeMap::new(),
+            ring: VecDeque::new(),
+            credits: 0,
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, tenant: TenantId, entry: Entry<T>) {
+        let lane = self.lanes.entry(tenant).or_default();
+        if lane.is_empty() && !self.ring.contains(&tenant) {
+            self.ring.push_back(tenant);
+        }
+        lane.push(entry);
+        self.len += 1;
+    }
+
+    fn pop(&mut self, config: &TenancyConfig) -> Option<(TenantId, T)> {
+        loop {
+            let &tenant = self.ring.front()?;
+            if self.credits == 0 {
+                self.credits = config.weight(tenant).max(1);
+            }
+            let Some(lane) = self.lanes.get_mut(&tenant) else {
+                // Lane vanished (drained earlier turn); drop from ring.
+                self.ring.pop_front();
+                self.credits = 0;
+                continue;
+            };
+            let Some(entry) = lane.pop() else {
+                self.lanes.remove(&tenant);
+                self.ring.pop_front();
+                self.credits = 0;
+                continue;
+            };
+            self.len -= 1;
+            self.credits -= 1;
+            if lane.is_empty() {
+                // Tenant is done: leave the ring entirely; it re-enters
+                // at the back on its next push.
+                self.lanes.remove(&tenant);
+                self.ring.pop_front();
+                self.credits = 0;
+            } else if self.credits == 0 {
+                // Turn over: rotate to the back with work still queued.
+                self.ring.rotate_left(1);
+            }
+            return Some((tenant, entry.payload));
+        }
+    }
+}
+
+/// The multi-tenant, deadline-aware ready queue. See the module docs
+/// for the scheduling discipline.
+#[derive(Debug)]
+pub struct TenantScheduler<T> {
+    classes: [ClassQueue<T>; 3],
+    next_seq: u64,
+}
+
+impl<T> Default for TenantScheduler<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TenantScheduler<T> {
+    /// An empty scheduler.
+    pub fn new() -> Self {
+        TenantScheduler {
+            classes: [ClassQueue::new(), ClassQueue::new(), ClassQueue::new()],
+            next_seq: 0,
+        }
+    }
+
+    /// Total queued items across all classes and tenants.
+    pub fn len(&self) -> usize {
+        self.classes.iter().map(|c| c.len).sum()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `payload` for `tenant` in `class` with EDF key
+    /// `key_us` (use [`machine::Deadline::edf_key_us`]). Admission
+    /// order within equal keys is preserved via an internal sequence
+    /// counter.
+    pub fn push(&mut self, tenant: TenantId, class: PriorityClass, key_us: u64, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.classes[class.index()].push(
+            tenant,
+            Entry {
+                key_us,
+                seq,
+                payload,
+            },
+        );
+    }
+
+    /// Dequeues the next item: highest non-empty class, weighted-fair
+    /// tenant within it, earliest deadline within that tenant's lane.
+    /// `config` supplies the fairness weights.
+    pub fn pop(&mut self, config: &TenancyConfig) -> Option<(TenantId, T)> {
+        self.classes.iter_mut().find_map(|c| c.pop(config))
+    }
+
+    /// Drains every queued item (shutdown path). Order follows the
+    /// same discipline as [`TenantScheduler::pop`] with default
+    /// weights.
+    pub fn drain(&mut self) -> Vec<T> {
+        let config = TenancyConfig::default();
+        let mut out = Vec::with_capacity(self.len());
+        while let Some((_, payload)) = self.pop(&config) {
+            out.push(payload);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenancy::TenantSpec;
+
+    fn weights(pairs: &[(u32, u32)]) -> TenancyConfig {
+        let mut cfg = TenancyConfig::default();
+        for &(tenant, weight) in pairs {
+            cfg.tenants.insert(
+                TenantId(tenant),
+                TenantSpec {
+                    weight,
+                    quota: None,
+                },
+            );
+        }
+        cfg
+    }
+
+    #[test]
+    fn strict_class_priority() {
+        let mut s = TenantScheduler::new();
+        let cfg = TenancyConfig::default();
+        s.push(TenantId(0), PriorityClass::Batch, 0, "batch");
+        s.push(TenantId(0), PriorityClass::Standard, 0, "std");
+        s.push(TenantId(0), PriorityClass::Interactive, u64::MAX, "inter");
+        // Interactive wins even with the loosest deadline.
+        assert_eq!(s.pop(&cfg).unwrap().1, "inter");
+        assert_eq!(s.pop(&cfg).unwrap().1, "std");
+        assert_eq!(s.pop(&cfg).unwrap().1, "batch");
+        assert!(s.pop(&cfg).is_none());
+    }
+
+    #[test]
+    fn edf_within_lane_ties_broken_by_sequence() {
+        let mut s = TenantScheduler::new();
+        let cfg = TenancyConfig::default();
+        let t = TenantId(1);
+        s.push(t, PriorityClass::Standard, 500, "a");
+        s.push(t, PriorityClass::Standard, 100, "b");
+        s.push(t, PriorityClass::Standard, 100, "c");
+        s.push(t, PriorityClass::Standard, u64::MAX, "d");
+        assert_eq!(s.pop(&cfg).unwrap().1, "b"); // earliest key, first in
+        assert_eq!(s.pop(&cfg).unwrap().1, "c"); // equal key, later seq
+        assert_eq!(s.pop(&cfg).unwrap().1, "a");
+        assert_eq!(s.pop(&cfg).unwrap().1, "d");
+    }
+
+    #[test]
+    fn round_robin_alternates_equal_weight_tenants() {
+        let mut s = TenantScheduler::new();
+        let cfg = TenancyConfig::default();
+        for i in 0..3 {
+            s.push(TenantId(1), PriorityClass::Standard, 0, format!("a{i}"));
+            s.push(TenantId(2), PriorityClass::Standard, 0, format!("b{i}"));
+        }
+        let order: Vec<TenantId> = std::iter::from_fn(|| s.pop(&cfg).map(|(t, _)| t)).collect();
+        assert_eq!(
+            order,
+            [1, 2, 1, 2, 1, 2].map(TenantId),
+            "equal weights alternate"
+        );
+    }
+
+    #[test]
+    fn weights_grant_consecutive_dequeues() {
+        let mut s = TenantScheduler::new();
+        let cfg = weights(&[(1, 3), (2, 1)]);
+        for i in 0..6 {
+            s.push(TenantId(1), PriorityClass::Standard, 0, format!("a{i}"));
+        }
+        for i in 0..2 {
+            s.push(TenantId(2), PriorityClass::Standard, 0, format!("b{i}"));
+        }
+        let order: Vec<TenantId> = std::iter::from_fn(|| s.pop(&cfg).map(|(t, _)| t)).collect();
+        assert_eq!(
+            order,
+            [1, 1, 1, 2, 1, 1, 1, 2].map(TenantId),
+            "weight-3 tenant takes 3 per turn"
+        );
+    }
+
+    #[test]
+    fn idle_tenant_reenters_at_ring_back() {
+        let mut s = TenantScheduler::new();
+        let cfg = TenancyConfig::default();
+        s.push(TenantId(1), PriorityClass::Standard, 0, "a0");
+        s.push(TenantId(2), PriorityClass::Standard, 0, "b0");
+        assert_eq!(s.pop(&cfg).unwrap().0, TenantId(1));
+        // Tenant 1 drained and left the ring; new work re-enters behind 2.
+        s.push(TenantId(1), PriorityClass::Standard, 0, "a1");
+        assert_eq!(s.pop(&cfg).unwrap().0, TenantId(2));
+        assert_eq!(s.pop(&cfg).unwrap().0, TenantId(1));
+    }
+
+    #[test]
+    fn drain_empties_everything() {
+        let mut s = TenantScheduler::new();
+        for i in 0..5u32 {
+            s.push(
+                TenantId(i % 2),
+                PriorityClass::ALL[(i % 3) as usize],
+                i as u64,
+                i,
+            );
+        }
+        assert_eq!(s.len(), 5);
+        let drained = s.drain();
+        assert_eq!(drained.len(), 5);
+        assert!(s.is_empty());
+    }
+}

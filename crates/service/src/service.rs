@@ -28,6 +28,8 @@ use crate::cache::{
     StaleKey, TieredLookup,
 };
 use crate::registry::{DeviceId, DeviceRegistry};
+use crate::sched::TenantScheduler;
+use crate::tenancy::{QuotaBook, Tenancy, TenancyConfig, TenantId};
 use adapt::decoy::make_decoy;
 use adapt::{
     heuristic_mask, Adapt, AdaptConfig, AdaptError, DdConfig, DdMask, DdProtocol, DecoyKind,
@@ -36,7 +38,7 @@ use adapt::{
 use machine::{
     Deadline, ExecutionConfig, FaultProfile, FaultyBackend, Machine, ResilientExecutor, RetryPolicy,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -286,6 +288,12 @@ pub struct ServiceConfig {
     /// instead. A disabled (noop) registry is replaced with a fresh
     /// private one at start — the service's own accounting must work.
     pub registry: Arc<adapt_obs::Registry>,
+    /// Multi-tenant policy: per-tenant fairness weights and token-bucket
+    /// admission quotas. The default gives every tenant weight 1 and no
+    /// quota, so a config that never mentions tenancy schedules exactly
+    /// like a single shared lane (strict class priority and EDF still
+    /// apply).
+    pub tenancy: TenancyConfig,
 }
 
 impl Default for ServiceConfig {
@@ -304,6 +312,7 @@ impl Default for ServiceConfig {
             breaker: BreakerConfig::disabled(),
             virtual_deadlines: false,
             registry: Arc::new(adapt_obs::Registry::new()),
+            tenancy: TenancyConfig::default(),
         }
     }
 }
@@ -333,6 +342,9 @@ impl ServiceConfig {
         self.tiers
             .validate()
             .map_err(|reason| ServiceError::InvalidConfig { reason })?;
+        self.tenancy
+            .validate()
+            .map_err(|reason| ServiceError::InvalidConfig { reason })?;
         Ok(())
     }
 }
@@ -357,6 +369,11 @@ pub enum Request {
         /// (counted, not executed), and a search overrunning mid-flight
         /// is cut short into a conservative partial mask.
         deadline_ms: Option<u64>,
+        /// Which tenant submitted this and in which priority class it
+        /// rides. Drives per-tenant admission quotas and the worker
+        /// pool's weighted-fair EDF scheduling; the default is the
+        /// anonymous tenant in the standard class.
+        tenancy: Tenancy,
     },
     /// Execute `circuit` on `device` under `policy` (ADAPT consults the
     /// mask cache like a recommendation would).
@@ -370,6 +387,9 @@ pub enum Request {
         /// Time budget for the whole request; see
         /// [`Request::RecommendMask::deadline_ms`].
         deadline_ms: Option<u64>,
+        /// Tenant identity and priority class; see
+        /// [`Request::RecommendMask::tenancy`].
+        tenancy: Tenancy,
     },
 }
 
@@ -387,6 +407,13 @@ impl Request {
             Request::RecommendMask { deadline_ms, .. } | Request::Execute { deadline_ms, .. } => {
                 *deadline_ms
             }
+        }
+    }
+
+    /// Who submitted the request and how urgently it should be served.
+    pub fn tenancy(&self) -> Tenancy {
+        match self {
+            Request::RecommendMask { tenancy, .. } | Request::Execute { tenancy, .. } => *tenancy,
         }
     }
 }
@@ -542,6 +569,16 @@ pub enum ServiceError {
         /// The request's budget.
         budget_ms: u64,
     },
+    /// Admission control: the submitting tenant's token-bucket rate
+    /// limit is exhausted. The request was not enqueued; back off for
+    /// about `retry_after_ms` (when one full token will have refilled)
+    /// and resubmit.
+    QuotaExhausted {
+        /// The rate-limited tenant.
+        tenant: TenantId,
+        /// Time until the bucket refills one token.
+        retry_after_ms: u64,
+    },
     /// The device's circuit breaker is open and configured to fail
     /// fast. Back off for about `retry_after_ms`, or retarget.
     DeviceUnhealthy {
@@ -589,6 +626,13 @@ impl std::fmt::Display for ServiceError {
                 f,
                 "deadline exceeded: {elapsed_ms} ms elapsed against a {budget_ms} ms budget"
             ),
+            ServiceError::QuotaExhausted {
+                tenant,
+                retry_after_ms,
+            } => write!(
+                f,
+                "tenant {tenant} quota exhausted, retry after ~{retry_after_ms} ms"
+            ),
             ServiceError::DeviceUnhealthy {
                 device,
                 retry_after_ms,
@@ -630,6 +674,9 @@ pub struct ServiceStats {
     /// Rejections because the request's deadline was already expired at
     /// submission.
     pub rejected_deadline: u64,
+    /// Rejections because the submitting tenant's token-bucket quota
+    /// was exhausted.
+    pub rejected_quota: u64,
     /// Requests completed (ok or typed error).
     pub completed: u64,
     /// Requests answered with a typed error.
@@ -683,6 +730,7 @@ struct Metrics {
     rejected_queue: adapt_obs::Counter,
     rejected_breaker: adapt_obs::Counter,
     rejected_deadline: adapt_obs::Counter,
+    rejected_quota: adapt_obs::Counter,
     completed: adapt_obs::Counter,
     failed: adapt_obs::Counter,
     searches: adapt_obs::Counter,
@@ -711,6 +759,14 @@ struct Metrics {
     /// Total service time of completed requests, for the backpressure
     /// retry-after estimate.
     service_us_total: adapt_obs::Counter,
+    /// Service time and count of requests that actually ran a search
+    /// (fresh, degraded, or partial provenance) — the population a
+    /// rejected client about to trigger a search belongs to, which is
+    /// what the retry-after estimate should be based on. Sub-ms cache
+    /// and heuristic hits are excluded so they cannot drag the mean
+    /// down (the old bug).
+    fresh_service_us_total: adapt_obs::Counter,
+    fresh_completed: adapt_obs::Counter,
 }
 
 impl Metrics {
@@ -722,6 +778,7 @@ impl Metrics {
             rejected_queue: r.counter("adapt_service_rejected_queue_total"),
             rejected_breaker: r.counter("adapt_service_rejected_breaker_total"),
             rejected_deadline: r.counter("adapt_service_rejected_deadline_total"),
+            rejected_quota: r.counter("adapt_service_rejected_quota_total"),
             completed: r.counter("adapt_service_completed_total"),
             failed: r.counter("adapt_service_failed_total"),
             searches: r.counter("adapt_service_searches_total"),
@@ -745,6 +802,37 @@ impl Metrics {
             service_us: r.histogram("adapt_service_service_us"),
             request_us: r.histogram("adapt_service_request_us"),
             service_us_total: r.counter("adapt_service_service_us_total"),
+            fresh_service_us_total: r.counter("adapt_service_fresh_service_us_total"),
+            fresh_completed: r.counter("adapt_service_fresh_completed_total"),
+        }
+    }
+}
+
+/// The per-tenant `adapt_service_tenant_*` metrics. Each tenant gets a
+/// lazily-created private registry; [`MaskService::render_tenant_metrics`]
+/// merges them into one exposition with a `tenant="tN"` label per series
+/// (the same `inject_label` machinery the fleet uses for shard labels).
+struct TenantMetrics {
+    registry: Arc<adapt_obs::Registry>,
+    accepted: adapt_obs::Counter,
+    rejected_quota: adapt_obs::Counter,
+    completed: adapt_obs::Counter,
+    deadline_exceeded: adapt_obs::Counter,
+    inflight: adapt_obs::Gauge,
+    request_us: adapt_obs::Histogram,
+}
+
+impl TenantMetrics {
+    fn new() -> Self {
+        let registry = Arc::new(adapt_obs::Registry::new());
+        TenantMetrics {
+            accepted: registry.counter("adapt_service_tenant_accepted_total"),
+            rejected_quota: registry.counter("adapt_service_tenant_rejected_quota_total"),
+            completed: registry.counter("adapt_service_tenant_completed_total"),
+            deadline_exceeded: registry.counter("adapt_service_tenant_deadline_exceeded_total"),
+            inflight: registry.gauge("adapt_service_tenant_inflight"),
+            request_us: registry.histogram("adapt_service_tenant_request_us"),
+            registry,
         }
     }
 }
@@ -770,7 +858,13 @@ struct RefineJob {
 }
 
 struct QueueState {
-    jobs: VecDeque<Job>,
+    /// The multi-tenant ready queue: strict class priority, weighted-
+    /// fair round-robin across tenants within a class, EDF within a
+    /// tenant's lane (replaces the old FIFO deque).
+    jobs: TenantScheduler<Job>,
+    /// Per-tenant token buckets consulted at admission, under this same
+    /// lock so accept/reject order equals submission order.
+    quotas: QuotaBook,
     /// Low-priority refine lane: a worker only pops from it when `jobs`
     /// is empty and fewer than `refine_concurrency` refines are running.
     refine: VecDeque<RefineJob>,
@@ -781,10 +875,11 @@ struct QueueState {
     refiner_enabled: bool,
 }
 
-impl Default for QueueState {
-    fn default() -> Self {
+impl QueueState {
+    fn new(tenancy: TenancyConfig) -> Self {
         QueueState {
-            jobs: VecDeque::new(),
+            jobs: TenantScheduler::new(),
+            quotas: QuotaBook::new(tenancy),
             refine: VecDeque::new(),
             refine_active: 0,
             refiner_enabled: true,
@@ -792,7 +887,6 @@ impl Default for QueueState {
     }
 }
 
-#[derive(Default)]
 struct Queue {
     state: Mutex<QueueState>,
     available: Condvar,
@@ -800,6 +894,16 @@ struct Queue {
     /// deque and nothing executing) — [`MaskService::drain_refines`]
     /// waits on it.
     refine_idle: Condvar,
+}
+
+impl Queue {
+    fn new(tenancy: TenancyConfig) -> Self {
+        Queue {
+            state: Mutex::new(QueueState::new(tenancy)),
+            available: Condvar::new(),
+            refine_idle: Condvar::new(),
+        }
+    }
 }
 
 /// Everything the worker threads share.
@@ -821,7 +925,20 @@ struct Shared {
     /// re-transpiles hot keys from (a [`StaleKey`] alone cannot rebuild
     /// the circuit).
     programs: Mutex<ProgramBook>,
+    /// Lazily-created per-tenant metric sets, merged into one
+    /// tenant-labelled exposition by
+    /// [`MaskService::render_tenant_metrics`].
+    tenant_metrics: Mutex<BTreeMap<TenantId, Arc<TenantMetrics>>>,
     shutdown: AtomicBool,
+}
+
+/// The (lazily-created) metric set of `tenant`.
+fn tenant_metrics(shared: &Shared, tenant: TenantId) -> Arc<TenantMetrics> {
+    Arc::clone(
+        lock(&shared.tenant_metrics)
+            .entry(tenant)
+            .or_insert_with(|| Arc::new(TenantMetrics::new())),
+    )
 }
 
 /// Bounded insertion-ordered map of logical programs by [`StaleKey`].
@@ -922,12 +1039,13 @@ impl MaskService {
         let shared = Arc::new(Shared {
             registry,
             cache,
-            queue: Queue::default(),
+            queue: Queue::new(config.tenancy.clone()),
             metrics: Metrics::for_registry(&obs),
             obs,
             health,
             fault_overrides: Mutex::new(HashMap::new()),
             programs: Mutex::new(ProgramBook::default()),
+            tenant_metrics: Mutex::new(BTreeMap::new()),
             shutdown: AtomicBool::new(false),
             config,
         });
@@ -958,12 +1076,23 @@ impl MaskService {
     pub fn submit(&self, request: Request) -> Result<Pending, ServiceError> {
         let shared = &self.shared;
         let device = request.device();
-        // A budget no search can run with is a client bug, answered with
-        // the same typed error an invalid config gets at start.
-        if let Request::RecommendMask { budget, .. } = &request {
+        let tenancy = request.tenancy();
+        // A budget no search can run with — or a DD protocol whose
+        // parameters cannot compose an identity window (an odd UDD pulse
+        // count) — is a client bug, answered with the same typed error
+        // an invalid config gets at start.
+        if let Request::RecommendMask {
+            budget, protocol, ..
+        } = &request
+        {
             budget.validate().map_err(|e| ServiceError::InvalidConfig {
                 reason: e.to_string(),
             })?;
+            protocol
+                .validate()
+                .map_err(|e| ServiceError::InvalidConfig {
+                    reason: e.to_string(),
+                })?;
         }
         let deadline = match request.deadline_ms() {
             Some(b) if shared.config.virtual_deadlines => Deadline::virtual_only(b),
@@ -998,6 +1127,19 @@ impl MaskService {
                 shared.metrics.deadline_exceeded.inc();
                 return Err(deadline_error(&deadline));
             }
+            // The tenant's token bucket is drawn under the queue lock
+            // too, so accept/reject order is exactly submission order —
+            // what makes quota rejections replay bit-identically in
+            // virtual-time mode.
+            if let Err(retry_after_ms) = state.quotas.try_take(tenancy.tenant) {
+                shared.metrics.rejected.inc();
+                shared.metrics.rejected_quota.inc();
+                tenant_metrics(shared, tenancy.tenant).rejected_quota.inc();
+                return Err(ServiceError::QuotaExhausted {
+                    tenant: tenancy.tenant,
+                    retry_after_ms,
+                });
+            }
             // The breaker verdict is taken under the queue lock, so the
             // admission sequence (which drives cooldown counting and
             // probe hand-out) is exactly the accepted-submission order.
@@ -1010,16 +1152,25 @@ impl MaskService {
                     retry_after_ms,
                 });
             }
-            state.jobs.push_back(Job {
-                request,
-                reply: tx,
-                enqueued: Instant::now(),
-                deadline,
-                admission,
-            });
+            let key_us = deadline.edf_key_us();
+            state.jobs.push(
+                tenancy.tenant,
+                tenancy.class,
+                key_us,
+                Job {
+                    request,
+                    reply: tx,
+                    enqueued: Instant::now(),
+                    deadline,
+                    admission,
+                },
+            );
             shared.metrics.queue_depth.set(depth as i64 + 1);
             shared.metrics.peak_queue_depth.set_max(depth as i64 + 1);
         }
+        let tm = tenant_metrics(shared, tenancy.tenant);
+        tm.accepted.inc();
+        tm.inflight.add(1);
         shared.metrics.accepted.inc();
         shared.queue.available.notify_one();
         Ok(Pending { rx })
@@ -1151,6 +1302,7 @@ impl MaskService {
             rejected_queue: m.rejected_queue.get(),
             rejected_breaker: m.rejected_breaker.get(),
             rejected_deadline: m.rejected_deadline.get(),
+            rejected_quota: m.rejected_quota.get(),
             completed: m.completed.get(),
             failed: m.failed.get(),
             searches: m.searches.get(),
@@ -1227,7 +1379,10 @@ impl MaskService {
         // forever, and drop queued refines (tickets released).
         let dropped_refines = {
             let mut state = lock(&self.shared.queue.state);
-            for job in state.jobs.drain(..) {
+            for job in state.jobs.drain() {
+                tenant_metrics(&self.shared, job.request.tenancy().tenant)
+                    .inflight
+                    .add(-1);
                 let _ = job.reply.send(Err(ServiceError::ShuttingDown));
             }
             self.shared.metrics.queue_depth.set(0);
@@ -1245,19 +1400,69 @@ impl MaskService {
         }
     }
 
+    /// Advances the virtual quota clock by `ms`: refills every tenant's
+    /// token bucket as if `ms` milliseconds of wall time had passed.
+    /// Only meaningful with [`TenancyConfig::virtual_time`] set (it is a
+    /// no-op otherwise) — the trace-replay harness drives admission
+    /// entirely from this, so quota rejections are a pure function of
+    /// the replayed schedule.
+    pub fn advance_quota_ms(&self, ms: f64) {
+        lock(&self.shared.queue.state).quotas.advance_ms(ms);
+    }
+
+    /// One Prometheus exposition of every tenant's
+    /// `adapt_service_tenant_*` series, each labelled `tenant="tN"` —
+    /// the same label-injection machinery the fleet uses for
+    /// shard labels. Empty until the first tenant-attributed event.
+    pub fn render_tenant_metrics(&self) -> String {
+        let parts: Vec<(String, String)> = lock(&self.shared.tenant_metrics)
+            .iter()
+            .map(|(tenant, tm)| (tenant.to_string(), tm.registry.render_prometheus()))
+            .collect();
+        adapt_obs::merge_expositions("tenant", &parts)
+    }
+
     /// Depth-proportional backoff hint: the observed mean service time
     /// tells a rejected client roughly when a queue slot frees up.
     fn retry_after_ms(&self, depth: usize) -> u64 {
         let m = &self.shared.metrics;
-        let completed = m.completed.get();
-        let mean_us = m
-            .service_us_total
-            .get()
-            .checked_div(completed)
-            .unwrap_or(50_000); // no data yet: assume 50 ms per request
         let workers = self.shared.config.workers.max(1) as u64;
-        ((depth as u64 * mean_us) / workers / 1000).max(1)
+        retry_estimate_ms(
+            depth as u64,
+            workers,
+            m.fresh_service_us_total.get(),
+            m.fresh_completed.get(),
+            m.service_us_total.get(),
+            m.completed.get(),
+        )
     }
+}
+
+/// The retry-after estimate behind [`ServiceError::Rejected`]: how long
+/// `depth` queued requests take to drain across `workers` workers at the
+/// observed mean service time.
+///
+/// The mean is taken over *search-running* completions only
+/// (fresh/degraded/partial provenance). A rejected client is by
+/// definition behind a full queue, and what fills queues is search work
+/// — averaging in sub-ms cache and heuristic hits (the old behavior)
+/// told clients to retry orders of magnitude too early, turning one
+/// rejection into a retry storm. Falls back to the all-tier mean before
+/// any search has completed, and to 50 ms per request with no data at
+/// all.
+fn retry_estimate_ms(
+    depth: u64,
+    workers: u64,
+    fresh_us_total: u64,
+    fresh_completed: u64,
+    all_us_total: u64,
+    all_completed: u64,
+) -> u64 {
+    let mean_us = fresh_us_total
+        .checked_div(fresh_completed)
+        .or_else(|| all_us_total.checked_div(all_completed))
+        .unwrap_or(50_000);
+    ((depth * mean_us) / workers.max(1) / 1000).max(1)
 }
 
 impl Drop for MaskService {
@@ -1279,12 +1484,21 @@ enum Work {
 
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
-        let work = {
+        let (work, more_work) = {
             let mut state = lock(&shared.queue.state);
             loop {
-                if let Some(job) = state.jobs.pop_front() {
+                if let Some((_tenant, job)) = state.jobs.pop(&shared.config.tenancy) {
                     shared.metrics.queue_depth.set(state.jobs.len() as i64);
-                    break Work::Client(job);
+                    // Lost-wakeup guard: this worker may have absorbed
+                    // two notifications (a submit's and a refine
+                    // enqueue's) while it held one wait slot. If
+                    // eligible work remains — more client jobs, or a
+                    // refine with a free slot — pass the signal on so a
+                    // still-parked sibling picks it up.
+                    let more = !state.jobs.is_empty()
+                        || (state.refine_active < shared.config.tiers.refine_concurrency
+                            && !state.refine.is_empty());
+                    break (Work::Client(job), more);
                 }
                 // Refines are strictly lower priority: only an otherwise
                 // idle worker picks one up, and at most
@@ -1293,7 +1507,9 @@ fn worker_loop(shared: &Arc<Shared>) {
                 if state.refine_active < shared.config.tiers.refine_concurrency {
                     if let Some(refine) = state.refine.pop_front() {
                         state.refine_active += 1;
-                        break Work::Refine(refine);
+                        let more = state.refine_active < shared.config.tiers.refine_concurrency
+                            && !state.refine.is_empty();
+                        break (Work::Refine(refine), more);
                     }
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -1306,6 +1522,9 @@ fn worker_loop(shared: &Arc<Shared>) {
                     .unwrap_or_else(|poisoned| poisoned.into_inner());
             }
         };
+        if more_work {
+            shared.queue.available.notify_one();
+        }
         let job = match work {
             Work::Client(job) => job,
             Work::Refine(refine) => {
@@ -1329,6 +1548,7 @@ fn worker_loop(shared: &Arc<Shared>) {
         };
         let queued_us = job.enqueued.elapsed().as_micros() as u64;
         let device = job.request.device();
+        let tm = tenant_metrics(shared, job.request.tenancy().tenant);
         let m = &shared.metrics;
         // A deadline that lapsed while the job sat queued: counted and
         // answered with the typed error, never executed.
@@ -1338,6 +1558,10 @@ fn worker_loop(shared: &Arc<Shared>) {
             m.deadline_dropped.inc();
             m.deadline_exceeded.inc();
             m.queued_us.record(queued_us);
+            tm.completed.inc();
+            tm.deadline_exceeded.inc();
+            tm.inflight.add(-1);
+            tm.request_us.record(queued_us);
             if job.admission == Admission::Probe {
                 shared.health.probe_inconclusive(device);
             }
@@ -1380,6 +1604,26 @@ fn worker_loop(shared: &Arc<Shared>) {
                 Err(ServiceError::Internal { reason })
             }
         };
+        // Only search-running completions feed the retry-after
+        // estimator: a rejected client is waiting behind search work,
+        // not behind cache hits (see `retry_estimate_ms`).
+        if let Ok(response) = &reply {
+            if matches!(
+                provenance_of(response),
+                Some(
+                    Provenance::FreshSearch | Provenance::DegradedAllDd | Provenance::PartialSearch
+                )
+            ) {
+                m.fresh_service_us_total.add(service_us);
+                m.fresh_completed.inc();
+            }
+        }
+        tm.completed.inc();
+        if matches!(reply, Err(ServiceError::DeadlineExceeded { .. })) {
+            tm.deadline_exceeded.inc();
+        }
+        tm.inflight.add(-1);
+        tm.request_us.record(queued_us + service_us);
         // A client that dropped its Pending just doesn't read the answer.
         let _ = job.reply.send(reply);
     }
@@ -1483,7 +1727,7 @@ fn handle_request(
             device,
             protocol,
             budget,
-            deadline_ms: _,
+            ..
         } => {
             let served = Instant::now();
             let (rec, _) = if admission == Admission::Fallback {
@@ -1501,7 +1745,7 @@ fn handle_request(
             circuit,
             device,
             policy,
-            deadline_ms: _,
+            ..
         } => {
             // An execution has to touch the backend; there is no
             // conservative mask to serve in its place while the breaker
@@ -2006,4 +2250,45 @@ fn execute(
         provenance,
         timing: Timing::default(),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The skewed-mix regression the old estimator got wrong: 990
+    /// sub-ms cache hits and 10 two-second searches. The all-tier mean
+    /// (~20.9 ms) would tell a client behind 8 queued searches to retry
+    /// in ~83 ms — two orders of magnitude early. The fresh-tier mean
+    /// says ~8 s, which is when a slot actually frees up.
+    #[test]
+    fn retry_estimate_uses_fresh_tier_mean_under_skewed_mix() {
+        let fresh_us = 10 * 2_000_000u64; // 10 searches, 2 s each
+        let cache_us = 990 * 900u64; // 990 cache hits, 0.9 ms each
+        let est = retry_estimate_ms(8, 2, fresh_us, 10, fresh_us + cache_us, 1000);
+        assert_eq!(est, 8_000, "8 searches / 2 workers at 2 s each");
+        // The old all-tier estimate for comparison: far too optimistic.
+        let old = retry_estimate_ms(8, 2, 0, 0, fresh_us + cache_us, 1000);
+        assert!(old < 100, "all-tier mean collapses to {old} ms");
+    }
+
+    #[test]
+    fn retry_estimate_falls_back_without_fresh_data() {
+        // No fresh completions yet: all-tier mean.
+        assert_eq!(retry_estimate_ms(4, 1, 0, 0, 400_000, 4), 400);
+        // No data at all: 50 ms per queued request.
+        assert_eq!(retry_estimate_ms(4, 1, 0, 0, 0, 0), 200);
+        // Never zero, and worker count of zero is clamped.
+        assert_eq!(retry_estimate_ms(0, 0, 0, 0, 0, 0), 1);
+    }
+
+    #[test]
+    fn quota_exhausted_display_names_the_tenant() {
+        let e = ServiceError::QuotaExhausted {
+            tenant: TenantId(9),
+            retry_after_ms: 120,
+        };
+        let s = e.to_string();
+        assert!(s.contains("t9") && s.contains("120"), "got: {s}");
+    }
 }

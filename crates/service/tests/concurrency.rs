@@ -46,6 +46,7 @@ fn recommend(circuit: &qcirc::Circuit, device: DeviceId) -> Request {
         protocol: DdProtocol::Xy4,
         budget: small_budget(),
         deadline_ms: None,
+        tenancy: Default::default(),
     }
 }
 

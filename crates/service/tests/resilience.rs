@@ -54,6 +54,7 @@ fn recommend(circuit: qcirc::Circuit, device: DeviceId, deadline_ms: Option<u64>
         protocol: DdProtocol::Xy4,
         budget: small_budget(),
         deadline_ms,
+        tenancy: Default::default(),
     }
 }
 
@@ -108,6 +109,14 @@ fn deadline_lapsing_in_queue_drops_the_job_uncounted_unexecuted() {
     let slow = svc
         .submit(recommend(ghz(8), DeviceId::Guadalupe, None))
         .expect("submit slow");
+    // Wait for the worker to take the slow job: the scheduler is
+    // deadline-aware now, so a tight-deadline job submitted while the
+    // slow one is still *queued* would (correctly) jump ahead of it
+    // and run instead of expiring behind it.
+    let depth = svc.metrics_registry().gauge("adapt_service_queue_depth");
+    while depth.get() > 0 {
+        std::thread::yield_now();
+    }
     let doomed = svc
         .submit(recommend(ghz(4), DeviceId::Guadalupe, Some(1)))
         .expect("accepted at submission — not yet expired");
@@ -148,6 +157,7 @@ fn deadline_mid_search_serves_a_conservative_partial_mask_and_skips_the_cache() 
             protocol: DdProtocol::Xy4,
             budget,
             deadline_ms: Some(5),
+            tenancy: Default::default(),
         })
         .expect("a mid-search expiry serves the conservative partial mask"),
     );
@@ -161,6 +171,7 @@ fn deadline_mid_search_serves_a_conservative_partial_mask_and_skips_the_cache() 
             protocol: DdProtocol::Xy4,
             budget,
             deadline_ms: None,
+            tenancy: Default::default(),
         })
         .expect("unbounded retry"),
     );

@@ -60,6 +60,7 @@ fn recommend(
         protocol: DdProtocol::Xy4,
         budget: budget(tier),
         deadline_ms,
+        tenancy: Default::default(),
     }
 }
 
@@ -428,6 +429,7 @@ fn zero_budgets_are_rejected_with_a_typed_error() {
                     ..SearchBudget::default()
                 },
                 deadline_ms: None,
+                tenancy: Default::default(),
             })
             .map(|_| ()),
         )
@@ -448,6 +450,7 @@ fn zero_budgets_are_rejected_with_a_typed_error() {
                 tier: TierPolicy::HeuristicOnly,
             },
             deadline_ms: Some(50),
+            tenancy: Default::default(),
         })
         .expect("heuristic-only answer"),
     );

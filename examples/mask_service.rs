@@ -54,6 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             protocol: DdProtocol::Xy4,
             budget,
             deadline_ms: None,
+            tenancy: Default::default(),
         });
         match response {
             Ok(Response::Mask(rec)) => println!(
