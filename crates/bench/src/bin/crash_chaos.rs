@@ -1,0 +1,9 @@
+//! Crash-chaos harness (see the experiments module docs). Exits
+//! nonzero when a recovery panics, injected storage corruption is not
+//! quarantined exactly, a post-recovery response diverges from the
+//! undamaged reference, the warm-restart hit rate falls below 90%, or
+//! the seeded storm replay is not bit-identical.
+fn main() {
+    let cfg = bench_harness::runner::ExperimentCfg::from_args();
+    bench_harness::experiments::crash_chaos::run(&cfg);
+}

@@ -221,10 +221,23 @@ impl Checkpoint {
     /// Promotes the partial CSV to the final `results/<stem>.csv` and
     /// removes the checkpoint files. Returns the final path.
     ///
+    /// The final CSV lands via write-temp + fsync + rename
+    /// ([`adapt_service::persist::atomic_write`]) and the checkpoint
+    /// files are removed only *after* the rename: a kill anywhere in
+    /// `finalize` leaves either the durable final CSV or an intact
+    /// partial + manifest pair to resume from — never a torn final file.
+    ///
     /// # Errors
     ///
     /// Propagates I/O failures writing the final file.
     pub fn finalize(self) -> io::Result<PathBuf> {
+        self.finalize_with_crash(adapt_service::persist::CrashPoint::None)
+    }
+
+    /// `finalize` with an injectable crash point for durability tests.
+    /// When the injected kill fires, the final CSV has not been
+    /// published and the checkpoint files survive untouched.
+    fn finalize_with_crash(self, crash: adapt_service::persist::CrashPoint) -> io::Result<PathBuf> {
         let path = self.out_dir.join(format!("{}.csv", self.stem));
         let mut out = String::new();
         out.push_str(&self.header.join(","));
@@ -233,7 +246,13 @@ impl Checkpoint {
             out.push_str(&cells.join(","));
             out.push('\n');
         }
-        fs::write(&path, out)?;
+        let published =
+            adapt_service::persist::atomic_write_with_crash(&path, out.as_bytes(), true, crash)?;
+        if !published {
+            // Injected kill: behave like the process died here — the
+            // checkpoint files stay for the next run to resume.
+            return Err(io::Error::other("finalize killed at injected crash point"));
+        }
         let _ = fs::remove_file(Self::partial_path(&self.out_dir, &self.stem));
         let _ = fs::remove_file(Self::manifest_path(&self.out_dir, &self.stem));
         println!("  wrote {}", path.display());
@@ -480,6 +499,44 @@ mod tests {
         assert_eq!(content, "bench,fidelity\nBV-7,0.9\n");
         assert!(!Checkpoint::partial_path(&dir, "exp").exists());
         assert!(!Checkpoint::manifest_path(&dir, "exp").exists());
+    }
+
+    #[test]
+    fn finalize_killed_before_rename_leaves_checkpoint_resumable() {
+        use adapt_service::persist::CrashPoint;
+        let dir = tmp("kill_finalize");
+        let mut ck = Checkpoint::open(&dir, "exp", HDR, 7, 1, false).unwrap();
+        ck.record("BV-7", vec!["BV-7".into(), "0.9".into()])
+            .unwrap();
+        ck.record("QFT-6A", vec!["QFT-6A".into(), "0.8".into()])
+            .unwrap();
+
+        // Kill between writing the temp file and renaming it into place:
+        // the final CSV must not exist (not even partially written), and
+        // the partial + manifest pair must survive for resume.
+        let err = ck
+            .finalize_with_crash(CrashPoint::BeforeRename)
+            .expect_err("injected kill must surface as an error");
+        assert!(err.to_string().contains("injected crash point"), "{err}");
+        let final_path = dir.join("exp.csv");
+        assert!(!final_path.exists(), "torn final CSV published");
+        assert!(Checkpoint::partial_path(&dir, "exp").exists());
+        assert!(Checkpoint::manifest_path(&dir, "exp").exists());
+
+        // Resume sees every completed row, and a clean finalize then
+        // publishes the identical final CSV and cleans up.
+        let ck = Checkpoint::open(&dir, "exp", HDR, 7, 1, true).unwrap();
+        assert_eq!(ck.resumed_rows(), 2);
+        let path = ck.finalize().unwrap();
+        assert_eq!(
+            fs::read_to_string(&path).unwrap(),
+            "bench,fidelity\nBV-7,0.9\nQFT-6A,0.8\n"
+        );
+        assert!(!Checkpoint::partial_path(&dir, "exp").exists());
+        assert!(!Checkpoint::manifest_path(&dir, "exp").exists());
+        // The clean finalize reused (and renamed away) the staging temp
+        // the killed attempt left behind.
+        assert!(!adapt_service::persist::staging_path(&final_path).exists());
     }
 
     #[test]

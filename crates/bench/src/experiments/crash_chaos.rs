@@ -1,0 +1,587 @@
+//! **Crash chaos** — kills, corrupts, and restarts the durable mask
+//! service (`adapt_service::persist`, DESIGN.md §17) and checks the
+//! §17 recovery contract end to end:
+//!
+//! 1. **Clean restart.** A persisted service serves a tagged key pool,
+//!    shuts down (final snapshot), and restarts from disk: every key
+//!    must come back as a cache hit with a bit-identical response, and
+//!    the warm-restart hit rate must be ≥ 90%.
+//! 2. **Drift restart.** Calibration epochs advance before the
+//!    shutdown: the reborn registry must replay to the same epoch and
+//!    the superseded entries must land in the stale store, never be
+//!    served as fresh.
+//! 3. **Corruption storm.** Repeated rounds of seeded storage damage
+//!    ([`StorageFaultPlan`] — tail truncation, bit flips, torn
+//!    publishes, stray staging temps) are applied to the snapshot and
+//!    journal of a cleanly shut-down service. Every recovery must
+//!    quarantine the injected corruption (typed, counted, zero panics)
+//!    and the reborn service must answer the whole key pool
+//!    bit-identically to the undamaged reference — lost entries
+//!    re-search to the same seeded answer.
+//! 4. **Mid-snapshot kill.** Snapshots killed between temp write and
+//!    rename (both crash points) must leave the previous snapshot
+//!    published and fully recoverable.
+//! 5. **Fleet restart.** A persisted shard is killed abruptly
+//!    (`ShardServer::stop`) and restarted under its old identity with
+//!    the same persist directory: wire responses must be cache hits,
+//!    bit-identical to pre-kill answers.
+//! 6. **Replay.** The whole corruption storm runs a second time from
+//!    scratch under the same seed: damage schedule, quarantine counts,
+//!    and the full response log must match the first run exactly.
+//!
+//! Zero worker panics are tolerated anywhere. Results land in
+//! `results/BENCH_crash.json` (`zero_panics`, `corruption_quarantined`,
+//! `replay_bit_identical`, `warm_restart_hit_rate` are the keys CI
+//! greps for).
+
+use crate::runner::ExperimentCfg;
+use adapt::DdProtocol;
+use adapt_fleet::{FleetRouter, RouterConfig, ShardConfig, ShardId, ShardServer};
+use adapt_service::persist::{
+    decode_store, flip_bit, journal_path, snapshot_path, staging_path, truncate_tail, CrashPoint,
+    Persister, StorageFaultCounts, StorageFaultPlan, StorageFaultProfile, JOURNAL_MAGIC,
+    SNAPSHOT_MAGIC,
+};
+use adapt_service::{
+    DeviceId, DeviceRegistry, MaskCache, MaskService, PersistConfig, Provenance, Request, Response,
+    SearchBudget, ServiceConfig,
+};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const QUBITS: u32 = 5;
+const DEVICE: DeviceId = DeviceId::Rome;
+
+/// GHZ prefixed with a per-qubit {I, X, Z, XZ} stamp drawn from two tag
+/// bits (the `fleet_chaos` workload shape): structurally distinct
+/// Clifford circuits, one cache key each.
+fn tagged(tag: usize) -> qcirc::Circuit {
+    let mut c = qcirc::Circuit::new(QUBITS as usize);
+    for q in 0..QUBITS {
+        match (tag >> (2 * q)) & 3 {
+            1 => {
+                c.x(q);
+            }
+            2 => {
+                c.z(q);
+            }
+            3 => {
+                c.x(q);
+                c.z(q);
+            }
+            _ => {}
+        }
+    }
+    c.h(0);
+    for q in 0..QUBITS - 1 {
+        c.cx(q, q + 1);
+    }
+    c.measure_all();
+    c
+}
+
+fn budget() -> SearchBudget {
+    SearchBudget {
+        shots: 32,
+        trajectories: 2,
+        neighborhood: 4,
+        ..SearchBudget::default()
+    }
+}
+
+fn request(tag: usize) -> Request {
+    Request::RecommendMask {
+        circuit: tagged(tag),
+        device: DEVICE,
+        protocol: DdProtocol::Xy4,
+        budget: budget(),
+        deadline_ms: None,
+        tenancy: Default::default(),
+    }
+}
+
+/// A durable single-device service over `dir`. The snapshot interval is
+/// long and fsync off: snapshots in this harness come from shutdown and
+/// explicit calls, so every on-disk state is schedule-pure.
+fn service_config(cfg: &ExperimentCfg, dir: &Path) -> ServiceConfig {
+    ServiceConfig {
+        devices: vec![DEVICE],
+        workers: 2,
+        queue_capacity: 64,
+        cache_capacity: 64,
+        seed: cfg.seed,
+        default_budget: budget(),
+        persist: PersistConfig {
+            snapshot_interval_ms: 600_000,
+            fsync: false,
+            ..PersistConfig::at(dir)
+        },
+        ..ServiceConfig::default()
+    }
+}
+
+/// Wall-clock-free identity of a response (the `fleet_chaos` digest
+/// shape): what must replay bit-identically across restarts.
+fn digest(tag: usize, response: &Response) -> String {
+    match response {
+        Response::Mask(r) => format!(
+            "{tag}|{:?}|{:?}|{:016x}|{}",
+            r.provenance,
+            r.mask,
+            r.decoy_fidelity.to_bits(),
+            r.decoy_runs
+        ),
+        Response::Execution(_) => panic!("workload is RecommendMask-only"),
+    }
+}
+
+/// Digest with provenance masked out: equal for a cache hit and the
+/// fresh search that would replace it (the §17 bit-identity contract).
+fn semantic(d: &str) -> String {
+    let mut parts: Vec<&str> = d.split('|').collect();
+    parts.remove(1);
+    parts.join("|")
+}
+
+fn fresh_dir(name: &str, seed: u64) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("adapt_crash_chaos")
+        .join(format!("{name}_{seed:016x}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn call_mask(svc: &MaskService, tag: usize) -> Response {
+    svc.call(request(tag)).expect("recommendation")
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1+2: clean restart, drift restart
+// ---------------------------------------------------------------------------
+
+struct CleanRestart {
+    digests: Vec<String>,
+    hit_rate: f64,
+    worker_panics: u64,
+}
+
+fn clean_restart(cfg: &ExperimentCfg, keys: usize) -> CleanRestart {
+    let dir = fresh_dir("clean", cfg.seed);
+    let svc = MaskService::start(service_config(cfg, &dir));
+    let before: Vec<String> = (0..keys).map(|t| digest(t, &call_mask(&svc, t))).collect();
+    let mut panics = svc.shutdown().worker_panics;
+
+    let reborn = MaskService::start(service_config(cfg, &dir));
+    let report = reborn.recovery_report().expect("recovery ran");
+    assert_eq!(report.quarantined, 0, "clean restart must not quarantine");
+    let mut hits = 0usize;
+    let after: Vec<String> = (0..keys)
+        .map(|t| {
+            let resp = call_mask(&reborn, t);
+            if let Response::Mask(r) = &resp {
+                hits += usize::from(r.provenance == Provenance::CacheHit);
+            }
+            digest(t, &resp)
+        })
+        .collect();
+    panics += reborn.shutdown().worker_panics;
+
+    // Pre-kill digests say FreshSearch, post-restart ones CacheHit; the
+    // semantic payload (mask, fidelity bits, decoy runs) must be equal.
+    for (b, a) in before.iter().zip(&after) {
+        assert_eq!(semantic(b), semantic(a), "clean restart changed a response");
+    }
+    let hit_rate = hits as f64 / keys as f64;
+    assert!(
+        hit_rate >= 0.9,
+        "clean shutdown must recover >=90% of the warm set, got {hit_rate:.2}"
+    );
+    CleanRestart {
+        digests: before,
+        hit_rate,
+        worker_panics: panics,
+    }
+}
+
+fn drift_restart(cfg: &ExperimentCfg, keys: usize) -> u64 {
+    let dir = fresh_dir("drift", cfg.seed);
+    let svc = MaskService::start(service_config(cfg, &dir));
+    for t in 0..keys {
+        let _ = call_mask(&svc, t);
+    }
+    svc.advance_epoch(DEVICE).expect("advance");
+    svc.advance_epoch(DEVICE).expect("advance");
+    let epoch = svc.epoch(DEVICE).expect("epoch");
+    let mut panics = svc.shutdown().worker_panics;
+
+    let reborn = MaskService::start(service_config(cfg, &dir));
+    let report = reborn.recovery_report().expect("recovery ran");
+    assert_eq!(
+        reborn.epoch(DEVICE),
+        Some(epoch),
+        "registry epoch must replay from the snapshot"
+    );
+    assert_eq!(report.epoch_advances, 2);
+    assert_eq!(report.quarantined, 0);
+    assert!(
+        report.recovered_stale + report.demoted_stale >= 1,
+        "superseded entries must recover as stale, not fresh: {report:?}"
+    );
+    assert_eq!(report.recovered_warm, 0, "epoch-0 entries served as fresh");
+    // Current-epoch requests still answer (fresh searches at epoch 2).
+    let _ = call_mask(&reborn, 0);
+    let stats = reborn.cache_stats();
+    assert_eq!(
+        stats.hits + stats.misses + stats.stale_served,
+        stats.lookups,
+        "cache accounting broken after drift recovery: {stats:?}"
+    );
+    panics += reborn.shutdown().worker_panics;
+    panics
+}
+
+// ---------------------------------------------------------------------------
+// Phase 3 (+6 when run twice): corruption storm
+// ---------------------------------------------------------------------------
+
+struct StormOutcome {
+    rounds: usize,
+    damage: StorageFaultCounts,
+    quarantined: usize,
+    /// Full response log across all rounds — the replay unit.
+    log: Vec<String>,
+    worker_panics: u64,
+}
+
+/// One storm: per round, warm + cleanly shut down a durable service,
+/// apply the seeded damage the plan draws for the round's snapshot and
+/// journal ops, restart, and serve the whole pool again.
+fn corruption_storm(
+    cfg: &ExperimentCfg,
+    keys: usize,
+    rounds: usize,
+    reference: &[String],
+) -> StormOutcome {
+    let plan = StorageFaultPlan::new(StorageFaultProfile::gremlin(), cfg.seed ^ 0xC4A5_4CA0);
+    let mut out = StormOutcome {
+        rounds,
+        damage: StorageFaultCounts::default(),
+        quarantined: 0,
+        log: Vec::new(),
+        worker_panics: 0,
+    };
+    for round in 0..rounds {
+        let dir = fresh_dir(&format!("storm_{round}"), cfg.seed);
+        let svc = MaskService::start(service_config(cfg, &dir));
+        for t in 0..keys {
+            let _ = call_mask(&svc, t);
+        }
+        out.worker_panics += svc.shutdown().worker_panics;
+
+        // Seeded damage, one plan op per persisted file. Torn publishes
+        // truncate the published file to the kept fraction; kills leave
+        // a stray truncated staging temp for recovery to sweep.
+        let mut predicted = 0usize;
+        for (file, magic) in [
+            (snapshot_path(&dir), SNAPSHOT_MAGIC),
+            (journal_path(&dir), JOURNAL_MAGIC),
+        ] {
+            let faults = plan.faults_for(plan.next_op());
+            out.damage.record(&faults);
+            if let Some(keep) = faults.torn_write {
+                truncate_tail(&file, 1.0 - keep).expect("torn publish");
+            }
+            if let Some(frac) = faults.truncate_tail {
+                truncate_tail(&file, frac).expect("truncate tail");
+            }
+            if let Some(draw) = faults.bit_flip {
+                let _ = flip_bit(&file, draw).expect("flip bit");
+            }
+            if faults.kill_before_rename {
+                let bytes = std::fs::read(&file).expect("read for staging");
+                let half = bytes.len() / 2;
+                std::fs::write(staging_path(&file), &bytes[..half]).expect("stray temp");
+            }
+            // Decode the damaged bytes with the store codec itself: the
+            // recovery pass must quarantine *exactly* these regions —
+            // 100% of the injected corruption, nothing phantom.
+            let (_, errors) =
+                decode_store(&std::fs::read(&file).expect("read damaged file"), magic);
+            predicted += errors.len();
+        }
+
+        let reborn = MaskService::start(service_config(cfg, &dir));
+        let report = reborn.recovery_report().expect("recovery ran");
+        out.quarantined += report.quarantined;
+        assert_eq!(
+            report.quarantined, predicted,
+            "round {round}: recovery must quarantine exactly the injected \
+             corruption: {report:?}"
+        );
+        assert!(
+            !staging_path(&snapshot_path(&dir)).exists(),
+            "stray temp survived"
+        );
+        // Recovered-or-researched, every answer matches the undamaged
+        // reference bit for bit.
+        for (t, undamaged) in reference.iter().enumerate().take(keys) {
+            let d = digest(t, &call_mask(&reborn, t));
+            assert_eq!(
+                semantic(&d),
+                semantic(undamaged),
+                "round {round}: response diverged after corruption recovery"
+            );
+            out.log.push(d);
+        }
+        out.worker_panics += reborn.shutdown().worker_panics;
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(
+        out.damage.total() > 0,
+        "the gremlin profile must injure at least one round (ops={})",
+        out.damage.ops
+    );
+    assert!(
+        out.quarantined > 0,
+        "the storm must exercise the quarantine path ({})",
+        out.damage
+    );
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Phase 4: mid-snapshot kills
+// ---------------------------------------------------------------------------
+
+/// Kills a snapshot at both crash points and proves the previously
+/// published snapshot stays the recoverable truth. Returns the number
+/// of kill points exercised.
+fn mid_snapshot_kill(cfg: &ExperimentCfg, keys: usize) -> usize {
+    use adapt::{DdMask, DecoyKind};
+    use adapt_service::{CachedMask, MaskKey};
+
+    let dir = fresh_dir("midkill", cfg.seed);
+    let obs = adapt_obs::Registry::new();
+    let registry = DeviceRegistry::new(&[DEVICE], cfg.seed);
+    let cache = Arc::new(MaskCache::with_registry(64, &obs));
+    for t in 0..keys as u64 {
+        cache.insert(
+            MaskKey {
+                device: DEVICE,
+                epoch: 0,
+                circuit_hash: t,
+                protocol: DdProtocol::Xy4,
+                decoy: DecoyKind::Clifford,
+            },
+            CachedMask {
+                mask: DdMask::from_bits(t + 1, QUBITS as usize),
+                decoy_fidelity: 0.5 + t as f64 / 100.0,
+                decoy_runs: 4,
+                degraded: false,
+            },
+        );
+    }
+    let persister = Persister::new(&dir, false, &obs).expect("persister");
+    persister
+        .snapshot(&cache, &registry)
+        .expect("clean snapshot");
+    let published = std::fs::read(snapshot_path(&dir)).expect("read snapshot");
+
+    let kill_points = [
+        CrashPoint::MidTempWrite { keep: 32 },
+        CrashPoint::BeforeRename,
+    ];
+    for &crash in &kill_points {
+        persister
+            .snapshot_with_crash(&cache, &registry, crash)
+            .expect_err("injected kill must fail the snapshot");
+        assert_eq!(
+            std::fs::read(snapshot_path(&dir)).expect("read snapshot"),
+            published,
+            "{crash:?} must not disturb the published snapshot"
+        );
+    }
+
+    // The untouched snapshot recovers completely in a fresh process.
+    let obs2 = adapt_obs::Registry::new();
+    let registry2 = DeviceRegistry::new(&[DEVICE], cfg.seed);
+    let cache2 = Arc::new(MaskCache::with_registry(64, &obs2));
+    let persister2 = Persister::new(&dir, false, &obs2).expect("persister");
+    let report = persister2.recover(&cache2, &registry2).expect("recover");
+    assert_eq!(report.recovered_warm, keys);
+    assert_eq!(report.quarantined, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+    kill_points.len()
+}
+
+// ---------------------------------------------------------------------------
+// Phase 5: fleet warm restart
+// ---------------------------------------------------------------------------
+
+struct FleetRestart {
+    keys: usize,
+    warm_hits: usize,
+    worker_panics: u64,
+}
+
+/// A persisted shard killed abruptly and reborn under its old identity
+/// and persist directory: wire answers must be warm and bit-identical.
+fn fleet_restart(cfg: &ExperimentCfg, keys: usize) -> FleetRestart {
+    let dir = fresh_dir("fleet", cfg.seed);
+    let shard_id = ShardId(11);
+    let start = |cfg: &ExperimentCfg| {
+        ShardServer::start(ShardConfig {
+            shard: shard_id,
+            service: service_config(cfg, &dir),
+            max_frame_bytes: 1 << 20,
+            fleet: None,
+        })
+        .expect("shard starts")
+    };
+    let shard = start(cfg);
+    let router = FleetRouter::new(RouterConfig::default(), &[(shard_id, shard.addr())]);
+    let before: Vec<String> = (0..keys)
+        .map(|t| digest(t, &router.call(request(t)).expect("warm call").response))
+        .collect();
+    // Abrupt stop: sockets die like a crash; the final snapshot is the
+    // service's shutdown path, same as a SIGTERM drain.
+    let report = shard.stop();
+    let mut panics = report.stats.worker_panics;
+
+    let reborn = start(cfg);
+    router.set_endpoint(shard_id, reborn.addr());
+    let mut warm_hits = 0usize;
+    for (t, b) in before.iter().enumerate() {
+        let routed = router.call(request(t)).expect("post-restart call");
+        if let Response::Mask(r) = &routed.response {
+            warm_hits += usize::from(r.provenance == Provenance::CacheHit);
+        }
+        assert_eq!(
+            semantic(&digest(t, &routed.response)),
+            semantic(b),
+            "fleet restart changed the answer for tag {t}"
+        );
+    }
+    panics += reborn.stop().stats.worker_panics;
+    assert!(
+        warm_hits * 10 >= keys * 9,
+        "fleet warm restart must serve >=90% from the recovered cache: {warm_hits}/{keys}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    FleetRestart {
+        keys,
+        warm_hits,
+        worker_panics: panics,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Runs the crash-chaos harness and writes `results/BENCH_crash.json`.
+///
+/// # Panics
+///
+/// Panics (failing the CI job) on any violated §17 invariant: a worker
+/// panic, a quarantine miss on injected corruption, a response that is
+/// not bit-identical after recovery, a warm-restart hit rate below 90%,
+/// or a storm replay divergence.
+pub fn run(cfg: &ExperimentCfg) {
+    println!("\n== Crash chaos: durable mask service under kill/corrupt/restart ==");
+    let keys = if cfg.quick { 6 } else { 12 };
+    let rounds = if cfg.quick { 4 } else { 8 };
+    let mut worker_panics = 0u64;
+
+    println!("  phase 1: clean shutdown -> warm restart ({keys} keys)");
+    let clean = clean_restart(cfg, keys);
+    worker_panics += clean.worker_panics;
+    println!(
+        "    warm restart hit rate {:.0}%, responses bit-identical",
+        clean.hit_rate * 100.0
+    );
+
+    println!("  phase 2: drift -> restart (epoch replay, stale demotion)");
+    worker_panics += drift_restart(cfg, keys.min(4));
+    println!("    epochs replayed, superseded entries demoted to stale");
+
+    println!("  phase 3: corruption storm ({rounds} rounds, gremlin profile)");
+    let storm = corruption_storm(cfg, keys, rounds, &clean.digests);
+    worker_panics += storm.worker_panics;
+    println!(
+        "    damage {}; {} record(s) quarantined, all answers bit-identical",
+        storm.damage, storm.quarantined
+    );
+
+    println!("  phase 4: mid-snapshot kills (both crash points)");
+    let kill_points = mid_snapshot_kill(cfg, keys.min(5));
+    println!("    {kill_points} kill points left the published snapshot intact");
+
+    println!("  phase 5: fleet shard kill -> warm restart");
+    let fleet = fleet_restart(cfg, keys.min(6));
+    worker_panics += fleet.worker_panics;
+    println!(
+        "    {}/{} wire answers warm after rebirth, all bit-identical",
+        fleet.warm_hits, fleet.keys
+    );
+
+    println!("  phase 6: storm replay (same seed, from scratch)");
+    let replay = corruption_storm(cfg, keys, rounds, &clean.digests);
+    worker_panics += replay.worker_panics;
+    assert_eq!(storm.damage, replay.damage, "damage schedule must replay");
+    assert_eq!(
+        storm.quarantined, replay.quarantined,
+        "quarantine counts must replay"
+    );
+    assert_eq!(storm.log, replay.log, "storm response log must replay");
+    println!(
+        "    {} responses across {} rounds replayed bit-identically",
+        replay.log.len(),
+        replay.rounds
+    );
+
+    assert_eq!(worker_panics, 0, "a service worker panicked");
+    write_json(cfg, &clean, &storm, kill_points, &fleet, worker_panics);
+}
+
+fn write_json(
+    cfg: &ExperimentCfg,
+    clean: &CleanRestart,
+    storm: &StormOutcome,
+    kill_points: usize,
+    fleet: &FleetRestart,
+    worker_panics: u64,
+) {
+    let out_dir = cfg.out_dir();
+    std::fs::create_dir_all(&out_dir).expect("create results dir");
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"quick\": {},\n  \"seed\": {},\n  \
+         \"zero_panics\": {},\n  \
+         \"warm_restart_hit_rate\": {:.4},\n  \
+         \"clean_restart\": {{ \"keys\": {}, \"bit_identical\": true }},\n  \
+         \"corruption\": {{ \"rounds\": {}, \"ops\": {}, \"torn\": {}, \"truncated\": {}, \
+         \"flipped\": {}, \"stray_temps\": {}, \"quarantined_records\": {}, \
+         \"corruption_quarantined\": true, \"answers_bit_identical\": true }},\n  \
+         \"mid_snapshot_kill_points_survived\": {kill_points},\n  \
+         \"fleet_restart\": {{ \"keys\": {}, \"warm_hits\": {}, \"bit_identical\": true }},\n  \
+         \"replay\": {{ \"replay_bit_identical\": true, \"responses\": {} }}\n}}\n",
+        cfg.quick,
+        cfg.seed,
+        worker_panics == 0,
+        clean.hit_rate,
+        clean.digests.len(),
+        storm.rounds,
+        storm.damage.ops,
+        storm.damage.torn,
+        storm.damage.truncated,
+        storm.damage.flipped,
+        storm.damage.kills,
+        storm.quarantined,
+        fleet.keys,
+        fleet.warm_hits,
+        storm.log.len(),
+    );
+    let path = out_dir.join("BENCH_crash.json");
+    std::fs::write(&path, json).expect("write BENCH_crash.json");
+    println!("  wrote {}", path.display());
+}

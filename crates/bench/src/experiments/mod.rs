@@ -9,6 +9,7 @@ pub mod ablation_noise;
 pub mod ablation_protocols;
 pub mod ablation_search;
 pub mod chaos_soak;
+pub mod crash_chaos;
 pub mod fig03;
 pub mod fig04;
 pub mod fig05;

@@ -26,8 +26,8 @@
 use crate::runner::ExperimentCfg;
 use adapt::DdProtocol;
 use adapt_service::{
-    DeviceId, MaskKey, MaskService, Request, Response, SearchBudget, ServiceConfig, ServiceError,
-    TierPolicy,
+    DeviceId, MaskKey, MaskService, PersistConfig, Provenance, Request, Response, SearchBudget,
+    ServiceConfig, ServiceError, TierPolicy,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -241,6 +241,14 @@ pub fn run(cfg: &ExperimentCfg) {
     let replayed = replay_bit_identity(cfg, budget, &benches, &observed);
     println!("  bit-identity: {replayed} keys replayed on a fresh service, all identical");
 
+    // Warm-restart drill: the durable counterpart of the cold-miss
+    // storm — how much of the storm a persisted cache absorbs.
+    let warm_restart = warm_restart_hit_rate(cfg, budget, &benches, &observed);
+    println!(
+        "  warm restart: {:.0}% of distinct keys served from the recovered cache",
+        warm_restart * 100.0
+    );
+
     let out_dir = cfg.out_dir();
     std::fs::create_dir_all(&out_dir).expect("create results dir");
     let json = format!(
@@ -255,6 +263,7 @@ pub fn run(cfg: &ExperimentCfg) {
          \"latency_ms\": {{ \"p50\": {:.2}, \"p99\": {:.2} }} }},\n  \
          \"time_to_first_usable_ms\": {ttfur_ms:.2},\n  \
          \"cold_miss_storm\": {cold_miss_storm},\n  \
+         \"warm_restart_hit_rate\": {warm_restart:.4},\n  \
          \"rejection_rate\": {:.4},\n  \
          \"cache\": {{ \"hits\": {}, \"misses\": {}, \"coalesced\": {}, \"evictions\": {}, \
          \"invalidated\": {}, \"hit_rate\": {:.4} }},\n  \
@@ -424,4 +433,100 @@ fn replay_bit_identity(
         "replay must search every key once"
     );
     replayed
+}
+
+/// Warm-restart drill, the durable counterpart of `cold_miss_storm`: a
+/// same-seed service with persistence enabled answers every distinct
+/// `(benchmark, device, protocol)` pair once, shuts down cleanly (final
+/// snapshot), and restarts from disk. Returns the fraction of those
+/// pairs the reborn service serves straight from the recovered cache —
+/// each one a cold-start search the durable warm set absorbed.
+///
+/// # Panics
+///
+/// Panics when the reborn service recovers less than 90% of the keys
+/// the warm pass actually cached (the DESIGN.md §17 clean-shutdown
+/// floor).
+fn warm_restart_hit_rate(
+    cfg: &ExperimentCfg,
+    budget: SearchBudget,
+    benches: &[benchmarks::BenchmarkSpec],
+    observed: &HashMap<MaskKey, Observed>,
+) -> f64 {
+    let mut pairs: Vec<(usize, DeviceId, DdProtocol)> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for (key, prev) in observed {
+        if seen.insert((prev.bench, prev.device, key.protocol)) {
+            pairs.push((prev.bench, prev.device, key.protocol));
+        }
+    }
+    pairs.sort_by_key(|&(bench, device, _)| (bench, device as u8));
+
+    let dir = std::env::temp_dir().join(format!("adapt_loadgen_warm_restart_{:016x}", cfg.seed));
+    let _ = std::fs::remove_dir_all(&dir);
+    let durable = || {
+        MaskService::start(ServiceConfig {
+            persist: PersistConfig {
+                // Snapshots come from the shutdown path only, so the
+                // on-disk state is a pure function of the schedule.
+                snapshot_interval_ms: 600_000,
+                fsync: false,
+                ..PersistConfig::at(dir.clone())
+            },
+            ..service_config(cfg, budget)
+        })
+    };
+    let call = |svc: &MaskService, (bench, device, protocol): (usize, DeviceId, DdProtocol)| {
+        svc.call(Request::RecommendMask {
+            circuit: benches[bench].circuit.clone(),
+            device,
+            protocol,
+            budget,
+            deadline_ms: None,
+            tenancy: Default::default(),
+        })
+    };
+
+    // Warm pass at epoch 0 (no drift): only answers the cache actually
+    // stores count toward the recovery denominator — under an injected
+    // fault profile some searches fail or degrade to uncached masks.
+    let warm = durable();
+    let warmed: Vec<(usize, DeviceId, DdProtocol)> = pairs
+        .iter()
+        .copied()
+        .filter(|&p| match call(&warm, p) {
+            Ok(Response::Mask(rec)) => matches!(
+                rec.provenance,
+                Provenance::CacheHit | Provenance::FreshSearch | Provenance::DegradedAllDd
+            ),
+            _ => false,
+        })
+        .collect();
+    let stats = warm.shutdown();
+    assert_eq!(stats.worker_panics, 0, "warm pass must not panic");
+
+    let reborn = durable();
+    let report = reborn
+        .recovery_report()
+        .expect("persistence enabled for the drill");
+    let hits = warmed
+        .iter()
+        .filter(|&&p| {
+            matches!(
+                call(&reborn, p),
+                Ok(Response::Mask(rec)) if rec.provenance == Provenance::CacheHit
+            )
+        })
+        .count();
+    let stats = reborn.shutdown();
+    assert_eq!(stats.worker_panics, 0, "reborn service must not panic");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let rate = hits as f64 / warmed.len().max(1) as f64;
+    assert!(
+        rate >= 0.9,
+        "clean shutdown must recover >=90% of the warm set: {hits}/{} (report {report:?})",
+        warmed.len()
+    );
+    rate
 }

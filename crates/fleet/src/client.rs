@@ -87,7 +87,8 @@ impl ShardClient {
         let max_frame = self.max_frame;
         let result = (|| {
             let stream = self.connected()?;
-            wire::write_frame(stream, kind, 0, payload).map_err(ClientError::Transport)?;
+            wire::write_frame(stream, kind, wire::FLAG_CHECKSUM, payload)
+                .map_err(ClientError::Transport)?;
             let (header, body) = wire::read_frame(stream, max_frame)?;
             Ok((header.kind, body))
         })();

@@ -52,4 +52,4 @@ pub use client::{ClientError, ShardClient};
 pub use ring::{route_key, Ring, ShardId};
 pub use router::{FleetError, FleetRouter, RoutedResponse, RouterConfig, ShardState};
 pub use server::{FleetMap, ShardConfig, ShardReport, ShardServer};
-pub use wire::{FrameHeader, FrameKind, WireError, FLAG_FORWARDED, MAGIC, VERSION};
+pub use wire::{FrameHeader, FrameKind, WireError, FLAG_CHECKSUM, FLAG_FORWARDED, MAGIC, VERSION};

@@ -21,7 +21,7 @@
 
 use crate::ring::{route_key, Ring, ShardId};
 use crate::wire::{
-    self, FrameError, FrameKind, WireError, DEFAULT_MAX_FRAME_BYTES, FLAG_FORWARDED,
+    self, FrameError, FrameKind, WireError, DEFAULT_MAX_FRAME_BYTES, FLAG_CHECKSUM, FLAG_FORWARDED,
 };
 use adapt_service::{
     logical_hash, MaskService, Request, ServiceConfig, ServiceError, ServiceStats,
@@ -294,8 +294,12 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
                 let err = ServiceError::Internal {
                     reason: format!("wire: {e}"),
                 };
-                let _ =
-                    wire::write_frame(&mut stream, FrameKind::Error, 0, &wire::encode_error(&err));
+                let _ = wire::write_frame(
+                    &mut stream,
+                    FrameKind::Error,
+                    FLAG_CHECKSUM,
+                    &wire::encode_error(&err),
+                );
                 return;
             }
         };
@@ -307,8 +311,13 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
             }
             FrameKind::MetricsRequest => {
                 let text = shared.service.metrics_registry().render_prometheus();
-                if wire::write_frame(&mut stream, FrameKind::MetricsResponse, 0, text.as_bytes())
-                    .is_err()
+                if wire::write_frame(
+                    &mut stream,
+                    FrameKind::MetricsResponse,
+                    FLAG_CHECKSUM,
+                    text.as_bytes(),
+                )
+                .is_err()
                 {
                     return;
                 }
@@ -319,8 +328,12 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
                 let err = ServiceError::Internal {
                     reason: format!("unexpected client frame {:?}", header.kind),
                 };
-                let _ =
-                    wire::write_frame(&mut stream, FrameKind::Error, 0, &wire::encode_error(&err));
+                let _ = wire::write_frame(
+                    &mut stream,
+                    FrameKind::Error,
+                    FLAG_CHECKSUM,
+                    &wire::encode_error(&err),
+                );
                 return;
             }
         }
@@ -337,7 +350,12 @@ fn serve_request(stream: &mut TcpStream, shared: &ServerShared, payload: &[u8], 
             let err = ServiceError::Internal {
                 reason: format!("wire: {e}"),
             };
-            let _ = wire::write_frame(stream, FrameKind::Error, 0, &wire::encode_error(&err));
+            let _ = wire::write_frame(
+                stream,
+                FrameKind::Error,
+                FLAG_CHECKSUM,
+                &wire::encode_error(&err),
+            );
             return;
         }
     };
@@ -361,7 +379,7 @@ fn serve_request(stream: &mut TcpStream, shared: &ServerShared, payload: &[u8], 
                         match forward(owner_addr, payload, shared.max_frame) {
                             Ok((kind, body)) => {
                                 shared.forwards_total.inc();
-                                let _ = wire::write_frame(stream, kind, 0, &body);
+                                let _ = wire::write_frame(stream, kind, FLAG_CHECKSUM, &body);
                                 return;
                             }
                             Err(_) => {
@@ -389,7 +407,12 @@ fn serve_request(stream: &mut TcpStream, shared: &ServerShared, payload: &[u8], 
             );
         }
         Err(err) => {
-            let _ = wire::write_frame(stream, FrameKind::Error, 0, &wire::encode_error(&err));
+            let _ = wire::write_frame(
+                stream,
+                FrameKind::Error,
+                FLAG_CHECKSUM,
+                &wire::encode_error(&err),
+            );
         }
     }
 }
@@ -403,7 +426,12 @@ fn forward(
 ) -> Result<(FrameKind, Vec<u8>), FrameError> {
     let mut stream = TcpStream::connect_timeout(&owner, Duration::from_millis(500))?;
     stream.set_nodelay(true)?;
-    wire::write_frame(&mut stream, FrameKind::Request, FLAG_FORWARDED, payload)?;
+    wire::write_frame(
+        &mut stream,
+        FrameKind::Request,
+        FLAG_FORWARDED | FLAG_CHECKSUM,
+        payload,
+    )?;
     let (header, body) = wire::read_frame(&mut stream, max_frame)?;
     match header.kind {
         FrameKind::Response | FrameKind::Error => Ok((header.kind, body)),

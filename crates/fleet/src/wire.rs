@@ -8,11 +8,19 @@
 //! 0       4     magic       0x4144464C ("ADFL"), little-endian u32
 //! 4       1     version     protocol version (2; peers ≥ MIN_VERSION accepted)
 //! 5       1     kind        frame type (FrameKind)
-//! 6       1     flags       bit 0: FORWARDED (cross-shard cache fill)
+//! 6       1     flags       bit 0: FORWARDED; bit 1: CHECKSUM trailer
 //! 7       1     reserved    must be 0
 //! 8       4     length      payload length in bytes, little-endian
 //! 12      len   payload     kind-specific body
 //! ```
+//!
+//! With [`FLAG_CHECKSUM`] set, the declared length covers the payload
+//! *plus* a 4-byte CRC32 trailer (the `adapt_service::persist` CRC —
+//! one implementation across the durability and wire layers);
+//! [`read_frame`] verifies and strips the trailer, turning in-flight
+//! corruption into a typed [`WireError::ChecksumMismatch`] instead of a
+//! garbled payload. The flag is opt-in per sender, so `MIN_VERSION`
+//! peers that never set it are unaffected.
 //!
 //! # Versioning and extensions
 //!
@@ -73,6 +81,10 @@ pub const DEFAULT_MAX_FRAME_BYTES: u32 = 8 << 20;
 /// Flag bit: this request was forwarded by a non-owning shard and must
 /// be served locally (never re-forwarded), breaking forwarding cycles.
 pub const FLAG_FORWARDED: u8 = 0x01;
+/// Flag bit: the payload carries a 4-byte CRC32 trailer (included in
+/// the declared length). Senders opt in per frame; v1 peers never set
+/// it and decode unchanged.
+pub const FLAG_CHECKSUM: u8 = 0x02;
 
 /// Frame types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -157,6 +169,14 @@ pub enum WireError {
     },
     /// A 16-byte deadline field was malformed.
     BadDeadline,
+    /// The payload's CRC32 trailer did not match its content — the
+    /// frame was corrupted in flight.
+    ChecksumMismatch {
+        /// CRC32 the sender appended.
+        expected: u32,
+        /// CRC32 recomputed over the payload as received.
+        got: u32,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -182,6 +202,10 @@ impl std::fmt::Display for WireError {
                 write!(f, "{extra} trailing bytes after the last field")
             }
             WireError::BadDeadline => write!(f, "malformed in-band deadline"),
+            WireError::ChecksumMismatch { expected, got } => write!(
+                f,
+                "payload checksum mismatch: sender {expected:#010x}, received {got:#010x}"
+            ),
         }
     }
 }
@@ -1196,7 +1220,10 @@ impl From<WireError> for FrameError {
     }
 }
 
-/// Write one frame (header + payload) to `stream`.
+/// Write one frame (header + payload) to `stream`. With
+/// [`FLAG_CHECKSUM`] in `flags`, a CRC32 trailer is appended (and
+/// counted in the declared length) so the receiver can detect in-flight
+/// corruption.
 ///
 /// # Errors
 ///
@@ -1207,15 +1234,20 @@ pub fn write_frame(
     flags: u8,
     payload: &[u8],
 ) -> std::io::Result<()> {
+    let checksummed = flags & FLAG_CHECKSUM != 0;
+    let len = payload.len() as u32 + if checksummed { 4 } else { 0 };
     let mut head = [0u8; HEADER_BYTES];
     head[0..4].copy_from_slice(&MAGIC.to_le_bytes());
     head[4] = VERSION;
     head[5] = kind as u8;
     head[6] = flags;
     head[7] = 0;
-    head[8..12].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    head[8..12].copy_from_slice(&len.to_le_bytes());
     stream.write_all(&head)?;
     stream.write_all(payload)?;
+    if checksummed {
+        stream.write_all(&adapt_service::persist::crc32(payload).to_le_bytes())?;
+    }
     stream.flush()
 }
 
@@ -1251,6 +1283,23 @@ pub fn read_frame(
     }
     let mut payload = vec![0u8; len as usize];
     stream.read_exact(&mut payload)?;
+    if flags & FLAG_CHECKSUM != 0 {
+        if payload.len() < 4 {
+            return Err(WireError::UnexpectedEof {
+                needed: 4,
+                have: payload.len(),
+            }
+            .into());
+        }
+        let trailer = payload.split_off(payload.len() - 4);
+        let expected = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+        let got = adapt_service::persist::crc32(&payload);
+        if got != expected {
+            return Err(WireError::ChecksumMismatch { expected, got }.into());
+        }
+    }
+    // `len` reports the payload as returned (trailer verified + stripped).
+    let len = payload.len() as u32;
     Ok((FrameHeader { kind, flags, len }, payload))
 }
 

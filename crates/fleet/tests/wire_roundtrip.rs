@@ -506,3 +506,98 @@ fn requests_round_trip_including_circuit_and_deadline() {
         }
     }
 }
+
+// --- checksummed frames (FLAG_CHECKSUM trailer) ----------------------------
+
+mod checksum_frames {
+    use adapt_fleet::wire::{
+        read_frame, write_frame, FrameError, FrameKind, WireError, FLAG_CHECKSUM, HEADER_BYTES,
+        MAGIC, VERSION,
+    };
+
+    fn checksummed_frame(payload: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, FLAG_CHECKSUM, payload).unwrap();
+        buf
+    }
+
+    #[test]
+    fn checksummed_frame_round_trips_and_reports_stripped_length() {
+        let payload = b"adaptive dynamical decoupling";
+        let buf = checksummed_frame(payload);
+        // The trailer is counted in the declared length on the wire...
+        assert_eq!(buf.len(), HEADER_BYTES + payload.len() + 4);
+        let (head, got) = read_frame(&mut buf.as_slice(), 1024).unwrap();
+        // ...but the returned header reports the stripped payload.
+        assert_eq!(head.len as usize, payload.len());
+        assert_eq!(head.flags & FLAG_CHECKSUM, FLAG_CHECKSUM);
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn every_payload_bit_flip_is_a_typed_checksum_mismatch() {
+        let payload = b"mask-cache fill for epoch 3";
+        let clean = checksummed_frame(payload);
+        for byte in 0..payload.len() {
+            for bit in 0..8 {
+                let mut buf = clean.clone();
+                buf[HEADER_BYTES + byte] ^= 1 << bit;
+                match read_frame(&mut buf.as_slice(), 1024) {
+                    Err(FrameError::Wire(WireError::ChecksumMismatch { expected, got })) => {
+                        assert_ne!(expected, got);
+                    }
+                    other => {
+                        panic!("flip byte {byte} bit {bit}: want ChecksumMismatch, got {other:?}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trailer_bit_flips_are_also_checksum_mismatches() {
+        let payload = b"trailer under test";
+        let clean = checksummed_frame(payload);
+        let trailer_start = HEADER_BYTES + payload.len();
+        for byte in trailer_start..clean.len() {
+            let mut buf = clean.clone();
+            buf[byte] ^= 0x40;
+            match read_frame(&mut buf.as_slice(), 1024) {
+                Err(FrameError::Wire(WireError::ChecksumMismatch { .. })) => {}
+                other => panic!("trailer flip at {byte}: want ChecksumMismatch, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_flag_with_room_for_no_trailer_is_unexpected_eof() {
+        // Hand-roll a frame that claims FLAG_CHECKSUM but whose declared
+        // length cannot even hold the 4-byte trailer.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.push(VERSION);
+        buf.push(FrameKind::Request as u8);
+        buf.push(FLAG_CHECKSUM);
+        buf.push(0);
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&[0xAA, 0xBB]);
+        match read_frame(&mut buf.as_slice(), 1024) {
+            Err(FrameError::Wire(WireError::UnexpectedEof { needed: 4, have: 2 })) => {}
+            other => panic!("want UnexpectedEof {{4, 2}}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unchecksummed_frames_from_older_peers_still_decode() {
+        // A MIN_VERSION peer never sets FLAG_CHECKSUM; corruption is not
+        // detected (that is the pre-v2-flag contract) but clean frames
+        // must keep decoding unchanged.
+        let payload = b"legacy peer";
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Response, 0, payload).unwrap();
+        assert_eq!(buf.len(), HEADER_BYTES + payload.len());
+        let (head, got) = read_frame(&mut buf.as_slice(), 1024).unwrap();
+        assert_eq!(head.flags & FLAG_CHECKSUM, 0);
+        assert_eq!(got, payload);
+    }
+}

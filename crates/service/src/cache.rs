@@ -171,6 +171,35 @@ pub fn logical_hash(circuit: &qcirc::Circuit) -> u64 {
     h
 }
 
+/// A journaled cache mutation, emitted to the installed journal sink in
+/// mutation order (the sink runs under the cache lock, so the write-ahead
+/// journal's record order always matches the order the cache actually
+/// changed in — the property WAL replay correctness rests on).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CacheEvent {
+    /// A completed search entered the serving map.
+    Insert {
+        /// The resolved key.
+        key: MaskKey,
+        /// Its epoch-independent identity.
+        stale_key: StaleKey,
+        /// The published value.
+        value: CachedMask,
+    },
+    /// Drift invalidation demoted every entry of `device` below
+    /// `min_epoch` into the stale store.
+    InvalidateBefore {
+        /// The device that drifted.
+        device: DeviceId,
+        /// The new minimum fresh epoch.
+        min_epoch: u64,
+    },
+}
+
+/// The journal sink callback installed by `service::persist`. Must never
+/// re-enter the cache: it runs under the cache lock.
+pub type JournalSink = Arc<dyn Fn(&CacheEvent) + Send + Sync>;
+
 /// A cached search outcome.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CachedMask {
@@ -315,6 +344,9 @@ pub struct MaskCache {
     stale_capacity: usize,
     hot_ring_capacity: usize,
     metrics: CacheMetrics,
+    /// Write-ahead journal sink (see [`CacheEvent`]); `None` until the
+    /// persistence layer installs one after recovery.
+    journal: Mutex<Option<JournalSink>>,
 }
 
 impl std::fmt::Debug for MaskCache {
@@ -418,6 +450,11 @@ impl SearchTicket {
         let stale_key = self.stale_key;
         self.cache
             .insert_locked(&mut inner, self.key, value, stale_key);
+        self.cache.emit(CacheEvent::Insert {
+            key: self.key,
+            stale_key,
+            value,
+        });
         self.cache.resolved.notify_all();
     }
 }
@@ -446,6 +483,7 @@ impl MaskCache {
             stale_capacity: DEFAULT_STALE_CAPACITY,
             hot_ring_capacity: DEFAULT_HOT_RING_CAPACITY,
             metrics: CacheMetrics::default(),
+            journal: Mutex::new(None),
         }
     }
 
@@ -636,6 +674,11 @@ impl MaskCache {
         let mut inner = self.lock();
         let stale_key = key.synthetic_stale_key();
         self.insert_locked(&mut inner, key, value, stale_key);
+        self.emit(CacheEvent::Insert {
+            key,
+            stale_key,
+            value,
+        });
     }
 
     /// Peeks at `key` without touching LRU order or counters.
@@ -693,24 +736,137 @@ impl MaskCache {
                     }
                 }
             }
-            while inner.stale.len() > stale_cap {
-                if let Some(&oldest) = inner
-                    .stale
-                    .iter()
-                    .min_by_key(|(_, s)| (s.stored, s.epoch))
-                    .map(|(k, _)| k)
-                {
-                    inner.stale.remove(&oldest);
-                } else {
-                    break;
-                }
-            }
+            Self::evict_stale_over(&mut inner, stale_cap);
         }
         inner.invalidated += dropped as u64;
         self.metrics.invalidated.add(dropped as u64);
         self.metrics.len.set(inner.map.len() as i64);
         self.metrics.stale_len.set(inner.stale.len() as i64);
+        // Journaled even when nothing dropped: recovery replays the
+        // registry's epoch advance from this record, and an advance on a
+        // device with no cached entries must still survive a restart.
+        self.emit(CacheEvent::InvalidateBefore { device, min_epoch });
         dropped
+    }
+
+    /// Installs (or clears) the write-ahead journal sink. The sink runs
+    /// under the cache lock on every insert and invalidation; it must
+    /// never re-enter the cache. The persistence layer installs it only
+    /// *after* recovery, so restores are never re-journaled.
+    pub fn set_journal(&self, sink: Option<JournalSink>) {
+        *self
+            .journal
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = sink;
+    }
+
+    fn emit(&self, ev: CacheEvent) {
+        let sink = self
+            .journal
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(sink) = sink.as_ref() {
+            sink(&ev);
+        }
+    }
+
+    /// Runs `f` on a consistent export of the serving map and stale
+    /// store while holding the cache lock, so no mutation (or journal
+    /// event) can interleave with the exported state. Both exports are
+    /// deterministically ordered — warm by LRU tick, stale by insertion
+    /// order — so restoring them in sequence reproduces the eviction
+    /// order of the original cache, and two identical runs produce
+    /// byte-identical snapshots.
+    pub fn with_export<T>(
+        &self,
+        f: impl FnOnce(&[(MaskKey, StaleKey, CachedMask)], &[(StaleKey, CachedMask, u64)]) -> T,
+    ) -> T {
+        let inner = self.lock();
+        let mut warm: Vec<(u64, (MaskKey, StaleKey, CachedMask))> = inner
+            .map
+            .iter()
+            .map(|(k, e)| (e.last_used, (*k, e.stale_key, e.value)))
+            .collect();
+        warm.sort_by_key(|&(tick, _)| tick);
+        let warm: Vec<_> = warm.into_iter().map(|(_, row)| row).collect();
+        type StaleRank = (u64, u64, u64, &'static str, u64);
+        let mut stale: Vec<(StaleRank, (StaleKey, CachedMask, u64))> = inner
+            .stale
+            .iter()
+            .map(|(k, s)| {
+                (
+                    // Entries demoted by one invalidation share a
+                    // `stored` tick; the remaining fields break the
+                    // tie deterministically.
+                    (
+                        s.stored,
+                        s.epoch,
+                        k.logical_hash,
+                        k.device.name(),
+                        kind_rank(k),
+                    ),
+                    (*k, s.value, s.epoch),
+                )
+            })
+            .collect();
+        stale.sort_by(|a, b| a.0.cmp(&b.0));
+        let stale: Vec<_> = stale.into_iter().map(|(_, row)| row).collect();
+        let out = f(&warm, &stale);
+        drop(inner);
+        out
+    }
+
+    /// Reinserts a recovered entry into the serving map. Recovery-only:
+    /// unlike [`Self::insert`] this never emits a journal event (the
+    /// sink is not installed yet, and a restore must not re-journal
+    /// itself into the fresh WAL).
+    pub fn restore_warm(&self, key: MaskKey, stale_key: StaleKey, value: CachedMask) {
+        let mut inner = self.lock();
+        self.insert_locked(&mut inner, key, value, stale_key);
+    }
+
+    /// Reinserts a recovered (or demoted) entry into the stale store,
+    /// honoring the newest-epoch-wins rule and the capacity bound.
+    /// Returns whether the value was stored. Recovery-only; never emits
+    /// a journal event.
+    pub fn restore_stale(&self, key: StaleKey, value: CachedMask, epoch: u64) -> bool {
+        if self.stale_capacity == 0 {
+            return false;
+        }
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let stored = inner.tick;
+        match inner.stale.get(&key) {
+            Some(prev) if prev.epoch >= epoch => return false,
+            _ => {
+                inner.stale.insert(
+                    key,
+                    StaleEntry {
+                        value,
+                        epoch,
+                        stored,
+                    },
+                );
+            }
+        }
+        Self::evict_stale_over(&mut inner, self.stale_capacity);
+        self.metrics.stale_len.set(inner.stale.len() as i64);
+        true
+    }
+
+    fn evict_stale_over(inner: &mut Inner, cap: usize) {
+        while inner.stale.len() > cap {
+            if let Some(&oldest) = inner
+                .stale
+                .iter()
+                .min_by_key(|(_, s)| (s.stored, s.epoch))
+                .map(|(k, _)| k)
+            {
+                inner.stale.remove(&oldest);
+            } else {
+                break;
+            }
+        }
     }
 
     /// The top-`k` hottest identities of `device`, by occurrence count in
@@ -800,6 +956,24 @@ impl MaskCache {
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
+}
+
+/// Deterministic ordering rank of a [`StaleKey`]'s protocol + decoy,
+/// used only to break export-sort ties (see [`MaskCache::with_export`]).
+fn kind_rank(key: &StaleKey) -> u64 {
+    let p = match key.protocol {
+        DdProtocol::Xy4 => 0,
+        DdProtocol::IbmqDd => 1,
+        DdProtocol::Cpmg => 2,
+        DdProtocol::Xy8 => 3,
+        DdProtocol::Udd { pulses } => 4 + pulses as u64,
+    };
+    let d = match key.decoy {
+        DecoyKind::Clifford => 0,
+        DecoyKind::CnotOnly => 1,
+        DecoyKind::Seeded { max_seed_qubits } => 2 + max_seed_qubits as u64,
+    };
+    (p << 32) | (d & 0xFFFF_FFFF)
 }
 
 /// The stale value servable for `key` under `stale_key`, if one exists

@@ -55,6 +55,16 @@
 //!   Per-tenant `adapt_service_tenant_*` metrics merge into one
 //!   `tenant`-labelled exposition via
 //!   [`MaskService::render_tenant_metrics`].
+//! - Durability (opt-in via [`ServiceConfig::persist`]): the warm set
+//!   survives restarts through a CRC32-checksummed snapshot plus a
+//!   write-ahead journal ([`persist`]). Recovery quarantines corrupt
+//!   records (typed [`PersistError`], counted, never a panic), demotes
+//!   superseded-epoch entries to the stale store, and serves the rest
+//!   bit-identically to pre-crash responses; a background snapshot
+//!   thread with a kill-switch and write-temp-fsync-rename atomicity
+//!   keeps the on-disk image fresh, and a `machine::fault`-style seeded
+//!   storage-fault injector ([`persist::StorageFaultPlan`]) backs the
+//!   `crash_chaos` harness.
 //!
 //! Responses are deterministic: for one service seed, the answer for a
 //! given [`MaskKey`] is bit-identical whether it comes from a fresh
@@ -97,6 +107,7 @@
 
 pub mod breaker;
 pub mod cache;
+pub mod persist;
 pub mod registry;
 pub mod sched;
 pub mod service;
@@ -106,8 +117,12 @@ pub use breaker::{
     Admission, BreakerConfig, BreakerFallback, BreakerState, HealthTracker, Transition,
 };
 pub use cache::{
-    logical_hash, CachedMask, FastLookup, Lookup, MaskCache, MaskCacheStats, MaskKey, SearchTicket,
-    StaleKey, TieredLookup,
+    logical_hash, CacheEvent, CachedMask, FastLookup, Lookup, MaskCache, MaskCacheStats, MaskKey,
+    SearchTicket, StaleKey, TieredLookup,
+};
+pub use persist::{
+    CrashPoint, PersistConfig, PersistError, PersistStats, Persister, RecoveryReport,
+    StorageFaultCounts, StorageFaultPlan, StorageFaultProfile,
 };
 pub use registry::{DeviceId, DeviceRegistry};
 pub use sched::TenantScheduler;

@@ -27,6 +27,7 @@ use crate::cache::{
     logical_hash, CachedMask, FastLookup, MaskCache, MaskCacheStats, MaskKey, SearchTicket,
     StaleKey, TieredLookup,
 };
+use crate::persist::{PersistConfig, PersistStats, Persister, RecoveryReport};
 use crate::registry::{DeviceId, DeviceRegistry};
 use crate::sched::TenantScheduler;
 use crate::tenancy::{QuotaBook, Tenancy, TenancyConfig, TenantId};
@@ -44,7 +45,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use transpiler::{transpile, TranspileOptions};
 
 /// Which rungs of the degradation ladder a request may use.
@@ -294,6 +295,10 @@ pub struct ServiceConfig {
     /// like a single shared lane (strict class priority and EDF still
     /// apply).
     pub tenancy: TenancyConfig,
+    /// Durability: checksummed snapshot + write-ahead journal of the
+    /// mask cache (DESIGN §17). Disabled by default; set
+    /// [`PersistConfig::dir`] to recover the warm set across restarts.
+    pub persist: PersistConfig,
 }
 
 impl Default for ServiceConfig {
@@ -313,6 +318,7 @@ impl Default for ServiceConfig {
             virtual_deadlines: false,
             registry: Arc::new(adapt_obs::Registry::new()),
             tenancy: TenancyConfig::default(),
+            persist: PersistConfig::default(),
         }
     }
 }
@@ -929,6 +935,9 @@ struct Shared {
     /// tenant-labelled exposition by
     /// [`MaskService::render_tenant_metrics`].
     tenant_metrics: Mutex<BTreeMap<TenantId, Arc<TenantMetrics>>>,
+    /// Durability engine (`None` when persistence is disabled): journal
+    /// sink target, snapshot writer, recovery reporter.
+    persist: Option<Arc<Persister>>,
     shutdown: AtomicBool,
 }
 
@@ -986,6 +995,10 @@ impl Pending {
 pub struct MaskService {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    /// Background snapshot thread (`None` when persistence is disabled
+    /// or the interval is 0) and its kill-switch.
+    persist_thread: Option<JoinHandle<()>>,
+    persist_stop: Arc<(Mutex<bool>, Condvar)>,
 }
 
 impl std::fmt::Debug for MaskService {
@@ -1035,6 +1048,27 @@ impl MaskService {
             &obs,
         ));
         let health = HealthTracker::new(config.breaker, &config.devices, &obs);
+        // Durability: replay snapshot + journal into the fresh cache and
+        // registry (quarantining anything that fails validation), then
+        // install the journal sink — recovery restores must not journal
+        // themselves into the WAL they are compacting.
+        let persist = match &config.persist.dir {
+            Some(dir) => {
+                let p = Persister::new(dir, config.persist.fsync, &obs).map_err(|e| {
+                    ServiceError::InvalidConfig {
+                        reason: format!("persist dir {}: {e}", dir.display()),
+                    }
+                })?;
+                let p = Arc::new(p);
+                p.recover(&cache, &registry)
+                    .map_err(|e| ServiceError::Internal {
+                        reason: format!("durability recovery failed: {e}"),
+                    })?;
+                p.install(&cache);
+                Some(p)
+            }
+            None => None,
+        };
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             registry,
@@ -1046,6 +1080,7 @@ impl MaskService {
             fault_overrides: Mutex::new(HashMap::new()),
             programs: Mutex::new(ProgramBook::default()),
             tenant_metrics: Mutex::new(BTreeMap::new()),
+            persist,
             shutdown: AtomicBool::new(false),
             config,
         });
@@ -1058,7 +1093,23 @@ impl MaskService {
                     .expect("spawn service worker")
             })
             .collect();
-        Ok(MaskService { shared, workers })
+        let persist_stop: Arc<(Mutex<bool>, Condvar)> =
+            Arc::new((Mutex::new(false), Condvar::new()));
+        let interval_ms = shared.config.persist.snapshot_interval_ms;
+        let persist_thread = (shared.persist.is_some() && interval_ms > 0).then(|| {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&persist_stop);
+            std::thread::Builder::new()
+                .name("adapt-persist".to_string())
+                .spawn(move || persist_loop(&shared, &stop, Duration::from_millis(interval_ms)))
+                .expect("spawn persist thread")
+        });
+        Ok(MaskService {
+            shared,
+            workers,
+            persist_thread,
+            persist_stop,
+        })
     }
 
     /// Submits a request, subject to admission control.
@@ -1365,6 +1416,38 @@ impl MaskService {
         self.shared.cache.stats()
     }
 
+    /// Publishes a durability snapshot immediately (also resetting the
+    /// journal). The deterministic harnesses use this instead of waiting
+    /// out the background interval. Returns the record count.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidConfig`] when persistence is disabled,
+    /// [`ServiceError::Internal`] when the write failed (the previous
+    /// snapshot, if any, is still published).
+    pub fn snapshot_now(&self) -> Result<usize, ServiceError> {
+        let Some(p) = &self.shared.persist else {
+            return Err(ServiceError::InvalidConfig {
+                reason: "persistence is not enabled (PersistConfig::dir is None)".to_string(),
+            });
+        };
+        p.snapshot(&self.shared.cache, &self.shared.registry)
+            .map_err(|e| ServiceError::Internal {
+                reason: format!("snapshot failed: {e}"),
+            })
+    }
+
+    /// Persistence counters (`None` when persistence is disabled).
+    pub fn persist_stats(&self) -> Option<PersistStats> {
+        self.shared.persist.as_ref().map(|p| p.stats())
+    }
+
+    /// What startup recovery restored and quarantined (`None` when
+    /// persistence is disabled).
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.shared.persist.as_ref().and_then(|p| p.last_recovery())
+    }
+
     /// Stops accepting work, drains the queue with
     /// [`ServiceError::ShuttingDown`] replies, and joins the workers.
     /// Returns the final counters.
@@ -1397,6 +1480,20 @@ impl MaskService {
         self.shared.queue.refine_idle.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        // Durability epilogue, after the workers are gone (no more
+        // inserts): stop the background snapshotter, then publish one
+        // final snapshot so a clean shutdown recovers the whole warm set.
+        {
+            let (stop, cvar) = &*self.persist_stop;
+            *lock(stop) = true;
+            cvar.notify_all();
+        }
+        if let Some(h) = self.persist_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(p) = &self.shared.persist {
+            let _ = p.snapshot(&self.shared.cache, &self.shared.registry);
         }
     }
 
@@ -1480,6 +1577,32 @@ fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
 enum Work {
     Client(Job),
     Refine(RefineJob),
+}
+
+/// Background snapshot loop: publish a snapshot every `interval` until
+/// the kill-switch fires. Snapshot I/O errors are counted (in
+/// `adapt_service_persist_snapshot_failures_total`) and retried on the
+/// next tick — a full disk must degrade durability, not serving.
+fn persist_loop(shared: &Arc<Shared>, stop: &Arc<(Mutex<bool>, Condvar)>, interval: Duration) {
+    let (flag, cvar) = &**stop;
+    let mut stopped = lock(flag);
+    loop {
+        if *stopped {
+            return;
+        }
+        stopped = cvar
+            .wait_timeout(stopped, interval)
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .0;
+        if *stopped {
+            return;
+        }
+        drop(stopped);
+        if let Some(p) = &shared.persist {
+            let _ = p.snapshot(&shared.cache, &shared.registry);
+        }
+        stopped = lock(flag);
+    }
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
